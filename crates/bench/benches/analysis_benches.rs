@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the analyses and the simulator.
+//!
+//! These measure the *cost* side of the paper's evaluation (the analysis-
+//! time columns of Tables 5–7) on a reduced scale so they finish quickly:
+//! the per-table regeneration binaries in `src/bin/` produce the full rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spec_analysis::detect_leaks;
+use spec_cache::CacheConfig;
+use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_sim::{PredictorKind, SimConfig, SimInput, Simulator};
+use spec_vcfg::MergeStrategy;
+use spec_workloads::{crypto_workload, ete_workload, figure2_program};
+
+const BENCH_LINES: u64 = 64;
+
+fn cache() -> CacheConfig {
+    CacheConfig::fully_associative(BENCH_LINES as usize, 64)
+}
+
+/// Table 5's analysis-time columns: baseline vs. speculative analysis.
+fn bench_ete_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ete_analysis");
+    group.sample_size(10);
+    for name in ["adpcm", "jcphuff", "g72"] {
+        let workload = ete_workload(name, BENCH_LINES);
+        let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache()));
+        let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache()));
+        group.bench_with_input(
+            BenchmarkId::new("non_speculative", name),
+            &workload,
+            |b, w| b.iter(|| baseline.run(&w.program).miss_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("speculative", name),
+            &workload,
+            |b, w| b.iter(|| speculative.run(&w.program).miss_count()),
+        );
+    }
+    group.finish();
+}
+
+/// Table 6's analysis-time columns: merge-at-rollback vs. just-in-time.
+fn bench_merge_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_strategies");
+    group.sample_size(10);
+    let workload = ete_workload("jcmarker", BENCH_LINES);
+    for (label, strategy) in [
+        ("just_in_time", MergeStrategy::JustInTime),
+        ("merge_at_rollback", MergeStrategy::MergeAtRollback),
+    ] {
+        let analysis = CacheAnalysis::new(
+            AnalysisOptions::speculative()
+                .with_cache(cache())
+                .with_merge_strategy(strategy),
+        );
+        group.bench_function(label, |b| b.iter(|| analysis.run(&workload.program).miss_count()));
+    }
+    group.finish();
+}
+
+/// Table 7's analysis-time columns: leak detection on a crypto client.
+fn bench_sidechannel_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sidechannel_analysis");
+    group.sample_size(10);
+    let workload = crypto_workload("encoder", BENCH_LINES, 16 * 64);
+    for (label, options) in [
+        ("non_speculative", AnalysisOptions::non_speculative().with_cache(cache())),
+        ("speculative", AnalysisOptions::speculative().with_cache(cache())),
+    ] {
+        let analysis = CacheAnalysis::new(options);
+        group.bench_function(label, |b| {
+            b.iter(|| detect_leaks(&analysis.run(&workload.program)).leak_detected())
+        });
+    }
+    group.finish();
+}
+
+/// The concrete simulator on the Figure 2 program (used by the Figure 3
+/// regeneration and the soundness tests).
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let program = figure2_program(BENCH_LINES);
+    for (label, config) in [
+        ("non_speculative", SimConfig::non_speculative().with_cache(cache())),
+        (
+            "adversarial_speculation",
+            SimConfig::default()
+                .with_cache(cache())
+                .with_predictor(PredictorKind::AlwaysWrong),
+        ),
+    ] {
+        let simulator = Simulator::new(config);
+        group.bench_function(label, |b| {
+            b.iter(|| simulator.run(&program, &SimInput::new(1, 0)).observable_misses)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ete_analysis,
+    bench_merge_strategies,
+    bench_sidechannel_analysis,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates Table 5: execution-time estimation, non-speculative vs.
+//! speculative analysis (analysis time, #Miss, #SpMiss, #Branch, #Iteration).
+
+use spec_analysis::EteComparison;
+use spec_bench::{bench_cache, bench_cache_lines, fmt_secs, print_table};
+use spec_workloads::ete_suite;
+
+fn main() {
+    let cache = bench_cache();
+    let suite = ete_suite(bench_cache_lines());
+    let comparison = EteComparison::new(cache);
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|w| {
+            let row = comparison.run(&w.program);
+            vec![
+                row.name.clone(),
+                fmt_secs(row.nonspec_time),
+                row.nonspec_miss.to_string(),
+                fmt_secs(row.spec_time),
+                row.spec_miss.to_string(),
+                row.spec_spmiss.to_string(),
+                row.branches.to_string(),
+                row.iterations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 5 — execution time estimation ({}-line cache)",
+            bench_cache_lines()
+        ),
+        &[
+            "Name",
+            "Non-spec time (s)",
+            "Non-spec #Miss",
+            "Spec time (s)",
+            "Spec #Miss",
+            "#SpMiss",
+            "#Branch",
+            "#Iteration",
+        ],
+        &rows,
+    );
+}

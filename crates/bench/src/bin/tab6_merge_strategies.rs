@@ -1,0 +1,47 @@
+//! Regenerates Table 6: merging at the rollback point vs. just-in-time
+//! merging of speculative states.
+
+use spec_analysis::MergeComparison;
+use spec_bench::{bench_cache, bench_cache_lines, fmt_secs, print_table};
+use spec_workloads::ete_suite;
+
+fn main() {
+    let cache = bench_cache();
+    let suite = ete_suite(bench_cache_lines());
+    let comparison = MergeComparison::new(cache);
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|w| {
+            let row = comparison.run(&w.program);
+            vec![
+                row.name.clone(),
+                fmt_secs(row.rollback_time),
+                row.rollback_miss.to_string(),
+                row.rollback_spmiss.to_string(),
+                row.rollback_iterations.to_string(),
+                fmt_secs(row.jit_time),
+                row.jit_miss.to_string(),
+                row.jit_spmiss.to_string(),
+                row.jit_iterations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 6 — merging strategies ({}-line cache)",
+            bench_cache_lines()
+        ),
+        &[
+            "Name",
+            "Rollback time (s)",
+            "Rollback #Miss",
+            "Rollback #SpMiss",
+            "Rollback #Ite",
+            "JIT time (s)",
+            "JIT #Miss",
+            "JIT #SpMiss",
+            "JIT #Ite",
+        ],
+        &rows,
+    );
+}

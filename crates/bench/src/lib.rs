@@ -1,0 +1,74 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index).  The binaries print
+//! GitHub-flavoured markdown tables so their output can be pasted directly
+//! into `EXPERIMENTS.md`.
+//!
+//! The machine scale is controlled by the `SPEC_BENCH_CACHE_LINES`
+//! environment variable (default 128): the synthetic workloads and the cache
+//! are scaled together, which preserves the qualitative shape of the paper's
+//! results (who wins, where the crossovers are) while keeping the harness
+//! fast enough for CI.  Set it to 512 to reproduce the paper's 32-KiB
+//! configuration.
+
+use std::time::Duration;
+
+use spec_cache::CacheConfig;
+
+/// Number of cache lines used by the benchmark harness.
+///
+/// Controlled by `SPEC_BENCH_CACHE_LINES`; defaults to 128.
+pub fn bench_cache_lines() -> u64 {
+    std::env::var("SPEC_BENCH_CACHE_LINES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v >= 16)
+        .unwrap_or(128)
+}
+
+/// The cache configuration used by the harness (fully associative, 64-byte
+/// lines, LRU — the paper's model at the configured scale).
+pub fn bench_cache() -> CacheConfig {
+    CacheConfig::fully_associative(bench_cache_lines() as usize, 64)
+}
+
+/// Formats a duration in seconds with two decimals, like the paper's tables.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Prints a markdown table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Renders a boolean as the paper's "Yes"/"No".
+pub fn yes_no(v: bool) -> String {
+    if v { "Yes".to_string() } else { "No".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_lines_default_and_floor() {
+        // The default is used when the variable is unset in the test env.
+        let lines = bench_cache_lines();
+        assert!(lines >= 16);
+        assert_eq!(bench_cache().line_size, 64);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(Duration::from_millis(1234)), "1.23");
+        assert_eq!(yes_no(true), "Yes");
+        assert_eq!(yes_no(false), "No");
+    }
+}

@@ -1,0 +1,217 @@
+//! The classic interval domain.
+//!
+//! The paper uses intervals as its running example of an abstract domain
+//! (Section 3.1) and of widening (Section 6.3: `0 ≤ x ≤ 3` widened against
+//! `0 ≤ x ≤ 5` becomes `0 ≤ x ≤ +∞`).  The speculative cache analysis does
+//! not need intervals, but they demonstrate that the fixpoint engine in
+//! [`crate::solver`] is domain-agnostic, exactly as claimed in the paper
+//! ("the abstract domain may be interval or octagonal").
+
+use std::fmt;
+
+use crate::lattice::JoinSemiLattice;
+
+/// A (possibly unbounded, possibly empty) integer interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound; `None` is −∞.
+    lo: Option<i64>,
+    /// Upper bound; `None` is +∞.
+    hi: Option<i64>,
+    /// Empty interval marker (the bottom element).
+    empty: bool,
+}
+
+impl Interval {
+    /// The empty interval (bottom).
+    pub fn bottom() -> Self {
+        Self {
+            lo: None,
+            hi: None,
+            empty: true,
+        }
+    }
+
+    /// The full interval (−∞, +∞).
+    pub fn top() -> Self {
+        Self {
+            lo: None,
+            hi: None,
+            empty: false,
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn constant(v: i64) -> Self {
+        Self::new(Some(v), Some(v))
+    }
+
+    /// An interval with the given (optional) bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both bounds are finite and `lo > hi`.
+    pub fn new(lo: Option<i64>, hi: Option<i64>) -> Self {
+        if let (Some(l), Some(h)) = (lo, hi) {
+            assert!(l <= h, "interval lower bound exceeds upper bound");
+        }
+        Self {
+            lo,
+            hi,
+            empty: false,
+        }
+    }
+
+    /// Returns `true` if this is the empty interval.
+    pub fn is_bottom(&self) -> bool {
+        self.empty
+    }
+
+    /// Lower bound (`None` when unbounded or empty).
+    pub fn lo(&self) -> Option<i64> {
+        if self.empty {
+            None
+        } else {
+            self.lo
+        }
+    }
+
+    /// Upper bound (`None` when unbounded or empty).
+    pub fn hi(&self) -> Option<i64> {
+        if self.empty {
+            None
+        } else {
+            self.hi
+        }
+    }
+
+    /// Whether the interval contains `v`.
+    pub fn contains(&self, v: i64) -> bool {
+        if self.empty {
+            return false;
+        }
+        self.lo.is_none_or(|l| l <= v) && self.hi.is_none_or(|h| v <= h)
+    }
+
+    /// Abstract addition of a constant.
+    pub fn add_constant(&self, c: i64) -> Self {
+        if self.empty {
+            return *self;
+        }
+        Self {
+            lo: self.lo.map(|l| l.saturating_add(c)),
+            hi: self.hi.map(|h| h.saturating_add(c)),
+            empty: false,
+        }
+    }
+}
+
+impl JoinSemiLattice for Interval {
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        if other.empty {
+            return false;
+        }
+        if self.empty {
+            *self = *other;
+            return true;
+        }
+        let new_lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        };
+        let new_hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        let changed = new_lo != self.lo || new_hi != self.hi;
+        self.lo = new_lo;
+        self.hi = new_hi;
+        changed
+    }
+
+    fn widen_with(&mut self, previous: &Self) {
+        if self.empty || previous.empty {
+            return;
+        }
+        // Any bound that moved since the previous visit is pushed to infinity.
+        if self.lo != previous.lo {
+            self.lo = None;
+        }
+        if self.hi != previous.hi {
+            self.hi = None;
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "⊥");
+        }
+        let lo = self
+            .lo
+            .map_or_else(|| "-inf".to_string(), |v| v.to_string());
+        let hi = self
+            .hi
+            .map_or_else(|| "+inf".to_string(), |v| v.to_string());
+        write!(f, "[{lo}, {hi}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let mut a = Interval::new(Some(0), Some(3));
+        let b = Interval::new(Some(2), Some(5));
+        assert!(a.join_in_place(&b));
+        assert_eq!(a, Interval::new(Some(0), Some(5)));
+        assert!(!a.join_in_place(&b));
+    }
+
+    #[test]
+    fn bottom_is_join_identity() {
+        let mut a = Interval::new(Some(1), Some(2));
+        assert!(!a.join_in_place(&Interval::bottom()));
+        let mut bot = Interval::bottom();
+        assert!(bot.join_in_place(&a));
+        assert_eq!(bot, a);
+    }
+
+    #[test]
+    fn widening_pushes_moving_bounds_to_infinity() {
+        // The paper's example: widening [0,5] against previous [0,3] gives [0,+inf].
+        let mut joined = Interval::new(Some(0), Some(5));
+        joined.widen_with(&Interval::new(Some(0), Some(3)));
+        assert_eq!(joined.lo(), Some(0));
+        assert_eq!(joined.hi(), None);
+        assert!(joined.contains(1_000_000));
+    }
+
+    #[test]
+    fn contains_and_add_constant() {
+        let i = Interval::new(Some(-1), Some(4));
+        assert!(i.contains(0));
+        assert!(!i.contains(5));
+        let shifted = i.add_constant(10);
+        assert_eq!(shifted, Interval::new(Some(9), Some(14)));
+        assert!(Interval::top().contains(i64::MAX));
+        assert!(!Interval::bottom().contains(0));
+        assert!(Interval::bottom().add_constant(3).is_bottom());
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn inverted_bounds_panic() {
+        Interval::new(Some(3), Some(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::bottom().to_string(), "⊥");
+        assert_eq!(Interval::new(Some(0), None).to_string(), "[0, +inf]");
+        assert_eq!(Interval::constant(7).to_string(), "[7, 7]");
+    }
+}

@@ -1,0 +1,56 @@
+//! The join-semilattice abstraction used by the fixpoint solver.
+
+/// A join semilattice with a bottom element.
+///
+/// Implementations must satisfy the usual laws: join is associative,
+/// commutative, idempotent, and the bottom element is its identity.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// Joins `other` into `self`, returning `true` if `self` changed.
+    ///
+    /// Because the solver uses the result to decide whether to re-enqueue
+    /// successors, a return value of `false` must mean `other ⊑ self`.
+    fn join_in_place(&mut self, other: &Self) -> bool;
+
+    /// Widening: accelerates convergence on lattices of unbounded height.
+    ///
+    /// `self` is the freshly joined state, `previous` the state at the same
+    /// point from the previous visit.  The default is a no-op, which is
+    /// sound for finite-height lattices such as the cache domain.
+    fn widen_with(&mut self, previous: &Self) {
+        let _ = previous;
+    }
+}
+
+/// Reference lattice: sets are joined by union.  Handy in tests.
+impl<T: Clone + Ord + PartialEq> JoinSemiLattice for std::collections::BTreeSet<T> {
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let before = self.len();
+        for item in other {
+            self.insert(item.clone());
+        }
+        self.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn set_join_is_union() {
+        let mut a: BTreeSet<u32> = [1, 2].into_iter().collect();
+        let b: BTreeSet<u32> = [2, 3].into_iter().collect();
+        assert!(a.join_in_place(&b));
+        assert_eq!(a, [1, 2, 3].into_iter().collect());
+        assert!(!a.join_in_place(&b), "joining a subset changes nothing");
+    }
+
+    #[test]
+    fn default_widening_is_identity() {
+        let mut a: BTreeSet<u32> = [1].into_iter().collect();
+        let prev = a.clone();
+        a.widen_with(&prev);
+        assert_eq!(a, prev);
+    }
+}

@@ -1,0 +1,40 @@
+//! # spec-absint
+//!
+//! A small, generic abstract-interpretation framework: the join-semilattice
+//! abstraction, a worklist fixpoint solver (the paper's Algorithm 1 made
+//! domain- and graph-agnostic), and the classic interval domain as a
+//! demonstration that the engine is independent of the cache domain used by
+//! the speculative analysis.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use spec_absint::{DataflowProblem, Interval, JoinSemiLattice, WorklistSolver};
+//!
+//! // Constant propagation over a two-node graph: node 0 assigns 7,
+//! // node 1 observes it.
+//! struct Tiny;
+//! impl DataflowProblem for Tiny {
+//!     type State = Interval;
+//!     fn num_nodes(&self) -> usize { 2 }
+//!     fn bottom_state(&self) -> Interval { Interval::bottom() }
+//!     fn entry_state(&self, node: usize) -> Option<Interval> {
+//!         (node == 0).then(|| Interval::constant(7))
+//!     }
+//!     fn successors(&self, node: usize) -> Vec<usize> {
+//!         if node == 0 { vec![1] } else { vec![] }
+//!     }
+//!     fn transfer(&mut self, _f: usize, _t: usize, s: &Interval) -> Interval { *s }
+//! }
+//!
+//! let (states, _stats) = WorklistSolver::new().solve(&mut Tiny);
+//! assert!(states[1].contains(7));
+//! ```
+
+pub mod interval;
+pub mod lattice;
+pub mod solver;
+
+pub use interval::Interval;
+pub use lattice::JoinSemiLattice;
+pub use solver::{DataflowProblem, SolveStats, WorklistSolver};

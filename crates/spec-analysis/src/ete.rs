@@ -1,0 +1,243 @@
+//! Execution-time estimation: miss counting and WCET bounds.
+
+use std::time::Duration;
+
+use spec_cache::CacheConfig;
+use spec_core::{AnalysisOptions, AnalysisResult, CacheAnalysis};
+use spec_ir::Program;
+use spec_vcfg::MergeStrategy;
+
+/// Estimates a worst-case execution-time bound (in cycles) from an analysis
+/// result: every access costs one cycle, every possible miss additionally
+/// costs `miss_penalty` cycles, and remaining instructions cost one cycle.
+///
+/// This is the simple IPET-free bound used to compare analyses; its absolute
+/// value matters less than how it changes when speculation is modelled.
+pub fn estimate_wcet_cycles(result: &AnalysisResult, miss_penalty: u64) -> u64 {
+    let accesses = result.access_count() as u64;
+    let misses = result.miss_count() as u64;
+    let other_insts = result.program.instruction_count() as u64 - accesses;
+    other_insts + accesses + misses * miss_penalty
+}
+
+/// One row of the paper's Table 5: non-speculative vs. speculative analysis
+/// of the same program.
+#[derive(Clone, Debug)]
+pub struct EteRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Lines (straight-line instructions) of the analysed program.
+    pub instructions: usize,
+    /// Analysis time of the non-speculative baseline.
+    pub nonspec_time: Duration,
+    /// Possible misses reported by the baseline.
+    pub nonspec_miss: usize,
+    /// Analysis time of the speculative analysis.
+    pub spec_time: Duration,
+    /// Possible misses reported by the speculative analysis.
+    pub spec_miss: usize,
+    /// Possible misses during squashed speculative execution.
+    pub spec_spmiss: usize,
+    /// Number of conditional branches that may speculate.
+    pub branches: usize,
+    /// Fixpoint iterations (worklist pops) of the speculative analysis.
+    pub iterations: u64,
+    /// WCET bound of the baseline (cycles).
+    pub nonspec_wcet: u64,
+    /// WCET bound of the speculative analysis (cycles).
+    pub spec_wcet: u64,
+}
+
+/// Compares the non-speculative and speculative analyses on a set of
+/// programs (regenerates Table 5).
+#[derive(Clone, Debug)]
+pub struct EteComparison {
+    cache: CacheConfig,
+    speculative: AnalysisOptions,
+    baseline: AnalysisOptions,
+    miss_penalty: u64,
+}
+
+impl EteComparison {
+    /// Creates a comparison with the paper's default configuration.
+    pub fn new(cache: CacheConfig) -> Self {
+        Self {
+            cache,
+            speculative: AnalysisOptions::speculative().with_cache(cache),
+            baseline: AnalysisOptions::non_speculative().with_cache(cache),
+            miss_penalty: 100,
+        }
+    }
+
+    /// Overrides the speculative analysis options (cache is kept).
+    pub fn with_speculative_options(mut self, options: AnalysisOptions) -> Self {
+        self.speculative = options.with_cache(self.cache);
+        self
+    }
+
+    /// Runs both analyses on one program.
+    pub fn run(&self, program: &Program) -> EteRow {
+        let base = CacheAnalysis::new(self.baseline).run(program);
+        let spec = CacheAnalysis::new(self.speculative).run(program);
+        EteRow {
+            name: program.name().to_string(),
+            instructions: program.instruction_count(),
+            nonspec_time: base.elapsed,
+            nonspec_miss: base.miss_count(),
+            spec_time: spec.elapsed,
+            spec_miss: spec.miss_count(),
+            spec_spmiss: spec.speculative_miss_count(),
+            branches: spec.speculated_branches,
+            iterations: spec.iterations(),
+            nonspec_wcet: estimate_wcet_cycles(&base, self.miss_penalty),
+            spec_wcet: estimate_wcet_cycles(&spec, self.miss_penalty),
+        }
+    }
+
+    /// Runs both analyses on every program of a suite.
+    pub fn run_suite<'a>(&self, programs: impl IntoIterator<Item = &'a Program>) -> Vec<EteRow> {
+        programs.into_iter().map(|p| self.run(p)).collect()
+    }
+}
+
+/// One row of the paper's Table 6: merging at the rollback point vs.
+/// just-in-time merging.
+#[derive(Clone, Debug)]
+pub struct MergeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Analysis time with merge-at-rollback.
+    pub rollback_time: Duration,
+    /// Misses reported with merge-at-rollback.
+    pub rollback_miss: usize,
+    /// Speculative misses reported with merge-at-rollback.
+    pub rollback_spmiss: usize,
+    /// Iterations with merge-at-rollback.
+    pub rollback_iterations: u64,
+    /// Analysis time with just-in-time merging.
+    pub jit_time: Duration,
+    /// Misses reported with just-in-time merging.
+    pub jit_miss: usize,
+    /// Speculative misses reported with just-in-time merging.
+    pub jit_spmiss: usize,
+    /// Iterations with just-in-time merging.
+    pub jit_iterations: u64,
+}
+
+/// Compares the two merging strategies (regenerates Table 6).
+#[derive(Clone, Debug)]
+pub struct MergeComparison {
+    rollback: AnalysisOptions,
+    jit: AnalysisOptions,
+}
+
+impl MergeComparison {
+    /// Creates a comparison with the paper's default configuration.
+    pub fn new(cache: CacheConfig) -> Self {
+        Self {
+            rollback: AnalysisOptions::speculative()
+                .with_cache(cache)
+                .with_merge_strategy(MergeStrategy::MergeAtRollback),
+            jit: AnalysisOptions::speculative()
+                .with_cache(cache)
+                .with_merge_strategy(MergeStrategy::JustInTime),
+        }
+    }
+
+    /// Runs both strategies on one program.
+    pub fn run(&self, program: &Program) -> MergeRow {
+        let rollback = CacheAnalysis::new(self.rollback).run(program);
+        let jit = CacheAnalysis::new(self.jit).run(program);
+        MergeRow {
+            name: program.name().to_string(),
+            rollback_time: rollback.elapsed,
+            rollback_miss: rollback.miss_count(),
+            rollback_spmiss: rollback.speculative_miss_count(),
+            rollback_iterations: rollback.iterations(),
+            jit_time: jit.elapsed,
+            jit_miss: jit.miss_count(),
+            jit_spmiss: jit.speculative_miss_count(),
+            jit_iterations: jit.iterations(),
+        }
+    }
+
+    /// Runs both strategies on every program of a suite.
+    pub fn run_suite<'a>(&self, programs: impl IntoIterator<Item = &'a Program>) -> Vec<MergeRow> {
+        programs.into_iter().map(|p| self.run(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::builder::ProgramBuilder;
+    use spec_ir::{BranchSemantics, IndexExpr, MemRef};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let ph = b.region("ph", 6 * 64, false);
+        let l1 = b.region("l1", 64, false);
+        let l2 = b.region("l2", 64, false);
+        let p = b.region("p", 8, false);
+        let entry = b.entry_block("entry");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let done = b.block("done");
+        b.load_sweep(entry, ph, 0, 64, 6);
+        b.load(entry, p, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(p, 0)],
+            BranchSemantics::InputBit { bit: 0 },
+            then_bb,
+            else_bb,
+        );
+        b.load(then_bb, l1, IndexExpr::Const(0));
+        b.jump(then_bb, done);
+        b.load(else_bb, l2, IndexExpr::Const(0));
+        b.jump(else_bb, done);
+        b.load(done, ph, IndexExpr::Const(0));
+        b.ret(done);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn ete_row_shows_speculation_increasing_the_bound() {
+        let cache = CacheConfig::fully_associative(8, 64);
+        let row = EteComparison::new(cache).run(&sample_program());
+        assert_eq!(row.name, "sample");
+        assert!(row.spec_miss > row.nonspec_miss);
+        assert!(row.spec_wcet > row.nonspec_wcet);
+        assert_eq!(row.branches, 1);
+        assert!(row.iterations > 0);
+    }
+
+    #[test]
+    fn merge_comparison_keeps_jit_at_least_as_precise() {
+        let cache = CacheConfig::fully_associative(8, 64);
+        let row = MergeComparison::new(cache).run(&sample_program());
+        assert!(row.jit_miss <= row.rollback_miss);
+        assert!(row.jit_iterations > 0 && row.rollback_iterations > 0);
+    }
+
+    #[test]
+    fn wcet_estimate_counts_misses_with_penalty() {
+        let cache = CacheConfig::fully_associative(8, 64);
+        let result = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
+            .run(&sample_program());
+        let bound = estimate_wcet_cycles(&result, 100);
+        // 10 accesses, 9 of them possible misses (the final ph[0] hits).
+        assert_eq!(result.access_count(), 10);
+        assert_eq!(result.miss_count(), 9);
+        assert_eq!(bound, 10 + 9 * 100);
+    }
+
+    #[test]
+    fn run_suite_returns_one_row_per_program() {
+        let cache = CacheConfig::fully_associative(8, 64);
+        let p1 = sample_program();
+        let p2 = sample_program();
+        let rows = EteComparison::new(cache).run_suite([&p1, &p2]);
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # spec-analysis
+//!
+//! The two applications the paper evaluates its speculative cache analysis
+//! on (Section 7):
+//!
+//! * [`ete`] — **execution-time estimation**: upper-bounding the number of
+//!   cache misses (and hence the worst-case execution time) of real-time
+//!   code, comparing the non-speculative baseline against the speculative
+//!   analysis (Tables 5 and 6).
+//! * [`sidechannel`] — **cache timing side-channel detection**: deciding
+//!   whether the number of observable cache misses can depend on secret
+//!   data, again under both analyses (Table 7), with an optional empirical
+//!   confirmation pass that replays the program in the concrete simulator
+//!   with different secrets.
+
+pub mod ete;
+pub mod sidechannel;
+
+pub use ete::{estimate_wcet_cycles, EteComparison, EteRow, MergeComparison, MergeRow};
+pub use sidechannel::{
+    confirm_leak_empirically, detect_leaks, LeakFinding, LeakReport, SideChannelComparison,
+    SideChannelRow,
+};

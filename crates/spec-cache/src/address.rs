@@ -1,0 +1,188 @@
+//! Memory layout: regions → cache blocks and cache sets.
+
+use spec_ir::{IndexExpr, MemRef, Program, RegionId};
+
+use crate::config::CacheConfig;
+
+/// A single cache-line-sized block of a memory region.
+///
+/// Blocks are the unit the abstract cache state tracks: the paper's
+/// "program variables" `v ∈ V` correspond to blocks here, so that arrays and
+/// buffers larger than one line occupy several entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemBlock {
+    /// The region the block belongs to.
+    pub region: RegionId,
+    /// Index of the cache-line-sized block within the region (offset / line size).
+    pub block_index: u64,
+}
+
+impl MemBlock {
+    /// Creates a block reference.
+    pub fn new(region: RegionId, block_index: u64) -> Self {
+        Self {
+            region,
+            block_index,
+        }
+    }
+}
+
+/// Assigns every region of a program a base address and maps memory
+/// references to cache blocks and cache sets.
+///
+/// Regions are laid out contiguously in declaration order, each aligned to a
+/// cache-line boundary, which mirrors how the paper's examples assume
+/// distinct variables map to distinct cache lines.
+#[derive(Clone, Debug)]
+pub struct AddressMap {
+    line_size: u64,
+    num_sets: usize,
+    /// Base *block number* of each region (region index → first global line).
+    base_block: Vec<u64>,
+    /// Number of blocks per region.
+    blocks: Vec<u64>,
+}
+
+impl AddressMap {
+    /// Builds the layout of `program` for the given cache configuration.
+    pub fn new(program: &Program, config: &CacheConfig) -> Self {
+        config.assert_valid();
+        let mut base_block = Vec::with_capacity(program.regions().len());
+        let mut blocks = Vec::with_capacity(program.regions().len());
+        let mut next = 0u64;
+        for region in program.regions() {
+            base_block.push(next);
+            let n = region.block_count(config.line_size);
+            blocks.push(n);
+            next += n;
+        }
+        Self {
+            line_size: config.line_size,
+            num_sets: config.num_sets,
+            base_block,
+            blocks,
+        }
+    }
+
+    /// Number of cache blocks occupied by `region`.
+    pub fn region_blocks(&self, region: RegionId) -> u64 {
+        self.blocks[region.index()]
+    }
+
+    /// All blocks of `region`, in order.
+    pub fn blocks_of(&self, region: RegionId) -> impl Iterator<Item = MemBlock> + '_ {
+        (0..self.region_blocks(region)).map(move |i| MemBlock::new(region, i))
+    }
+
+    /// The block touched by a byte access at `offset` within `region`.
+    pub fn block_of_offset(&self, region: RegionId, offset: u64) -> MemBlock {
+        MemBlock::new(region, offset / self.line_size)
+    }
+
+    /// The global (program-wide) line number of a block, used for set mapping
+    /// and as the concrete cache tag.
+    pub fn global_line(&self, block: MemBlock) -> u64 {
+        self.base_block[block.region.index()] + block.block_index
+    }
+
+    /// The cache set a block maps to.
+    pub fn set_of(&self, block: MemBlock) -> usize {
+        (self.global_line(block) % self.num_sets as u64) as usize
+    }
+
+    /// Resolves a memory reference with a statically known offset.
+    ///
+    /// Returns `None` for references whose offset is not statically known
+    /// ([`IndexExpr::LoopIndexed`], [`IndexExpr::Input`], [`IndexExpr::Secret`]).
+    pub fn resolve_static(&self, m: &MemRef) -> Option<MemBlock> {
+        match m.index {
+            IndexExpr::Const(offset) => Some(self.block_of_offset(m.region, offset)),
+            _ => None,
+        }
+    }
+
+    /// Total number of blocks across all regions.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::builder::ProgramBuilder;
+
+    fn layout_program() -> (Program, RegionId, RegionId, RegionId) {
+        let mut b = ProgramBuilder::new("layout");
+        let a = b.region("a", 100, false); // 2 blocks of 64
+        let c = b.region("c", 64, false); // 1 block
+        let k = b.secret_region("k", 1); // 1 block
+        let e = b.entry_block("entry");
+        b.ret(e);
+        (b.finish().unwrap(), a, c, k)
+    }
+
+    #[test]
+    fn regions_are_laid_out_contiguously_and_aligned() {
+        let (p, a, c, k) = layout_program();
+        let config = CacheConfig::fully_associative(8, 64);
+        let map = AddressMap::new(&p, &config);
+        assert_eq!(map.region_blocks(a), 2);
+        assert_eq!(map.region_blocks(c), 1);
+        assert_eq!(map.region_blocks(k), 1);
+        assert_eq!(map.total_blocks(), 4);
+        assert_eq!(map.global_line(MemBlock::new(a, 0)), 0);
+        assert_eq!(map.global_line(MemBlock::new(a, 1)), 1);
+        assert_eq!(map.global_line(MemBlock::new(c, 0)), 2);
+        assert_eq!(map.global_line(MemBlock::new(k, 0)), 3);
+    }
+
+    #[test]
+    fn offsets_map_to_blocks_by_line_size() {
+        let (p, a, _, _) = layout_program();
+        let config = CacheConfig::fully_associative(8, 64);
+        let map = AddressMap::new(&p, &config);
+        assert_eq!(map.block_of_offset(a, 0), MemBlock::new(a, 0));
+        assert_eq!(map.block_of_offset(a, 63), MemBlock::new(a, 0));
+        assert_eq!(map.block_of_offset(a, 64), MemBlock::new(a, 1));
+    }
+
+    #[test]
+    fn set_mapping_wraps_modulo_num_sets() {
+        let (p, a, c, k) = layout_program();
+        let config = CacheConfig::set_associative(2, 4, 64);
+        let map = AddressMap::new(&p, &config);
+        assert_eq!(map.set_of(MemBlock::new(a, 0)), 0);
+        assert_eq!(map.set_of(MemBlock::new(a, 1)), 1);
+        assert_eq!(map.set_of(MemBlock::new(c, 0)), 0);
+        assert_eq!(map.set_of(MemBlock::new(k, 0)), 1);
+    }
+
+    #[test]
+    fn resolve_static_only_handles_const_offsets() {
+        let (p, a, _, _) = layout_program();
+        let config = CacheConfig::default();
+        let map = AddressMap::new(&p, &config);
+        assert_eq!(
+            map.resolve_static(&MemRef::at(a, 65)),
+            Some(MemBlock::new(a, 1))
+        );
+        assert_eq!(
+            map.resolve_static(&MemRef::new(a, IndexExpr::secret(1))),
+            None
+        );
+        assert_eq!(
+            map.resolve_static(&MemRef::new(a, IndexExpr::loop_indexed(4))),
+            None
+        );
+    }
+
+    #[test]
+    fn blocks_of_enumerates_all_blocks() {
+        let (p, a, _, _) = layout_program();
+        let config = CacheConfig::default();
+        let map = AddressMap::new(&p, &config);
+        let blocks: Vec<MemBlock> = map.blocks_of(a).collect();
+        assert_eq!(blocks, vec![MemBlock::new(a, 0), MemBlock::new(a, 1)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! An executable LRU set-associative cache.
+//!
+//! This is the ground-truth model: the speculative simulator (`spec-sim`)
+//! drives it with concrete accesses, and the soundness tests check that
+//! every access the abstract analysis classifies as a must-hit is indeed a
+//! hit here, for every explored execution.
+
+use crate::config::CacheConfig;
+
+/// Result of a single concrete cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The line was already present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting another).
+    Miss,
+}
+
+impl AccessOutcome {
+    /// Returns `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A concrete LRU set-associative cache over global line numbers.
+///
+/// Lines are identified by the `global_line` number produced by
+/// [`crate::AddressMap::global_line`].
+#[derive(Clone, Debug)]
+pub struct ConcreteCache {
+    config: CacheConfig,
+    /// Each set holds its resident lines ordered from most- to
+    /// least-recently used.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConcreteCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        config.assert_valid();
+        Self {
+            sets: vec![Vec::with_capacity(config.associativity); config.num_sets],
+            config,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses `line`, updating LRU order and filling on a miss.
+    pub fn access(&mut self, line: u64) -> AccessOutcome {
+        let set_index = (line % self.config.num_sets as u64) as usize;
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            set.insert(0, line);
+            if set.len() > self.config.associativity {
+                set.pop();
+            }
+            self.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// Returns `true` if `line` is currently resident (without touching LRU order).
+    pub fn contains(&self, line: u64) -> bool {
+        let set_index = (line % self.config.num_sets as u64) as usize;
+        self.sets[set_index].contains(&line)
+    }
+
+    /// LRU age of a resident line: 1 is most recently used; `None` if absent.
+    pub fn age_of(&self, line: u64) -> Option<usize> {
+        let set_index = (line % self.config.num_sets as u64) as usize;
+        self.sets[set_index]
+            .iter()
+            .position(|&l| l == line)
+            .map(|p| p + 1)
+    }
+
+    /// Number of resident lines across all sets.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets contents and statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Restores the cache contents from a snapshot taken with [`Self::clone`].
+    ///
+    /// The hit/miss counters are *not* rolled back: speculative misses still
+    /// happened on the real hardware even when the work is squashed, which is
+    /// exactly the effect the paper analyses.
+    pub fn restore_contents(&mut self, snapshot: &ConcreteCache) {
+        self.sets = snapshot.sets.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = ConcreteCache::new(CacheConfig::fully_associative(4, 64));
+        assert_eq!(c.access(1), AccessOutcome::Miss);
+        assert_eq!(c.access(1), AccessOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!(c.contains(1));
+        assert_eq!(c.age_of(1), Some(1));
+    }
+
+    #[test]
+    fn lru_eviction_in_fully_associative_cache() {
+        let mut c = ConcreteCache::new(CacheConfig::fully_associative(2, 64));
+        c.access(1);
+        c.access(2);
+        assert_eq!(c.age_of(1), Some(2));
+        c.access(3); // evicts 1 (least recently used)
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn access_refreshes_lru_order() {
+        let mut c = ConcreteCache::new(CacheConfig::fully_associative(2, 64));
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 becomes MRU, 2 becomes LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn set_associative_conflicts_only_within_a_set() {
+        // 2 sets × 1 way: even lines conflict with even lines only.
+        let mut c = ConcreteCache::new(CacheConfig::set_associative(2, 1, 64));
+        c.access(0);
+        c.access(1);
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        c.access(2); // evicts 0 (same set), leaves 1 alone
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = ConcreteCache::new(CacheConfig::fully_associative(4, 64));
+        c.access(1);
+        c.access(2);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn restore_contents_keeps_statistics() {
+        let mut c = ConcreteCache::new(CacheConfig::fully_associative(4, 64));
+        c.access(1);
+        let snapshot = c.clone();
+        c.access(2);
+        c.access(3);
+        let misses_before = c.misses();
+        c.restore_contents(&snapshot);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.misses(), misses_before, "statistics are not rolled back");
+    }
+
+    #[test]
+    fn paper_default_holds_512_lines() {
+        let mut c = ConcreteCache::new(CacheConfig::paper_default());
+        for line in 0..512 {
+            assert_eq!(c.access(line), AccessOutcome::Miss);
+        }
+        for line in 0..512 {
+            assert!(c.contains(line));
+        }
+        // The 513th distinct line evicts the oldest one.
+        c.access(512);
+        assert!(!c.contains(0));
+        assert!(c.contains(511));
+    }
+}

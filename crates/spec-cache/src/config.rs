@@ -1,0 +1,101 @@
+//! Cache geometry.
+
+/// Geometry of the data cache being modelled.
+///
+/// The paper's evaluation uses a 32-KiB cache with 64-byte lines, 512 lines
+/// in total, fully associative, with the LRU replacement policy
+/// (Sections 1 and 7); [`CacheConfig::default`] reproduces that setup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Cache line (block) size in bytes.
+    pub line_size: u64,
+    /// Number of sets.  `1` means fully associative.
+    pub num_sets: usize,
+    /// Number of ways (lines) per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// A fully-associative cache with `lines` lines of `line_size` bytes.
+    pub fn fully_associative(lines: usize, line_size: u64) -> Self {
+        Self {
+            line_size,
+            num_sets: 1,
+            associativity: lines,
+        }
+    }
+
+    /// A set-associative cache.
+    pub fn set_associative(num_sets: usize, associativity: usize, line_size: u64) -> Self {
+        Self {
+            line_size,
+            num_sets,
+            associativity,
+        }
+    }
+
+    /// The paper's configuration: 512 lines × 64 bytes, fully associative.
+    pub fn paper_default() -> Self {
+        Self::fully_associative(512, 64)
+    }
+
+    /// Total number of cache lines.
+    pub fn total_lines(&self) -> usize {
+        self.num_sets * self.associativity
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_lines() as u64 * self.line_size
+    }
+
+    /// Checks that the configuration is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn assert_valid(&self) {
+        assert!(self.line_size > 0, "cache line size must be non-zero");
+        assert!(self.num_sets > 0, "cache must have at least one set");
+        assert!(self.associativity > 0, "cache must have at least one way");
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_32_kib() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.total_lines(), 512);
+        assert_eq!(c.line_size, 64);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+        assert_eq!(c, CacheConfig::default());
+    }
+
+    #[test]
+    fn set_associative_dimensions() {
+        let c = CacheConfig::set_associative(64, 8, 64);
+        assert_eq!(c.total_lines(), 512);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_is_invalid() {
+        CacheConfig {
+            line_size: 64,
+            num_sets: 1,
+            associativity: 0,
+        }
+        .assert_valid();
+    }
+}

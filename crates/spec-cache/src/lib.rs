@@ -1,0 +1,40 @@
+//! # spec-cache
+//!
+//! Cache models used by the speculative abstract interpretation:
+//!
+//! * [`CacheConfig`] — geometry of the data cache (line size, sets, ways),
+//!   defaulting to the paper's 32-KiB fully-associative, 64-byte-line LRU
+//!   configuration (512 lines).
+//! * [`AddressMap`] / [`MemBlock`] — how a program's [`spec_ir::MemoryRegion`]s
+//!   are laid out in memory and split into cache blocks.
+//! * [`ConcreteCache`] — an executable LRU set-associative cache, used by the
+//!   concrete speculative simulator (`spec-sim`) and as the ground truth for
+//!   soundness tests.
+//! * [`AbstractCacheState`] — the abstract must-cache domain of the paper
+//!   (per-block upper bounds on LRU age), optionally refined with *shadow
+//!   variables* (per-block lower bounds, the may-cache) as in Appendix B.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use spec_cache::{AbstractCacheState, CacheAccess, CacheConfig, MemBlock};
+//! use spec_ir::RegionId;
+//!
+//! let config = CacheConfig::fully_associative(4, 64); // 4 lines of 64 bytes
+//! let region = RegionId::from_raw(0);
+//! let mut state = AbstractCacheState::empty_cache(&config, true);
+//!
+//! let a = MemBlock::new(region, 0);
+//! state.access(&config, &CacheAccess::Precise(a), |_| 0);
+//! assert!(state.is_must_hit(a));
+//! ```
+
+pub mod abstract_state;
+pub mod address;
+pub mod concrete;
+pub mod config;
+
+pub use abstract_state::{AbstractCacheState, Age, CacheAccess};
+pub use address::{AddressMap, MemBlock};
+pub use concrete::{AccessOutcome, ConcreteCache};
+pub use config::CacheConfig;

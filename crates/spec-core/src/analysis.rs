@@ -1,0 +1,222 @@
+//! The analysis driver: unrolling, VCFG construction, dynamic depth
+//! bounding, fixpoint solving and classification.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use spec_absint::{SolveStats, WorklistSolver};
+use spec_cache::AddressMap;
+use spec_ir::transform::{unroll_counted_loops, UnrollReport};
+use spec_ir::{Cfg, LoopForest, Program};
+use spec_vcfg::Vcfg;
+
+use crate::classify::{classify_accesses, AnalysisResult};
+use crate::engine::SpecProblem;
+use crate::options::AnalysisOptions;
+use crate::state::SpecState;
+
+/// A configured must-hit cache analysis.
+///
+/// # Example
+///
+/// ```rust
+/// use spec_core::CacheAnalysis;
+/// use spec_ir::builder::ProgramBuilder;
+/// use spec_ir::IndexExpr;
+///
+/// let mut b = ProgramBuilder::new("tiny");
+/// let t = b.region("t", 64, false);
+/// let entry = b.entry_block("entry");
+/// b.load(entry, t, IndexExpr::Const(0));
+/// b.load(entry, t, IndexExpr::Const(0));
+/// b.ret(entry);
+/// let program = b.finish().unwrap();
+///
+/// let result = CacheAnalysis::speculative().run(&program);
+/// // The second access to `t` is a guaranteed hit.
+/// assert_eq!(result.must_hit_count(), 1);
+/// assert_eq!(result.miss_count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CacheAnalysis {
+    options: AnalysisOptions,
+}
+
+impl CacheAnalysis {
+    /// Creates an analysis with explicit options.
+    pub fn new(options: AnalysisOptions) -> Self {
+        Self { options }
+    }
+
+    /// The paper's speculative analysis with default parameters.
+    pub fn speculative() -> Self {
+        Self::new(AnalysisOptions::speculative())
+    }
+
+    /// The non-speculative baseline analysis.
+    pub fn non_speculative() -> Self {
+        Self::new(AnalysisOptions::non_speculative())
+    }
+
+    /// The options this analysis runs with.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Runs the analysis on `program`.
+    pub fn run(&self, program: &Program) -> AnalysisResult {
+        let start = Instant::now();
+        let options = &self.options;
+
+        // 1. Loop unrolling (Section 6.3).
+        let (analyzed, unroll) = if options.unroll_loops {
+            unroll_counted_loops(program, options.unroll)
+        } else {
+            (program.clone(), UnrollReport::default())
+        };
+
+        // 2. Memory layout and virtual control flow.
+        let amap = AddressMap::new(&analyzed, &options.cache);
+        let spec_config = if options.speculative {
+            options.speculation
+        } else {
+            // Zero-length windows: sites exist but no speculative flow is
+            // ever seeded, giving exactly the baseline Algorithm 1.
+            options.speculation.with_depths(0, 0)
+        };
+        let vcfg = Vcfg::build(&analyzed, spec_config);
+
+        // 3. Widening points: headers of loops that survived unrolling.
+        let cfg = Cfg::new(&analyzed);
+        let forest = LoopForest::find(&analyzed, &cfg);
+        let widen_nodes: HashSet<usize> = forest
+            .loops()
+            .iter()
+            .map(|l| vcfg.graph().first_node_of_block(l.header).index())
+            .collect();
+
+        let solver = WorklistSolver {
+            widening_delay: options.widening_delay,
+            ..WorklistSolver::default()
+        };
+
+        let num_colors = vcfg.num_colors();
+        let mut total_stats = SolveStats::default();
+        let mut rounds = 0u32;
+
+        #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+        fn run_round<'a>(
+            solver: &WorklistSolver,
+            analyzed: &'a Program,
+            vcfg: &'a Vcfg,
+            amap: &'a AddressMap,
+            options: &AnalysisOptions,
+            widen_nodes: &HashSet<usize>,
+            bounds: Vec<u32>,
+            total: &mut SolveStats,
+            rounds: &mut u32,
+        ) -> (SpecProblem<'a>, Vec<SpecState>) {
+            let mut problem = SpecProblem::new(
+                analyzed,
+                vcfg,
+                amap,
+                options.cache,
+                options.track_shadow,
+                bounds,
+                widen_nodes.clone(),
+            );
+            let (states, stats) = solver.solve(&mut problem);
+            total.node_visits += stats.node_visits;
+            total.state_updates += stats.state_updates;
+            total.max_worklist_len = total.max_worklist_len.max(stats.max_worklist_len);
+            *rounds += 1;
+            (problem, states)
+        }
+
+        // 4. Fixpoint, with the dynamic depth-bounding refinement
+        //    (Section 6.2) when enabled: start every speculating branch at
+        //    the optimistic window `b_h` if a baseline pass proves its
+        //    condition operands are hits, then verify against the sound
+        //    speculative result and enlarge any window whose proof no longer
+        //    holds, until stable.
+        let (problem, states) = if !options.speculative || num_colors == 0 {
+            run_round(
+                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
+                vec![0; num_colors], &mut total_stats, &mut rounds,
+            )
+        } else if !options.speculation.dynamic_depth_bounding {
+            run_round(
+                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
+                vec![options.speculation.depth_on_miss; num_colors],
+                &mut total_stats, &mut rounds,
+            )
+        } else {
+            // Baseline pass (windows of zero) for the initial must-hit facts.
+            let (baseline_problem, baseline_states) = run_round(
+                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
+                vec![0; num_colors], &mut total_stats, &mut rounds,
+            );
+            let mut bounds: Vec<u32> = vcfg
+                .sites()
+                .iter()
+                .map(|site| {
+                    let at_branch = &baseline_states[site.branch_node.index()].normal;
+                    if baseline_problem.condition_is_must_hit(&site.condition_refs, at_branch) {
+                        options.speculation.depth_on_hit
+                    } else {
+                        options.speculation.depth_on_miss
+                    }
+                })
+                .collect();
+            drop(baseline_problem);
+            drop(baseline_states);
+
+            loop {
+                let (problem, states) = run_round(
+                    &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
+                    bounds.clone(), &mut total_stats, &mut rounds,
+                );
+                // Verify every optimistic window against the sound result.
+                let violations: Vec<usize> = vcfg
+                    .sites()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, site)| {
+                        bounds[*i] < options.speculation.depth_on_miss && {
+                            let at_branch = &states[site.branch_node.index()].normal;
+                            !problem.condition_is_must_hit(&site.condition_refs, at_branch)
+                        }
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if violations.is_empty() {
+                    break (problem, states);
+                }
+                for i in violations {
+                    bounds[i] = options.speculation.depth_on_miss;
+                }
+            }
+        };
+
+        // 5. Classification.
+        let accesses = classify_accesses(&problem, &vcfg, &states);
+        let bounds = problem.bounds.clone();
+        let speculated_branches = vcfg.num_speculated_branches();
+        drop(problem);
+
+        AnalysisResult {
+            program: analyzed,
+            address_map: amap,
+            cache: options.cache,
+            states,
+            accesses,
+            stats: total_stats,
+            rounds,
+            unroll,
+            speculated_branches,
+            colors: num_colors,
+            bounds,
+            elapsed: start.elapsed(),
+        }
+    }
+}

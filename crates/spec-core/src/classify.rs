@@ -1,0 +1,240 @@
+//! Classification of memory accesses and the analysis result type.
+
+use std::time::Duration;
+
+use spec_absint::SolveStats;
+use spec_cache::{AbstractCacheState, AddressMap, CacheAccess, CacheConfig};
+use spec_ir::transform::UnrollReport;
+use spec_ir::{BlockId, MemRef, Program};
+use spec_vcfg::{NodeId, Vcfg};
+
+use crate::engine::SpecProblem;
+use crate::state::SpecState;
+
+/// Classification of one memory-access instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// The VCFG node of the access.
+    pub node: NodeId,
+    /// The basic block containing the access.
+    pub block: BlockId,
+    /// Position of the access within its basic block's instruction list.
+    pub inst_index: usize,
+    /// The memory reference being accessed.
+    pub mem: MemRef,
+    /// Name of the accessed region (for reports).
+    pub region_name: String,
+    /// `true` if the access is guaranteed to hit in every *architectural*
+    /// execution, i.e. considering both the normal state and any rolled-back
+    /// speculative pollution that reaches this point.
+    pub observable_hit: bool,
+    /// `true` if the access is guaranteed to hit when only the normal
+    /// (non-speculative) state is considered.
+    pub normal_hit: bool,
+    /// `true` if the access also hits whenever it is executed *during* a
+    /// speculative (later squashed) execution.
+    pub speculative_hit: bool,
+    /// `true` if this node can be reached by some speculative execution.
+    pub reached_speculatively: bool,
+    /// `true` if the access index depends on secret data.
+    pub secret_dependent: bool,
+}
+
+impl AccessInfo {
+    /// An observable miss: the access may miss in a committed execution.
+    pub fn is_possible_miss(&self) -> bool {
+        !self.observable_hit
+    }
+
+    /// A speculative miss: the access may miss while being executed
+    /// speculatively (masked by the pipeline, but it still perturbs the
+    /// cache).
+    pub fn is_speculative_miss(&self) -> bool {
+        self.reached_speculatively && !self.speculative_hit
+    }
+}
+
+/// Result of one analysis run.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    /// The program that was actually analysed (after unrolling).
+    pub program: Program,
+    /// Memory layout used by the analysis.
+    pub address_map: AddressMap,
+    /// Cache geometry used by the analysis.
+    pub cache: CacheConfig,
+    /// Per-node abstract states at the fixed point (indexed by node).
+    pub states: Vec<SpecState>,
+    /// Classification of every memory access.
+    pub accesses: Vec<AccessInfo>,
+    /// Solver statistics, accumulated over all rounds of the dynamic
+    /// depth-bounding refinement.
+    pub stats: SolveStats,
+    /// Number of fixpoint rounds run (1 unless dynamic bounding refined).
+    pub rounds: u32,
+    /// Loop-unrolling report.
+    pub unroll: UnrollReport,
+    /// Number of conditional branches that may be speculated.
+    pub speculated_branches: usize,
+    /// Number of speculative executions (colors).
+    pub colors: usize,
+    /// Final speculation window per color.
+    pub bounds: Vec<u32>,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+}
+
+impl AnalysisResult {
+    /// Number of accesses that may miss in a committed execution
+    /// (the paper's `#Miss`).
+    pub fn miss_count(&self) -> usize {
+        self.accesses.iter().filter(|a| a.is_possible_miss()).count()
+    }
+
+    /// Number of accesses that may miss while executed speculatively
+    /// (the paper's `#SpMiss`).
+    pub fn speculative_miss_count(&self) -> usize {
+        self.accesses
+            .iter()
+            .filter(|a| a.is_speculative_miss())
+            .count()
+    }
+
+    /// Number of accesses guaranteed to hit in every committed execution.
+    pub fn must_hit_count(&self) -> usize {
+        self.accesses.len() - self.miss_count()
+    }
+
+    /// Total number of memory accesses classified.
+    pub fn access_count(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Total fixpoint iterations (worklist pops) across all rounds.
+    pub fn iterations(&self) -> u64 {
+        self.stats.node_visits
+    }
+
+    /// Classified accesses.
+    pub fn accesses(&self) -> &[AccessInfo] {
+        &self.accesses
+    }
+
+    /// Accesses whose index depends on secret data.
+    pub fn secret_accesses(&self) -> impl Iterator<Item = &AccessInfo> {
+        self.accesses.iter().filter(|a| a.secret_dependent)
+    }
+
+    /// Classification of the access at a given block and instruction
+    /// position of the analysed program, if that instruction accesses
+    /// memory.
+    pub fn access_at(&self, block: BlockId, inst_index: usize) -> Option<&AccessInfo> {
+        self.accesses
+            .iter()
+            .find(|a| a.block == block && a.inst_index == inst_index)
+    }
+
+    /// The abstract state at the entry of `node`.
+    pub fn state_at(&self, node: NodeId) -> &SpecState {
+        &self.states[node.index()]
+    }
+
+    /// Names of the regions whose blocks are all guaranteed cached in the
+    /// normal state at `node` — handy for walking through Table 1/2 of the
+    /// paper.
+    pub fn fully_cached_regions_at(&self, node: NodeId) -> Vec<String> {
+        let state = &self.state_at(node).normal;
+        self.program
+            .regions()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| {
+                let region = spec_ir::RegionId::from_raw(*idx as u32);
+                self.address_map
+                    .blocks_of(region)
+                    .all(|b| state.is_must_hit(b))
+            })
+            .map(|(_, r)| r.name.clone())
+            .collect()
+    }
+}
+
+/// Classifies every memory access of the analysed program against the
+/// fixed-point states.
+pub(crate) fn classify_accesses(
+    problem: &SpecProblem<'_>,
+    vcfg: &Vcfg,
+    states: &[SpecState],
+) -> Vec<AccessInfo> {
+    let program = problem.program;
+    let graph = vcfg.graph();
+    let mut infos = Vec::new();
+    for node in graph.nodes() {
+        let Some(mem) = graph.memory_ref(program, node) else {
+            continue;
+        };
+        let state = &states[node.index()];
+        let access = problem.resolve(&mem);
+        let normal_hit = access_hits(problem, &access, &state.normal);
+
+        let membership = &problem.membership[node.index()];
+        // Pollution carried separately through the resume region (just-in-
+        // time merging) must also guarantee the hit for it to be observable.
+        let mut observable_hit = normal_hit;
+        for color in &membership.resume {
+            if let Some(spec) = state.spec_state(*color) {
+                observable_hit &= access_hits(problem, &access, spec);
+            }
+        }
+        // Accesses executed during speculation (squashed work).
+        let mut reached_speculatively = false;
+        let mut speculative_hit = true;
+        for (color, dist) in &membership.spec {
+            if *dist > problem.bounds[color.index()] {
+                continue;
+            }
+            if let Some(spec) = state.spec_state(*color) {
+                reached_speculatively = true;
+                speculative_hit &= access_hits(problem, &access, spec);
+            }
+        }
+
+        let inst_index = match graph.kind(node) {
+            spec_vcfg::NodeKind::Inst { index, .. } => index,
+            spec_vcfg::NodeKind::Terminator { .. } => unreachable!("terminators do not access memory"),
+        };
+        infos.push(AccessInfo {
+            node,
+            block: graph.kind(node).block(),
+            inst_index,
+            mem,
+            region_name: program.region(mem.region).name.clone(),
+            observable_hit,
+            normal_hit,
+            speculative_hit,
+            reached_speculatively,
+            secret_dependent: mem.index.is_secret_dependent(),
+        });
+    }
+    infos
+}
+
+/// Whether an abstract access is guaranteed to hit in `state`.
+fn access_hits(
+    problem: &SpecProblem<'_>,
+    access: &CacheAccess,
+    state: &AbstractCacheState,
+) -> bool {
+    if state.is_bottom() {
+        // No execution reaches this point along this component; it cannot
+        // contribute a miss.
+        return true;
+    }
+    match access {
+        CacheAccess::Precise(block) => state.is_must_hit(*block),
+        CacheAccess::AnyOf(region) => problem
+            .amap
+            .blocks_of(*region)
+            .all(|b| state.is_must_hit(b)),
+    }
+}

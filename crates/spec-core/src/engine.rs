@@ -1,0 +1,271 @@
+//! The speculative dataflow problem: how states flow through the VCFG.
+//!
+//! This module implements Algorithm 2/3 of the paper as an instance of the
+//! generic worklist solver in `spec-absint`:
+//!
+//! * ordinary edges propagate both the normal state `S` and every
+//!   speculative state `SS[c]`;
+//! * at a branch that may speculate, the normal state is *seeded* into the
+//!   speculative state of the corresponding color on the mispredicted arm
+//!   (the `vn_start` virtual edge);
+//! * from every node inside a color's speculative window, a *rollback* edge
+//!   carries the speculative state to the correct arm — either folding it
+//!   into the normal state right away ([`MergeStrategy::MergeAtRollback`])
+//!   or keeping it speculative until the branch's join point
+//!   ([`MergeStrategy::JustInTime`], the `vn_stop` virtual edge);
+//! * speculative propagation is limited to the per-color window
+//!   (`b_h`/`b_m` instructions, Section 6.2).
+
+use std::collections::{HashMap, HashSet};
+
+use spec_absint::DataflowProblem;
+use spec_cache::{AbstractCacheState, AddressMap, CacheAccess, CacheConfig, MemBlock};
+use spec_ir::{IndexExpr, MemRef, Program};
+use spec_vcfg::{Color, MergeStrategy, NodeId, Vcfg};
+
+use crate::state::SpecState;
+
+/// Per-node speculative membership, precomputed for fast lookups during the
+/// fixpoint iteration.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeMembership {
+    /// Colors whose speculative window contains this node, with the
+    /// instruction distance from the start of speculation.
+    pub spec: HashMap<Color, u32>,
+    /// Colors whose resume region (correct arm before the commit point)
+    /// contains this node.
+    pub resume: HashSet<Color>,
+}
+
+/// The dataflow problem solved by the speculative analysis.
+pub(crate) struct SpecProblem<'a> {
+    pub program: &'a Program,
+    pub vcfg: &'a Vcfg,
+    pub amap: &'a AddressMap,
+    pub cache: CacheConfig,
+    pub track_shadow: bool,
+    pub merge_strategy: MergeStrategy,
+    /// Speculation window currently in force for each color.
+    pub bounds: Vec<u32>,
+    /// Widening points (first nodes of unresolved loop headers).
+    pub widen_nodes: HashSet<usize>,
+    /// Per-node membership in speculative / resume regions.
+    pub membership: Vec<NodeMembership>,
+    /// Extra (virtual) successors: rollback targets per node.
+    pub extra_successors: Vec<Vec<usize>>,
+}
+
+impl<'a> SpecProblem<'a> {
+    pub fn new(
+        program: &'a Program,
+        vcfg: &'a Vcfg,
+        amap: &'a AddressMap,
+        cache: CacheConfig,
+        track_shadow: bool,
+        bounds: Vec<u32>,
+        widen_nodes: HashSet<usize>,
+    ) -> Self {
+        let n = vcfg.graph().len();
+        let mut membership = vec![NodeMembership::default(); n];
+        let mut extra_successors: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        for site in vcfg.sites() {
+            for (node, dist) in &site.spec_distance {
+                membership[node.index()].spec.insert(site.color, *dist);
+                // Rollback edge: from any speculatively reached node to the
+                // entry of the correct arm.
+                extra_successors[node.index()].insert(site.resume_entry.index());
+            }
+            for node in &site.resume_region {
+                membership[node.index()].resume.insert(site.color);
+            }
+        }
+        let graph = vcfg.graph();
+        let extra_successors = extra_successors
+            .into_iter()
+            .enumerate()
+            .map(|(from, set)| {
+                let from_node = NodeId::from_raw(from as u32);
+                set.into_iter()
+                    .filter(|to| {
+                        // Keep only targets that are not already plain successors.
+                        !graph
+                            .successors(from_node)
+                            .iter()
+                            .any(|s| s.index() == *to)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            program,
+            vcfg,
+            amap,
+            cache,
+            track_shadow,
+            merge_strategy: vcfg.config().merge_strategy,
+            bounds,
+            widen_nodes,
+            membership,
+            extra_successors,
+        }
+    }
+
+    /// Resolves a memory reference into an abstract cache access.
+    pub fn resolve(&self, mem: &MemRef) -> CacheAccess {
+        match mem.index {
+            IndexExpr::Const(offset) => {
+                CacheAccess::Precise(self.amap.block_of_offset(mem.region, offset))
+            }
+            _ => CacheAccess::AnyOf(mem.region),
+        }
+    }
+
+    /// Applies the cache effect of the instruction at `node` to `state`.
+    fn apply_node_effect(&self, node: NodeId, state: &mut SpecState) {
+        let Some(mem) = self.vcfg.graph().memory_ref(self.program, node) else {
+            return;
+        };
+        let access = self.resolve(&mem);
+        let amap = self.amap;
+        state
+            .normal
+            .access(&self.cache, &access, |b| amap.set_of(b));
+        for spec in state.spec.values_mut() {
+            spec.access(&self.cache, &access, |b| amap.set_of(b));
+        }
+    }
+
+    /// Whether the speculative state of `color` may flow along an ordinary
+    /// edge into `to`.
+    fn spec_flow_allowed(&self, color: Color, to: NodeId) -> bool {
+        let member = &self.membership[to.index()];
+        if let Some(dist) = member.spec.get(&color) {
+            return *dist <= self.bounds[color.index()];
+        }
+        member.resume.contains(&color)
+    }
+
+    /// Checks whether every memory location a branch condition depends on is
+    /// a guaranteed cache hit in `state` (used for dynamic depth bounding).
+    pub fn condition_is_must_hit(&self, refs: &[MemRef], state: &AbstractCacheState) -> bool {
+        if state.is_bottom() {
+            return false;
+        }
+        refs.iter().all(|m| match self.resolve(m) {
+            CacheAccess::Precise(block) => state.is_must_hit(block),
+            CacheAccess::AnyOf(region) => self
+                .amap
+                .blocks_of(region)
+                .all(|b: MemBlock| state.is_must_hit(b)),
+        })
+    }
+}
+
+impl DataflowProblem for SpecProblem<'_> {
+    type State = SpecState;
+
+    fn num_nodes(&self) -> usize {
+        self.vcfg.graph().len()
+    }
+
+    fn bottom_state(&self) -> SpecState {
+        SpecState::bottom(self.track_shadow)
+    }
+
+    fn entry_state(&self, node: usize) -> Option<SpecState> {
+        (node == self.vcfg.graph().entry().index()).then(|| {
+            SpecState::from_normal(AbstractCacheState::empty_cache(
+                &self.cache,
+                self.track_shadow,
+            ))
+        })
+    }
+
+    fn successors(&self, node: usize) -> Vec<usize> {
+        let mut succs: Vec<usize> = self
+            .vcfg
+            .graph()
+            .successors(NodeId::from_raw(node as u32))
+            .iter()
+            .map(|n| n.index())
+            .collect();
+        succs.extend(self.extra_successors[node].iter().copied());
+        succs
+    }
+
+    fn transfer(&mut self, from: usize, to: usize, state: &SpecState) -> SpecState {
+        let from_node = NodeId::from_raw(from as u32);
+        let to_node = NodeId::from_raw(to as u32);
+        let graph = self.vcfg.graph();
+
+        // 1. Apply the cache effect of executing `from`.
+        let mut effective = state.clone();
+        self.apply_node_effect(from_node, &mut effective);
+
+        let mut out = self.bottom_state();
+        let is_graph_edge = graph.successors(from_node).contains(&to_node);
+
+        // 2. Ordinary control flow: propagate the normal state and the
+        //    speculative states whose window or resume region covers `to`.
+        if is_graph_edge {
+            out.normal.join_in_place(&effective.normal);
+            for (color, spec) in &effective.spec {
+                if !spec.is_bottom() && self.spec_flow_allowed(*color, to_node) {
+                    out.join_spec(*color, spec);
+                }
+            }
+            // Seed new speculative flows: the branch at `from` may be
+            // mispredicted towards `to` (the wrong arm), executing it with
+            // the current architectural cache state.
+            for &color in self.vcfg.colors_at_branch(from_node) {
+                let site = self.vcfg.site(color);
+                if site.speculated_entry != to_node {
+                    continue;
+                }
+                let Some(entry_dist) = site.spec_distance_of(to_node) else {
+                    continue;
+                };
+                if entry_dist <= self.bounds[color.index()] {
+                    out.join_spec(color, &effective.normal);
+                }
+            }
+        }
+
+        // 3. Rollback (virtual) edges: from inside a speculative window to
+        //    the entry of the correct arm.
+        for (color, dist) in &self.membership[from].spec {
+            if *dist > self.bounds[color.index()] {
+                continue;
+            }
+            let site = self.vcfg.site(*color);
+            if site.resume_entry != to_node {
+                continue;
+            }
+            let Some(spec) = effective.spec.get(color) else {
+                continue;
+            };
+            if spec.is_bottom() {
+                continue;
+            }
+            match self.merge_strategy {
+                MergeStrategy::JustInTime => {
+                    out.join_spec(*color, spec);
+                }
+                MergeStrategy::MergeAtRollback => {
+                    out.normal.join_in_place(spec);
+                }
+            }
+        }
+
+        // 4. Commit (the `vn_stop` conversion): speculative states arriving
+        //    at their branch's join point are folded into the normal state.
+        for &color in self.vcfg.commits_at(to_node) {
+            out.commit_color(color);
+        }
+        out
+    }
+
+    fn widen_at(&self, node: usize) -> bool {
+        self.widen_nodes.contains(&node)
+    }
+}

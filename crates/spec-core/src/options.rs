@@ -1,0 +1,115 @@
+//! Analysis configuration.
+
+use spec_cache::CacheConfig;
+use spec_ir::transform::UnrollOptions;
+use spec_vcfg::{MergeStrategy, SpeculationConfig};
+
+/// Configuration of a must-hit cache analysis run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Speculative-execution model.  Ignored when `speculative` is `false`.
+    pub speculation: SpeculationConfig,
+    /// Whether speculative executions are modelled at all.  `false` gives
+    /// the state-of-the-art non-speculative baseline the paper compares
+    /// against in Tables 5 and 7.
+    pub speculative: bool,
+    /// Whether the shadow-variable (may) refinement of Appendix B is used.
+    pub track_shadow: bool,
+    /// Whether counted loops are fully unrolled before the analysis
+    /// (Section 6.3).
+    pub unroll_loops: bool,
+    /// Unrolling budget.
+    pub unroll: UnrollOptions,
+    /// Number of precise joins at a loop head before widening kicks in.
+    pub widening_delay: u32,
+}
+
+impl AnalysisOptions {
+    /// The paper's speculative analysis configuration.
+    pub fn speculative() -> Self {
+        Self {
+            cache: CacheConfig::paper_default(),
+            speculation: SpeculationConfig::paper_default(),
+            speculative: true,
+            track_shadow: true,
+            unroll_loops: true,
+            unroll: UnrollOptions::default(),
+            widening_delay: 3,
+        }
+    }
+
+    /// The non-speculative baseline (prior work the paper compares against).
+    pub fn non_speculative() -> Self {
+        Self {
+            speculative: false,
+            ..Self::speculative()
+        }
+    }
+
+    /// Replaces the cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the speculation configuration.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Replaces the merge strategy.
+    pub fn with_merge_strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.speculation.merge_strategy = strategy;
+        self
+    }
+
+    /// Enables or disables the shadow-variable refinement.
+    pub fn with_shadow(mut self, track_shadow: bool) -> Self {
+        self.track_shadow = track_shadow;
+        self
+    }
+
+    /// Enables or disables loop unrolling.
+    pub fn with_unrolling(mut self, unroll_loops: bool) -> Self {
+        self.unroll_loops = unroll_loops;
+        self
+    }
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self::speculative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculative_and_baseline_differ_only_in_speculation() {
+        let spec = AnalysisOptions::speculative();
+        let base = AnalysisOptions::non_speculative();
+        assert!(spec.speculative);
+        assert!(!base.speculative);
+        assert_eq!(spec.cache, base.cache);
+        assert_eq!(spec.speculation, base.speculation);
+        assert_eq!(AnalysisOptions::default(), spec);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let o = AnalysisOptions::speculative()
+            .with_cache(CacheConfig::fully_associative(4, 64))
+            .with_merge_strategy(MergeStrategy::MergeAtRollback)
+            .with_shadow(false)
+            .with_unrolling(false);
+        assert_eq!(o.cache.total_lines(), 4);
+        assert_eq!(o.speculation.merge_strategy, MergeStrategy::MergeAtRollback);
+        assert!(!o.track_shadow);
+        assert!(!o.unroll_loops);
+    }
+}

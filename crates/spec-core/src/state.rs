@@ -1,0 +1,170 @@
+//! The combined analysis state: one normal cache state plus one speculative
+//! cache state per color (Algorithm 3).
+
+use std::collections::BTreeMap;
+
+use spec_absint::JoinSemiLattice;
+use spec_cache::AbstractCacheState;
+use spec_vcfg::Color;
+
+/// Abstract state attached to every VCFG node.
+///
+/// `normal` is the paper's `S[n]`; `spec[c]` is `SS[n][c]`, the cache state
+/// of the speculative execution with color `c` (absent entries are bottom).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecState {
+    /// The non-speculative (architectural) cache state `S[n]`.
+    pub normal: AbstractCacheState,
+    /// Per-color speculative cache states `SS[n][c]`.
+    pub spec: BTreeMap<Color, AbstractCacheState>,
+}
+
+impl SpecState {
+    /// A state whose components are all bottom.
+    pub fn bottom(track_shadow: bool) -> Self {
+        Self {
+            normal: AbstractCacheState::bottom(track_shadow),
+            spec: BTreeMap::new(),
+        }
+    }
+
+    /// A state with the given normal component and no speculative flows.
+    pub fn from_normal(normal: AbstractCacheState) -> Self {
+        Self {
+            normal,
+            spec: BTreeMap::new(),
+        }
+    }
+
+    /// Returns `true` if every component is bottom.
+    pub fn is_bottom(&self) -> bool {
+        self.normal.is_bottom() && self.spec.values().all(AbstractCacheState::is_bottom)
+    }
+
+    /// The speculative state of `color`, if it has been seeded at this point.
+    pub fn spec_state(&self, color: Color) -> Option<&AbstractCacheState> {
+        self.spec.get(&color).filter(|s| !s.is_bottom())
+    }
+
+    /// Joins `extra` into the speculative component of `color`.
+    pub fn join_spec(&mut self, color: Color, extra: &AbstractCacheState) -> bool {
+        if extra.is_bottom() {
+            return false;
+        }
+        match self.spec.get_mut(&color) {
+            Some(existing) => existing.join_in_place(extra),
+            None => {
+                self.spec.insert(color, extra.clone());
+                true
+            }
+        }
+    }
+
+    /// Folds the speculative state of `color` into the normal component and
+    /// drops it (the "commit" at a merge point).
+    pub fn commit_color(&mut self, color: Color) {
+        if let Some(spec) = self.spec.remove(&color) {
+            if !spec.is_bottom() {
+                self.normal.join_in_place(&spec);
+            }
+        }
+    }
+
+    /// Number of live (non-bottom) speculative flows at this point.
+    pub fn live_spec_count(&self) -> usize {
+        self.spec.values().filter(|s| !s.is_bottom()).count()
+    }
+}
+
+impl JoinSemiLattice for SpecState {
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let mut changed = self.normal.join_in_place(&other.normal);
+        for (color, state) in &other.spec {
+            if self.join_spec(*color, state) {
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn widen_with(&mut self, previous: &Self) {
+        self.normal.widen_with(&previous.normal);
+        for (color, state) in &mut self.spec {
+            if let Some(prev) = previous.spec.get(color) {
+                state.widen_with(prev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_cache::{CacheAccess, CacheConfig, MemBlock};
+    use spec_ir::RegionId;
+
+    fn block(i: u64) -> MemBlock {
+        MemBlock::new(RegionId::from_raw(0), i)
+    }
+
+    fn state_with(blocks: &[u64]) -> AbstractCacheState {
+        let config = CacheConfig::fully_associative(8, 64);
+        let mut s = AbstractCacheState::empty_cache(&config, false);
+        for &b in blocks {
+            s.access(&config, &CacheAccess::Precise(block(b)), |_| 0);
+        }
+        s
+    }
+
+    #[test]
+    fn bottom_state_is_bottom() {
+        let s = SpecState::bottom(false);
+        assert!(s.is_bottom());
+        assert_eq!(s.live_spec_count(), 0);
+    }
+
+    #[test]
+    fn join_merges_normal_and_speculative_components() {
+        let mut a = SpecState::from_normal(state_with(&[1, 2]));
+        let mut b = SpecState::from_normal(state_with(&[1, 2]));
+        b.join_spec(Color::from_raw(0), &state_with(&[3]));
+
+        assert!(a.join_in_place(&b));
+        assert!(a.spec_state(Color::from_raw(0)).is_some());
+        assert_eq!(a.live_spec_count(), 1);
+        // Joining the same thing again changes nothing.
+        assert!(!a.join_in_place(&b));
+    }
+
+    #[test]
+    fn join_spec_ignores_bottom() {
+        let mut a = SpecState::from_normal(state_with(&[1]));
+        assert!(!a.join_spec(Color::from_raw(0), &AbstractCacheState::bottom(false)));
+        assert!(a.spec_state(Color::from_raw(0)).is_none());
+    }
+
+    #[test]
+    fn commit_folds_speculative_pollution_into_normal() {
+        // Normal state has blocks 1 and 2 cached; the speculative flow has
+        // only block 1 (2 was evicted speculatively).  After the commit the
+        // normal state must no longer guarantee block 2.
+        let mut s = SpecState::from_normal(state_with(&[1, 2]));
+        s.join_spec(Color::from_raw(0), &state_with(&[1]));
+        assert!(s.normal.is_must_hit(block(2)));
+        s.commit_color(Color::from_raw(0));
+        assert!(s.normal.is_must_hit(block(1)));
+        assert!(
+            !s.normal.is_must_hit(block(2)),
+            "committing the speculative state removes the guarantee"
+        );
+        assert_eq!(s.live_spec_count(), 0);
+    }
+
+    #[test]
+    fn commit_of_missing_color_is_a_no_op() {
+        let mut s = SpecState::from_normal(state_with(&[1]));
+        let before = s.clone();
+        s.commit_color(Color::from_raw(7));
+        assert_eq!(s, before);
+    }
+}

@@ -1,0 +1,424 @@
+//! A fluent builder for [`Program`]s.
+//!
+//! The builder allocates [`RegionId`]s and [`BlockId`]s up front so blocks
+//! can reference each other before they are filled in, and checks the result
+//! with [`Program::validate`] when [`ProgramBuilder::finish`] is called.
+
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, RegionId};
+use crate::inst::{BranchSemantics, Condition, IndexExpr, Inst, MemRef, Terminator};
+use crate::memory::MemoryRegion;
+use crate::program::{BasicBlock, Program};
+
+/// Incrementally builds a [`Program`].
+///
+/// # Example
+///
+/// ```rust
+/// use spec_ir::builder::ProgramBuilder;
+/// use spec_ir::{BranchSemantics, IndexExpr};
+///
+/// let mut b = ProgramBuilder::new("loop-demo");
+/// let table = b.region("table", 4 * 64, false);
+///
+/// let entry = b.entry_block("entry");
+/// let header = b.block("header");
+/// let body = b.block("body");
+/// let exit = b.block("exit");
+///
+/// b.jump(entry, header);
+/// b.loop_branch(header, 4, body, exit);
+/// b.load(body, table, IndexExpr::loop_indexed(64));
+/// b.jump(body, header);
+/// b.ret(exit);
+///
+/// let program = b.finish().unwrap();
+/// assert_eq!(program.branch_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    regions: Vec<MemoryRegion>,
+    blocks: Vec<PendingBlock>,
+    entry: Option<BlockId>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingBlock {
+    name: Option<String>,
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            regions: Vec::new(),
+            blocks: Vec::new(),
+            entry: None,
+        }
+    }
+
+    // ----- regions ---------------------------------------------------------
+
+    /// Declares a memory region of `size_bytes` bytes.
+    pub fn region(&mut self, name: impl Into<String>, size_bytes: u64, secret: bool) -> RegionId {
+        let id = RegionId::from_raw(self.regions.len() as u32);
+        self.regions.push(MemoryRegion {
+            name: name.into(),
+            size_bytes,
+            secret,
+        });
+        id
+    }
+
+    /// Declares a secret region (e.g. a key buffer).
+    pub fn secret_region(&mut self, name: impl Into<String>, size_bytes: u64) -> RegionId {
+        self.region(name, size_bytes, true)
+    }
+
+    // ----- blocks ----------------------------------------------------------
+
+    /// Creates a new, empty basic block.
+    pub fn block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_raw(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            name: Some(name.into()),
+            insts: Vec::new(),
+            term: None,
+        });
+        id
+    }
+
+    /// Creates a new block and marks it as the program entry.
+    pub fn entry_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = self.block(name);
+        self.entry = Some(id);
+        id
+    }
+
+    /// Marks an existing block as the program entry.
+    pub fn set_entry(&mut self, block: BlockId) {
+        self.entry = Some(block);
+    }
+
+    // ----- instructions ----------------------------------------------------
+
+    /// Appends an arbitrary instruction to `block`.
+    pub fn push(&mut self, block: BlockId, inst: Inst) -> &mut Self {
+        self.blocks[block.index()].insts.push(inst);
+        self
+    }
+
+    /// Appends a load of `region[index]` to `block`.
+    pub fn load(&mut self, block: BlockId, region: RegionId, index: IndexExpr) -> &mut Self {
+        self.push(block, Inst::Load(MemRef::new(region, index)))
+    }
+
+    /// Appends a store to `region[index]` to `block`.
+    pub fn store(&mut self, block: BlockId, region: RegionId, index: IndexExpr) -> &mut Self {
+        self.push(block, Inst::Store(MemRef::new(region, index)))
+    }
+
+    /// Appends `count` consecutive constant-offset loads covering
+    /// `region[start .. start + count*stride]`, one per `stride` bytes.
+    ///
+    /// This is the explicit form of the "preload loop" pattern from the
+    /// paper's Figure 2 / Figure 10 client program.
+    pub fn load_sweep(
+        &mut self,
+        block: BlockId,
+        region: RegionId,
+        start: u64,
+        stride: u64,
+        count: u64,
+    ) -> &mut Self {
+        for i in 0..count {
+            self.load(block, region, IndexExpr::Const(start + i * stride));
+        }
+        self
+    }
+
+    /// Appends a register-only computation with the given latency.
+    pub fn compute(&mut self, block: BlockId, latency: u32) -> &mut Self {
+        self.push(block, Inst::Compute { latency })
+    }
+
+    /// Appends `count` unit-latency computations (filler work).
+    pub fn compute_n(&mut self, block: BlockId, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.compute(block, 1);
+        }
+        self
+    }
+
+    // ----- terminators -----------------------------------------------------
+
+    /// Terminates `block` with an unconditional jump.
+    pub fn jump(&mut self, block: BlockId, target: BlockId) -> &mut Self {
+        self.blocks[block.index()].term = Some(Terminator::Jump(target));
+        self
+    }
+
+    /// Terminates `block` with a return.
+    pub fn ret(&mut self, block: BlockId) -> &mut Self {
+        self.blocks[block.index()].term = Some(Terminator::Return);
+        self
+    }
+
+    /// Terminates `block` with a conditional branch.
+    pub fn branch(
+        &mut self,
+        block: BlockId,
+        cond: Condition,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.blocks[block.index()].term = Some(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+        self
+    }
+
+    /// Terminates `block` with a counted-loop branch: `body` is taken for
+    /// the first `trip_count` evaluations, then `exit`.
+    pub fn loop_branch(
+        &mut self,
+        block: BlockId,
+        trip_count: u64,
+        body: BlockId,
+        exit: BlockId,
+    ) -> &mut Self {
+        self.branch(
+            block,
+            Condition::register_only(BranchSemantics::Loop { trip_count }),
+            body,
+            exit,
+        )
+    }
+
+    /// Terminates `block` with a data-dependent branch whose condition must
+    /// read the given memory locations (and therefore may be speculated).
+    pub fn data_branch(
+        &mut self,
+        block: BlockId,
+        depends_on: Vec<MemRef>,
+        semantics: BranchSemantics,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.branch(block, Condition::new(depends_on, semantics), then_bb, else_bb)
+    }
+
+    // ----- composition -----------------------------------------------------
+
+    /// Splices every block and region of `other` into this builder.
+    ///
+    /// Returns the mapping of the other program's entry block and a function
+    /// of its exit: all `Return` terminators in `other` are rewritten to
+    /// jump to `continue_at`.  Region name collisions are resolved by
+    /// reusing the already-declared region, so a "callee" can reference the
+    /// caller's tables by name.
+    pub fn inline_program(&mut self, other: &Program, continue_at: BlockId) -> BlockId {
+        // Map the callee's regions onto ours (by name), declaring new ones
+        // as needed.
+        let region_map: Vec<RegionId> = other
+            .regions()
+            .iter()
+            .map(|r| {
+                if let Some(existing) = self
+                    .regions
+                    .iter()
+                    .position(|mine| mine.name == r.name)
+                    .map(|i| RegionId::from_raw(i as u32))
+                {
+                    existing
+                } else {
+                    let id = RegionId::from_raw(self.regions.len() as u32);
+                    self.regions.push(r.clone());
+                    id
+                }
+            })
+            .collect();
+
+        let base = self.blocks.len() as u32;
+        let map_block = |b: BlockId| BlockId::from_raw(base + b.0);
+        let map_ref =
+            |m: MemRef| MemRef::new(region_map[m.region.index()], m.index);
+
+        for block in other.blocks() {
+            let insts = block
+                .insts
+                .iter()
+                .map(|inst| match inst {
+                    Inst::Load(m) => Inst::Load(map_ref(*m)),
+                    Inst::Store(m) => Inst::Store(map_ref(*m)),
+                    other => *other,
+                })
+                .collect();
+            let term = match &block.term {
+                Terminator::Return => Terminator::Jump(continue_at),
+                Terminator::Jump(t) => Terminator::Jump(map_block(*t)),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Terminator::Branch {
+                    cond: Condition {
+                        depends_on: cond.depends_on.iter().map(|m| map_ref(*m)).collect(),
+                        semantics: cond.semantics,
+                    },
+                    then_bb: map_block(*then_bb),
+                    else_bb: map_block(*else_bb),
+                },
+            };
+            self.blocks.push(PendingBlock {
+                name: block.name.clone().map(|n| format!("{}.{n}", other.name())),
+                insts,
+                term: Some(term),
+            });
+        }
+        map_block(other.entry())
+    }
+
+    // ----- finishing -------------------------------------------------------
+
+    /// Consumes the builder and produces a validated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingTerminator`] if any block was never given a
+    /// terminator, [`IrError::EmptyProgram`] if no block exists, plus any
+    /// error produced by [`Program::validate`].
+    pub fn finish(self) -> IrResult<Program> {
+        if self.blocks.is_empty() {
+            return Err(IrError::EmptyProgram);
+        }
+        let entry = self.entry.unwrap_or(BlockId::from_raw(0));
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, pending) in self.blocks.into_iter().enumerate() {
+            let id = BlockId::from_raw(i as u32);
+            let term = pending.term.ok_or(IrError::MissingTerminator(id))?;
+            blocks.push(BasicBlock {
+                id,
+                name: pending.name,
+                insts: pending.insts,
+                term,
+            });
+        }
+        Program::new(self.name, self.regions, blocks, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_straight_line_program() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.region("a", 64, false);
+        let entry = b.entry_block("entry");
+        b.load(entry, a, IndexExpr::Const(0));
+        b.compute(entry, 2);
+        b.store(entry, a, IndexExpr::Const(0));
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        assert_eq!(p.instruction_count(), 3);
+        assert_eq!(p.memory_access_count(), 2);
+        assert_eq!(p.entry(), entry);
+    }
+
+    #[test]
+    fn missing_terminator_is_reported() {
+        let mut b = ProgramBuilder::new("p");
+        let entry = b.entry_block("entry");
+        let other = b.block("dangling");
+        b.ret(entry);
+        let _ = other;
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, IrError::MissingTerminator(BlockId::from_raw(1)));
+    }
+
+    #[test]
+    fn empty_builder_is_rejected() {
+        let err = ProgramBuilder::new("p").finish().unwrap_err();
+        assert_eq!(err, IrError::EmptyProgram);
+    }
+
+    #[test]
+    fn load_sweep_emits_one_access_per_stride() {
+        let mut b = ProgramBuilder::new("p");
+        let table = b.region("t", 4 * 64, false);
+        let entry = b.entry_block("entry");
+        b.load_sweep(entry, table, 0, 64, 4);
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        assert_eq!(p.memory_access_count(), 4);
+        let offsets: Vec<u64> = p
+            .block(entry)
+            .memory_refs()
+            .map(|m| match m.index {
+                IndexExpr::Const(o) => o,
+                _ => panic!("expected const index"),
+            })
+            .collect();
+        assert_eq!(offsets, vec![0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn default_entry_is_block_zero() {
+        let mut b = ProgramBuilder::new("p");
+        let first = b.block("first");
+        b.ret(first);
+        let p = b.finish().unwrap();
+        assert_eq!(p.entry(), first);
+    }
+
+    #[test]
+    fn inline_program_rewrites_returns_and_regions() {
+        // Callee: loads from its own "shared" region and returns.
+        let mut callee_b = ProgramBuilder::new("callee");
+        let shared = callee_b.region("shared", 64, false);
+        let own = callee_b.region("callee_only", 64, false);
+        let e = callee_b.entry_block("entry");
+        callee_b.load(e, shared, IndexExpr::Const(0));
+        callee_b.load(e, own, IndexExpr::Const(0));
+        callee_b.ret(e);
+        let callee = callee_b.finish().unwrap();
+
+        // Caller: declares "shared" itself, then inlines the callee.
+        let mut b = ProgramBuilder::new("caller");
+        let shared_caller = b.region("shared", 64, false);
+        let entry = b.entry_block("entry");
+        let after = b.block("after");
+        b.load(entry, shared_caller, IndexExpr::Const(0));
+        b.ret(after);
+        let callee_entry = b.inline_program(&callee, after);
+        b.jump(entry, callee_entry);
+        let p = b.finish().unwrap();
+
+        // The shared region is not duplicated; the callee-only one is added.
+        assert_eq!(p.regions().len(), 2);
+        assert!(p.region_by_name("callee_only").is_some());
+        // The callee's return was rewritten into a jump to `after`.
+        let inlined = p.block(callee_entry);
+        assert_eq!(inlined.term, Terminator::Jump(after));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn compute_n_adds_filler_instructions() {
+        let mut b = ProgramBuilder::new("p");
+        let entry = b.entry_block("entry");
+        b.compute_n(entry, 5);
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        assert_eq!(p.instruction_count(), 5);
+        assert_eq!(p.memory_access_count(), 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Control-flow-graph utilities: successors, predecessors, traversal orders,
+//! dominators and post-dominators.
+//!
+//! The speculative analysis needs, beyond plain successor edges,
+//!
+//! * a reverse post-order for efficient worklist iteration,
+//! * dominators, to identify natural loops (Section 6.3 of the paper), and
+//! * immediate post-dominators, to find the control-flow merge point of a
+//!   branch where "just-in-time" merging folds the speculative state back
+//!   into the normal state (Figure 6c).
+
+use std::collections::VecDeque;
+
+use crate::ids::BlockId;
+use crate::program::Program;
+
+/// Precomputed control-flow facts for a [`Program`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    entry: BlockId,
+    successors: Vec<Vec<BlockId>>,
+    predecessors: Vec<Vec<BlockId>>,
+    reverse_postorder: Vec<BlockId>,
+    /// `idom[b]` is the immediate dominator of `b`, `None` for the entry and
+    /// for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// `ipostdom[b]` is the immediate post-dominator of `b`, `None` for exit
+    /// blocks and blocks from which no exit is reachable.
+    ipostdom: Vec<Option<BlockId>>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Computes the CFG facts for `program`.
+    pub fn new(program: &Program) -> Self {
+        let n = program.blocks().len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for block in program.blocks() {
+            let succs = block.term.successors();
+            for s in &succs {
+                predecessors[s.index()].push(block.id);
+            }
+            successors[block.id.index()] = succs;
+        }
+        let entry = program.entry();
+        let reverse_postorder = reverse_postorder(entry, &successors);
+        let mut reachable = vec![false; n];
+        for b in &reverse_postorder {
+            reachable[b.index()] = true;
+        }
+        let idom = immediate_dominators(entry, &successors, &predecessors, &reverse_postorder);
+        let ipostdom = immediate_postdominators(&successors, &predecessors, n);
+        Self {
+            entry,
+            successors,
+            predecessors,
+            reverse_postorder,
+            idom,
+            ipostdom,
+            reachable,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.successors[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.predecessors[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// not included).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.reverse_postorder
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable blocks).
+    pub fn immediate_dominator(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Immediate post-dominator of `b` (`None` for exit blocks).
+    pub fn immediate_postdominator(&self, b: BlockId) -> Option<BlockId> {
+        self.ipostdom[b.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut cur = self.idom[b.index()];
+        while let Some(d) = cur {
+            if d == a {
+                return true;
+            }
+            cur = self.idom[d.index()];
+        }
+        false
+    }
+
+    /// The control-flow merge point of a two-way branch at `b`: its immediate
+    /// post-dominator.  Returns `None` when the branch's arms never re-join
+    /// (e.g. one arm returns).
+    pub fn branch_join_point(&self, b: BlockId) -> Option<BlockId> {
+        self.immediate_postdominator(b)
+    }
+}
+
+/// Depth-first reverse post-order over `successors` starting at `entry`.
+fn reverse_postorder(entry: BlockId, successors: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let n = successors.len();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited[entry.index()] = true;
+    while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+        let succs = &successors[block.index()];
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(block);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation.
+fn immediate_dominators(
+    entry: BlockId,
+    _successors: &[Vec<BlockId>],
+    predecessors: &[Vec<BlockId>],
+    reverse_postorder: &[BlockId],
+) -> Vec<Option<BlockId>> {
+    let n = predecessors.len();
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, b) in reverse_postorder.iter().enumerate() {
+        rpo_number[b.index()] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[entry.index()] = Some(entry);
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_number[a.index()] > rpo_number[b.index()] {
+                a = idom[a.index()].expect("processed block has an idom");
+            }
+            while rpo_number[b.index()] > rpo_number[a.index()] {
+                b = idom[b.index()].expect("processed block has an idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in reverse_postorder.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &predecessors[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unprocessed or unreachable predecessor
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // By convention the entry has no immediate dominator.
+    idom[entry.index()] = None;
+    idom
+}
+
+/// Post-dominators computed by an iterative backward dataflow over block
+/// sets.  Programs analysed here are small (at most a few thousand blocks),
+/// so the simple O(n²) approach with bit sets is fine and easy to audit.
+fn immediate_postdominators(
+    successors: &[Vec<BlockId>],
+    predecessors: &[Vec<BlockId>],
+    n: usize,
+) -> Vec<Option<BlockId>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let exits: Vec<usize> = (0..n).filter(|&i| successors[i].is_empty()).collect();
+    // pdom[b] = set of blocks that post-dominate b, as a bitset.
+    let full: Vec<u64> = vec![u64::MAX; n.div_ceil(64)];
+    let mut pdom: Vec<Vec<u64>> = vec![full.clone(); n];
+    for &e in &exits {
+        let mut only_self = vec![0u64; n.div_ceil(64)];
+        set_bit(&mut only_self, e);
+        pdom[e] = only_self;
+    }
+    // Iterate to a fixed point: pdom[b] = {b} ∪ ⋂ pdom[s] over successors s.
+    let mut work: VecDeque<usize> = (0..n).collect();
+    while let Some(b) = work.pop_front() {
+        if successors[b].is_empty() {
+            continue;
+        }
+        let mut new = full.clone();
+        for s in &successors[b] {
+            intersect_bits(&mut new, &pdom[s.index()]);
+        }
+        set_bit(&mut new, b);
+        if new != pdom[b] {
+            pdom[b] = new;
+            for p in &predecessors[b] {
+                work.push_back(p.index());
+            }
+        }
+    }
+    // Immediate post-dominator: the strict post-dominator closest to `b`,
+    // i.e. the one that is itself post-dominated by every other strict
+    // post-dominator of `b`; equivalently the strict post-dominator with the
+    // largest post-dominator set.
+    (0..n)
+        .map(|b| {
+            let mut best: Option<(usize, usize)> = None; // (set size, block)
+            for c in 0..n {
+                if c == b || !get_bit(&pdom[b], c) {
+                    continue;
+                }
+                let size = pdom[c].iter().map(|w| w.count_ones() as usize).sum();
+                match best {
+                    None => best = Some((size, c)),
+                    Some((s, _)) if size > s => best = Some((size, c)),
+                    _ => {}
+                }
+            }
+            // If the block's own pdom set is still "full" it cannot reach an
+            // exit; report no post-dominator for it.
+            let reaches_exit = exits.iter().any(|&e| get_bit(&pdom[b], e));
+            if !reaches_exit {
+                return None;
+            }
+            best.map(|(_, c)| BlockId::from_raw(c as u32))
+        })
+        .collect()
+}
+
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn intersect_bits(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BranchSemantics, Condition};
+
+    /// Diamond:  entry -> {then, else} -> join -> exit
+    fn diamond() -> (Program, [BlockId; 5]) {
+        let mut b = ProgramBuilder::new("diamond");
+        let entry = b.entry_block("entry");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let join = b.block("join");
+        let exit = b.block("exit");
+        b.branch(
+            entry,
+            Condition::register_only(BranchSemantics::Const(true)),
+            then_bb,
+            else_bb,
+        );
+        b.jump(then_bb, join);
+        b.jump(else_bb, join);
+        b.jump(join, exit);
+        b.ret(exit);
+        (b.finish().unwrap(), [entry, then_bb, else_bb, join, exit])
+    }
+
+    use crate::program::Program;
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (p, [entry, then_bb, else_bb, join, exit]) = diamond();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.successors(entry), &[then_bb, else_bb]);
+        assert_eq!(cfg.predecessors(join), &[then_bb, else_bb]);
+        assert_eq!(cfg.successors(exit), &[] as &[BlockId]);
+        assert_eq!(cfg.predecessors(entry), &[] as &[BlockId]);
+        assert_eq!(cfg.block_count(), 5);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_and_covers_reachable_blocks() {
+        let (p, [entry, ..]) = diamond();
+        let cfg = Cfg::new(&p);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], entry);
+        assert_eq!(rpo.len(), 5);
+        // Every block appears before its dominated successors.
+        let pos =
+            |b: BlockId| rpo.iter().position(|x| *x == b).expect("in rpo");
+        for blk in p.blocks() {
+            for s in cfg.successors(blk.id) {
+                if cfg.dominates(blk.id, *s) {
+                    assert!(pos(blk.id) < pos(*s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (p, [entry, then_bb, else_bb, join, exit]) = diamond();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.immediate_dominator(entry), None);
+        assert_eq!(cfg.immediate_dominator(then_bb), Some(entry));
+        assert_eq!(cfg.immediate_dominator(else_bb), Some(entry));
+        assert_eq!(cfg.immediate_dominator(join), Some(entry));
+        assert_eq!(cfg.immediate_dominator(exit), Some(join));
+        assert!(cfg.dominates(entry, exit));
+        assert!(!cfg.dominates(then_bb, join));
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let (p, [entry, then_bb, else_bb, join, exit]) = diamond();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.immediate_postdominator(entry), Some(join));
+        assert_eq!(cfg.immediate_postdominator(then_bb), Some(join));
+        assert_eq!(cfg.immediate_postdominator(else_bb), Some(join));
+        assert_eq!(cfg.immediate_postdominator(join), Some(exit));
+        assert_eq!(cfg.immediate_postdominator(exit), None);
+        assert_eq!(cfg.branch_join_point(entry), Some(join));
+    }
+
+    #[test]
+    fn loop_cfg_dominators() {
+        // entry -> header; header -> {body, exit}; body -> header
+        let mut b = ProgramBuilder::new("loop");
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, 3, body, exit);
+        b.jump(body, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.immediate_dominator(body), Some(header));
+        assert_eq!(cfg.immediate_dominator(exit), Some(header));
+        assert_eq!(cfg.immediate_postdominator(header), Some(exit));
+        // The loop body's post-dominator is the header (it must come back).
+        assert_eq!(cfg.immediate_postdominator(body), Some(header));
+    }
+
+    #[test]
+    fn branch_with_returning_arm_has_no_join_point() {
+        let mut b = ProgramBuilder::new("early-return");
+        let entry = b.entry_block("entry");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        b.branch(
+            entry,
+            Condition::register_only(BranchSemantics::Const(true)),
+            then_bb,
+            else_bb,
+        );
+        b.ret(then_bb);
+        b.ret(else_bb);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.branch_join_point(entry), None);
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut b = ProgramBuilder::new("unreachable");
+        let entry = b.entry_block("entry");
+        let island = b.block("island");
+        b.ret(entry);
+        b.ret(island);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        assert!(cfg.is_reachable(entry));
+        assert!(!cfg.is_reachable(island));
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+    }
+
+    #[test]
+    fn infinite_loop_block_has_no_postdominator() {
+        let mut b = ProgramBuilder::new("infinite");
+        let entry = b.entry_block("entry");
+        let spin = b.block("spin");
+        b.jump(entry, spin);
+        b.jump(spin, spin);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.immediate_postdominator(spin), None);
+        assert_eq!(cfg.immediate_postdominator(entry), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Human-readable textual listing of programs.
+//!
+//! The format produced here is parsed back by [`crate::text::parse_program`],
+//! so `parse(program.to_string())` round-trips (block names are preserved,
+//! block ids are re-assigned densely in listing order).
+
+use std::fmt;
+
+use crate::inst::{BranchSemantics, Condition, IndexExpr, Inst, MemRef, Terminator};
+use crate::program::Program;
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}", self.name())?;
+        for region in self.regions() {
+            if region.secret {
+                writeln!(f, "secret_region {} {}", region.name, region.size_bytes)?;
+            } else {
+                writeln!(f, "region {} {}", region.name, region.size_bytes)?;
+            }
+        }
+        for block in self.blocks() {
+            let marker = if block.id == self.entry() { " entry" } else { "" };
+            writeln!(f, "block {}{marker}:", block.label())?;
+            for inst in &block.insts {
+                writeln!(f, "  {}", DisplayInst { program: self, inst })?;
+            }
+            writeln!(
+                f,
+                "  {}",
+                DisplayTerm {
+                    program: self,
+                    term: &block.term
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct DisplayInst<'a> {
+    program: &'a Program,
+    inst: &'a Inst,
+}
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Inst::Load(m) => write!(f, "load {}", fmt_ref(self.program, m)),
+            Inst::Store(m) => write!(f, "store {}", fmt_ref(self.program, m)),
+            Inst::Compute { latency } => write!(f, "compute {latency}"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+struct DisplayTerm<'a> {
+    program: &'a Program,
+    term: &'a Terminator,
+}
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.term {
+            Terminator::Jump(t) => write!(f, "jump {}", self.program.block(*t).label()),
+            Terminator::Return => write!(f, "ret"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(
+                f,
+                "branch {} -> {}, {}",
+                fmt_cond(self.program, cond),
+                self.program.block(*then_bb).label(),
+                self.program.block(*else_bb).label()
+            ),
+        }
+    }
+}
+
+/// Renders a memory reference, e.g. `sbox[64]` or `sbox[secret*1]`.
+pub(crate) fn fmt_ref(program: &Program, m: &MemRef) -> String {
+    let name = &program.region(m.region).name;
+    match m.index {
+        IndexExpr::Const(o) => format!("{name}[{o}]"),
+        IndexExpr::LoopIndexed { stride } => format!("{name}[loop*{stride}]"),
+        IndexExpr::Input { stride } => format!("{name}[input*{stride}]"),
+        IndexExpr::Secret { stride } => format!("{name}[secret*{stride}]"),
+    }
+}
+
+/// Renders a branch condition, e.g. `mem(p[0]) loop(30)`.
+pub(crate) fn fmt_cond(program: &Program, cond: &Condition) -> String {
+    let mut parts = Vec::new();
+    if !cond.depends_on.is_empty() {
+        let refs: Vec<String> = cond
+            .depends_on
+            .iter()
+            .map(|m| fmt_ref(program, m))
+            .collect();
+        parts.push(format!("mem({})", refs.join(", ")));
+    }
+    let sem = match cond.semantics {
+        BranchSemantics::Loop { trip_count } => format!("loop({trip_count})"),
+        BranchSemantics::InputBit { bit } => format!("input_bit({bit})"),
+        BranchSemantics::SecretBit { bit } => format!("secret_bit({bit})"),
+        BranchSemantics::Const(v) => format!("const({v})"),
+    };
+    parts.push(sem);
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn listing_contains_all_parts() {
+        let mut b = ProgramBuilder::new("listing");
+        let sbox = b.region("sbox", 256, false);
+        let key = b.secret_region("key", 8);
+        let entry = b.entry_block("entry");
+        let leak = b.block("leak");
+        let exit = b.block("exit");
+        b.load(entry, key, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(key, 0)],
+            BranchSemantics::SecretBit { bit: 0 },
+            leak,
+            exit,
+        );
+        b.load(leak, sbox, IndexExpr::secret(1));
+        b.jump(leak, exit);
+        b.compute(exit, 3);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program listing"));
+        assert!(text.contains("region sbox 256"));
+        assert!(text.contains("secret_region key 8"));
+        assert!(text.contains("block entry entry:"));
+        assert!(text.contains("load key[0]"));
+        assert!(text.contains("branch mem(key[0]) secret_bit(0) -> leak, exit"));
+        assert!(text.contains("load sbox[secret*1]"));
+        assert!(text.contains("compute 3"));
+        assert!(text.contains("jump exit"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn index_expr_rendering() {
+        let mut b = ProgramBuilder::new("idx");
+        let t = b.region("t", 64, false);
+        let entry = b.entry_block("entry");
+        b.load(entry, t, IndexExpr::loop_indexed(4));
+        b.load(entry, t, IndexExpr::input(2));
+        b.push(entry, Inst::Nop);
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("t[loop*4]"));
+        assert!(text.contains("t[input*2]"));
+        assert!(text.contains("nop"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, RegionId};
+
+/// Result alias for IR operations.
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Errors produced while building, validating, parsing or transforming a
+/// [`crate::Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// The program has no basic blocks.
+    EmptyProgram,
+    /// A terminator or instruction refers to a block that does not exist.
+    UnknownBlock(BlockId),
+    /// An instruction or condition refers to a region that does not exist.
+    UnknownRegion(RegionId),
+    /// A memory region was declared with zero size.
+    ZeroSizedRegion(String),
+    /// Two memory regions share the same name.
+    DuplicateRegion(String),
+    /// A block was left without a terminator by the builder.
+    MissingTerminator(BlockId),
+    /// The entry block has predecessors, which the analyses do not support.
+    EntryHasPredecessors(BlockId),
+    /// A loop transformation was asked to unroll a loop with unknown trip count.
+    UnknownTripCount(BlockId),
+    /// Failure while parsing the textual program format.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyProgram => write!(f, "program has no basic blocks"),
+            IrError::UnknownBlock(b) => write!(f, "reference to unknown block {b}"),
+            IrError::UnknownRegion(r) => write!(f, "reference to unknown region {r}"),
+            IrError::ZeroSizedRegion(name) => {
+                write!(f, "memory region `{name}` has zero size")
+            }
+            IrError::DuplicateRegion(name) => {
+                write!(f, "memory region `{name}` declared more than once")
+            }
+            IrError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            IrError::EntryHasPredecessors(b) => {
+                write!(f, "entry block {b} has predecessors")
+            }
+            IrError::UnknownTripCount(b) => {
+                write!(f, "loop headed at {b} has no statically known trip count")
+            }
+            IrError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            IrError::EmptyProgram.to_string(),
+            IrError::UnknownBlock(BlockId::from_raw(3)).to_string(),
+            IrError::UnknownRegion(RegionId::from_raw(1)).to_string(),
+            IrError::ZeroSizedRegion("x".into()).to_string(),
+            IrError::DuplicateRegion("x".into()).to_string(),
+            IrError::MissingTerminator(BlockId::from_raw(0)).to_string(),
+            IrError::Parse {
+                line: 4,
+                message: "bad token".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+    }
+}

@@ -1,0 +1,85 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! Each identifier is a thin newtype over `u32` ([C-NEWTYPE]).  They are
+//! plain indices into the owning [`crate::Program`]'s vectors and are only
+//! meaningful relative to the program that created them.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::MemoryRegion`] within a program.
+    RegionId,
+    "r"
+);
+define_id!(
+    /// Identifier of a [`crate::BasicBlock`] within a program.
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// Identifier of a single instruction, assigned when a program is
+    /// flattened to instruction granularity (see `spec-vcfg`).
+    InstId,
+    "i"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = BlockId::from_raw(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "bb7");
+        assert_eq!(format!("{id:?}"), "bb7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(RegionId::from_raw(1) < RegionId::from_raw(2));
+        assert!(InstId::from_raw(0) < InstId::from_raw(10));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: BlockId and RegionId are different types.
+        fn takes_block(_: BlockId) {}
+        takes_block(BlockId::from_raw(0));
+    }
+}

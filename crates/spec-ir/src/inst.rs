@@ -1,0 +1,340 @@
+//! Instructions, memory references, branch conditions and terminators.
+
+use crate::ids::{BlockId, RegionId};
+
+/// How the byte offset of a memory access is determined.
+///
+/// The abstract analysis only distinguishes *statically known* offsets
+/// ([`IndexExpr::Const`]) from *statically unknown* ones (everything else);
+/// the concrete simulator additionally needs to know how to resolve the
+/// offset at run time, and the side-channel detector needs to know whether
+/// the offset is derived from secret data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IndexExpr {
+    /// A statically known byte offset into the region.
+    Const(u64),
+    /// Offset derived from a loop counter: the simulator resolves it to
+    /// `iteration * stride` (modulo the region size), where `iteration`
+    /// counts executions of the enclosing basic block.
+    LoopIndexed {
+        /// Bytes advanced per iteration.
+        stride: u64,
+    },
+    /// Offset derived from public, attacker-controlled input.
+    Input {
+        /// Bytes advanced per unit of input value.
+        stride: u64,
+    },
+    /// Offset derived from secret data (a key byte, a password character).
+    Secret {
+        /// Bytes advanced per unit of secret value.
+        stride: u64,
+    },
+}
+
+impl IndexExpr {
+    /// Convenience constructor for a secret-derived index.
+    pub fn secret(stride: u64) -> Self {
+        IndexExpr::Secret { stride }
+    }
+
+    /// Convenience constructor for an input-derived index.
+    pub fn input(stride: u64) -> Self {
+        IndexExpr::Input { stride }
+    }
+
+    /// Convenience constructor for a loop-counter-derived index.
+    pub fn loop_indexed(stride: u64) -> Self {
+        IndexExpr::LoopIndexed { stride }
+    }
+
+    /// Returns `true` if the offset is statically known.
+    pub fn is_static(&self) -> bool {
+        matches!(self, IndexExpr::Const(_))
+    }
+
+    /// Returns `true` if the offset depends on secret data.
+    pub fn is_secret_dependent(&self) -> bool {
+        matches!(self, IndexExpr::Secret { .. })
+    }
+}
+
+/// A reference to memory: a region plus an offset expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemRef {
+    /// The region being accessed.
+    pub region: RegionId,
+    /// How the offset within the region is determined.
+    pub index: IndexExpr,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    pub fn new(region: RegionId, index: IndexExpr) -> Self {
+        Self { region, index }
+    }
+
+    /// Reference to a statically known offset.
+    pub fn at(region: RegionId, offset: u64) -> Self {
+        Self::new(region, IndexExpr::Const(offset))
+    }
+}
+
+/// A single (straight-line) instruction.
+///
+/// Only memory behaviour and latency are modelled; arithmetic is abstracted
+/// into [`Inst::Compute`] because it has no effect on the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Inst {
+    /// Read from memory.
+    Load(MemRef),
+    /// Write to memory (allocate-on-write: same cache effect as a load).
+    Store(MemRef),
+    /// Register-only computation taking `latency` cycles; no memory access.
+    Compute {
+        /// Execution latency in cycles (used by the concrete simulator).
+        latency: u32,
+    },
+    /// No-op (placeholder / padding instruction).
+    Nop,
+}
+
+impl Inst {
+    /// The memory reference this instruction accesses, if any.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        match self {
+            Inst::Load(m) | Inst::Store(m) => Some(*m),
+            Inst::Compute { .. } | Inst::Nop => None,
+        }
+    }
+
+    /// Returns `true` if the instruction accesses memory.
+    pub fn accesses_memory(&self) -> bool {
+        self.mem_ref().is_some()
+    }
+}
+
+/// Concrete semantics of a branch condition, used only by the simulator and
+/// by the loop unroller.  The abstract analysis treats every branch as able
+/// to go either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BranchSemantics {
+    /// A counted loop back-edge test: the *then* target is taken for the
+    /// first `trip_count` evaluations at this branch site, after which the
+    /// *else* target is taken.
+    Loop {
+        /// Number of iterations for which the branch stays in the loop.
+        trip_count: u64,
+    },
+    /// The outcome is the given bit of the public input value.
+    InputBit {
+        /// Bit position of the public input that decides the branch.
+        bit: u32,
+    },
+    /// The outcome is the given bit of the secret value.
+    SecretBit {
+        /// Bit position of the secret that decides the branch.
+        bit: u32,
+    },
+    /// The branch always evaluates to the given constant.
+    Const(bool),
+}
+
+/// A branch condition: which memory must be read to evaluate it, plus its
+/// concrete semantics for simulation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Condition {
+    /// Memory locations that must be loaded to resolve the condition.
+    ///
+    /// If any of them misses in the cache the processor speculates across
+    /// the branch with the *miss* window `b_m`; if all of them are
+    /// guaranteed hits, the shorter *hit* window `b_h` applies (paper,
+    /// Section 6.2).  An empty list means the condition is register-only and
+    /// resolves immediately (no speculation).
+    pub depends_on: Vec<MemRef>,
+    /// Concrete outcome semantics, used by the simulator and the unroller.
+    pub semantics: BranchSemantics,
+}
+
+impl Condition {
+    /// A condition that depends on the given memory locations.
+    pub fn new(depends_on: Vec<MemRef>, semantics: BranchSemantics) -> Self {
+        Self {
+            depends_on,
+            semantics,
+        }
+    }
+
+    /// A register-only condition (never triggers speculation in our model).
+    pub fn register_only(semantics: BranchSemantics) -> Self {
+        Self {
+            depends_on: Vec::new(),
+            semantics,
+        }
+    }
+
+    /// Returns `true` if evaluating the condition requires reading memory.
+    pub fn reads_memory(&self) -> bool {
+        !self.depends_on.is_empty()
+    }
+
+    /// Returns `true` if the branch outcome depends on secret data, either
+    /// because its semantics read a secret bit or because it reads a region
+    /// whose contents are secret.
+    pub fn is_secret_dependent(&self, secret_regions: &[RegionId]) -> bool {
+        matches!(self.semantics, BranchSemantics::SecretBit { .. })
+            || self
+                .depends_on
+                .iter()
+                .any(|m| secret_regions.contains(&m.region) || m.index.is_secret_dependent())
+    }
+}
+
+/// Block terminator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch.
+    Branch {
+        /// The branch condition.
+        cond: Condition,
+        /// Successor when the condition evaluates to true.
+        then_bb: BlockId,
+        /// Successor when the condition evaluates to false.
+        else_bb: BlockId,
+    },
+    /// Function return / program exit.
+    Return,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in evaluation order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => Vec::new(),
+        }
+    }
+
+    /// Returns the branch condition if this is a conditional branch.
+    pub fn condition(&self) -> Option<&Condition> {
+        match self {
+            Terminator::Branch { cond, .. } => Some(cond),
+            _ => None,
+        }
+    }
+
+    /// Rewrites successor block ids through `map`.
+    pub fn map_successors(&mut self, mut map: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(t) => *t = map(*t),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = map(*then_bb);
+                *else_bb = map(*else_bb);
+            }
+            Terminator::Return => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RegionId {
+        RegionId::from_raw(n)
+    }
+
+    #[test]
+    fn index_expr_classification() {
+        assert!(IndexExpr::Const(0).is_static());
+        assert!(!IndexExpr::loop_indexed(4).is_static());
+        assert!(IndexExpr::secret(1).is_secret_dependent());
+        assert!(!IndexExpr::input(1).is_secret_dependent());
+    }
+
+    #[test]
+    fn inst_mem_ref() {
+        let m = MemRef::at(r(0), 64);
+        assert_eq!(Inst::Load(m).mem_ref(), Some(m));
+        assert_eq!(Inst::Store(m).mem_ref(), Some(m));
+        assert_eq!(Inst::Compute { latency: 1 }.mem_ref(), None);
+        assert!(!Inst::Nop.accesses_memory());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let jump = Terminator::Jump(BlockId::from_raw(3));
+        assert_eq!(jump.successors(), vec![BlockId::from_raw(3)]);
+
+        let branch = Terminator::Branch {
+            cond: Condition::register_only(BranchSemantics::Const(true)),
+            then_bb: BlockId::from_raw(1),
+            else_bb: BlockId::from_raw(2),
+        };
+        assert_eq!(
+            branch.successors(),
+            vec![BlockId::from_raw(1), BlockId::from_raw(2)]
+        );
+        assert!(Terminator::Return.successors().is_empty());
+    }
+
+    #[test]
+    fn map_successors_rewrites_targets() {
+        let mut t = Terminator::Branch {
+            cond: Condition::register_only(BranchSemantics::Const(false)),
+            then_bb: BlockId::from_raw(1),
+            else_bb: BlockId::from_raw(2),
+        };
+        t.map_successors(|b| BlockId::from_raw(b.index() as u32 + 10));
+        assert_eq!(
+            t.successors(),
+            vec![BlockId::from_raw(11), BlockId::from_raw(12)]
+        );
+    }
+
+    #[test]
+    fn condition_secret_dependence() {
+        let secret_regions = vec![r(5)];
+        let c1 = Condition::new(
+            vec![MemRef::at(r(5), 0)],
+            BranchSemantics::InputBit { bit: 0 },
+        );
+        assert!(c1.is_secret_dependent(&secret_regions));
+
+        let c2 = Condition::new(
+            vec![MemRef::at(r(1), 0)],
+            BranchSemantics::InputBit { bit: 0 },
+        );
+        assert!(!c2.is_secret_dependent(&secret_regions));
+
+        let c3 = Condition::register_only(BranchSemantics::SecretBit { bit: 3 });
+        assert!(c3.is_secret_dependent(&[]));
+
+        let c4 = Condition::new(
+            vec![MemRef::new(r(1), IndexExpr::secret(1))],
+            BranchSemantics::Const(true),
+        );
+        assert!(c4.is_secret_dependent(&[]));
+    }
+
+    #[test]
+    fn condition_reads_memory() {
+        assert!(!Condition::register_only(BranchSemantics::Const(true)).reads_memory());
+        assert!(
+            Condition::new(vec![MemRef::at(r(0), 0)], BranchSemantics::Const(true)).reads_memory()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # spec-ir
+//!
+//! A small imperative intermediate representation used as the substrate for
+//! the speculative cache analysis described in *Abstract Interpretation under
+//! Speculative Execution* (Wu & Wang, PLDI 2019).
+//!
+//! The analysis in that paper consumes only three facts about a program:
+//!
+//! 1. its control-flow structure (basic blocks, conditional branches, loops),
+//! 2. the sequence of memory accesses each block performs, and
+//! 3. which memory locations a branch condition depends on (because that is
+//!    what decides whether a processor speculates across the branch, and for
+//!    how long).
+//!
+//! [`Program`] captures exactly this information.  Programs are built either
+//! with the [`builder::ProgramBuilder`] DSL or parsed from the textual format
+//! implemented in [`text`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use spec_ir::builder::ProgramBuilder;
+//! use spec_ir::{IndexExpr, BranchSemantics};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let table = b.region("table", 256, false);
+//! let key = b.secret_region("key", 8);
+//!
+//! let entry = b.entry_block("entry");
+//! b.load(entry, key, IndexExpr::Const(0));
+//! b.load(entry, table, IndexExpr::secret(1));
+//! b.ret(entry);
+//!
+//! let program = b.finish().expect("valid program");
+//! assert_eq!(program.blocks().len(), 1);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod display;
+pub mod error;
+pub mod ids;
+pub mod inst;
+pub mod loops;
+pub mod memory;
+pub mod program;
+pub mod text;
+pub mod transform;
+
+pub use builder::ProgramBuilder;
+pub use cfg::Cfg;
+pub use error::{IrError, IrResult};
+pub use ids::{BlockId, InstId, RegionId};
+pub use inst::{BranchSemantics, Condition, IndexExpr, Inst, MemRef, Terminator};
+pub use loops::{Loop, LoopForest};
+pub use memory::MemoryRegion;
+pub use program::{BasicBlock, Program};

@@ -1,0 +1,284 @@
+//! Natural-loop detection.
+//!
+//! Loops matter to the analysis in two ways (paper, Section 6.3):
+//!
+//! * loops with a statically known trip count are fully unrolled before the
+//!   analysis for precision (see [`crate::transform::unroll_counted_loops`]);
+//! * remaining loops are handled by join/widening at their headers, and the
+//!   number of fixed-point iterations over them is reported in Table 5/6.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+use crate::inst::{BranchSemantics, Terminator};
+use crate::program::Program;
+
+/// A single natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks belonging to the loop (including the header).
+    pub body: BTreeSet<BlockId>,
+    /// Trip count if the header's branch carries
+    /// [`BranchSemantics::Loop`] semantics.
+    pub trip_count: Option<u64>,
+}
+
+impl Loop {
+    /// Returns `true` if `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.contains(&block)
+    }
+
+    /// Number of blocks in the loop body.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Returns `true` if the body is empty (never the case for detected loops).
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+/// All natural loops of a program.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `program`.
+    ///
+    /// A back edge is an edge `latch -> header` where `header` dominates
+    /// `latch`; the loop body is every block that can reach the latch
+    /// without passing through the header.
+    pub fn find(program: &Program, cfg: &Cfg) -> Self {
+        let mut loops: Vec<Loop> = Vec::new();
+        for block in program.blocks() {
+            if !cfg.is_reachable(block.id) {
+                continue;
+            }
+            for succ in cfg.successors(block.id) {
+                if cfg.dominates(*succ, block.id) {
+                    // back edge block.id -> succ
+                    let header = *succ;
+                    let latch = block.id;
+                    let body = natural_loop_body(cfg, header, latch);
+                    if let Some(existing) =
+                        loops.iter_mut().find(|l| l.header == header)
+                    {
+                        existing.latches.push(latch);
+                        existing.body.extend(body);
+                    } else {
+                        let trip_count = header_trip_count(program, header);
+                        loops.push(Loop {
+                            header,
+                            latches: vec![latch],
+                            body,
+                            trip_count,
+                        });
+                    }
+                }
+            }
+        }
+        loops.sort_by_key(|l| l.header);
+        Self { loops }
+    }
+
+    /// The detected loops, ordered by header id.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Returns `true` if the program has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// The innermost loop containing `block`, if any (smallest body).
+    pub fn innermost_containing(&self, block: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(block))
+            .min_by_key(|l| l.len())
+    }
+
+    /// Returns `true` if `block` is a loop header.
+    pub fn is_header(&self, block: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == block)
+    }
+}
+
+/// Blocks of the natural loop defined by the back edge `latch -> header`.
+fn natural_loop_body(cfg: &Cfg, header: BlockId, latch: BlockId) -> BTreeSet<BlockId> {
+    let mut body = BTreeSet::new();
+    body.insert(header);
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if body.insert(b) {
+            for p in cfg.predecessors(b) {
+                stack.push(*p);
+            }
+        }
+    }
+    body
+}
+
+/// Trip count declared on the header's branch, if any.
+fn header_trip_count(program: &Program, header: BlockId) -> Option<u64> {
+    match &program.block(header).term {
+        Terminator::Branch { cond, .. } => match cond.semantics {
+            BranchSemantics::Loop { trip_count } => Some(trip_count),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BranchSemantics, Condition, IndexExpr};
+
+    fn counted_loop_program(trip: u64) -> (Program, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new("loop");
+        let t = b.region("t", 256, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, trip, body, exit);
+        b.load(body, t, IndexExpr::loop_indexed(64));
+        b.jump(body, header);
+        b.ret(exit);
+        (b.finish().unwrap(), header, body)
+    }
+
+    #[test]
+    fn finds_counted_loop_with_trip_count() {
+        let (p, header, body) = counted_loop_program(30);
+        let cfg = Cfg::new(&p);
+        let forest = LoopForest::find(&p, &cfg);
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches, vec![body]);
+        assert_eq!(l.trip_count, Some(30));
+        assert!(l.contains(header));
+        assert!(l.contains(body));
+        assert_eq!(l.len(), 2);
+        assert!(forest.is_header(header));
+        assert!(!forest.is_header(body));
+    }
+
+    #[test]
+    fn straight_line_program_has_no_loops() {
+        let mut b = ProgramBuilder::new("straight");
+        let entry = b.entry_block("entry");
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        assert!(LoopForest::find(&p, &cfg).is_empty());
+    }
+
+    #[test]
+    fn nested_loops_are_both_found() {
+        let mut b = ProgramBuilder::new("nested");
+        let entry = b.entry_block("entry");
+        let outer_h = b.block("outer_h");
+        let inner_h = b.block("inner_h");
+        let inner_body = b.block("inner_body");
+        let outer_latch = b.block("outer_latch");
+        let exit = b.block("exit");
+        b.jump(entry, outer_h);
+        b.loop_branch(outer_h, 4, inner_h, exit);
+        b.loop_branch(inner_h, 8, inner_body, outer_latch);
+        b.jump(inner_body, inner_h);
+        b.jump(outer_latch, outer_h);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        let forest = LoopForest::find(&p, &cfg);
+        assert_eq!(forest.len(), 2);
+        let inner = forest.innermost_containing(inner_body).unwrap();
+        assert_eq!(inner.header, inner_h);
+        let outer = forest.innermost_containing(outer_latch).unwrap();
+        assert_eq!(outer.header, outer_h);
+        // inner loop is nested in outer: outer contains inner header.
+        let outer_loop = forest
+            .loops()
+            .iter()
+            .find(|l| l.header == outer_h)
+            .unwrap();
+        assert!(outer_loop.contains(inner_h));
+        assert!(outer_loop.contains(inner_body));
+    }
+
+    #[test]
+    fn data_dependent_loop_has_unknown_trip_count() {
+        let mut b = ProgramBuilder::new("while");
+        let flag = b.region("flag", 8, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.branch(
+            header,
+            Condition::new(
+                vec![crate::inst::MemRef::at(flag, 0)],
+                BranchSemantics::InputBit { bit: 0 },
+            ),
+            body,
+            exit,
+        );
+        b.jump(body, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        let forest = LoopForest::find(&p, &cfg);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.loops()[0].trip_count, None);
+    }
+
+    #[test]
+    fn multiple_latches_merge_into_one_loop() {
+        // header -> {a, b}; a -> header; b -> header (continue in two ways)
+        let mut b = ProgramBuilder::new("two-latches");
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let arm_a = b.block("arm_a");
+        let arm_b = b.block("arm_b");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, 5, arm_a, exit);
+        b.branch(
+            arm_a,
+            Condition::register_only(BranchSemantics::Const(true)),
+            header,
+            arm_b,
+        );
+        b.jump(arm_b, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        let forest = LoopForest::find(&p, &cfg);
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches.len(), 2);
+        assert!(l.contains(arm_a) && l.contains(arm_b));
+    }
+}

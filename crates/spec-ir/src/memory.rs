@@ -1,0 +1,87 @@
+//! Named memory regions.
+//!
+//! A [`MemoryRegion`] is the unit of data the cache analysis reasons about:
+//! a contiguous, named chunk of memory (a scalar variable, an array, a
+//! lookup table, an input buffer).  Regions are later split into cache-line
+//! sized *blocks* by `spec-cache`; the IR itself only records the byte size
+//! and whether the region holds secret data.
+
+/// A contiguous, named memory region declared by a [`crate::Program`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemoryRegion {
+    /// Human-readable name (e.g. `"sbox"`, `"decis_levl"`).
+    pub name: String,
+    /// Size of the region in bytes.  Must be non-zero.
+    pub size_bytes: u64,
+    /// Whether the *contents* of this region are secret (a key, a password).
+    ///
+    /// Accesses indexed by secret data are marked on the access itself via
+    /// [`crate::IndexExpr::Secret`]; this flag additionally taints the data
+    /// stored in the region, which the side-channel detector uses to decide
+    /// which branch conditions are secret-dependent.
+    pub secret: bool,
+}
+
+impl MemoryRegion {
+    /// Creates a public (non-secret) region.
+    pub fn new(name: impl Into<String>, size_bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            size_bytes,
+            secret: false,
+        }
+    }
+
+    /// Creates a region whose contents are secret.
+    pub fn secret(name: impl Into<String>, size_bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            size_bytes,
+            secret: true,
+        }
+    }
+
+    /// Number of cache blocks this region spans for the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn block_count(&self, block_size: u64) -> u64 {
+        assert!(block_size > 0, "block size must be non-zero");
+        self.size_bytes.div_ceil(block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_rounds_up() {
+        let r = MemoryRegion::new("a", 65);
+        assert_eq!(r.block_count(64), 2);
+        assert_eq!(r.block_count(1), 65);
+        let exact = MemoryRegion::new("b", 128);
+        assert_eq!(exact.block_count(64), 2);
+    }
+
+    #[test]
+    fn single_byte_region_occupies_one_block() {
+        let r = MemoryRegion::new("p", 1);
+        assert_eq!(r.block_count(64), 1);
+    }
+
+    #[test]
+    fn secret_constructor_sets_flag() {
+        let r = MemoryRegion::secret("key", 16);
+        assert!(r.secret);
+        assert!(!MemoryRegion::new("pub", 16).secret);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be non-zero")]
+    fn zero_block_size_panics() {
+        MemoryRegion::new("a", 64).block_count(0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Programs and basic blocks.
+
+use std::collections::HashSet;
+
+use crate::error::{IrError, IrResult};
+use crate::ids::{BlockId, RegionId};
+use crate::inst::{Inst, MemRef, Terminator};
+use crate::memory::MemoryRegion;
+
+/// A basic block: a straight-line instruction sequence plus one terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BasicBlock {
+    /// Identifier of this block within its program.
+    pub id: BlockId,
+    /// Optional human-readable label.
+    pub name: Option<String>,
+    /// Straight-line instructions executed in order.
+    pub insts: Vec<Inst>,
+    /// Control transfer performed after the instructions.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Memory references made by the block body (not the terminator).
+    pub fn memory_refs(&self) -> impl Iterator<Item = MemRef> + '_ {
+        self.insts.iter().filter_map(Inst::mem_ref)
+    }
+
+    /// Label if present, otherwise the block id rendered as text.
+    pub fn label(&self) -> String {
+        self.name.clone().unwrap_or_else(|| self.id.to_string())
+    }
+}
+
+/// A whole program: memory regions plus a CFG of basic blocks.
+///
+/// Programs are usually created through [`crate::builder::ProgramBuilder`];
+/// direct construction is possible but [`Program::validate`] should be called
+/// before handing the program to an analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Program {
+    name: String,
+    regions: Vec<MemoryRegion>,
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+}
+
+impl Program {
+    /// Assembles a program from parts and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] if the program is structurally invalid (see
+    /// [`Program::validate`]).
+    pub fn new(
+        name: impl Into<String>,
+        regions: Vec<MemoryRegion>,
+        blocks: Vec<BasicBlock>,
+        entry: BlockId,
+    ) -> IrResult<Self> {
+        let p = Self {
+            name: name.into(),
+            regions,
+            blocks,
+            entry,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared memory regions, indexed by [`RegionId`].
+    pub fn regions(&self) -> &[MemoryRegion] {
+        &self.regions
+    }
+
+    /// Basic blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Looks up a region by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn region(&self, id: RegionId) -> &MemoryRegion {
+        &self.regions[id.index()]
+    }
+
+    /// Looks up a region id by name.
+    pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegionId::from_raw(i as u32))
+    }
+
+    /// Ids of all regions whose contents are secret.
+    pub fn secret_regions(&self) -> Vec<RegionId> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.secret)
+            .map(|(i, _)| RegionId::from_raw(i as u32))
+            .collect()
+    }
+
+    /// Total number of straight-line instructions across all blocks.
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of conditional branches in the program.
+    pub fn branch_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count()
+    }
+
+    /// Number of memory-accessing instructions in the program.
+    pub fn memory_access_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.insts.iter().filter(|i| i.accesses_memory()).count())
+            .sum()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::EmptyProgram`] if there are no blocks.
+    /// * [`IrError::UnknownBlock`] if a terminator targets a missing block or
+    ///   the entry id is out of range.
+    /// * [`IrError::UnknownRegion`] if an instruction or condition references
+    ///   a missing region.
+    /// * [`IrError::ZeroSizedRegion`] / [`IrError::DuplicateRegion`] for bad
+    ///   region declarations.
+    pub fn validate(&self) -> IrResult<()> {
+        if self.blocks.is_empty() {
+            return Err(IrError::EmptyProgram);
+        }
+        if self.entry.index() >= self.blocks.len() {
+            return Err(IrError::UnknownBlock(self.entry));
+        }
+        let mut seen = HashSet::new();
+        for region in &self.regions {
+            if region.size_bytes == 0 {
+                return Err(IrError::ZeroSizedRegion(region.name.clone()));
+            }
+            if !seen.insert(region.name.clone()) {
+                return Err(IrError::DuplicateRegion(region.name.clone()));
+            }
+        }
+        let check_ref = |m: &MemRef| -> IrResult<()> {
+            if m.region.index() >= self.regions.len() {
+                Err(IrError::UnknownRegion(m.region))
+            } else {
+                Ok(())
+            }
+        };
+        for (i, block) in self.blocks.iter().enumerate() {
+            debug_assert_eq!(block.id.index(), i, "block ids must be dense and in order");
+            for inst in &block.insts {
+                if let Some(m) = inst.mem_ref() {
+                    check_ref(&m)?;
+                }
+            }
+            for succ in block.term.successors() {
+                if succ.index() >= self.blocks.len() {
+                    return Err(IrError::UnknownBlock(succ));
+                }
+            }
+            if let Some(cond) = block.term.condition() {
+                for m in &cond.depends_on {
+                    check_ref(m)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BranchSemantics, Condition, IndexExpr};
+
+    fn block(id: u32, insts: Vec<Inst>, term: Terminator) -> BasicBlock {
+        BasicBlock {
+            id: BlockId::from_raw(id),
+            name: None,
+            insts,
+            term,
+        }
+    }
+
+    fn simple_program() -> Program {
+        let regions = vec![MemoryRegion::new("a", 64), MemoryRegion::secret("k", 8)];
+        let blocks = vec![
+            block(
+                0,
+                vec![Inst::Load(MemRef::at(RegionId::from_raw(0), 0))],
+                Terminator::Branch {
+                    cond: Condition::new(
+                        vec![MemRef::at(RegionId::from_raw(0), 0)],
+                        BranchSemantics::Const(true),
+                    ),
+                    then_bb: BlockId::from_raw(1),
+                    else_bb: BlockId::from_raw(2),
+                },
+            ),
+            block(
+                1,
+                vec![Inst::Load(MemRef::new(
+                    RegionId::from_raw(1),
+                    IndexExpr::secret(1),
+                ))],
+                Terminator::Jump(BlockId::from_raw(2)),
+            ),
+            block(2, vec![Inst::Compute { latency: 1 }], Terminator::Return),
+        ];
+        Program::new("test", regions, blocks, BlockId::from_raw(0)).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = simple_program();
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.blocks().len(), 3);
+        assert_eq!(p.entry(), BlockId::from_raw(0));
+        assert_eq!(p.instruction_count(), 3);
+        assert_eq!(p.branch_count(), 1);
+        assert_eq!(p.memory_access_count(), 2);
+        assert_eq!(p.secret_regions(), vec![RegionId::from_raw(1)]);
+        assert_eq!(p.region_by_name("a"), Some(RegionId::from_raw(0)));
+        assert_eq!(p.region_by_name("missing"), None);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let err = Program::new("empty", vec![], vec![], BlockId::from_raw(0)).unwrap_err();
+        assert_eq!(err, IrError::EmptyProgram);
+    }
+
+    #[test]
+    fn dangling_block_reference_is_rejected() {
+        let blocks = vec![block(0, vec![], Terminator::Jump(BlockId::from_raw(5)))];
+        let err = Program::new("bad", vec![], blocks, BlockId::from_raw(0)).unwrap_err();
+        assert_eq!(err, IrError::UnknownBlock(BlockId::from_raw(5)));
+    }
+
+    #[test]
+    fn dangling_region_reference_is_rejected() {
+        let blocks = vec![block(
+            0,
+            vec![Inst::Load(MemRef::at(RegionId::from_raw(9), 0))],
+            Terminator::Return,
+        )];
+        let err = Program::new("bad", vec![], blocks, BlockId::from_raw(0)).unwrap_err();
+        assert_eq!(err, IrError::UnknownRegion(RegionId::from_raw(9)));
+    }
+
+    #[test]
+    fn zero_sized_and_duplicate_regions_are_rejected() {
+        let blocks = vec![block(0, vec![], Terminator::Return)];
+        let err = Program::new(
+            "bad",
+            vec![MemoryRegion::new("z", 0)],
+            blocks.clone(),
+            BlockId::from_raw(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, IrError::ZeroSizedRegion("z".into()));
+
+        let err = Program::new(
+            "bad",
+            vec![MemoryRegion::new("a", 8), MemoryRegion::new("a", 8)],
+            blocks,
+            BlockId::from_raw(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, IrError::DuplicateRegion("a".into()));
+    }
+
+    #[test]
+    fn out_of_range_entry_is_rejected() {
+        let blocks = vec![block(0, vec![], Terminator::Return)];
+        let err = Program::new("bad", vec![], blocks, BlockId::from_raw(7)).unwrap_err();
+        assert_eq!(err, IrError::UnknownBlock(BlockId::from_raw(7)));
+    }
+
+    #[test]
+    fn condition_region_references_are_validated() {
+        let blocks = vec![
+            block(
+                0,
+                vec![],
+                Terminator::Branch {
+                    cond: Condition::new(
+                        vec![MemRef::at(RegionId::from_raw(3), 0)],
+                        BranchSemantics::Const(true),
+                    ),
+                    then_bb: BlockId::from_raw(1),
+                    else_bb: BlockId::from_raw(1),
+                },
+            ),
+            block(1, vec![], Terminator::Return),
+        ];
+        let err = Program::new("bad", vec![], blocks, BlockId::from_raw(0)).unwrap_err();
+        assert_eq!(err, IrError::UnknownRegion(RegionId::from_raw(3)));
+    }
+
+    #[test]
+    fn block_label_falls_back_to_id() {
+        let p = simple_program();
+        assert_eq!(p.block(BlockId::from_raw(0)).label(), "bb0");
+        let named = BasicBlock {
+            id: BlockId::from_raw(0),
+            name: Some("entry".into()),
+            insts: vec![],
+            term: Terminator::Return,
+        };
+        assert_eq!(named.label(), "entry");
+    }
+}

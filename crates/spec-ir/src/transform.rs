@@ -1,0 +1,465 @@
+//! Program transformations used before analysis.
+//!
+//! The paper fully unrolls loops whose iteration count is statically known
+//! (Section 6.3: "loops with fixed iteration number will be fully unrolled;
+//! only unresolved loops will be widened").  [`unroll_counted_loops`]
+//! implements that transformation on the IR.
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+use crate::inst::{BranchSemantics, IndexExpr, Inst, MemRef, Terminator};
+use crate::loops::LoopForest;
+use crate::program::{BasicBlock, Program};
+
+/// Options controlling loop unrolling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnrollOptions {
+    /// Unrolling is abandoned for a loop if it would push the program past
+    /// this many straight-line instructions.
+    pub max_program_insts: usize,
+    /// Loops with a trip count above this are not unrolled.
+    pub max_trip_count: u64,
+}
+
+impl Default for UnrollOptions {
+    fn default() -> Self {
+        Self {
+            max_program_insts: 200_000,
+            max_trip_count: 4_096,
+        }
+    }
+}
+
+/// Statistics reported by [`unroll_counted_loops`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnrollReport {
+    /// Number of loops that were fully unrolled.
+    pub unrolled_loops: usize,
+    /// Number of counted loops skipped because of the size budget.
+    pub skipped_loops: usize,
+}
+
+/// Fully unrolls every *innermost* counted loop of `program`, repeatedly,
+/// until no counted loop remains or the size budget is exhausted.
+///
+/// Loop-counter-indexed accesses ([`IndexExpr::LoopIndexed`]) inside the
+/// unrolled body are concretised to constant offsets
+/// `(iteration * stride) % region_size`, which is what makes the preload
+/// loops of the paper's Figure 2 / Figure 10 precise for the must analysis.
+///
+/// Loops whose trip count is unknown (data-dependent `while` loops) are left
+/// untouched; the analysis handles them by join/widening at the header.
+pub fn unroll_counted_loops(program: &Program, options: UnrollOptions) -> (Program, UnrollReport) {
+    let mut current = program.clone();
+    let mut report = UnrollReport::default();
+    // Iterate because unrolling an inner loop may expose the outer loop as
+    // the new innermost counted loop.
+    loop {
+        let cfg = Cfg::new(&current);
+        let forest = LoopForest::find(&current, &cfg);
+        let candidate = forest
+            .loops()
+            .iter()
+            .filter(|l| l.trip_count.is_some())
+            // innermost first: no other loop header strictly inside the body
+            .find(|l| {
+                !forest
+                    .loops()
+                    .iter()
+                    .any(|other| other.header != l.header && l.contains(other.header))
+            })
+            .cloned();
+        let Some(lp) = candidate else { break };
+        let trip = lp.trip_count.expect("filtered on counted loops");
+        let body_insts: usize = lp
+            .body
+            .iter()
+            .map(|b| current.block(*b).insts.len())
+            .sum();
+        let projected = current.instruction_count() + body_insts * trip as usize;
+        if trip > options.max_trip_count || projected > options.max_program_insts {
+            report.skipped_loops += 1;
+            // Mark the loop as uncounted so we do not consider it again.
+            current = clear_trip_count(&current, lp.header);
+            continue;
+        }
+        current = unroll_single_loop(&current, &lp, trip);
+        report.unrolled_loops += 1;
+    }
+    (current, report)
+}
+
+/// Replaces the counted semantics of the branch at `header` with an
+/// input-dependent one, which makes the loop "unresolved" for the unroller
+/// while keeping its CFG structure intact.
+fn clear_trip_count(program: &Program, header: BlockId) -> Program {
+    let blocks = program
+        .blocks()
+        .iter()
+        .map(|b| {
+            let mut b = b.clone();
+            if b.id == header {
+                if let Terminator::Branch { cond, .. } = &mut b.term {
+                    cond.semantics = BranchSemantics::InputBit { bit: 0 };
+                }
+            }
+            b
+        })
+        .collect();
+    Program::new(
+        program.name(),
+        program.regions().to_vec(),
+        blocks,
+        program.entry(),
+    )
+    .expect("clearing a trip count preserves validity")
+}
+
+/// Fully unrolls one counted loop.
+fn unroll_single_loop(program: &Program, lp: &crate::loops::Loop, trip: u64) -> Program {
+    let header = lp.header;
+    let (loop_then, loop_exit) = match &program.block(header).term {
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => (*then_bb, *else_bb),
+        _ => unreachable!("counted loop header must end in a branch"),
+    };
+
+    let old_blocks = program.blocks();
+    let mut new_blocks: Vec<BasicBlock> = Vec::new();
+
+    // Keep every block that is not part of the loop, with its original id.
+    // Loop blocks are re-emitted once per iteration at fresh ids.
+    // Pass 1: copy non-loop blocks verbatim (their ids stay dense because we
+    // copy all of them first, in order, then append iteration copies).
+    let mut id_of_old: Vec<Option<BlockId>> = vec![None; old_blocks.len()];
+    for block in old_blocks {
+        if lp.contains(block.id) {
+            continue;
+        }
+        let new_id = BlockId::from_raw(new_blocks.len() as u32);
+        id_of_old[block.id.index()] = Some(new_id);
+        let mut copy = block.clone();
+        copy.id = new_id;
+        new_blocks.push(copy);
+    }
+
+    // Pass 2: emit `trip` copies of the loop body plus a final header copy.
+    // copy_ids[k][old_block] = new id of that block in iteration k.
+    let loop_blocks: Vec<BlockId> = lp.body.iter().copied().collect();
+    let mut copy_ids: Vec<Vec<BlockId>> = Vec::with_capacity(trip as usize);
+    for _k in 0..trip {
+        let mut ids = Vec::with_capacity(loop_blocks.len());
+        for _ in &loop_blocks {
+            let id = BlockId::from_raw((new_blocks.len() + ids.len()) as u32);
+            ids.push(id);
+        }
+        // Reserve slots (filled below) so ids stay consistent.
+        for (i, old) in loop_blocks.iter().enumerate() {
+            let src = program.block(*old);
+            new_blocks.push(BasicBlock {
+                id: ids[i],
+                name: src.name.as_ref().map(|n| format!("{n}.it{_k}")),
+                insts: Vec::new(),
+                term: Terminator::Return, // placeholder, rewritten below
+            });
+        }
+        copy_ids.push(ids);
+    }
+    // Final header copy: the iteration-count check that fails and exits.
+    let final_header = BlockId::from_raw(new_blocks.len() as u32);
+    new_blocks.push(BasicBlock {
+        id: final_header,
+        name: program
+            .block(header)
+            .name
+            .as_ref()
+            .map(|n| format!("{n}.exit_check")),
+        insts: Vec::new(),
+        term: Terminator::Return, // placeholder
+    });
+
+    let loop_index_of = |b: BlockId| loop_blocks.iter().position(|x| *x == b);
+
+    // Helper to map an old target block id for iteration `k`.
+    let map_target = |old: BlockId, k: u64| -> BlockId {
+        if let Some(li) = loop_index_of(old) {
+            if old == header {
+                // A branch back to the header advances the iteration.
+                if k + 1 < trip {
+                    copy_ids[(k + 1) as usize][li]
+                } else {
+                    final_header
+                }
+            } else {
+                copy_ids[k as usize][li]
+            }
+        } else {
+            id_of_old[old.index()].expect("non-loop block was copied")
+        }
+    };
+
+    // Entry edges into the loop (from outside) go to iteration 0's header,
+    // or to the final check if the trip count is zero.
+    let loop_entry_target = if trip > 0 {
+        copy_ids[0][loop_index_of(header).expect("header is in loop body")]
+    } else {
+        final_header
+    };
+
+    // Rewrite the non-loop blocks' terminators.
+    for block in new_blocks.iter_mut() {
+        if block.insts.is_empty() && matches!(block.term, Terminator::Return) {
+            continue; // placeholder loop copies, handled next
+        }
+        let old_id = old_blocks
+            .iter()
+            .find(|b| id_of_old[b.id.index()] == Some(block.id))
+            .map(|b| b.id);
+        if old_id.is_none() {
+            continue;
+        }
+        block.term.map_successors(|t| {
+            if lp.contains(t) {
+                debug_assert_eq!(t, header, "loops are entered through their header");
+                loop_entry_target
+            } else {
+                id_of_old[t.index()].expect("non-loop block was copied")
+            }
+        });
+    }
+
+    // Fill in the iteration copies.
+    for k in 0..trip {
+        for (li, old_id) in loop_blocks.iter().enumerate() {
+            let src = program.block(*old_id);
+            let new_id = copy_ids[k as usize][li];
+            let insts = src
+                .insts
+                .iter()
+                .map(|inst| concretize_inst(program, inst, k))
+                .collect();
+            let term = if *old_id == header {
+                // Inside the unrolled range the loop condition is known to
+                // continue: replace the branch with a jump into the body.
+                Terminator::Jump(map_target(loop_then, k))
+            } else {
+                let mut t = src.term.clone();
+                t.map_successors(|old| map_target(old, k));
+                t
+            };
+            let slot = &mut new_blocks[new_id.index()];
+            slot.insts = insts;
+            slot.term = term;
+        }
+    }
+    // The final header copy evaluates the (now false) condition and exits.
+    {
+        let src = program.block(header);
+        let insts = src
+            .insts
+            .iter()
+            .map(|inst| concretize_inst(program, inst, trip))
+            .collect();
+        let exit_target = if lp.contains(loop_exit) {
+            // Degenerate loop whose exit is inside the body; keep iteration 0.
+            map_target(loop_exit, 0)
+        } else {
+            id_of_old[loop_exit.index()].expect("exit block was copied")
+        };
+        let slot = &mut new_blocks[final_header.index()];
+        slot.insts = insts;
+        slot.term = Terminator::Jump(exit_target);
+    }
+
+    let entry = if lp.contains(program.entry()) {
+        loop_entry_target
+    } else {
+        id_of_old[program.entry().index()].expect("entry was copied")
+    };
+    Program::new(program.name(), program.regions().to_vec(), new_blocks, entry)
+        .expect("unrolling preserves validity")
+}
+
+/// Concretises loop-indexed accesses for iteration `k`.
+fn concretize_inst(program: &Program, inst: &Inst, k: u64) -> Inst {
+    let fix = |m: MemRef| -> MemRef {
+        match m.index {
+            IndexExpr::LoopIndexed { stride } => {
+                let size = program.region(m.region).size_bytes;
+                MemRef::at(m.region, (k * stride) % size.max(1))
+            }
+            _ => m,
+        }
+    };
+    match inst {
+        Inst::Load(m) => Inst::Load(fix(*m)),
+        Inst::Store(m) => Inst::Store(fix(*m)),
+        other => *other,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BranchSemantics, Condition, IndexExpr};
+
+    fn counted_loop(trip: u64) -> Program {
+        let mut b = ProgramBuilder::new("loop");
+        let t = b.region("t", 64 * 8, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, trip, body, exit);
+        b.load(body, t, IndexExpr::loop_indexed(64));
+        b.jump(body, header);
+        b.ret(exit);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unrolls_counted_loop_and_concretises_indices() {
+        let p = counted_loop(4);
+        let (unrolled, report) = unroll_counted_loops(&p, UnrollOptions::default());
+        assert_eq!(report.unrolled_loops, 1);
+        assert_eq!(report.skipped_loops, 0);
+        // No loops remain.
+        let cfg = Cfg::new(&unrolled);
+        assert!(LoopForest::find(&unrolled, &cfg).is_empty());
+        // Four concrete accesses at offsets 0, 64, 128, 192 exist.
+        let mut offsets: Vec<u64> = unrolled
+            .blocks()
+            .iter()
+            .flat_map(|b| b.memory_refs())
+            .filter_map(|m| match m.index {
+                IndexExpr::Const(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, vec![0, 64, 128, 192]);
+        unrolled.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_trip_loop_unrolls_to_straight_line() {
+        let p = counted_loop(0);
+        let (unrolled, report) = unroll_counted_loops(&p, UnrollOptions::default());
+        assert_eq!(report.unrolled_loops, 1);
+        assert_eq!(unrolled.memory_access_count(), 0);
+        let cfg = Cfg::new(&unrolled);
+        assert!(LoopForest::find(&unrolled, &cfg).is_empty());
+    }
+
+    #[test]
+    fn oversized_loop_is_skipped_but_program_stays_valid() {
+        let p = counted_loop(100);
+        let opts = UnrollOptions {
+            max_trip_count: 10,
+            ..UnrollOptions::default()
+        };
+        let (unrolled, report) = unroll_counted_loops(&p, opts);
+        assert_eq!(report.unrolled_loops, 0);
+        assert_eq!(report.skipped_loops, 1);
+        // The loop is still there, just no longer counted.
+        let cfg = Cfg::new(&unrolled);
+        let forest = LoopForest::find(&unrolled, &cfg);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.loops()[0].trip_count, None);
+        unrolled.validate().unwrap();
+    }
+
+    #[test]
+    fn data_dependent_loops_are_left_alone() {
+        let mut b = ProgramBuilder::new("while");
+        let flag = b.region("flag", 8, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.branch(
+            header,
+            Condition::new(
+                vec![MemRef::at(flag, 0)],
+                BranchSemantics::InputBit { bit: 0 },
+            ),
+            body,
+            exit,
+        );
+        b.jump(body, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let (unrolled, report) = unroll_counted_loops(&p, UnrollOptions::default());
+        assert_eq!(report.unrolled_loops, 0);
+        assert_eq!(report.skipped_loops, 0);
+        assert_eq!(unrolled.blocks().len(), p.blocks().len());
+    }
+
+    #[test]
+    fn nested_counted_loops_unroll_completely() {
+        let mut b = ProgramBuilder::new("nested");
+        let t = b.region("t", 64 * 64, false);
+        let entry = b.entry_block("entry");
+        let outer_h = b.block("outer_h");
+        let inner_h = b.block("inner_h");
+        let inner_body = b.block("inner_body");
+        let outer_latch = b.block("outer_latch");
+        let exit = b.block("exit");
+        b.jump(entry, outer_h);
+        b.loop_branch(outer_h, 3, inner_h, exit);
+        b.loop_branch(inner_h, 2, inner_body, outer_latch);
+        b.load(inner_body, t, IndexExpr::loop_indexed(64));
+        b.jump(inner_body, inner_h);
+        b.jump(outer_latch, outer_h);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let (unrolled, report) = unroll_counted_loops(&p, UnrollOptions::default());
+        assert_eq!(report.unrolled_loops, 2);
+        let cfg = Cfg::new(&unrolled);
+        assert!(LoopForest::find(&unrolled, &cfg).is_empty());
+        // 3 outer iterations × 2 inner iterations = 6 loads.
+        assert_eq!(unrolled.memory_access_count(), 6);
+        unrolled.validate().unwrap();
+    }
+
+    #[test]
+    fn unrolled_program_keeps_other_branches() {
+        // A counted loop whose body contains a data-dependent branch.
+        let mut b = ProgramBuilder::new("loop-with-branch");
+        let t = b.region("t", 64 * 4, false);
+        let p_region = b.region("p", 8, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, 2, body, exit);
+        b.data_branch(
+            body,
+            vec![MemRef::at(p_region, 0)],
+            BranchSemantics::InputBit { bit: 0 },
+            then_bb,
+            else_bb,
+        );
+        b.load(then_bb, t, IndexExpr::Const(0));
+        b.jump(then_bb, latch);
+        b.load(else_bb, t, IndexExpr::Const(64));
+        b.jump(else_bb, latch);
+        b.jump(latch, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let (unrolled, report) = unroll_counted_loops(&p, UnrollOptions::default());
+        assert_eq!(report.unrolled_loops, 1);
+        // The data-dependent branch is duplicated once per iteration.
+        assert_eq!(unrolled.branch_count(), 2);
+        unrolled.validate().unwrap();
+    }
+}

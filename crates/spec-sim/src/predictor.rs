@@ -1,0 +1,143 @@
+//! Branch predictors.
+//!
+//! The paper abstracts over the prediction strategy ("regardless of the
+//! underlying strategies ... the speculatively executed instructions may
+//! leave side-effects"), so the simulator offers several: the interesting
+//! property for validation is that the abstract analysis must be sound for
+//! *every* predictor, including an adversarial one that always mispredicts.
+
+use std::collections::HashMap;
+
+use spec_ir::BlockId;
+
+/// Strategy used to instantiate a predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Predict every branch taken.
+    AlwaysTaken,
+    /// Predict every branch not taken.
+    AlwaysNotTaken,
+    /// Classic two-bit saturating counter per branch site.
+    #[default]
+    TwoBit,
+    /// Adversarial: always predict the opposite of the actual outcome,
+    /// maximising wrong-path pollution.  Used for soundness stress tests.
+    AlwaysWrong,
+    /// Oracle: always predict correctly (no speculation pollution).
+    AlwaysRight,
+}
+
+/// A (stateful) branch predictor.
+pub trait BranchPredictor {
+    /// Predicts the outcome of the branch at `site` (true = taken).
+    fn predict(&mut self, site: BlockId, actual: bool) -> bool;
+
+    /// Informs the predictor of the actual outcome.
+    fn update(&mut self, site: BlockId, actual: bool);
+}
+
+/// Predictor dispatching on [`PredictorKind`].
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    kind: PredictorKind,
+    /// Two-bit saturating counters, indexed by branch site.
+    counters: HashMap<BlockId, u8>,
+}
+
+impl Predictor {
+    /// Creates a predictor of the given kind.
+    pub fn new(kind: PredictorKind) -> Self {
+        Self {
+            kind,
+            counters: HashMap::new(),
+        }
+    }
+
+    /// The strategy in use.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+}
+
+impl BranchPredictor for Predictor {
+    fn predict(&mut self, site: BlockId, actual: bool) -> bool {
+        match self.kind {
+            PredictorKind::AlwaysTaken => true,
+            PredictorKind::AlwaysNotTaken => false,
+            PredictorKind::AlwaysWrong => !actual,
+            PredictorKind::AlwaysRight => actual,
+            PredictorKind::TwoBit => {
+                // Counters start weakly taken (2); >= 2 predicts taken.
+                let counter = self.counters.get(&site).copied().unwrap_or(2);
+                counter >= 2
+            }
+        }
+    }
+
+    fn update(&mut self, site: BlockId, actual: bool) {
+        if self.kind != PredictorKind::TwoBit {
+            return;
+        }
+        let counter = self.counters.entry(site).or_insert(2);
+        if actual {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u32) -> BlockId {
+        BlockId::from_raw(i)
+    }
+
+    #[test]
+    fn static_predictors() {
+        let mut taken = Predictor::new(PredictorKind::AlwaysTaken);
+        let mut not_taken = Predictor::new(PredictorKind::AlwaysNotTaken);
+        assert!(taken.predict(site(0), false));
+        assert!(!not_taken.predict(site(0), true));
+    }
+
+    #[test]
+    fn adversarial_and_oracle_predictors() {
+        let mut wrong = Predictor::new(PredictorKind::AlwaysWrong);
+        let mut right = Predictor::new(PredictorKind::AlwaysRight);
+        for actual in [true, false] {
+            assert_eq!(wrong.predict(site(1), actual), !actual);
+            assert_eq!(right.predict(site(1), actual), actual);
+        }
+    }
+
+    #[test]
+    fn two_bit_counter_learns_a_biased_branch() {
+        let mut p = Predictor::new(PredictorKind::TwoBit);
+        // Train towards not-taken.
+        for _ in 0..4 {
+            let _ = p.predict(site(2), false);
+            p.update(site(2), false);
+        }
+        assert!(!p.predict(site(2), false), "learned not-taken");
+        // A single taken outcome does not flip a saturated counter.
+        p.update(site(2), true);
+        assert!(!p.predict(site(2), true));
+        // Two more taken outcomes do.
+        p.update(site(2), true);
+        p.update(site(2), true);
+        assert!(p.predict(site(2), true));
+    }
+
+    #[test]
+    fn counters_are_per_site() {
+        let mut p = Predictor::new(PredictorKind::TwoBit);
+        for _ in 0..3 {
+            p.update(site(1), false);
+        }
+        assert!(!p.predict(site(1), false));
+        assert!(p.predict(site(9), true), "untrained site starts weakly taken");
+    }
+}

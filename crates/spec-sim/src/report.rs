@@ -1,0 +1,113 @@
+//! Simulation reports: per-access events and aggregate statistics.
+
+use spec_cache::MemBlock;
+use spec_ir::BlockId;
+
+/// One memory access observed during simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Basic block containing the access.
+    pub block: BlockId,
+    /// Position within the block's instruction list.
+    pub inst_index: usize,
+    /// The concrete cache block touched.
+    pub mem_block: MemBlock,
+    /// `true` if the access hit in the cache.
+    pub hit: bool,
+    /// `true` if the access was performed on a wrong (later squashed) path.
+    pub speculative: bool,
+}
+
+/// Aggregate result of one simulated execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Cache hits on the committed (architectural) path.
+    pub observable_hits: u64,
+    /// Cache misses on the committed path.
+    pub observable_misses: u64,
+    /// Cache hits during squashed speculative execution.
+    pub speculative_hits: u64,
+    /// Cache misses during squashed speculative execution (these still
+    /// change the cache contents).
+    pub speculative_misses: u64,
+    /// Number of branch mispredictions (and therefore rollbacks).
+    pub mispredictions: u64,
+    /// Number of committed instructions.
+    pub committed_instructions: u64,
+    /// Number of squashed (speculatively executed) instructions.
+    pub squashed_instructions: u64,
+    /// Estimated execution time in cycles.
+    pub cycles: u64,
+    /// Every access in execution order.
+    pub events: Vec<AccessEvent>,
+}
+
+impl SimReport {
+    /// Total committed accesses.
+    pub fn observable_accesses(&self) -> u64 {
+        self.observable_hits + self.observable_misses
+    }
+
+    /// Misses visible to an external observer (committed-path misses).
+    ///
+    /// This is the quantity whose dependence on secrets constitutes a
+    /// timing side channel.
+    pub fn observable_miss_count(&self) -> u64 {
+        self.observable_misses
+    }
+
+    /// Events restricted to the committed path.
+    pub fn committed_events(&self) -> impl Iterator<Item = &AccessEvent> {
+        self.events.iter().filter(|e| !e.speculative)
+    }
+
+    /// Events on squashed speculative paths.
+    pub fn speculative_events(&self) -> impl Iterator<Item = &AccessEvent> {
+        self.events.iter().filter(|e| e.speculative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::RegionId;
+
+    #[test]
+    fn aggregates_are_consistent_with_events() {
+        let block = BlockId::from_raw(0);
+        let mem_block = MemBlock::new(RegionId::from_raw(0), 0);
+        let report = SimReport {
+            observable_hits: 1,
+            observable_misses: 1,
+            speculative_misses: 1,
+            events: vec![
+                AccessEvent {
+                    block,
+                    inst_index: 0,
+                    mem_block,
+                    hit: false,
+                    speculative: false,
+                },
+                AccessEvent {
+                    block,
+                    inst_index: 1,
+                    mem_block,
+                    hit: true,
+                    speculative: false,
+                },
+                AccessEvent {
+                    block,
+                    inst_index: 0,
+                    mem_block,
+                    hit: false,
+                    speculative: true,
+                },
+            ],
+            ..SimReport::default()
+        };
+        assert_eq!(report.observable_accesses(), 2);
+        assert_eq!(report.committed_events().count(), 2);
+        assert_eq!(report.speculative_events().count(), 1);
+        assert_eq!(report.observable_miss_count(), 1);
+    }
+}

@@ -1,0 +1,600 @@
+//! The speculative-execution simulator.
+
+use std::collections::HashMap;
+
+use spec_cache::{AddressMap, CacheConfig, ConcreteCache};
+use spec_ir::{
+    BlockId, BranchSemantics, Condition, IndexExpr, Inst, MemRef, Program, Terminator,
+};
+
+use crate::input::SimInput;
+use crate::predictor::{BranchPredictor, Predictor, PredictorKind};
+use crate::report::{AccessEvent, SimReport};
+
+/// Speculation parameters of the simulated processor.
+///
+/// Wrong-path execution continues until the mispredicted branch resolves:
+/// the budget is expressed in *cycles* (a condition operand served from the
+/// L1 cache resolves quickly; one fetched from memory leaves a long window),
+/// and every wrong-path instruction consumes its own latency from that
+/// budget.  This mirrors the pipelined traces of the paper's Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimSpeculation {
+    /// Cycles to resolve a branch whose condition operands were cache hits.
+    pub resolve_cycles_on_hit: u32,
+    /// Cycles to resolve a branch whose condition operands missed.
+    pub resolve_cycles_on_miss: u32,
+    /// Branch prediction strategy.
+    pub predictor: PredictorKind,
+}
+
+impl Default for SimSpeculation {
+    fn default() -> Self {
+        Self {
+            resolve_cycles_on_hit: 5,
+            resolve_cycles_on_miss: 100,
+            predictor: PredictorKind::TwoBit,
+        }
+    }
+}
+
+/// Configuration of the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Data-cache geometry.
+    pub cache: CacheConfig,
+    /// Speculative execution; `None` models an in-order machine that stalls
+    /// on every unresolved branch.
+    pub speculation: Option<SimSpeculation>,
+    /// Extra cycles charged for a cache miss.
+    pub miss_penalty: u64,
+    /// Extra cycles charged for a branch misprediction (pipeline flush).
+    pub misprediction_penalty: u64,
+    /// Safety valve on the number of committed instructions.
+    pub max_instructions: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::paper_default(),
+            speculation: Some(SimSpeculation::default()),
+            miss_penalty: 100,
+            misprediction_penalty: 20,
+            max_instructions: 2_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A non-speculative (stalling) machine with the same cache.
+    pub fn non_speculative() -> Self {
+        Self {
+            speculation: None,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the cache geometry.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the predictor strategy (enabling speculation if disabled).
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        let mut speculation = self.speculation.unwrap_or_default();
+        speculation.predictor = predictor;
+        self.speculation = Some(speculation);
+        self
+    }
+
+    /// Replaces the branch-resolution latencies (enabling speculation if
+    /// disabled).
+    pub fn with_resolve_cycles(mut self, on_hit: u32, on_miss: u32) -> Self {
+        let mut speculation = self.speculation.unwrap_or_default();
+        speculation.resolve_cycles_on_hit = on_hit;
+        speculation.resolve_cycles_on_miss = on_miss;
+        self.speculation = Some(speculation);
+        self
+    }
+}
+
+/// Architectural register state that is checkpointed before speculation and
+/// restored on rollback.
+#[derive(Clone, Debug, Default)]
+struct ArchState {
+    /// Executions of each block so far (drives loop-indexed addressing).
+    block_counts: HashMap<BlockId, u64>,
+    /// Evaluations of each counted-loop branch so far.
+    loop_counts: HashMap<BlockId, u64>,
+}
+
+/// The concrete speculative-execution simulator.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine configuration.
+    pub fn new(config: SimConfig) -> Self {
+        config.cache.assert_valid();
+        Self { config }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Executes `program` on `input` and reports cache and timing behaviour.
+    pub fn run(&self, program: &Program, input: &SimInput) -> SimReport {
+        let amap = AddressMap::new(program, &self.config.cache);
+        let mut cache = ConcreteCache::new(self.config.cache);
+        let mut predictor = Predictor::new(
+            self.config
+                .speculation
+                .map(|s| s.predictor)
+                .unwrap_or(PredictorKind::AlwaysRight),
+        );
+        let mut arch = ArchState::default();
+        let mut report = SimReport::default();
+        // Most recent access outcome per cache line (true = hit), used to
+        // decide how long a dependent branch takes to resolve.
+        let mut last_outcome: HashMap<u64, bool> = HashMap::new();
+
+        let mut current = Some(program.entry());
+        while let Some(block_id) = current {
+            if report.committed_instructions >= self.config.max_instructions {
+                break;
+            }
+            let block_iteration = *arch.block_counts.entry(block_id).or_insert(0);
+            arch.block_counts.insert(block_id, block_iteration + 1);
+            let block = program.block(block_id);
+
+            for (inst_index, inst) in block.insts.iter().enumerate() {
+                report.committed_instructions += 1;
+                self.execute_inst(
+                    program,
+                    &amap,
+                    &mut cache,
+                    input,
+                    block_id,
+                    block_iteration,
+                    inst_index,
+                    inst,
+                    false,
+                    &mut report,
+                    &mut last_outcome,
+                );
+            }
+
+            current = match &block.term {
+                Terminator::Return => None,
+                Terminator::Jump(next) => Some(*next),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let actual = self.evaluate_condition(cond, input, block_id, &mut arch);
+                    if let Some(speculation) = self.config.speculation {
+                        if cond.reads_memory() {
+                            // The branch resolves quickly if its operands'
+                            // most recent accesses were hits; a recent miss
+                            // means the value is still in flight.
+                            let operands_hit = cond.depends_on.iter().all(|m| {
+                                let block =
+                                    resolve_block(&amap, m, input, block_iteration, program);
+                                last_outcome
+                                    .get(&amap.global_line(block))
+                                    .copied()
+                                    .unwrap_or(false)
+                            });
+                            let window = if operands_hit {
+                                speculation.resolve_cycles_on_hit
+                            } else {
+                                speculation.resolve_cycles_on_miss
+                            };
+                            let predicted = predictor.predict(block_id, actual);
+                            predictor.update(block_id, actual);
+                            if predicted != actual && window > 0 {
+                                report.mispredictions += 1;
+                                report.cycles += self.config.misprediction_penalty;
+                                let wrong_target = if predicted { *then_bb } else { *else_bb };
+                                self.run_wrong_path(
+                                    program,
+                                    &amap,
+                                    &mut cache,
+                                    input,
+                                    &arch,
+                                    wrong_target,
+                                    u64::from(window),
+                                    &mut report,
+                                    &mut last_outcome,
+                                );
+                            }
+                        }
+                    }
+                    Some(if actual { *then_bb } else { *else_bb })
+                }
+            };
+        }
+        report
+    }
+
+    /// Executes the mispredicted path until the branch resolves (a budget of
+    /// `resolve_cycles`), with a *copy* of the architectural state; only the
+    /// cache (and the report's speculative counters) keep the effects.
+    #[allow(clippy::too_many_arguments)]
+    fn run_wrong_path(
+        &self,
+        program: &Program,
+        amap: &AddressMap,
+        cache: &mut ConcreteCache,
+        input: &SimInput,
+        arch: &ArchState,
+        start: BlockId,
+        resolve_cycles: u64,
+        report: &mut SimReport,
+        last_outcome: &mut HashMap<u64, bool>,
+    ) {
+        let mut ghost = arch.clone();
+        let mut spent: u64 = 0;
+        let mut current = Some(start);
+        while let Some(block_id) = current {
+            if spent >= resolve_cycles {
+                break;
+            }
+            let block_iteration = *ghost.block_counts.entry(block_id).or_insert(0);
+            ghost.block_counts.insert(block_id, block_iteration + 1);
+            let block = program.block(block_id);
+            for (inst_index, inst) in block.insts.iter().enumerate() {
+                if spent >= resolve_cycles {
+                    break;
+                }
+                report.squashed_instructions += 1;
+                spent += self.execute_inst(
+                    program,
+                    amap,
+                    cache,
+                    input,
+                    block_id,
+                    block_iteration,
+                    inst_index,
+                    inst,
+                    true,
+                    report,
+                    last_outcome,
+                );
+            }
+            if spent >= resolve_cycles {
+                break;
+            }
+            current = match &block.term {
+                Terminator::Return => None,
+                Terminator::Jump(next) => Some(*next),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    // Nested speculation is not modelled: the wrong path
+                    // follows the architectural outcome of inner branches.
+                    let outcome = self.evaluate_condition(cond, input, block_id, &mut ghost);
+                    Some(if outcome { *then_bb } else { *else_bb })
+                }
+            };
+        }
+        // `ghost` is dropped here: the architectural state rolls back, the
+        // cache does not.
+    }
+
+    /// Executes one instruction, updating the cache and the report, and
+    /// returns the number of cycles it consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_inst(
+        &self,
+        program: &Program,
+        amap: &AddressMap,
+        cache: &mut ConcreteCache,
+        input: &SimInput,
+        block: BlockId,
+        block_iteration: u64,
+        inst_index: usize,
+        inst: &Inst,
+        speculative: bool,
+        report: &mut SimReport,
+        last_outcome: &mut HashMap<u64, bool>,
+    ) -> u64 {
+        match inst {
+            Inst::Load(m) | Inst::Store(m) => {
+                let mem_block = resolve_block(amap, m, input, block_iteration, program);
+                let line = amap.global_line(mem_block);
+                let outcome = cache.access(line);
+                let hit = outcome.is_hit();
+                last_outcome.insert(line, hit);
+                let cost = if hit { 1 } else { 1 + self.config.miss_penalty };
+                if speculative {
+                    if hit {
+                        report.speculative_hits += 1;
+                    } else {
+                        report.speculative_misses += 1;
+                    }
+                } else {
+                    report.cycles += cost;
+                    if hit {
+                        report.observable_hits += 1;
+                    } else {
+                        report.observable_misses += 1;
+                    }
+                }
+                report.events.push(AccessEvent {
+                    block,
+                    inst_index,
+                    mem_block,
+                    hit,
+                    speculative,
+                });
+                cost
+            }
+            Inst::Compute { latency } => {
+                if !speculative {
+                    report.cycles += u64::from(*latency);
+                }
+                u64::from(*latency)
+            }
+            Inst::Nop => {
+                if !speculative {
+                    report.cycles += 1;
+                }
+                1
+            }
+        }
+    }
+
+    /// Evaluates a branch condition's concrete outcome.
+    fn evaluate_condition(
+        &self,
+        cond: &Condition,
+        input: &SimInput,
+        site: BlockId,
+        arch: &mut ArchState,
+    ) -> bool {
+        match cond.semantics {
+            BranchSemantics::Const(v) => v,
+            BranchSemantics::InputBit { bit } => (input.input_value >> bit) & 1 == 1,
+            BranchSemantics::SecretBit { bit } => (input.secret_value >> bit) & 1 == 1,
+            BranchSemantics::Loop { trip_count } => {
+                let count = arch.loop_counts.entry(site).or_insert(0);
+                let stay = *count < trip_count;
+                *count += 1;
+                stay
+            }
+        }
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new(SimConfig::default())
+    }
+}
+
+/// Resolves a memory reference to the concrete cache block it touches.
+fn resolve_block(
+    amap: &AddressMap,
+    m: &MemRef,
+    input: &SimInput,
+    block_iteration: u64,
+    program: &Program,
+) -> spec_cache::MemBlock {
+    let size = program.region(m.region).size_bytes.max(1);
+    let offset = match m.index {
+        IndexExpr::Const(o) => o % size,
+        IndexExpr::LoopIndexed { stride } => (block_iteration * stride) % size,
+        IndexExpr::Input { stride } => (input.input_value * stride) % size,
+        IndexExpr::Secret { stride } => (input.secret_value * stride) % size,
+    };
+    amap.block_of_offset(m.region, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_cache::CacheConfig;
+    use spec_ir::builder::ProgramBuilder;
+
+    /// The Figure 2 program at full scale: 510 placeholder lines, `l1`/`l2`,
+    /// the branch over `p`, and the final `ph[k]` access.
+    fn figure2(ph_lines: u64) -> Program {
+        let mut b = ProgramBuilder::new("figure2");
+        let ph = b.region("ph", ph_lines * 64, false);
+        let l1 = b.region("l1", 64, false);
+        let l2 = b.region("l2", 64, false);
+        let p = b.region("p", 8, false);
+        let entry = b.entry_block("entry");
+        let preload_h = b.block("preload_h");
+        let preload_b = b.block("preload_b");
+        let branch_bb = b.block("branch");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let done = b.block("done");
+        b.jump(entry, preload_h);
+        b.loop_branch(preload_h, ph_lines, preload_b, branch_bb);
+        b.load(preload_b, ph, IndexExpr::loop_indexed(64));
+        b.jump(preload_b, preload_h);
+        b.load(branch_bb, p, IndexExpr::Const(0));
+        b.data_branch(
+            branch_bb,
+            vec![MemRef::at(p, 0)],
+            BranchSemantics::InputBit { bit: 0 },
+            then_bb,
+            else_bb,
+        );
+        b.load(then_bb, l1, IndexExpr::Const(0));
+        b.jump(then_bb, done);
+        b.load(else_bb, l2, IndexExpr::Const(0));
+        b.jump(else_bb, done);
+        b.load(done, ph, IndexExpr::secret(64));
+        b.ret(done);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut b = ProgramBuilder::new("two-loads");
+        let t = b.region("t", 64, false);
+        let e = b.entry_block("entry");
+        b.load(e, t, IndexExpr::Const(0));
+        b.load(e, t, IndexExpr::Const(0));
+        b.ret(e);
+        let p = b.finish().unwrap();
+        let report = Simulator::default().run(&p, &SimInput::default());
+        assert_eq!(report.observable_misses, 1);
+        assert_eq!(report.observable_hits, 1);
+        assert_eq!(report.committed_instructions, 2);
+        assert_eq!(report.mispredictions, 0);
+    }
+
+    #[test]
+    fn figure2_without_speculation_has_one_hit_at_the_end() {
+        // Non-speculative execution: 512 misses (510 ph + p + l) and the
+        // final ph[k] access hits (Figure 3, left).
+        let program = figure2(510);
+        let config = SimConfig::non_speculative();
+        let report = Simulator::new(config).run(&program, &SimInput::new(1, 0));
+        assert_eq!(report.observable_misses, 512);
+        assert_eq!(report.observable_hits, 1);
+        assert_eq!(report.speculative_misses, 0);
+    }
+
+    #[test]
+    fn figure2_with_misprediction_turns_the_hit_into_a_miss() {
+        // A mispredicted branch loads the other l-array too, evicting the
+        // ph line that the final access needs (Figure 3, right): 513
+        // observable misses plus one speculative miss.
+        let program = figure2(510);
+        let config = SimConfig::default().with_predictor(PredictorKind::AlwaysWrong);
+        let report = Simulator::new(config).run(&program, &SimInput::new(1, 0));
+        assert_eq!(report.mispredictions, 1);
+        assert_eq!(report.speculative_misses, 1);
+        assert_eq!(report.observable_misses, 513);
+        assert_eq!(report.observable_hits, 0);
+    }
+
+    #[test]
+    fn correct_prediction_leaves_the_cache_unpolluted() {
+        let program = figure2(510);
+        let config = SimConfig::default().with_predictor(PredictorKind::AlwaysRight);
+        let report = Simulator::new(config).run(&program, &SimInput::new(1, 0));
+        assert_eq!(report.mispredictions, 0);
+        assert_eq!(report.observable_hits, 1);
+        assert_eq!(report.observable_misses, 512);
+    }
+
+    #[test]
+    fn speculation_window_limits_wrong_path_length() {
+        let program = figure2(510);
+        // A resolution latency of zero disables wrong-path execution even
+        // when the predictor is adversarial.
+        let config = SimConfig::default()
+            .with_predictor(PredictorKind::AlwaysWrong)
+            .with_resolve_cycles(0, 0);
+        let report = Simulator::new(config).run(&program, &SimInput::new(1, 0));
+        assert_eq!(report.squashed_instructions, 0);
+        assert_eq!(report.observable_hits, 1);
+    }
+
+    #[test]
+    fn misses_dominate_the_cycle_count() {
+        let mut b = ProgramBuilder::new("latency");
+        let t = b.region("t", 2 * 64, false);
+        let e = b.entry_block("entry");
+        b.load(e, t, IndexExpr::Const(0));
+        b.load(e, t, IndexExpr::Const(64));
+        b.load(e, t, IndexExpr::Const(0));
+        b.compute(e, 7);
+        b.ret(e);
+        let p = b.finish().unwrap();
+        let report = Simulator::default().run(&p, &SimInput::default());
+        // 2 misses * (1 + 100) + 1 hit * 1 + compute 7 = 210.
+        assert_eq!(report.cycles, 2 * 101 + 1 + 7);
+    }
+
+    #[test]
+    fn secret_indexed_access_varies_with_the_secret() {
+        let mut b = ProgramBuilder::new("secret-index");
+        let sbox = b.region("sbox", 4 * 64, false);
+        let e = b.entry_block("entry");
+        b.load(e, sbox, IndexExpr::Const(0));
+        b.load(e, sbox, IndexExpr::secret(64));
+        b.ret(e);
+        let p = b.finish().unwrap();
+        let sim = Simulator::default();
+        let hit = sim.run(&p, &SimInput::with_secret(0));
+        let miss = sim.run(&p, &SimInput::with_secret(1));
+        assert_eq!(hit.observable_misses, 1, "secret 0 re-touches the cached line");
+        assert_eq!(miss.observable_misses, 2, "secret 1 touches a cold line");
+        assert_ne!(hit.cycles, miss.cycles, "timing depends on the secret");
+    }
+
+    #[test]
+    fn loop_indexed_accesses_walk_the_region() {
+        let mut b = ProgramBuilder::new("walker");
+        let t = b.region("t", 4 * 64, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, 4, body, exit);
+        b.load(body, t, IndexExpr::loop_indexed(64));
+        b.jump(body, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let report = Simulator::default().run(&p, &SimInput::default());
+        assert_eq!(report.observable_misses, 4, "each iteration touches a new line");
+        let touched: std::collections::HashSet<u64> = report
+            .events
+            .iter()
+            .map(|e| e.mem_block.block_index)
+            .collect();
+        assert_eq!(touched.len(), 4);
+    }
+
+    #[test]
+    fn runaway_programs_are_stopped_by_the_instruction_budget() {
+        let mut b = ProgramBuilder::new("spin");
+        let t = b.region("t", 64, false);
+        let e = b.entry_block("entry");
+        let spin = b.block("spin");
+        b.jump(e, spin);
+        b.load(spin, t, IndexExpr::Const(0));
+        b.jump(spin, spin);
+        let p = b.finish().unwrap();
+        let config = SimConfig {
+            max_instructions: 1_000,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(config).run(&p, &SimInput::default());
+        assert!(report.committed_instructions <= 1_001);
+    }
+
+    #[test]
+    fn small_cache_conflicts_are_respected() {
+        let mut b = ProgramBuilder::new("conflict");
+        let t = b.region("t", 3 * 64, false);
+        let e = b.entry_block("entry");
+        b.load(e, t, IndexExpr::Const(0));
+        b.load(e, t, IndexExpr::Const(64));
+        b.load(e, t, IndexExpr::Const(128));
+        b.load(e, t, IndexExpr::Const(0));
+        b.ret(e);
+        let p = b.finish().unwrap();
+        let config = SimConfig::default().with_cache(CacheConfig::fully_associative(2, 64));
+        let report = Simulator::new(config).run(&p, &SimInput::default());
+        assert_eq!(report.observable_misses, 4, "t[0] was evicted before its reuse");
+    }
+}

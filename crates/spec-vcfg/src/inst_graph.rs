@@ -1,0 +1,375 @@
+//! Instruction-granularity control-flow graph.
+//!
+//! Speculation depth is counted in instructions, and rollback can happen
+//! after any speculatively executed instruction, so the speculative analysis
+//! works at instruction rather than basic-block granularity.  [`InstGraph`]
+//! gives every instruction and every block terminator its own node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use spec_ir::{BlockId, Condition, Inst, MemRef, Program, Terminator};
+
+/// Identifier of a node in an [`InstGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a graph node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The `index`-th straight-line instruction of `block`.
+    Inst {
+        /// Owning basic block.
+        block: BlockId,
+        /// Position within the block's instruction list.
+        index: usize,
+    },
+    /// The terminator of `block` (where a branch condition is evaluated).
+    Terminator {
+        /// Owning basic block.
+        block: BlockId,
+    },
+}
+
+impl NodeKind {
+    /// The owning basic block.
+    pub fn block(&self) -> BlockId {
+        match self {
+            NodeKind::Inst { block, .. } | NodeKind::Terminator { block } => *block,
+        }
+    }
+}
+
+/// Instruction-level CFG of a program.
+#[derive(Clone, Debug)]
+pub struct InstGraph {
+    kinds: Vec<NodeKind>,
+    successors: Vec<Vec<NodeId>>,
+    predecessors: Vec<Vec<NodeId>>,
+    entry: NodeId,
+    first_node_of_block: HashMap<BlockId, NodeId>,
+}
+
+impl InstGraph {
+    /// Flattens `program` into an instruction-level graph.
+    pub fn new(program: &Program) -> Self {
+        let mut kinds = Vec::new();
+        let mut first_node_of_block = HashMap::new();
+        // First pass: allocate nodes per block (instructions then terminator).
+        let mut block_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(program.blocks().len());
+        for block in program.blocks() {
+            let mut nodes = Vec::with_capacity(block.insts.len() + 1);
+            for index in 0..block.insts.len() {
+                let id = NodeId(kinds.len() as u32);
+                kinds.push(NodeKind::Inst {
+                    block: block.id,
+                    index,
+                });
+                nodes.push(id);
+            }
+            let term_id = NodeId(kinds.len() as u32);
+            kinds.push(NodeKind::Terminator { block: block.id });
+            nodes.push(term_id);
+            first_node_of_block.insert(block.id, nodes[0]);
+            block_nodes.push(nodes);
+        }
+        // Second pass: edges.
+        let mut successors = vec![Vec::new(); kinds.len()];
+        for block in program.blocks() {
+            let nodes = &block_nodes[block.id.index()];
+            for pair in nodes.windows(2) {
+                successors[pair[0].index()].push(pair[1]);
+            }
+            let term = *nodes.last().expect("every block has a terminator node");
+            for succ_block in block.term.successors() {
+                let target = first_node_of_block[&succ_block];
+                successors[term.index()].push(target);
+            }
+        }
+        let mut predecessors = vec![Vec::new(); kinds.len()];
+        for (from, succs) in successors.iter().enumerate() {
+            for to in succs {
+                predecessors[to.index()].push(NodeId(from as u32));
+            }
+        }
+        let entry = first_node_of_block[&program.entry()];
+        Self {
+            kinds,
+            successors,
+            predecessors,
+            entry,
+            first_node_of_block,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Returns `true` if the graph has no nodes (never the case for a valid program).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The entry node (first instruction of the entry block).
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Successor nodes.
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.successors[node.index()]
+    }
+
+    /// Predecessor nodes.
+    pub fn predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.predecessors[node.index()]
+    }
+
+    /// First node (first instruction or the terminator for empty blocks) of `block`.
+    pub fn first_node_of_block(&self, block: BlockId) -> NodeId {
+        self.first_node_of_block[&block]
+    }
+
+    /// All node ids in order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// The instruction at `node`, if it is an instruction node.
+    pub fn instruction<'p>(&self, program: &'p Program, node: NodeId) -> Option<&'p Inst> {
+        match self.kind(node) {
+            NodeKind::Inst { block, index } => Some(&program.block(block).insts[index]),
+            NodeKind::Terminator { .. } => None,
+        }
+    }
+
+    /// The memory reference accessed at `node`, if any.
+    pub fn memory_ref(&self, program: &Program, node: NodeId) -> Option<MemRef> {
+        self.instruction(program, node).and_then(Inst::mem_ref)
+    }
+
+    /// The branch condition evaluated at `node`, if it is a conditional
+    /// branch terminator.
+    pub fn branch_condition<'p>(&self, program: &'p Program, node: NodeId) -> Option<&'p Condition> {
+        match self.kind(node) {
+            NodeKind::Terminator { block } => program.block(block).term.condition(),
+            NodeKind::Inst { .. } => None,
+        }
+    }
+
+    /// The branch targets `(then, else)` if `node` is a conditional branch terminator.
+    pub fn branch_targets(&self, program: &Program, node: NodeId) -> Option<(BlockId, BlockId)> {
+        match self.kind(node) {
+            NodeKind::Terminator { block } => match &program.block(block).term {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => Some((*then_bb, *else_bb)),
+                _ => None,
+            },
+            NodeKind::Inst { .. } => None,
+        }
+    }
+
+    /// Breadth-first instruction distances from `start`, following forward
+    /// edges, up to `max_distance` instructions.  The start node has
+    /// distance 1 ("one speculatively executed instruction"); terminator
+    /// nodes are free (they do not consume speculation budget).
+    pub fn distances_within(
+        &self,
+        start: NodeId,
+        max_distance: u32,
+    ) -> HashMap<NodeId, u32> {
+        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        let start_cost = match self.kind(start) {
+            NodeKind::Inst { .. } => 1,
+            NodeKind::Terminator { .. } => 0,
+        };
+        if start_cost > max_distance {
+            return dist;
+        }
+        dist.insert(start, start_cost);
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            let d = dist[&node];
+            for &succ in self.successors(node) {
+                let cost = match self.kind(succ) {
+                    NodeKind::Inst { .. } => 1,
+                    NodeKind::Terminator { .. } => 0,
+                };
+                let nd = d + cost;
+                if nd > max_distance {
+                    continue;
+                }
+                let better = dist.get(&succ).is_none_or(|existing| nd < *existing);
+                if better {
+                    dist.insert(succ, nd);
+                    queue.push_back(succ);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::builder::ProgramBuilder;
+    use spec_ir::{BranchSemantics, IndexExpr};
+
+    fn branchy_program() -> (Program, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new("branchy");
+        let t = b.region("t", 256, false);
+        let p = b.region("p", 8, false);
+        let entry = b.entry_block("entry");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let join = b.block("join");
+        b.load(entry, p, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(p, 0)],
+            BranchSemantics::InputBit { bit: 0 },
+            then_bb,
+            else_bb,
+        );
+        b.load(then_bb, t, IndexExpr::Const(0));
+        b.jump(then_bb, join);
+        b.load(else_bb, t, IndexExpr::Const(64));
+        b.compute(else_bb, 1);
+        b.jump(else_bb, join);
+        b.load(join, t, IndexExpr::Const(0));
+        b.ret(join);
+        (b.finish().unwrap(), entry, then_bb, else_bb, join)
+    }
+
+    #[test]
+    fn node_count_is_instructions_plus_terminators() {
+        let (p, ..) = branchy_program();
+        let g = InstGraph::new(&p);
+        assert_eq!(g.len(), p.instruction_count() + p.blocks().len());
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn entry_is_first_instruction_of_entry_block() {
+        let (p, entry, ..) = branchy_program();
+        let g = InstGraph::new(&p);
+        assert_eq!(g.entry(), g.first_node_of_block(entry));
+        assert!(matches!(
+            g.kind(g.entry()),
+            NodeKind::Inst { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn straight_line_edges_within_a_block() {
+        let (p, _, _, else_bb, _) = branchy_program();
+        let g = InstGraph::new(&p);
+        let first = g.first_node_of_block(else_bb);
+        // load -> compute -> terminator
+        let second = g.successors(first)[0];
+        assert!(matches!(g.kind(second), NodeKind::Inst { index: 1, .. }));
+        let term = g.successors(second)[0];
+        assert!(matches!(g.kind(term), NodeKind::Terminator { .. }));
+        assert_eq!(g.predecessors(second), &[first]);
+    }
+
+    #[test]
+    fn branch_terminator_fans_out_to_both_arms() {
+        let (p, entry, then_bb, else_bb, _) = branchy_program();
+        let g = InstGraph::new(&p);
+        // entry block: load, then terminator.
+        let load = g.first_node_of_block(entry);
+        let term = g.successors(load)[0];
+        assert!(g.branch_condition(&p, term).is_some());
+        assert_eq!(g.branch_targets(&p, term), Some((then_bb, else_bb)));
+        let succs = g.successors(term);
+        assert_eq!(succs.len(), 2);
+        assert_eq!(succs[0], g.first_node_of_block(then_bb));
+        assert_eq!(succs[1], g.first_node_of_block(else_bb));
+        assert!(g.branch_condition(&p, load).is_none());
+    }
+
+    #[test]
+    fn memory_refs_are_exposed_per_node() {
+        let (p, entry, ..) = branchy_program();
+        let g = InstGraph::new(&p);
+        let load = g.first_node_of_block(entry);
+        let m = g.memory_ref(&p, load).expect("entry starts with a load");
+        assert_eq!(p.region(m.region).name, "p");
+        let term = g.successors(load)[0];
+        assert!(g.memory_ref(&p, term).is_none());
+    }
+
+    #[test]
+    fn distances_count_instructions_not_terminators() {
+        let (p, _, then_bb, _, join) = branchy_program();
+        let g = InstGraph::new(&p);
+        let start = g.first_node_of_block(then_bb);
+        let dist = g.distances_within(start, 10);
+        assert_eq!(dist[&start], 1);
+        // then-block terminator costs nothing extra.
+        let term = g.successors(start)[0];
+        assert_eq!(dist[&term], 1);
+        // first instruction of the join block is the second instruction.
+        let join_first = g.first_node_of_block(join);
+        assert_eq!(dist[&join_first], 2);
+    }
+
+    #[test]
+    fn distances_respect_the_budget() {
+        let (p, _, then_bb, _, join) = branchy_program();
+        let g = InstGraph::new(&p);
+        let start = g.first_node_of_block(then_bb);
+        let dist = g.distances_within(start, 1);
+        assert!(dist.contains_key(&start));
+        assert!(!dist.contains_key(&g.first_node_of_block(join)));
+    }
+
+    #[test]
+    fn empty_block_first_node_is_its_terminator() {
+        let mut b = ProgramBuilder::new("empty-block");
+        let entry = b.entry_block("entry");
+        let empty = b.block("empty");
+        let exit = b.block("exit");
+        b.jump(entry, empty);
+        b.jump(empty, exit);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let g = InstGraph::new(&p);
+        let n = g.first_node_of_block(empty);
+        assert!(matches!(g.kind(n), NodeKind::Terminator { .. }));
+    }
+}

@@ -1,0 +1,32 @@
+//! # spec-vcfg
+//!
+//! Virtual control flow for speculative execution (Section 5 of the paper).
+//!
+//! The crate flattens a [`spec_ir::Program`] into an instruction-granularity
+//! graph ([`InstGraph`]) and augments it with *speculation sites*: for every
+//! conditional branch whose condition depends on memory, two colored sites
+//! describe the processor speculatively executing the *wrong* arm for up to
+//! a bounded number of instructions and then rolling back into the correct
+//! arm.  The result ([`Vcfg`]) is what the speculative abstract
+//! interpretation in `spec-core` iterates over.
+//!
+//! The key pieces:
+//!
+//! * [`InstGraph`] — one node per instruction plus one per terminator, with
+//!   ordinary control-flow edges.
+//! * [`SpeculationSite`] / [`Color`] — one per (branch, mispredicted arm):
+//!   the speculative region (nodes reachable within the maximum speculation
+//!   window), per-node instruction distances for dynamic depth bounding
+//!   (Section 6.2), the resume region in the correct arm, and the commit
+//!   node where the speculative state is folded back into the normal state.
+//! * [`MergeStrategy`] — where speculative and normal states merge
+//!   (Figure 6): just-in-time (6c, the paper's choice) or at the rollback
+//!   point (6d, the aggressive baseline used in Table 6).
+
+pub mod inst_graph;
+pub mod speculation;
+pub mod vcfg;
+
+pub use inst_graph::{InstGraph, NodeId, NodeKind};
+pub use speculation::{Color, MergeStrategy, SpeculationConfig, SpeculationSite};
+pub use vcfg::Vcfg;

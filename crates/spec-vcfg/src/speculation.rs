@@ -1,0 +1,197 @@
+//! Speculation sites, colors, and the merge-strategy / depth configuration.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use spec_ir::{BlockId, MemRef};
+
+use crate::inst_graph::NodeId;
+
+/// Identifier ("color", Section 6.4 / Algorithm 3) of one speculative
+/// execution: a (branch, mispredicted arm) pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Color(pub(crate) u32);
+
+impl Color {
+    /// Creates a color from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Raw index of this color.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Where speculative and normal abstract states are merged (Figure 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MergeStrategy {
+    /// Figure 6c, the paper's recommended strategy: the speculative state is
+    /// kept separate through the correct (resume) arm and folded into the
+    /// normal state only at the branch's control-flow join point.
+    #[default]
+    JustInTime,
+    /// Figure 6d, the aggressive baseline of Table 6: the speculative state
+    /// is folded into the normal state immediately at the rollback point
+    /// (the entry of the correct arm).
+    MergeAtRollback,
+}
+
+/// Parameters of the speculative-execution model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpeculationConfig {
+    /// Maximum number of speculatively executed instructions when the
+    /// branch condition's operands are guaranteed cache hits (`b_h`,
+    /// Section 6.2).  The paper's evaluation uses 20.
+    pub depth_on_hit: u32,
+    /// Maximum number of speculatively executed instructions when the
+    /// branch condition's operands may miss (`b_m`).  The paper uses 200.
+    pub depth_on_miss: u32,
+    /// Merge strategy for speculative states.
+    pub merge_strategy: MergeStrategy,
+    /// Whether the dynamic depth-bounding optimisation (Section 6.2) is
+    /// enabled.  When disabled, every site always uses `depth_on_miss`.
+    pub dynamic_depth_bounding: bool,
+}
+
+impl SpeculationConfig {
+    /// The paper's evaluation configuration: `b_h = 20`, `b_m = 200`,
+    /// just-in-time merging, dynamic bounding enabled.
+    pub fn paper_default() -> Self {
+        Self {
+            depth_on_hit: 20,
+            depth_on_miss: 200,
+            merge_strategy: MergeStrategy::JustInTime,
+            dynamic_depth_bounding: true,
+        }
+    }
+
+    /// Replaces the merge strategy.
+    pub fn with_merge_strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.merge_strategy = strategy;
+        self
+    }
+
+    /// Replaces the speculation windows.
+    pub fn with_depths(mut self, depth_on_hit: u32, depth_on_miss: u32) -> Self {
+        self.depth_on_hit = depth_on_hit;
+        self.depth_on_miss = depth_on_miss;
+        self
+    }
+
+    /// Enables or disables dynamic depth bounding.
+    pub fn with_dynamic_depth_bounding(mut self, enabled: bool) -> Self {
+        self.dynamic_depth_bounding = enabled;
+        self
+    }
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One speculative execution: the processor mispredicts the branch at
+/// `branch_node`, speculatively executes the arm starting at
+/// `speculated_entry` for up to `depth_on_miss` instructions, then rolls
+/// back and resumes at `resume_entry`.
+#[derive(Clone, Debug)]
+pub struct SpeculationSite {
+    /// The color identifying this speculative execution.
+    pub color: Color,
+    /// The branch's terminator node (where the condition is evaluated).
+    pub branch_node: NodeId,
+    /// The basic block that is speculatively (wrongly) executed.
+    pub speculated_block: BlockId,
+    /// First node of the speculated arm.
+    pub speculated_entry: NodeId,
+    /// The basic block execution resumes in after the rollback.
+    pub resume_block: BlockId,
+    /// First node of the resume arm.
+    pub resume_entry: NodeId,
+    /// Node at which the speculative state is folded back into the normal
+    /// state (the branch's join point) — `None` if the arms never re-join.
+    pub commit_node: Option<NodeId>,
+    /// Memory locations the branch condition depends on, used for dynamic
+    /// depth bounding.
+    pub condition_refs: Vec<MemRef>,
+    /// Instruction distance from `speculated_entry` for every node reachable
+    /// within `depth_on_miss` instructions (the speculative region).
+    pub spec_distance: HashMap<NodeId, u32>,
+    /// Nodes of the resume arm through which the (rolled-back) speculative
+    /// state is still propagated separately before being committed.  Only
+    /// populated for [`MergeStrategy::JustInTime`].
+    pub resume_region: Vec<NodeId>,
+}
+
+impl SpeculationSite {
+    /// Returns `true` if `node` lies within the speculative region.
+    pub fn in_spec_region(&self, node: NodeId) -> bool {
+        self.spec_distance.contains_key(&node)
+    }
+
+    /// Instruction distance of `node` from the start of speculation, if it
+    /// lies within the speculative region.
+    pub fn spec_distance_of(&self, node: NodeId) -> Option<u32> {
+        self.spec_distance.get(&node).copied()
+    }
+
+    /// Returns `true` if `node` lies within the resume region.
+    pub fn in_resume_region(&self, node: NodeId) -> bool {
+        self.resume_region.contains(&node)
+    }
+
+    /// Number of nodes that can be reached speculatively.
+    pub fn spec_region_len(&self) -> usize {
+        self.spec_distance.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let c = SpeculationConfig::paper_default();
+        assert_eq!(c.depth_on_hit, 20);
+        assert_eq!(c.depth_on_miss, 200);
+        assert_eq!(c.merge_strategy, MergeStrategy::JustInTime);
+        assert!(c.dynamic_depth_bounding);
+        assert_eq!(c, SpeculationConfig::default());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = SpeculationConfig::paper_default()
+            .with_depths(0, 50)
+            .with_merge_strategy(MergeStrategy::MergeAtRollback)
+            .with_dynamic_depth_bounding(false);
+        assert_eq!(c.depth_on_hit, 0);
+        assert_eq!(c.depth_on_miss, 50);
+        assert_eq!(c.merge_strategy, MergeStrategy::MergeAtRollback);
+        assert!(!c.dynamic_depth_bounding);
+    }
+
+    #[test]
+    fn color_display() {
+        let c = Color::from_raw(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "c3");
+        assert_eq!(format!("{c:?}"), "c3");
+    }
+}

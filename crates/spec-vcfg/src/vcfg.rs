@@ -1,0 +1,319 @@
+//! Construction of the virtual control flow graph.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use spec_ir::{Cfg, Program};
+
+use crate::inst_graph::{InstGraph, NodeId};
+use crate::speculation::{Color, MergeStrategy, SpeculationConfig, SpeculationSite};
+
+/// A program's instruction-level CFG augmented with speculation sites.
+///
+/// This is the "augmented CFG with virtual control flow" of Section 5.1:
+/// the ordinary edges live in the embedded [`InstGraph`]; the virtual edges
+/// (speculation seeds, rollbacks and commits) are represented implicitly by
+/// the [`SpeculationSite`]s, which the analysis engine in `spec-core`
+/// interprets.
+#[derive(Clone, Debug)]
+pub struct Vcfg {
+    graph: InstGraph,
+    sites: Vec<SpeculationSite>,
+    config: SpeculationConfig,
+    /// Colors whose speculative state is committed (folded into the normal
+    /// state) when it reaches a given node.
+    commits_at: HashMap<NodeId, Vec<Color>>,
+    /// Sites keyed by their branch node, for quick lookup during analysis.
+    sites_at_branch: HashMap<NodeId, Vec<Color>>,
+}
+
+impl Vcfg {
+    /// Builds the virtual control flow graph of `program`.
+    ///
+    /// A speculation site is created for every direction of every
+    /// conditional branch whose condition depends on memory; branches whose
+    /// conditions are register-only resolve immediately and are not
+    /// speculated (Section 5.1).
+    pub fn build(program: &Program, config: SpeculationConfig) -> Self {
+        let graph = InstGraph::new(program);
+        let cfg = Cfg::new(program);
+        let mut sites = Vec::new();
+        let mut commits_at: HashMap<NodeId, Vec<Color>> = HashMap::new();
+        let mut sites_at_branch: HashMap<NodeId, Vec<Color>> = HashMap::new();
+
+        for node in graph.nodes() {
+            let Some(cond) = graph.branch_condition(program, node) else {
+                continue;
+            };
+            if !cond.reads_memory() {
+                continue;
+            }
+            let (then_bb, else_bb) = graph
+                .branch_targets(program, node)
+                .expect("node with a condition is a conditional branch");
+            let block = graph.kind(node).block();
+            let join_block = cfg.branch_join_point(block);
+            let commit_node = join_block.map(|b| graph.first_node_of_block(b));
+
+            for (speculated_block, resume_block) in [(then_bb, else_bb), (else_bb, then_bb)] {
+                let color = Color(sites.len() as u32);
+                let speculated_entry = graph.first_node_of_block(speculated_block);
+                let resume_entry = graph.first_node_of_block(resume_block);
+                let spec_distance =
+                    graph.distances_within(speculated_entry, config.depth_on_miss);
+                let resume_region = match config.merge_strategy {
+                    MergeStrategy::JustInTime => {
+                        reachable_until(&graph, resume_entry, commit_node)
+                    }
+                    MergeStrategy::MergeAtRollback => Vec::new(),
+                };
+                if config.merge_strategy == MergeStrategy::JustInTime {
+                    if let Some(commit) = commit_node {
+                        commits_at.entry(commit).or_default().push(color);
+                    }
+                }
+                sites_at_branch.entry(node).or_default().push(color);
+                sites.push(SpeculationSite {
+                    color,
+                    branch_node: node,
+                    speculated_block,
+                    speculated_entry,
+                    resume_block,
+                    resume_entry,
+                    commit_node,
+                    condition_refs: cond.depends_on.clone(),
+                    spec_distance,
+                    resume_region,
+                });
+            }
+        }
+        Self {
+            graph,
+            sites,
+            config,
+            commits_at,
+            sites_at_branch,
+        }
+    }
+
+    /// The underlying instruction-level graph.
+    pub fn graph(&self) -> &InstGraph {
+        &self.graph
+    }
+
+    /// The speculation configuration this VCFG was built with.
+    pub fn config(&self) -> &SpeculationConfig {
+        &self.config
+    }
+
+    /// All speculation sites, indexed by color.
+    pub fn sites(&self) -> &[SpeculationSite] {
+        &self.sites
+    }
+
+    /// The site of a particular color.
+    pub fn site(&self, color: Color) -> &SpeculationSite {
+        &self.sites[color.index()]
+    }
+
+    /// Number of colors (speculative executions).
+    pub fn num_colors(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of distinct conditional branches that may speculate.
+    pub fn num_speculated_branches(&self) -> usize {
+        self.sites_at_branch.len()
+    }
+
+    /// Colors seeded at `branch_node` (empty for non-speculating nodes).
+    pub fn colors_at_branch(&self, branch_node: NodeId) -> &[Color] {
+        self.sites_at_branch
+            .get(&branch_node)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Colors whose speculative state is committed when reaching `node`.
+    pub fn commits_at(&self, node: NodeId) -> &[Color] {
+        self.commits_at.get(&node).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Nodes reachable from `start` (inclusive), stopping the traversal at
+/// `stop` (which is included but not traversed past).
+fn reachable_until(graph: &InstGraph, start: NodeId, stop: Option<NodeId>) -> Vec<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut queue = VecDeque::from([start]);
+    seen.insert(start);
+    while let Some(node) = queue.pop_front() {
+        if Some(node) == stop {
+            continue;
+        }
+        for &succ in graph.successors(node) {
+            if seen.insert(succ) {
+                queue.push_back(succ);
+            }
+        }
+    }
+    let mut nodes: Vec<NodeId> = seen.into_iter().collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::builder::ProgramBuilder;
+    use spec_ir::{BlockId, BranchSemantics, IndexExpr, MemRef};
+
+    /// The Figure 2 shape: preload, a data-dependent branch over `p`, then a
+    /// secret-indexed access.
+    fn figure2_like() -> (Program, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new("fig2");
+        let ph = b.region("ph", 4 * 64, false);
+        let l1 = b.region("l1", 64, false);
+        let l2 = b.region("l2", 64, false);
+        let p = b.region("p", 8, false);
+        let k = b.secret_region("k", 8);
+        let entry = b.entry_block("entry");
+        let then_bb = b.block("then");
+        let else_bb = b.block("else");
+        let join = b.block("join");
+        b.load_sweep(entry, ph, 0, 64, 4);
+        b.load(entry, p, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(p, 0)],
+            BranchSemantics::InputBit { bit: 0 },
+            then_bb,
+            else_bb,
+        );
+        b.load(then_bb, l1, IndexExpr::Const(0));
+        b.jump(then_bb, join);
+        b.load(else_bb, l2, IndexExpr::Const(0));
+        b.jump(else_bb, join);
+        b.load(join, k, IndexExpr::Const(0));
+        b.load(join, ph, IndexExpr::secret(1));
+        b.ret(join);
+        (b.finish().unwrap(), then_bb, else_bb)
+    }
+
+    #[test]
+    fn memory_dependent_branch_creates_two_sites() {
+        let (p, then_bb, else_bb) = figure2_like();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        assert_eq!(vcfg.num_colors(), 2);
+        assert_eq!(vcfg.num_speculated_branches(), 1);
+        let blocks: Vec<_> = vcfg
+            .sites()
+            .iter()
+            .map(|s| (s.speculated_block, s.resume_block))
+            .collect();
+        assert!(blocks.contains(&(then_bb, else_bb)));
+        assert!(blocks.contains(&(else_bb, then_bb)));
+    }
+
+    #[test]
+    fn register_only_branches_are_not_speculated() {
+        let mut b = ProgramBuilder::new("counted");
+        let t = b.region("t", 256, false);
+        let entry = b.entry_block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(entry, header);
+        b.loop_branch(header, 4, body, exit);
+        b.load(body, t, IndexExpr::loop_indexed(64));
+        b.jump(body, header);
+        b.ret(exit);
+        let p = b.finish().unwrap();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        assert_eq!(vcfg.num_colors(), 0);
+        assert_eq!(vcfg.num_speculated_branches(), 0);
+    }
+
+    #[test]
+    fn commit_node_is_the_branch_join_point_under_jit() {
+        let (p, _, _) = figure2_like();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        for site in vcfg.sites() {
+            let commit = site.commit_node.expect("diamond has a join point");
+            assert!(
+                vcfg.commits_at(commit).contains(&site.color),
+                "each site commits at its branch's join point"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_nodes_collect_all_colors_of_the_branch() {
+        let (p, _, _) = figure2_like();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        let site = &vcfg.sites()[0];
+        let commit = site.commit_node.expect("diamond has a join point");
+        let colors = vcfg.commits_at(commit);
+        assert_eq!(colors.len(), 2, "both directions commit at the join point");
+    }
+
+    #[test]
+    fn merge_at_rollback_has_no_commit_or_resume_regions() {
+        let (p, _, _) = figure2_like();
+        let config = SpeculationConfig::paper_default()
+            .with_merge_strategy(MergeStrategy::MergeAtRollback);
+        let vcfg = Vcfg::build(&p, config);
+        assert_eq!(vcfg.num_colors(), 2);
+        for site in vcfg.sites() {
+            assert!(site.resume_region.is_empty());
+        }
+        for node in vcfg.graph().nodes() {
+            assert!(vcfg.commits_at(node).is_empty());
+        }
+    }
+
+    #[test]
+    fn spec_region_respects_the_depth_budget() {
+        let (p, _, _) = figure2_like();
+        let small = SpeculationConfig::paper_default().with_depths(1, 1);
+        let vcfg = Vcfg::build(&p, small);
+        for site in vcfg.sites() {
+            // With a budget of one instruction only the arm's first load (and
+            // its free terminator) are reachable.
+            assert!(site.spec_region_len() <= 2, "{:?}", site.spec_distance);
+            assert!(site.in_spec_region(site.speculated_entry));
+            assert_eq!(site.spec_distance_of(site.speculated_entry), Some(1));
+        }
+
+        let large = SpeculationConfig::paper_default();
+        let vcfg = Vcfg::build(&p, large);
+        for site in vcfg.sites() {
+            // With the default 200-instruction budget speculation runs past
+            // the join point to the end of the program.
+            assert!(site.spec_region_len() > 2);
+        }
+    }
+
+    #[test]
+    fn resume_region_stops_at_the_commit_node() {
+        let (p, _, _) = figure2_like();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        for site in vcfg.sites() {
+            let commit = site.commit_node.expect("join exists");
+            assert!(site.in_resume_region(site.resume_entry));
+            assert!(site.in_resume_region(commit), "commit node is included");
+            // Nothing past the commit node: the node after the commit node
+            // (the secret load) must not be in the resume region.
+            let after_commit = vcfg.graph().successors(commit)[0];
+            assert!(!site.in_resume_region(after_commit));
+        }
+    }
+
+    #[test]
+    fn colors_at_branch_lists_both_directions() {
+        let (p, _, _) = figure2_like();
+        let vcfg = Vcfg::build(&p, SpeculationConfig::paper_default());
+        let site = &vcfg.sites()[0];
+        let colors = vcfg.colors_at_branch(site.branch_node);
+        assert_eq!(colors.len(), 2);
+        let other_node = vcfg.graph().entry();
+        assert!(vcfg.colors_at_branch(other_node).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared building blocks for the synthetic workloads.
+//!
+//! The workloads are assembled from a handful of idioms that dominate the
+//! original benchmarks: preloading / streaming over tables, counted
+//! processing loops, data-dependent branch "diamonds" whose arms touch
+//! different tables, and secret-indexed S-box lookups.
+
+use spec_ir::builder::ProgramBuilder;
+use spec_ir::{BlockId, BranchSemantics, IndexExpr, MemRef, RegionId};
+
+/// Emits straight-line loads covering every 64-byte block of `table`.
+///
+/// This is what a fully-unrolled preload loop (Figure 2 line 3,
+/// Figure 10 lines 9–10) looks like to the cache analysis.
+pub fn preload_table(b: &mut ProgramBuilder, block: BlockId, table: RegionId, bytes: u64) {
+    b.load_sweep(block, table, 0, 64, bytes.div_ceil(64));
+}
+
+/// Appends a counted loop at the current position: `entry -> header`,
+/// `header` iterates `trips` times over a body that loads
+/// `table[loop * stride]` and performs `work` filler instructions, then
+/// falls through to a fresh continuation block, which is returned.
+pub fn counted_table_walk(
+    b: &mut ProgramBuilder,
+    from: BlockId,
+    table: RegionId,
+    trips: u64,
+    stride: u64,
+    work: usize,
+    label: &str,
+) -> BlockId {
+    let header = b.block(format!("{label}_header"));
+    let body = b.block(format!("{label}_body"));
+    let cont = b.block(format!("{label}_cont"));
+    b.jump(from, header);
+    b.loop_branch(header, trips, body, cont);
+    b.load(body, table, IndexExpr::loop_indexed(stride));
+    b.compute_n(body, work);
+    b.jump(body, header);
+    cont
+}
+
+/// Appends a data-dependent diamond: the condition reads `cond_region[0]`,
+/// the then-arm loads `then_refs`, the else-arm loads `else_refs`, and both
+/// arms re-join in a fresh continuation block, which is returned.
+pub fn data_diamond(
+    b: &mut ProgramBuilder,
+    from: BlockId,
+    cond_region: RegionId,
+    semantics: BranchSemantics,
+    then_refs: &[(RegionId, u64)],
+    else_refs: &[(RegionId, u64)],
+    label: &str,
+) -> BlockId {
+    let then_bb = b.block(format!("{label}_then"));
+    let else_bb = b.block(format!("{label}_else"));
+    let join = b.block(format!("{label}_join"));
+    b.load(from, cond_region, IndexExpr::Const(0));
+    b.data_branch(
+        from,
+        vec![MemRef::at(cond_region, 0)],
+        semantics,
+        then_bb,
+        else_bb,
+    );
+    for (region, offset) in then_refs {
+        b.load(then_bb, *region, IndexExpr::Const(*offset));
+    }
+    b.compute(then_bb, 1);
+    b.jump(then_bb, join);
+    for (region, offset) in else_refs {
+        b.load(else_bb, *region, IndexExpr::Const(*offset));
+    }
+    b.compute(else_bb, 1);
+    b.jump(else_bb, join);
+    join
+}
+
+/// Appends `count` back-to-back diamonds; arm `i` touches blocks `2*i` and
+/// `2*i + 1` of `scratch` (so each branch brings in fresh lines), the
+/// condition alternates between input bits.  Returns the continuation block.
+#[allow(clippy::too_many_arguments)]
+pub fn branch_ladder(
+    b: &mut ProgramBuilder,
+    mut from: BlockId,
+    cond_region: RegionId,
+    scratch: RegionId,
+    count: usize,
+    label: &str,
+) -> BlockId {
+    for i in 0..count {
+        let then_off = (2 * i as u64) * 64;
+        let else_off = (2 * i as u64 + 1) * 64;
+        from = data_diamond(
+            b,
+            from,
+            cond_region,
+            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            &[(scratch, then_off)],
+            &[(scratch, else_off)],
+            &format!("{label}{i}"),
+        );
+    }
+    from
+}
+
+/// Appends `rounds` secret-indexed S-box lookups (the cipher inner loop).
+pub fn sbox_rounds(
+    b: &mut ProgramBuilder,
+    block: BlockId,
+    sbox: RegionId,
+    rounds: usize,
+    stride: u64,
+) {
+    for _ in 0..rounds {
+        b.load(block, sbox, IndexExpr::secret(stride));
+        b.compute(block, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_ir::Cfg;
+    use spec_ir::LoopForest;
+
+    #[test]
+    fn counted_table_walk_produces_a_counted_loop() {
+        let mut b = ProgramBuilder::new("walk");
+        let t = b.region("t", 8 * 64, false);
+        let entry = b.entry_block("entry");
+        let cont = counted_table_walk(&mut b, entry, t, 8, 64, 2, "walk");
+        b.ret(cont);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::new(&p);
+        let loops = LoopForest::find(&p, &cfg);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops.loops()[0].trip_count, Some(8));
+    }
+
+    #[test]
+    fn data_diamond_creates_one_memory_dependent_branch() {
+        let mut b = ProgramBuilder::new("diamond");
+        let cond = b.region("cond", 8, false);
+        let t = b.region("t", 2 * 64, false);
+        let entry = b.entry_block("entry");
+        let join = data_diamond(
+            &mut b,
+            entry,
+            cond,
+            BranchSemantics::InputBit { bit: 0 },
+            &[(t, 0)],
+            &[(t, 64)],
+            "d",
+        );
+        b.ret(join);
+        let p = b.finish().unwrap();
+        assert_eq!(p.branch_count(), 1);
+        assert_eq!(p.memory_access_count(), 3);
+    }
+
+    #[test]
+    fn branch_ladder_chains_diamonds() {
+        let mut b = ProgramBuilder::new("ladder");
+        let cond = b.region("cond", 8, false);
+        let scratch = b.region("scratch", 16 * 64, false);
+        let entry = b.entry_block("entry");
+        let cont = branch_ladder(&mut b, entry, cond, scratch, 5, "l");
+        b.ret(cont);
+        let p = b.finish().unwrap();
+        assert_eq!(p.branch_count(), 5);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn sbox_rounds_emit_secret_accesses() {
+        let mut b = ProgramBuilder::new("sbox");
+        let sbox = b.region("sbox", 4 * 64, false);
+        let entry = b.entry_block("entry");
+        sbox_rounds(&mut b, entry, sbox, 3, 64);
+        b.ret(entry);
+        let p = b.finish().unwrap();
+        let secret_loads = p
+            .blocks()
+            .iter()
+            .flat_map(|blk| blk.memory_refs())
+            .filter(|m| m.index.is_secret_dependent())
+            .count();
+        assert_eq!(secret_loads, 3);
+    }
+}

@@ -1,0 +1,426 @@
+//! The side-channel-detection suite (Table 4 of the paper).
+//!
+//! Each workload is a table-driven cryptographic routine wrapped in the
+//! Figure 10 client harness: the client preloads the S-box, streams over an
+//! attacker-sized input buffer, runs the routine, and finally performs the
+//! cipher's secret-indexed S-box lookups.  The routines fall into two
+//! groups, mirroring Table 7:
+//!
+//! * **speculation-leaky** (`hash`, `encoder`, `chacha20`, `ocb`, `des`):
+//!   their data-dependent branches bring *distinct cold lines* into the
+//!   cache on each arm, so a mispredicted branch adds lines beyond what any
+//!   single architectural path needs and evicts part of the S-box;
+//! * **robust** (`aes`, `str2key`, `seed`, `camellia`, `salsa`): they either
+//!   re-touch the whole S-box after their branches (aes, camellia, seed) or
+//!   their branch arms touch the same lines (str2key, salsa), so wrong-path
+//!   execution cannot push the S-box out.
+
+use spec_ir::builder::ProgramBuilder;
+use spec_ir::{BranchSemantics, IndexExpr, Program};
+
+use crate::builders::{branch_ladder, counted_table_walk, data_diamond, preload_table};
+use crate::motivating::figure10_client;
+use crate::{Workload, WorkloadInfo};
+
+/// Names of the ten crypto benchmarks, in the paper's order.
+pub const CRYPTO_NAMES: [&str; 10] = [
+    "hash", "encoder", "chacha20", "ocb", "aes", "str2key", "des", "seed", "camellia", "salsa",
+];
+
+/// Size/shape parameters of one crypto workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CryptoParams {
+    /// Bytes of the S-box the client preloads and the cipher indexes with
+    /// the secret.
+    pub sbox_bytes: u64,
+    /// Number of cache lines the routine itself keeps resident along a
+    /// single architectural path (used to compute the default buffer size).
+    pub resident_lines: u64,
+    /// Number of *extra* cold lines a mispredicted branch can pull in.
+    pub speculative_extra_lines: u64,
+}
+
+impl CryptoParams {
+    /// The attacker-controlled buffer size at which the working set of a
+    /// single architectural path exactly fills a cache with `cache_lines`
+    /// lines — the knife-edge the paper tunes Table 7's buffer column to.
+    pub fn fitting_buffer_bytes(&self, cache_lines: u64) -> u64 {
+        let sbox_lines = self.sbox_bytes.div_ceil(64);
+        cache_lines
+            .saturating_sub(sbox_lines + self.resident_lines + 2)
+            * 64
+    }
+}
+
+/// Builds one crypto workload (routine + Figure 10 client) by name.
+///
+/// `buffer_bytes` is the attacker-controlled input-buffer size of the
+/// client; `cache_lines` only scales the routine tables.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`CRYPTO_NAMES`].
+pub fn crypto_workload(name: &str, cache_lines: u64, buffer_bytes: u64) -> Workload {
+    let (info, params, routine) = crypto_routine(name, cache_lines);
+    let program = figure10_client(&routine, params.sbox_bytes, buffer_bytes);
+    Workload { info, program }
+}
+
+/// Shape parameters of one crypto workload by name.
+pub fn crypto_params(name: &str, cache_lines: u64) -> CryptoParams {
+    crypto_routine(name, cache_lines).1
+}
+
+/// Builds the whole crypto suite, choosing for every workload the buffer
+/// size at which the non-speculative working set exactly fits the cache
+/// (the same procedure the paper describes for Table 7).
+pub fn crypto_suite(cache_lines: u64) -> Vec<(Workload, u64)> {
+    CRYPTO_NAMES
+        .iter()
+        .map(|name| {
+            let params = crypto_params(name, cache_lines);
+            // `des` carries its own large internal buffer, so the external
+            // buffer can be empty and it still leaks (Table 7 lists 0).
+            let buffer = if *name == "des" {
+                0
+            } else {
+                params.fitting_buffer_bytes(cache_lines)
+            };
+            (crypto_workload(name, cache_lines, buffer), buffer)
+        })
+        .collect()
+}
+
+/// Builds the bare routine (without the client) plus its metadata.
+fn crypto_routine(name: &str, cache_lines: u64) -> (WorkloadInfo, CryptoParams, Program) {
+    match name {
+        "hash" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 9,
+                speculative_extra_lines: 4,
+            };
+            (
+                WorkloadInfo {
+                    name: "hash",
+                    source: "hpn-ssh",
+                    description: "hash function",
+                    paper_loc: 320,
+                },
+                params,
+                leaky_routine("hash", 4, 4, cache_lines),
+            )
+        }
+        "encoder" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 7,
+                speculative_extra_lines: 4,
+            };
+            (
+                WorkloadInfo {
+                    name: "encoder",
+                    source: "LibTomCrypt",
+                    description: "hex encode a string",
+                    paper_loc: 134,
+                },
+                params,
+                leaky_routine("encoder", 4, 2, cache_lines),
+            )
+        }
+        "chacha20" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 15,
+                speculative_extra_lines: 6,
+            };
+            (
+                WorkloadInfo {
+                    name: "chacha20",
+                    source: "LibTomCrypt",
+                    description: "chacha20poly1305 cipher",
+                    paper_loc: 776,
+                },
+                params,
+                leaky_routine("chacha20", 6, 8, cache_lines),
+            )
+        }
+        "ocb" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 11,
+                speculative_extra_lines: 4,
+            };
+            (
+                WorkloadInfo {
+                    name: "ocb",
+                    source: "LibTomCrypt",
+                    description: "OCB implementation",
+                    paper_loc: 377,
+                },
+                params,
+                leaky_routine("ocb", 4, 6, cache_lines),
+            )
+        }
+        "des" => {
+            let params = CryptoParams {
+                sbox_bytes: 8 * 64,
+                resident_lines: 40,
+                speculative_extra_lines: 8,
+            };
+            (
+                WorkloadInfo {
+                    name: "des",
+                    source: "openssl",
+                    description: "des cipher",
+                    paper_loc: 1_051,
+                },
+                params,
+                des_routine(cache_lines),
+            )
+        }
+        "aes" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 10,
+                speculative_extra_lines: 0,
+            };
+            (
+                WorkloadInfo {
+                    name: "aes",
+                    source: "LibTomCrypt",
+                    description: "AES implementation",
+                    paper_loc: 1_838,
+                },
+                params,
+                robust_refreshing_routine("aes", 8, 4 * 64, cache_lines),
+            )
+        }
+        "str2key" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 3,
+                speculative_extra_lines: 0,
+            };
+            (
+                WorkloadInfo {
+                    name: "str2key",
+                    source: "openssl",
+                    description: "key prepare for des",
+                    paper_loc: 385,
+                },
+                params,
+                robust_warm_arm_routine("str2key", 3),
+            )
+        }
+        "seed" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 6,
+                speculative_extra_lines: 0,
+            };
+            (
+                WorkloadInfo {
+                    name: "seed",
+                    source: "linux-tegra",
+                    description: "seed cipher",
+                    paper_loc: 487,
+                },
+                params,
+                robust_refreshing_routine("seed", 4, 4 * 64, cache_lines),
+            )
+        }
+        "camellia" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 8,
+                speculative_extra_lines: 0,
+            };
+            (
+                WorkloadInfo {
+                    name: "camellia",
+                    source: "linux-tegra",
+                    description: "camellia cipher",
+                    paper_loc: 1_324,
+                },
+                params,
+                robust_refreshing_routine("camellia", 6, 4 * 64, cache_lines),
+            )
+        }
+        "salsa" => {
+            let params = CryptoParams {
+                sbox_bytes: 4 * 64,
+                resident_lines: 3,
+                speculative_extra_lines: 0,
+            };
+            (
+                WorkloadInfo {
+                    name: "salsa",
+                    source: "linux-tegra",
+                    description: "Salsa20 stream cipher",
+                    paper_loc: 279,
+                },
+                params,
+                robust_warm_arm_routine("salsa", 5),
+            )
+        }
+        other => panic!("unknown crypto benchmark `{other}`"),
+    }
+}
+
+/// A routine whose data-dependent branches bring distinct cold lines into
+/// the cache on each arm (padding paths, length checks, per-block special
+/// cases): the source of speculative pollution.
+fn leaky_routine(name: &str, diamonds: usize, walk_blocks: u64, _cache_lines: u64) -> Program {
+    let mut b = ProgramBuilder::new(name.to_string());
+    let state = b.region(format!("{name}_state"), walk_blocks.max(1) * 64, false);
+    let flags = b.region(format!("{name}_flags"), 8, false);
+    let cold = b.region(format!("{name}_cold"), (diamonds as u64 * 2 + 2) * 64, false);
+    let entry = b.entry_block("entry");
+    let cur = counted_table_walk(&mut b, entry, state, walk_blocks.max(1), 64, 2, "walk");
+    let cur = branch_ladder(&mut b, cur, flags, cold, diamonds, "pad");
+    let done = b.block("done");
+    b.jump(cur, done);
+    b.compute_n(done, 4);
+    b.ret(done);
+    b.finish().expect("leaky routine is well-formed")
+}
+
+/// DES carries its own large internal buffer (the paper notes it leaks even
+/// with the external buffer at zero), plus parity-check diamonds with cold
+/// arms.
+fn des_routine(cache_lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("des");
+    // Leave room for the schedule table, parity flag, one arm of the cold
+    // lines, the client's S-box and a one-line margin, so that a single
+    // architectural path exactly fits the cache even with an empty external
+    // buffer — the mispredicted arm then overflows it.
+    let internal_blocks = cache_lines.saturating_sub(26).max(8);
+    let internal = b.region("des_internal", internal_blocks * 64, false);
+    let parity = b.region("des_parity", 8, false);
+    let cold = b.region("des_cold", 20 * 64, false);
+    let sched = b.region("des_sched", 8 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, internal, internal_blocks * 64);
+    let cur = counted_table_walk(&mut b, entry, sched, 8, 64, 1, "sched");
+    let cur = branch_ladder(&mut b, cur, parity, cold, 6, "parity");
+    let done = b.block("done");
+    b.jump(cur, done);
+    b.compute_n(done, 4);
+    b.ret(done);
+    b.finish().expect("des routine is well-formed")
+}
+
+/// A routine that ends by re-touching the whole S-box (key-schedule style),
+/// so the client's secret lookups always hit regardless of earlier
+/// speculation.
+fn robust_refreshing_routine(
+    name: &str,
+    diamonds: usize,
+    sbox_bytes: u64,
+    _cache_lines: u64,
+) -> Program {
+    let mut b = ProgramBuilder::new(name.to_string());
+    // The routine references the client's S-box by name: `inline_program`
+    // unifies regions with equal names.
+    let sbox = b.region("sbox", sbox_bytes, false);
+    let flags = b.region(format!("{name}_flags"), 8, false);
+    let cold = b.region(format!("{name}_cold"), (diamonds as u64 * 2 + 2) * 64, false);
+    let key = b.secret_region(format!("{name}_roundkeys"), 64);
+    let entry = b.entry_block("entry");
+    let cur = branch_ladder(&mut b, entry, flags, cold, diamonds, "round");
+    let refresh = b.block("key_schedule");
+    b.jump(cur, refresh);
+    // The key schedule walks the entire S-box, touching the round keys too.
+    preload_table(&mut b, refresh, sbox, sbox_bytes);
+    b.load(refresh, key, IndexExpr::Const(0));
+    b.ret(refresh);
+    b.finish().expect("refreshing routine is well-formed")
+}
+
+/// A routine whose branches exist but whose arms touch the *same* warm
+/// lines, so misprediction adds nothing to the cache footprint.
+fn robust_warm_arm_routine(name: &str, diamonds: usize) -> Program {
+    let mut b = ProgramBuilder::new(name.to_string());
+    let state = b.region(format!("{name}_state"), 2 * 64, false);
+    let flags = b.region(format!("{name}_flags"), 8, false);
+    let entry = b.entry_block("entry");
+    b.load(entry, state, IndexExpr::Const(0));
+    b.load(entry, state, IndexExpr::Const(64));
+    let mut cur = entry;
+    for i in 0..diamonds {
+        cur = data_diamond(
+            &mut b,
+            cur,
+            flags,
+            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            &[(state, 0)],
+            &[(state, 64)],
+            &format!("mix{i}"),
+        );
+    }
+    let done = b.block("done");
+    b.jump(cur, done);
+    b.compute_n(done, 2);
+    b.ret(done);
+    b.finish().expect("warm-arm routine is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_workloads_with_buffers() {
+        let suite = crypto_suite(64);
+        assert_eq!(suite.len(), 10);
+        for (w, buffer) in &suite {
+            w.program.validate().unwrap();
+            assert!(!w.program.secret_regions().is_empty(), "{}", w.name());
+            if w.name() == "des" {
+                assert_eq!(*buffer, 0, "des leaks even with an empty buffer");
+            }
+        }
+        let names: Vec<&str> = suite.iter().map(|(w, _)| w.name()).collect();
+        assert_eq!(names, CRYPTO_NAMES.to_vec());
+    }
+
+    #[test]
+    fn clients_contain_secret_indexed_lookups() {
+        let w = crypto_workload("hash", 64, 1024);
+        let secret_accesses = w
+            .program
+            .blocks()
+            .iter()
+            .flat_map(|blk| blk.memory_refs())
+            .filter(|m| m.index.is_secret_dependent())
+            .count();
+        assert_eq!(secret_accesses, 2);
+    }
+
+    #[test]
+    fn fitting_buffer_shrinks_with_larger_routines() {
+        let small = crypto_params("encoder", 64);
+        let large = crypto_params("chacha20", 64);
+        assert!(small.fitting_buffer_bytes(64) > large.fitting_buffer_bytes(64));
+    }
+
+    #[test]
+    fn refreshing_routines_reference_the_client_sbox_by_name() {
+        let w = crypto_workload("aes", 64, 1024);
+        // Only one "sbox" region exists after inlining.
+        let sbox_regions = w
+            .program
+            .regions()
+            .iter()
+            .filter(|r| r.name == "sbox")
+            .count();
+        assert_eq!(sbox_regions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown crypto benchmark")]
+    fn unknown_name_panics() {
+        crypto_workload("nonesuch", 64, 0);
+    }
+}

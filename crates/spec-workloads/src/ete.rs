@@ -1,0 +1,414 @@
+//! The execution-time-estimation suite (Table 3 of the paper).
+//!
+//! Each function builds a synthetic program whose loop/branch/table
+//! structure mirrors the corresponding Mälardalen / MiBench / MediaBench
+//! benchmark.  The programs are parameterised by the number of cache lines
+//! of the target machine so that their working sets sit near the cache
+//! capacity — the regime in which speculative wrong-path loads actually
+//! change the analysis verdicts, as in the paper's evaluation.
+
+use spec_ir::builder::ProgramBuilder;
+use spec_ir::{BranchSemantics, Program};
+
+use crate::builders::{branch_ladder, counted_table_walk, data_diamond, preload_table};
+use crate::{Workload, WorkloadInfo};
+
+/// Names of the ten ETE benchmarks, in the paper's order.
+pub const ETE_NAMES: [&str; 10] = [
+    "adpcm", "susan", "layer3", "jcmarker", "jdmarker", "jcphuff", "gtk", "g72", "vga", "stc",
+];
+
+/// Builds one ETE workload by name, scaled to a machine with `cache_lines`
+/// cache lines.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`ETE_NAMES`].
+pub fn ete_workload(name: &str, cache_lines: u64) -> Workload {
+    let lines = cache_lines.max(16);
+    let (info, program) = match name {
+        "adpcm" => (
+            WorkloadInfo {
+                name: "adpcm",
+                source: "WCET@mdh",
+                description: "motor control",
+                paper_loc: 910,
+            },
+            adpcm(lines),
+        ),
+        "susan" => (
+            WorkloadInfo {
+                name: "susan",
+                source: "MiBench",
+                description: "image process algorithm",
+                paper_loc: 2_140,
+            },
+            susan(lines),
+        ),
+        "layer3" => (
+            WorkloadInfo {
+                name: "layer3",
+                source: "MiBench",
+                description: "mp3 audio lib",
+                paper_loc: 2_233,
+            },
+            layer3(lines),
+        ),
+        "jcmarker" => (
+            WorkloadInfo {
+                name: "jcmarker",
+                source: "MiBench",
+                description: "jpeg compose algorithm",
+                paper_loc: 1_444,
+            },
+            jcmarker(lines),
+        ),
+        "jdmarker" => (
+            WorkloadInfo {
+                name: "jdmarker",
+                source: "MiBench",
+                description: "jpeg decompose algorithm",
+                paper_loc: 2_068,
+            },
+            jdmarker(lines),
+        ),
+        "jcphuff" => (
+            WorkloadInfo {
+                name: "jcphuff",
+                source: "MiBench",
+                description: "jpeg Huffman entropy encoding routines",
+                paper_loc: 694,
+            },
+            jcphuff(lines),
+        ),
+        "gtk" => (
+            WorkloadInfo {
+                name: "gtk",
+                source: "MiBench",
+                description: "GTK plotting routines",
+                paper_loc: 949,
+            },
+            gtk(lines),
+        ),
+        "g72" => (
+            WorkloadInfo {
+                name: "g72",
+                source: "mediaBench",
+                description: "routines for G.721 and G.723 conversions",
+                paper_loc: 608,
+            },
+            g72(lines),
+        ),
+        "vga" => (
+            WorkloadInfo {
+                name: "vga",
+                source: "mediaBench",
+                description: "driver for Borland Graphics Interface",
+                paper_loc: 386,
+            },
+            vga(lines),
+        ),
+        "stc" => (
+            WorkloadInfo {
+                name: "stc",
+                source: "mediaBench",
+                description: "Epson Stylus-Color printer driver",
+                paper_loc: 492,
+            },
+            stc(lines),
+        ),
+        other => panic!("unknown ETE benchmark `{other}`"),
+    };
+    Workload { info, program }
+}
+
+/// Adds a one-shot streaming region sized so that the workload's
+/// single-path working set reaches `lines - margin` cache lines: the regime
+/// where a handful of wrong-path lines is enough to evict data that is
+/// still live, as in the paper's evaluation machine.
+fn fill_to_capacity(
+    b: &mut ProgramBuilder,
+    block: spec_ir::BlockId,
+    lines: u64,
+    one_path_lines: u64,
+    margin: u64,
+) {
+    let fill_blocks = lines.saturating_sub(one_path_lines + margin);
+    if fill_blocks == 0 {
+        return;
+    }
+    let fill = b.region("heap_fill", fill_blocks * 64, false);
+    preload_table(b, block, fill, fill_blocks * 64);
+}
+
+/// Builds the whole ETE suite scaled to `cache_lines`.
+pub fn ete_suite(cache_lines: u64) -> Vec<Workload> {
+    ETE_NAMES
+        .iter()
+        .map(|name| ete_workload(name, cache_lines))
+        .collect()
+}
+
+/// adpcm: a sample-processing loop over a coefficient table, a quantisation
+/// diamond per sample, and a final sweep that re-reads the coefficients.
+fn adpcm(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("adpcm");
+    let coeffs_blocks = lines / 2;
+    let coeffs = b.region("coeffs", coeffs_blocks * 64, false);
+    let samples = b.region("samples", (lines / 4) * 64, false);
+    let scratch = b.region("scratch", 32 * 64, false);
+    let state = b.region("state", 8, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, coeffs, coeffs_blocks * 64);
+    fill_to_capacity(&mut b, entry, lines, coeffs_blocks + lines / 4 + 8 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, samples, lines / 4, 64, 2, "samples");
+    let cur = branch_ladder(&mut b, cur, state, scratch, 8, "quant");
+    // Re-read the first coefficients: hits non-speculatively, may miss once
+    // the wrong-path scratch lines have evicted them.
+    let done = b.block("reread");
+    b.jump(cur, done);
+    b.load_sweep(done, coeffs, 0, 64, 8);
+    b.ret(done);
+    b.finish().expect("adpcm is well-formed")
+}
+
+/// susan: image smoothing — a 2-D-style double loop over the image plus a
+/// brightness-threshold diamond, then corner re-reads.
+fn susan(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("susan");
+    let image_blocks = lines / 2 + lines / 4;
+    let image = b.region("image", image_blocks * 64, false);
+    let mask = b.region("mask", 16 * 64, false);
+    let threshold = b.region("threshold", 8, false);
+    let scratch = b.region("scratch", 24 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, image, image_blocks * 64);
+    fill_to_capacity(&mut b, entry, lines, image_blocks + 16 + 3 + 6 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, mask, 16, 64, 3, "mask");
+    let cur = data_diamond(
+        &mut b,
+        cur,
+        threshold,
+        BranchSemantics::InputBit { bit: 0 },
+        &[(scratch, 0), (scratch, 64), (scratch, 128)],
+        &[(scratch, 192), (scratch, 256), (scratch, 320)],
+        "bright",
+    );
+    let cur = branch_ladder(&mut b, cur, threshold, scratch, 6, "corner");
+    let done = b.block("reread");
+    b.jump(cur, done);
+    b.load_sweep(done, image, 0, 64, 12);
+    b.ret(done);
+    b.finish().expect("susan is well-formed")
+}
+
+/// layer3: mp3 decoding — subband loops over two tables and a long ladder of
+/// window-switching decisions.
+fn layer3(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("layer3");
+    let subband = b.region("subband", (lines / 2) * 64, false);
+    let window = b.region("window", (lines / 8) * 64, false);
+    let flags = b.region("flags", 8, false);
+    let scratch = b.region("scratch", 48 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, subband, (lines / 2) * 64);
+    fill_to_capacity(&mut b, entry, lines, lines / 2 + lines / 8 + 16 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, window, lines / 8, 64, 2, "window");
+    let cur = branch_ladder(&mut b, cur, flags, scratch, 16, "win_switch");
+    let done = b.block("granule");
+    b.jump(cur, done);
+    b.load_sweep(done, subband, 0, 64, 16);
+    b.ret(done);
+    b.finish().expect("layer3 is well-formed")
+}
+
+/// jcmarker: JPEG marker writing — small tables, a handful of header
+/// decision diamonds.
+fn jcmarker(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("jcmarker");
+    let qtable = b.region("qtable", (lines / 2) * 64, false);
+    let header = b.region("header", 8, false);
+    let scratch = b.region("scratch", 16 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, qtable, (lines / 2) * 64);
+    fill_to_capacity(&mut b, entry, lines, lines / 2 + 5 + 1, 2);
+    let cur = branch_ladder(&mut b, entry, header, scratch, 5, "marker");
+    let done = b.block("emit");
+    b.jump(cur, done);
+    b.load_sweep(done, qtable, 0, 64, 10);
+    b.ret(done);
+    b.finish().expect("jcmarker is well-formed")
+}
+
+/// jdmarker: JPEG marker reading — like jcmarker but with more decision
+/// points (each marker type) and a scan loop.
+fn jdmarker(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("jdmarker");
+    let qtable = b.region("qtable", (lines / 2) * 64, false);
+    let scan = b.region("scan", (lines / 8) * 64, false);
+    let marker = b.region("marker", 8, false);
+    let scratch = b.region("scratch", 48 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, qtable, (lines / 2) * 64);
+    fill_to_capacity(&mut b, entry, lines, lines / 2 + lines / 8 + 20 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, scan, lines / 8, 64, 1, "scan");
+    let cur = branch_ladder(&mut b, cur, marker, scratch, 20, "marker");
+    let done = b.block("emit");
+    b.jump(cur, done);
+    b.load_sweep(done, qtable, 0, 64, 20);
+    b.ret(done);
+    b.finish().expect("jdmarker is well-formed")
+}
+
+/// jcphuff: progressive Huffman encoding — a couple of code-length diamonds
+/// over small tables (small program, few extra misses).
+fn jcphuff(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("jcphuff");
+    let codes = b.region("codes", (lines / 4) * 64, false);
+    let bits = b.region("bits", 8, false);
+    let scratch = b.region("scratch", 8 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, codes, (lines / 4) * 64);
+    let cur = branch_ladder(&mut b, entry, bits, scratch, 3, "code");
+    let done = b.block("flush");
+    b.jump(cur, done);
+    b.load_sweep(done, codes, 0, 64, 4);
+    b.ret(done);
+    b.finish().expect("jcphuff is well-formed")
+}
+
+/// gtk: plotting routines over a large framebuffer-like region (the paper
+/// notes its large data size) with clipping decisions.
+fn gtk(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("gtk");
+    let framebuffer = b.region("framebuffer", (lines - 8) * 64, false);
+    let clip = b.region("clip", 8, false);
+    let scratch = b.region("scratch", 16 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, framebuffer, (lines - 8) * 64);
+    let cur = branch_ladder(&mut b, entry, clip, scratch, 6, "clip");
+    let done = b.block("blit");
+    b.jump(cur, done);
+    b.load_sweep(done, framebuffer, 0, 64, 24);
+    b.ret(done);
+    b.finish().expect("gtk is well-formed")
+}
+
+/// g72: G.721/G.723 conversion — a predictor-update loop plus sign/magnitude
+/// diamonds over small state.
+fn g72(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("g72");
+    let state = b.region("state_table", (lines / 4) * 64, false);
+    let sign = b.region("sign", 8, false);
+    let scratch = b.region("scratch", 8 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, state, (lines / 4) * 64);
+    fill_to_capacity(&mut b, entry, lines, lines / 4 + 4 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, state, 6, 64, 2, "predictor");
+    let cur = branch_ladder(&mut b, cur, sign, scratch, 4, "sign");
+    let done = b.block("update");
+    b.jump(cur, done);
+    b.load_sweep(done, state, 0, 64, 6);
+    b.ret(done);
+    b.finish().expect("g72 is well-formed")
+}
+
+/// vga: graphics driver with a tiny working set and branches whose arms
+/// touch the *same* lines — the case where speculation changes nothing
+/// (the paper reports identical miss counts for vga).
+fn vga(lines: u64) -> Program {
+    let _ = lines;
+    let mut b = ProgramBuilder::new("vga");
+    let palette = b.region("palette", 4 * 64, false);
+    let mode = b.region("mode", 8, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, palette, 4 * 64);
+    // Both arms of every mode check touch the already-loaded palette.
+    let cur = data_diamond(
+        &mut b,
+        entry,
+        mode,
+        BranchSemantics::InputBit { bit: 0 },
+        &[(palette, 0)],
+        &[(palette, 64)],
+        "mode0",
+    );
+    let cur = data_diamond(
+        &mut b,
+        cur,
+        mode,
+        BranchSemantics::InputBit { bit: 1 },
+        &[(palette, 128)],
+        &[(palette, 192)],
+        "mode1",
+    );
+    let done = b.block("draw");
+    b.jump(cur, done);
+    b.load_sweep(done, palette, 0, 64, 4);
+    b.ret(done);
+    b.finish().expect("vga is well-formed")
+}
+
+/// stc: printer driver — a dithering loop over a line buffer plus colour
+/// plane decisions with cold per-plane tables.
+fn stc(lines: u64) -> Program {
+    let mut b = ProgramBuilder::new("stc");
+    let line_buf = b.region("line_buf", (lines / 2) * 64, false);
+    let plane = b.region("plane", 8, false);
+    let dither = b.region("dither", 24 * 64, false);
+    let entry = b.entry_block("entry");
+    preload_table(&mut b, entry, line_buf, (lines / 2) * 64);
+    fill_to_capacity(&mut b, entry, lines, lines / 2 + 8 + 1, 2);
+    let cur = counted_table_walk(&mut b, entry, line_buf, 8, 64, 1, "dither_loop");
+    let cur = branch_ladder(&mut b, cur, plane, dither, 8, "plane");
+    let done = b.block("emit");
+    b.jump(cur, done);
+    b.load_sweep(done, line_buf, 0, 64, 12);
+    b.ret(done);
+    b.finish().expect("stc is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_valid_workloads() {
+        let suite = ete_suite(64);
+        assert_eq!(suite.len(), 10);
+        for w in &suite {
+            w.program.validate().unwrap();
+            assert!(w.program.branch_count() >= 1, "{} has branches", w.name());
+            assert!(w.info.paper_loc > 0);
+        }
+        // Names are unique and ordered like the paper.
+        let names: Vec<&str> = suite.iter().map(Workload::name).collect();
+        assert_eq!(names, ETE_NAMES.to_vec());
+    }
+
+    #[test]
+    fn workloads_have_memory_dependent_branches_except_where_intended() {
+        let w = ete_workload("adpcm", 64);
+        let memory_branches = w
+            .program
+            .blocks()
+            .iter()
+            .filter_map(|blk| blk.term.condition())
+            .filter(|c| c.reads_memory())
+            .count();
+        assert!(memory_branches >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ETE benchmark")]
+    fn unknown_name_panics() {
+        ete_workload("nonesuch", 64);
+    }
+
+    #[test]
+    fn scaling_changes_program_size() {
+        let small = ete_workload("gtk", 32);
+        let large = ete_workload("gtk", 128);
+        assert!(large.program.memory_access_count() > small.program.memory_access_count());
+    }
+}

@@ -1,0 +1,63 @@
+//! # spec-workloads
+//!
+//! Synthetic benchmark programs standing in for the paper's evaluation
+//! suites (Section 7.1):
+//!
+//! * [`ete`] — ten real-time / embedded style programs mirroring the
+//!   Mälardalen and MiBench benchmarks of Table 3 (loops over data tables,
+//!   data-dependent branches whose arms touch different buffers).
+//! * [`crypto`] — ten table-driven cryptographic routines mirroring Table 4
+//!   (an S-box preloaded by the Figure 10 client, secret-indexed lookups,
+//!   data-dependent branches), each wrapped in the attacker-controlled
+//!   client harness.
+//! * [`motivating`] — the running examples of the paper: Figure 2
+//!   (execution-time / side-channel motivation), Figure 10 (client code),
+//!   Figure 11 (the loop that needs shadow variables).
+//! * [`quantl`] — the Figure 8 DSP routine (`quantl` from the G.722
+//!   codec) used for the Table 1 / Table 2 walkthrough.
+//!
+//! Every workload carries a [`WorkloadInfo`] describing which benchmark it
+//! models and the line count the paper reports for the original C code, so
+//! that the bench harness can regenerate the statistics tables.
+
+pub mod builders;
+pub mod crypto;
+pub mod ete;
+pub mod motivating;
+pub mod quantl;
+
+use spec_ir::Program;
+
+/// Metadata about a synthetic workload and the benchmark it models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// Origin of the original benchmark (e.g. "MiBench", "LibTomCrypt").
+    pub source: &'static str,
+    /// Short description from Table 3 / Table 4.
+    pub description: &'static str,
+    /// Lines of C code the paper reports for the original program.
+    pub paper_loc: usize,
+}
+
+/// A synthetic workload: its metadata plus the generated program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Metadata about the modelled benchmark.
+    pub info: WorkloadInfo,
+    /// The generated IR program.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Convenience accessor for the program name.
+    pub fn name(&self) -> &str {
+        self.info.name
+    }
+}
+
+pub use crypto::{crypto_suite, crypto_workload, CryptoParams};
+pub use ete::{ete_suite, ete_workload};
+pub use motivating::{figure10_client, figure11_program, figure2_program};
+pub use quantl::quantl_program;

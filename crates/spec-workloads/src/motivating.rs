@@ -1,0 +1,184 @@
+//! The paper's running examples: Figure 2, Figure 10 and Figure 11.
+
+use spec_ir::builder::ProgramBuilder;
+use spec_ir::{BranchSemantics, IndexExpr, MemRef, Program};
+
+/// The Figure 2 program: a placeholder array `ph` filling all but two cache
+/// lines, a branch over the uncached `p`, whose arms load `l1` or `l2`, and
+/// the final secret-indexed access `ph[k]`.
+///
+/// With `cache_lines = 512` this is exactly the paper's example: the
+/// non-speculative execution has 512 misses plus one hit, the mispredicted
+/// speculative execution has 513 observable misses plus one squashed miss.
+pub fn figure2_program(cache_lines: u64) -> Program {
+    assert!(cache_lines >= 4, "the example needs at least four cache lines");
+    let ph_lines = cache_lines - 2;
+    let mut b = ProgramBuilder::new("figure2");
+    let ph = b.region("ph", ph_lines * 64, false);
+    let l1 = b.region("l1", 64, false);
+    let l2 = b.region("l2", 64, false);
+    let p = b.region("p", 8, false);
+    let k = b.secret_region("k", 8);
+    let _ = k; // k is a register in the paper; it only taints the index below.
+
+    let entry = b.entry_block("entry");
+    let preload_h = b.block("preload_header");
+    let preload_b = b.block("preload_body");
+    let branch_bb = b.block("branch");
+    let then_bb = b.block("then");
+    let else_bb = b.block("else");
+    let done = b.block("done");
+
+    b.jump(entry, preload_h);
+    b.loop_branch(preload_h, ph_lines, preload_b, branch_bb);
+    b.load(preload_b, ph, IndexExpr::loop_indexed(64));
+    b.jump(preload_b, preload_h);
+    b.load(branch_bb, p, IndexExpr::Const(0));
+    b.data_branch(
+        branch_bb,
+        vec![MemRef::at(p, 0)],
+        BranchSemantics::InputBit { bit: 0 },
+        then_bb,
+        else_bb,
+    );
+    b.load(then_bb, l1, IndexExpr::Const(0));
+    b.jump(then_bb, done);
+    b.load(else_bb, l2, IndexExpr::Const(0));
+    b.jump(else_bb, done);
+    b.load(done, ph, IndexExpr::secret(64));
+    b.ret(done);
+    b.finish().expect("figure 2 program is well-formed")
+}
+
+/// The Figure 10 client program wrapped around an arbitrary "library"
+/// routine: preload the S-box, stream over an attacker-sized input buffer,
+/// run the routine, then perform the cipher's secret-indexed S-box lookups.
+///
+/// `buffer_bytes` is the attacker-controlled `BUF_SIZE`; sweeping it from 0
+/// to the cache capacity is how Table 7's rows are produced.
+pub fn figure10_client(routine: &Program, sbox_bytes: u64, buffer_bytes: u64) -> Program {
+    // The client wraps the routine; reports use the routine's benchmark name.
+    let mut b = ProgramBuilder::new(routine.name().to_string());
+    let sbox = b.region("sbox", sbox_bytes.max(64), false);
+    let in_buf = b.region("inBuf", buffer_bytes.max(64), false);
+    let key = b.secret_region("key", 32);
+    let _ = key;
+
+    let entry = b.entry_block("entry");
+    let after_routine = b.block("after_routine");
+    let encrypt = b.block("encrypt");
+
+    // Preload the S-box (lines 9-10 of Figure 10).
+    b.load_sweep(entry, sbox, 0, 64, sbox_bytes.max(64).div_ceil(64));
+    // Stream over the attacker-controlled input buffer (lines 11-12).
+    if buffer_bytes > 0 {
+        b.load_sweep(entry, in_buf, 0, 64, buffer_bytes.div_ceil(64));
+    }
+    // Call the library routine (line 13): inline its blocks.
+    let routine_entry = b.inline_program(routine, after_routine);
+    b.jump(entry, routine_entry);
+    // Finally, the cipher's secret-indexed table lookups (line 14).
+    b.jump(after_routine, encrypt);
+    b.load(encrypt, sbox, IndexExpr::secret(64));
+    b.load(encrypt, sbox, IndexExpr::secret(64));
+    b.ret(encrypt);
+    b.finish().expect("client program is well-formed")
+}
+
+/// The Figure 11 loop: `a` is loaded once, then a loop repeatedly takes one
+/// of two arms touching `b` or `c`; without the shadow-variable refinement
+/// the analysis spuriously evicts `a`.
+pub fn figure11_program(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new("figure11");
+    let a = b.region("a", 64, false);
+    let bc = b.region("bc", 2 * 64, false);
+    let _sel = b.region("sel", 8, false);
+
+    let entry = b.entry_block("entry");
+    let header = b.block("header");
+    let then_bb = b.block("then");
+    let else_bb = b.block("else");
+    let latch = b.block("latch");
+    let exit = b.block("exit");
+
+    b.load(entry, a, IndexExpr::Const(0));
+    b.jump(entry, header);
+    b.loop_branch(header, iterations, then_bb, exit);
+    // The inner branch is register-only in Figure 11 (its point is the join,
+    // not speculation).
+    b.branch(
+        then_bb,
+        spec_ir::Condition::register_only(BranchSemantics::InputBit { bit: 0 }),
+        latch,
+        else_bb,
+    );
+    b.load(else_bb, bc, IndexExpr::Const(64)); // c
+    b.jump(else_bb, latch);
+    b.load(latch, bc, IndexExpr::Const(0)); // b
+    b.jump(latch, header);
+    b.load(exit, a, IndexExpr::Const(0));
+    b.ret(exit);
+    b.finish().expect("figure 11 program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_the_expected_shape() {
+        let p = figure2_program(512);
+        assert_eq!(p.branch_count(), 2, "preload loop + the speculated branch");
+        assert_eq!(p.secret_regions().len(), 1);
+        // 510-line placeholder + l1 + l2 + p accesses + final secret access.
+        assert_eq!(p.memory_access_count(), 1 + 1 + 1 + 1 + 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four cache lines")]
+    fn figure2_rejects_tiny_caches() {
+        figure2_program(2);
+    }
+
+    #[test]
+    fn figure10_client_inlines_the_routine_and_adds_secret_lookups() {
+        let mut rb = ProgramBuilder::new("routine");
+        let t = rb.region("t", 128, false);
+        let e = rb.entry_block("entry");
+        rb.load(e, t, IndexExpr::Const(0));
+        rb.ret(e);
+        let routine = rb.finish().unwrap();
+
+        let client = figure10_client(&routine, 256, 1024);
+        assert!(client.region_by_name("sbox").is_some());
+        assert!(client.region_by_name("inBuf").is_some());
+        assert!(client.region_by_name("t").is_some(), "routine regions inlined");
+        let secret_accesses = client
+            .blocks()
+            .iter()
+            .flat_map(|blk| blk.memory_refs())
+            .filter(|m| m.index.is_secret_dependent())
+            .count();
+        assert_eq!(secret_accesses, 2);
+        client.validate().unwrap();
+    }
+
+    #[test]
+    fn figure10_client_with_empty_buffer_skips_the_buffer_sweep() {
+        let mut rb = ProgramBuilder::new("routine");
+        let e = rb.entry_block("entry");
+        rb.ret(e);
+        let routine = rb.finish().unwrap();
+        let client = figure10_client(&routine, 256, 0);
+        // Only the sbox preload (4 blocks) and the two secret lookups.
+        assert_eq!(client.memory_access_count(), 4 + 2);
+    }
+
+    #[test]
+    fn figure11_is_a_counted_loop_with_an_inner_diamond() {
+        let p = figure11_program(3);
+        assert_eq!(p.branch_count(), 2);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! The Figure 8 running example: the `quantl` routine from a G.722-style
+//! DSP codec (Mälardalen `adpcm`), used in the paper for the Table 1 /
+//! Table 2 fixed-point walkthrough.
+
+use spec_ir::builder::ProgramBuilder;
+use spec_ir::{BranchSemantics, IndexExpr, MemRef, Program};
+
+/// Builds the `quantl` routine of Figure 8.
+///
+/// Memory regions mirror the C code: the two 31-entry quantisation tables
+/// `quant26bt_pos` / `quant26bt_neg`, the 30-entry `decis_levl` table, and
+/// the scalar locals `wd`, `el`, `detl`, `decis`, `mil`, `ril` that the
+/// paper's cache-state tables track.  The decision loop searches
+/// `decis_levl` with a data-dependent exit (`wd <= decis`), and the final
+/// sign test selects one of the two quantisation tables — the branch the
+/// speculative analysis must model.
+pub fn quantl_program() -> Program {
+    let mut b = ProgramBuilder::new("quantl");
+    // 31 ints = 124 bytes each; they span two cache lines at 64 B/line.
+    let quant_pos = b.region("quant26bt_pos", 124, false);
+    let quant_neg = b.region("quant26bt_neg", 124, false);
+    let decis_levl = b.region("decis_levl", 120, false);
+    let wd = b.region("wd", 8, false);
+    let el = b.region("el", 8, false);
+    let detl = b.region("detl", 8, false);
+    let decis = b.region("decis", 8, false);
+    let mil = b.region("mil", 8, false);
+    let ril = b.region("ril", 8, false);
+
+    let bb1 = b.entry_block("bb1");
+    let bb2 = b.block("bb2");
+    let bb3 = b.block("bb3");
+    let bb4 = b.block("bb4");
+    let bb5 = b.block("bb5");
+    let bb6 = b.block("bb6");
+    let bb7 = b.block("bb7");
+    let bb8 = b.block("bb8");
+
+    // bb1: wd = my_abs(el)
+    b.load(bb1, el, IndexExpr::Const(0));
+    b.store(bb1, wd, IndexExpr::Const(0));
+    b.jump(bb1, bb2);
+
+    // bb2: loop header (mil = 0; mil < 30; mil++) — the exit condition also
+    // depends on `wd <= decis`, so the header reads memory.
+    b.load(bb2, mil, IndexExpr::Const(0));
+    b.data_branch(
+        bb2,
+        vec![MemRef::at(wd, 0), MemRef::at(decis, 0)],
+        BranchSemantics::Loop { trip_count: 3 },
+        bb3,
+        bb5,
+    );
+
+    // bb3: decis = (decis_levl[mil] * detl) >> 15
+    b.load(bb3, decis_levl, IndexExpr::loop_indexed(4));
+    b.load(bb3, detl, IndexExpr::Const(0));
+    b.compute(bb3, 2);
+    b.store(bb3, decis, IndexExpr::Const(0));
+    b.load(bb3, wd, IndexExpr::Const(0));
+    b.jump(bb3, bb4);
+
+    // bb4: mil++
+    b.load(bb4, mil, IndexExpr::Const(0));
+    b.store(bb4, mil, IndexExpr::Const(0));
+    b.jump(bb4, bb2);
+
+    // bb5: if (el >= 0)
+    b.load(bb5, el, IndexExpr::Const(0));
+    b.data_branch(
+        bb5,
+        vec![MemRef::at(el, 0)],
+        BranchSemantics::InputBit { bit: 0 },
+        bb6,
+        bb7,
+    );
+
+    // bb6: ril = quant26bt_pos[mil]
+    b.load(bb6, mil, IndexExpr::Const(0));
+    b.load(bb6, quant_pos, IndexExpr::input(4));
+    b.store(bb6, ril, IndexExpr::Const(0));
+    b.jump(bb6, bb8);
+
+    // bb7: ril = quant26bt_neg[mil]
+    b.load(bb7, mil, IndexExpr::Const(0));
+    b.load(bb7, quant_neg, IndexExpr::input(4));
+    b.store(bb7, ril, IndexExpr::Const(0));
+    b.jump(bb7, bb8);
+
+    // bb8: return ril
+    b.load(bb8, ril, IndexExpr::Const(0));
+    b.ret(bb8);
+
+    b.finish().expect("quantl program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantl_matches_the_figure_9_structure() {
+        let p = quantl_program();
+        assert_eq!(p.blocks().len(), 8);
+        assert_eq!(p.branch_count(), 2);
+        assert_eq!(p.regions().len(), 9);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn the_two_quant_tables_are_only_touched_in_the_branch_arms() {
+        let p = quantl_program();
+        let pos = p.region_by_name("quant26bt_pos").unwrap();
+        let neg = p.region_by_name("quant26bt_neg").unwrap();
+        let touching_blocks = |region| {
+            p.blocks()
+                .iter()
+                .filter(|blk| blk.memory_refs().any(|m| m.region == region))
+                .count()
+        };
+        assert_eq!(touching_blocks(pos), 1);
+        assert_eq!(touching_blocks(neg), 1);
+    }
+}

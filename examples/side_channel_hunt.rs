@@ -1,0 +1,37 @@
+//! Side-channel hunt over the crypto suite: runs the leak detector under
+//! both analyses and confirms findings empirically with the simulator.
+//!
+//! Run with `cargo run --release --example side_channel_hunt`.
+
+use spec_analysis::SideChannelComparison;
+use spec_workloads::crypto_suite;
+
+fn main() {
+    let cache_lines = 64u64;
+    let cache = spec_cache::CacheConfig::fully_associative(cache_lines as usize, 64);
+    let comparison = SideChannelComparison::new(cache);
+
+    println!(
+        "{:<10} {:>10}  {:<14} {:<14} {:<10}",
+        "benchmark", "buffer(B)", "baseline", "speculative", "simulator"
+    );
+    for (workload, buffer) in crypto_suite(cache_lines) {
+        let row = comparison.run(&workload.program, buffer);
+        println!(
+            "{:<10} {:>10}  {:<14} {:<14} {:<10}",
+            row.name,
+            row.buffer_bytes,
+            if row.nonspec_leak { "LEAK" } else { "leak-free" },
+            if row.spec_leak { "LEAK" } else { "leak-free" },
+            match row.empirically_confirmed {
+                Some(true) => "confirmed",
+                Some(false) => "not reproduced",
+                None => "-",
+            }
+        );
+    }
+    println!(
+        "\nPrograms proved leak-free by the classic analysis can still leak once a mispredicted \
+         branch drags extra lines into the cache — exactly the gap this analysis closes."
+    );
+}

@@ -1,0 +1,54 @@
+//! Reproduces the Figure 3 pipelined traces concretely: the same program,
+//! executed by the simulator with and without a mispredicted branch, plus a
+//! per-access event dump.
+//!
+//! Run with `cargo run --example simulator_trace`.
+
+use spec_sim::{PredictorKind, SimConfig, SimInput, Simulator};
+use spec_workloads::figure2_program;
+
+fn main() {
+    let cache_lines = 16u64;
+    let cache = spec_cache::CacheConfig::fully_associative(cache_lines as usize, 64);
+    let program = figure2_program(cache_lines);
+    let input = SimInput::new(1, 0);
+
+    let configs = [
+        ("non-speculative", SimConfig::non_speculative().with_cache(cache)),
+        (
+            "mispredicted speculation",
+            SimConfig::default()
+                .with_cache(cache)
+                .with_predictor(PredictorKind::AlwaysWrong),
+        ),
+    ];
+
+    for (label, config) in configs {
+        let report = Simulator::new(config).run(&program, &input);
+        println!("== {label} ==");
+        println!(
+            "  observable: {} misses, {} hits; squashed: {} misses; cycles: {}",
+            report.observable_misses,
+            report.observable_hits,
+            report.speculative_misses,
+            report.cycles
+        );
+        // Print the tail of the trace (the interesting part around the branch).
+        for event in report.events.iter().rev().take(6).rev() {
+            println!(
+                "  {:>12} {}[block {}]  {}{}",
+                program.block(event.block).label(),
+                program.region(event.mem_block.region).name,
+                event.mem_block.block_index,
+                if event.hit { "hit " } else { "MISS" },
+                if event.speculative { "  (squashed)" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!(
+        "The mispredicted run performs one extra (squashed) load; its eviction makes the final \
+         ph[k] access miss — the 512-miss-plus-one-hit vs. 513-miss contrast of Figure 3, \
+         scaled down to a {cache_lines}-line cache."
+    );
+}

@@ -1,0 +1,163 @@
+//! `specan` — analyse a program written in the textual IR format.
+//!
+//! ```text
+//! specan <program.spec> [--cache-lines N] [--baseline-only | --speculative-only]
+//!        [--merge-at-rollback] [--no-shadow]
+//! ```
+//!
+//! The tool parses the program (see `spec_ir::text` for the grammar), runs
+//! the non-speculative baseline and/or the speculative analysis, prints the
+//! per-access classification, and reports potential cache side-channel
+//! leaks.  See `examples/programs/victim.spec` for a ready-made input.
+
+use std::process::ExitCode;
+
+use spec_analysis::detect_leaks;
+use spec_cache::CacheConfig;
+use spec_core::{AnalysisOptions, AnalysisResult, CacheAnalysis};
+use spec_ir::text::parse_program;
+use spec_vcfg::MergeStrategy;
+
+struct Cli {
+    path: String,
+    cache_lines: usize,
+    run_baseline: bool,
+    run_speculative: bool,
+    merge_at_rollback: bool,
+    shadow: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        path: String::new(),
+        cache_lines: 512,
+        run_baseline: true,
+        run_speculative: true,
+        merge_at_rollback: false,
+        shadow: true,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cache-lines" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--cache-lines needs a value".to_string())?;
+                cli.cache_lines = value
+                    .parse()
+                    .map_err(|_| format!("`{value}` is not a number"))?;
+            }
+            "--baseline-only" => cli.run_speculative = false,
+            "--speculative-only" => cli.run_baseline = false,
+            "--merge-at-rollback" => cli.merge_at_rollback = true,
+            "--no-shadow" => cli.shadow = false,
+            "--help" | "-h" => return Err(usage()),
+            other if cli.path.is_empty() && !other.starts_with('-') => {
+                cli.path = other.to_string();
+            }
+            other => return Err(format!("unrecognised argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.path.is_empty() {
+        return Err(usage());
+    }
+    Ok(cli)
+}
+
+fn usage() -> String {
+    "usage: specan <program.spec> [--cache-lines N] [--baseline-only | --speculative-only] \
+     [--merge-at-rollback] [--no-shadow]"
+        .to_string()
+}
+
+fn print_report(label: &str, result: &AnalysisResult) {
+    println!("== {label} ==");
+    println!(
+        "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
+        result.access_count(),
+        result.must_hit_count(),
+        result.miss_count(),
+        result.speculative_miss_count()
+    );
+    println!(
+        "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
+        result.speculated_branches,
+        result.iterations(),
+        result.elapsed.as_secs_f64()
+    );
+    for access in result.accesses() {
+        if access.observable_hit && !access.is_speculative_miss() {
+            continue; // only report the interesting (possibly missing) accesses
+        }
+        println!(
+            "  {:>10}  {:<20} {}{}",
+            result.program.block(access.block).label(),
+            format!("{}[#{}]", access.region_name, access.inst_index),
+            if access.observable_hit { "hit, but may miss speculatively" } else { "may miss" },
+            if access.secret_dependent { "  [secret-indexed]" } else { "" }
+        );
+    }
+    let leaks = detect_leaks(result);
+    if leaks.secret_accesses == 0 {
+        println!("  no secret-indexed accesses: side-channel check not applicable");
+    } else if leaks.leak_detected() {
+        println!(
+            "  LEAK: {} of {} secret-indexed accesses may show secret-dependent timing",
+            leaks.findings.len(),
+            leaks.secret_accesses
+        );
+    } else {
+        println!("  no cache side-channel leak detected");
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&cli.path) {
+        Ok(source) => source,
+        Err(err) => {
+            eprintln!("cannot read `{}`: {err}", cli.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(program) => program,
+        Err(err) => {
+            eprintln!("cannot parse `{}`: {err}", cli.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
+    println!(
+        "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
+        program.name(),
+        program.blocks().len(),
+        program.instruction_count(),
+        program.branch_count(),
+        cli.cache_lines
+    );
+    if cli.run_baseline {
+        let result = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
+            .run(&program);
+        print_report("non-speculative baseline", &result);
+    }
+    if cli.run_speculative {
+        let mut options = AnalysisOptions::speculative()
+            .with_cache(cache)
+            .with_shadow(cli.shadow);
+        if cli.merge_at_rollback {
+            options = options.with_merge_strategy(MergeStrategy::MergeAtRollback);
+        }
+        let result = CacheAnalysis::new(options).run(&program);
+        print_report("speculative analysis", &result);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! # speculative-absint
+//!
+//! A Rust reproduction of *Abstract Interpretation under Speculative
+//! Execution* (Wu & Wang, PLDI 2019): a must-hit cache analysis that stays
+//! sound when the processor speculatively executes mispredicted branch
+//! paths, applied to worst-case execution-time estimation and cache timing
+//! side-channel detection.
+//!
+//! This crate is a thin facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ir`] | `spec-ir` | the program representation and CFG utilities |
+//! | [`cache`] | `spec-cache` | concrete and abstract cache models |
+//! | [`absint`] | `spec-absint` | the generic fixpoint framework |
+//! | [`vcfg`] | `spec-vcfg` | virtual control flow (speculation sites) |
+//! | [`core`] | `spec-core` | the speculative must-hit analysis |
+//! | [`sim`] | `spec-sim` | the concrete speculative-execution simulator |
+//! | [`analysis`] | `spec-analysis` | WCET estimation and leak detection |
+//! | [`workloads`] | `spec-workloads` | the synthetic evaluation suites |
+//!
+//! ## Example
+//!
+//! ```rust
+//! use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+//! use speculative_absint::cache::CacheConfig;
+//! use speculative_absint::workloads::figure2_program;
+//!
+//! let cache = CacheConfig::fully_associative(16, 64);
+//! let program = figure2_program(16);
+//! let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache));
+//! let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+//! assert!(speculative.run(&program).miss_count() > baseline.run(&program).miss_count());
+//! ```
+
+pub use spec_absint as absint;
+pub use spec_analysis as analysis;
+pub use spec_cache as cache;
+pub use spec_core as core;
+pub use spec_ir as ir;
+pub use spec_sim as sim;
+pub use spec_vcfg as vcfg;
+pub use spec_workloads as workloads;

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! construction through analysis to the applications, checked against the
+//! concrete simulator.
+
+use speculative_absint::analysis::{detect_leaks, EteComparison, SideChannelComparison};
+use speculative_absint::cache::CacheConfig;
+use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+use speculative_absint::sim::{PredictorKind, SimConfig, SimInput, Simulator};
+use speculative_absint::workloads::{crypto_suite, ete_suite, figure2_program, quantl_program};
+
+const LINES: u64 = 32;
+
+fn cache() -> CacheConfig {
+    CacheConfig::fully_associative(LINES as usize, 64)
+}
+
+#[test]
+fn figure2_results_match_the_paper_shape() {
+    let program = figure2_program(LINES);
+    let cache = cache();
+
+    // Concrete executions (Figure 3): N misses + 1 hit vs N+1 misses.
+    let non_spec = Simulator::new(SimConfig::non_speculative().with_cache(cache))
+        .run(&program, &SimInput::new(1, 0));
+    assert_eq!(non_spec.observable_misses, LINES);
+    assert_eq!(non_spec.observable_hits, 1);
+    let wrong = Simulator::new(
+        SimConfig::default()
+            .with_cache(cache)
+            .with_predictor(PredictorKind::AlwaysWrong),
+    )
+    .run(&program, &SimInput::new(1, 0));
+    assert_eq!(wrong.observable_misses, LINES + 1);
+    assert_eq!(wrong.speculative_misses, 1);
+
+    // Static analyses (Section 2): only the speculative one flags ph[k].
+    let base = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
+        .run(&program);
+    let spec =
+        CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    assert!(base.secret_accesses().next().unwrap().observable_hit);
+    assert!(!spec.secret_accesses().next().unwrap().observable_hit);
+}
+
+#[test]
+fn speculative_analysis_dominates_the_baseline_on_every_ete_workload() {
+    let comparison = EteComparison::new(cache());
+    for workload in ete_suite(LINES) {
+        let row = comparison.run(&workload.program);
+        assert!(
+            row.spec_miss >= row.nonspec_miss,
+            "{}: speculative analysis must be at least as conservative",
+            row.name
+        );
+        assert!(row.spec_wcet >= row.nonspec_wcet, "{}", row.name);
+    }
+}
+
+#[test]
+fn table7_shape_baseline_clean_speculation_splits_the_suite() {
+    let comparison = SideChannelComparison::new(cache()).with_confirmation(false);
+    let mut leaky = Vec::new();
+    for (workload, buffer) in crypto_suite(LINES) {
+        let row = comparison.run(&workload.program, buffer);
+        assert!(
+            !row.nonspec_leak,
+            "{}: the buffer is sized so the baseline proves leak freedom",
+            row.name
+        );
+        if row.spec_leak {
+            leaky.push(row.name.clone());
+        }
+    }
+    for expected in ["hash", "encoder", "chacha20", "ocb", "des"] {
+        assert!(leaky.contains(&expected.to_string()), "{expected} should leak");
+    }
+    for expected in ["aes", "str2key", "seed", "camellia", "salsa"] {
+        assert!(!leaky.contains(&expected.to_string()), "{expected} should not leak");
+    }
+}
+
+#[test]
+fn analysis_classification_is_sound_against_concrete_executions() {
+    // For a collection of programs, predictors and inputs: every access the
+    // speculative analysis declares a guaranteed (observable) hit must hit
+    // in every concrete execution's committed path.
+    let cache = cache();
+    let mut programs = vec![figure2_program(LINES), quantl_program()];
+    programs.extend(ete_suite(LINES).into_iter().map(|w| w.program));
+
+    let analysis = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+    for program in &programs {
+        let result = analysis.run(program);
+        for predictor in [
+            PredictorKind::AlwaysWrong,
+            PredictorKind::AlwaysTaken,
+            PredictorKind::AlwaysNotTaken,
+            PredictorKind::TwoBit,
+        ] {
+            let simulator = Simulator::new(
+                SimConfig::default().with_cache(cache).with_predictor(predictor),
+            );
+            for input_value in [0u64, 1, 5, 0xff] {
+                // The analysis runs on the unrolled program, which is an
+                // executable program in its own right: simulate that one so
+                // block/instruction coordinates line up.
+                let report =
+                    simulator.run(&result.program, &SimInput::new(input_value, input_value % 7));
+                for event in report.committed_events() {
+                    if event.hit {
+                        continue;
+                    }
+                    if let Some(access) = result.access_at(event.block, event.inst_index) {
+                        assert!(
+                            !access.observable_hit,
+                            "{}: access {}[{}] at {:?} was declared a must-hit but missed \
+                             (predictor {predictor:?}, input {input_value})",
+                            program.name(),
+                            access.region_name,
+                            access.inst_index,
+                            event.block,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn leak_verdicts_are_consistent_with_the_simulator() {
+    // Whenever the simulator observes secret-dependent timing, the
+    // speculative analysis must report a leak (the converse may not hold —
+    // the analysis is allowed to be conservative).
+    let cache = cache();
+    let analysis = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+    for (workload, _) in crypto_suite(LINES) {
+        let result = analysis.run(&workload.program);
+        let verdict = detect_leaks(&result).leak_detected();
+        let empirically = speculative_absint::analysis::confirm_leak_empirically(
+            &workload.program,
+            &SimConfig::default()
+                .with_cache(cache)
+                .with_predictor(PredictorKind::AlwaysWrong),
+            16,
+        );
+        assert!(
+            verdict || !empirically,
+            "{}: simulator observes a secret-dependent timing difference but the analysis \
+             reports no leak",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn quantl_walkthrough_has_more_pessimism_under_speculation() {
+    let program = quantl_program();
+    let cache = CacheConfig::fully_associative(16, 64);
+    let base =
+        CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache)).run(&program);
+    let spec = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    assert!(spec.miss_count() >= base.miss_count());
+    assert!(spec.speculated_branches >= 1);
+}

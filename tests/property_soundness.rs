@@ -1,0 +1,184 @@
+//! Property-based tests: the speculative analysis is sound for randomly
+//! generated programs, and the core cache-domain operations satisfy their
+//! lattice laws on random states.
+
+use proptest::prelude::*;
+
+use speculative_absint::cache::{AbstractCacheState, CacheAccess, CacheConfig, MemBlock};
+use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+use speculative_absint::ir::builder::ProgramBuilder;
+use speculative_absint::ir::{BranchSemantics, IndexExpr, MemRef, Program};
+use speculative_absint::sim::{PredictorKind, SimConfig, SimInput, Simulator};
+
+const LINES: usize = 8;
+
+/// A compact description of a random program: a preload size, a list of
+/// diamonds (each arm's accesses) and a list of final re-reads.
+#[derive(Clone, Debug)]
+struct RandomProgram {
+    preload_blocks: u64,
+    diamonds: Vec<(Vec<u64>, Vec<u64>)>,
+    rereads: Vec<u64>,
+    tail_secret_access: bool,
+}
+
+fn random_program_strategy() -> impl Strategy<Value = RandomProgram> {
+    let arm = proptest::collection::vec(0u64..12, 0..3);
+    (
+        1u64..10,
+        proptest::collection::vec((arm.clone(), arm), 0..4),
+        proptest::collection::vec(0u64..10, 0..4),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(preload_blocks, diamonds, rereads, tail_secret_access)| RandomProgram {
+                preload_blocks,
+                diamonds,
+                rereads,
+                tail_secret_access,
+            },
+        )
+}
+
+fn build(desc: &RandomProgram) -> Program {
+    let mut b = ProgramBuilder::new("random");
+    let table = b.region("table", 12 * 64, false);
+    let scratch = b.region("scratch", 12 * 64, false);
+    let flag = b.region("flag", 8, false);
+    let entry = b.entry_block("entry");
+    b.load_sweep(entry, table, 0, 64, desc.preload_blocks);
+    b.load(entry, flag, IndexExpr::Const(0));
+    let mut current = entry;
+    for (i, (then_arm, else_arm)) in desc.diamonds.iter().enumerate() {
+        let then_bb = b.block(format!("then{i}"));
+        let else_bb = b.block(format!("else{i}"));
+        let join = b.block(format!("join{i}"));
+        b.data_branch(
+            current,
+            vec![MemRef::at(flag, 0)],
+            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            then_bb,
+            else_bb,
+        );
+        for &block in then_arm {
+            b.load(then_bb, scratch, IndexExpr::Const(block * 64));
+        }
+        b.jump(then_bb, join);
+        for &block in else_arm {
+            b.load(else_bb, scratch, IndexExpr::Const(block * 64));
+        }
+        b.jump(else_bb, join);
+        current = join;
+    }
+    for &block in &desc.rereads {
+        b.load(current, table, IndexExpr::Const(block * 64));
+    }
+    if desc.tail_secret_access {
+        b.load(current, table, IndexExpr::secret(64));
+    }
+    b.ret(current);
+    b.finish().expect("generated program is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: every access the speculative analysis declares an
+    /// observable must-hit actually hits in every committed execution, even
+    /// with an adversarial branch predictor.
+    #[test]
+    fn must_hits_never_miss_concretely(desc in random_program_strategy(),
+                                       input_value in 0u64..16,
+                                       secret in 0u64..16) {
+        let program = build(&desc);
+        let cache = CacheConfig::fully_associative(LINES, 64);
+        let result = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache))
+            .run(&program);
+        for predictor in [PredictorKind::AlwaysWrong, PredictorKind::TwoBit] {
+            let report = Simulator::new(
+                SimConfig::default().with_cache(cache).with_predictor(predictor),
+            )
+            .run(&result.program, &SimInput::new(input_value, secret));
+            for event in report.committed_events() {
+                if event.hit {
+                    continue;
+                }
+                if let Some(access) = result.access_at(event.block, event.inst_index) {
+                    prop_assert!(
+                        !access.observable_hit,
+                        "access {}[{}] declared must-hit but missed concretely",
+                        access.region_name,
+                        access.inst_index
+                    );
+                }
+            }
+        }
+    }
+
+    /// The speculative analysis never claims more must-hits than the
+    /// non-speculative baseline (it only removes guarantees).
+    #[test]
+    fn speculation_only_removes_guarantees(desc in random_program_strategy()) {
+        let program = build(&desc);
+        let cache = CacheConfig::fully_associative(LINES, 64);
+        let base = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
+            .run(&program);
+        let spec = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache))
+            .run(&program);
+        prop_assert!(spec.miss_count() >= base.miss_count());
+        prop_assert_eq!(spec.access_count(), base.access_count());
+    }
+
+    /// Join is commutative, idempotent, and an upper bound w.r.t. must-hits
+    /// on random abstract cache states.
+    #[test]
+    fn abstract_join_laws(seq_a in proptest::collection::vec(0u64..16, 0..12),
+                          seq_b in proptest::collection::vec(0u64..16, 0..12)) {
+        let config = CacheConfig::fully_associative(4, 64);
+        let region = speculative_absint::ir::RegionId::from_raw(0);
+        let build_state = |seq: &[u64]| {
+            let mut s = AbstractCacheState::empty_cache(&config, true);
+            for &i in seq {
+                s.access(&config, &CacheAccess::Precise(MemBlock::new(region, i)), |_| 0);
+            }
+            s
+        };
+        let a = build_state(&seq_a);
+        let b = build_state(&seq_b);
+
+        let mut ab = a.clone();
+        ab.join_in_place(&b);
+        let mut ba = b.clone();
+        ba.join_in_place(&a);
+        prop_assert_eq!(&ab, &ba, "join is commutative");
+
+        let mut aa = a.clone();
+        prop_assert!(!aa.join_in_place(&a), "join is idempotent");
+
+        // Upper bound: a must-hit in the join is a must-hit in both inputs.
+        for i in 0..16 {
+            let block = MemBlock::new(region, i);
+            if ab.is_must_hit(block) {
+                prop_assert!(a.is_must_hit(block) && b.is_must_hit(block));
+            }
+        }
+    }
+
+    /// The concrete cache never reports a hit for a line that was not
+    /// previously accessed, and its resident set never exceeds capacity.
+    #[test]
+    fn concrete_cache_invariants(accesses in proptest::collection::vec(0u64..64, 1..200)) {
+        use speculative_absint::cache::ConcreteCache;
+        let mut cache = ConcreteCache::new(CacheConfig::set_associative(4, 2, 64));
+        let mut seen = std::collections::HashSet::new();
+        for &line in &accesses {
+            let outcome = cache.access(line);
+            if outcome.is_hit() {
+                prop_assert!(seen.contains(&line));
+            }
+            seen.insert(line);
+            prop_assert!(cache.resident_lines() <= 8);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+    }
+}
