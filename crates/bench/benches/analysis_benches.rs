@@ -1,10 +1,15 @@
-//! Criterion micro-benchmarks of the analyses and the simulator.
+//! Micro-benchmarks of the analyses and the simulator, with no external
+//! harness (`cargo bench` in this workspace must build offline).
 //!
 //! These measure the *cost* side of the paper's evaluation (the analysis-
 //! time columns of Tables 5–7) on a reduced scale so they finish quickly:
 //! the per-table regeneration binaries in `src/bin/` produce the full rows.
+//! Each benchmark reports the best-of-N wall-clock time, which is stable
+//! enough for the relative comparisons we care about (baseline vs.
+//! speculative, fresh runs vs. a prepared session).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use spec_analysis::detect_leaks;
 use spec_cache::CacheConfig;
 use spec_core::{AnalysisOptions, CacheAnalysis};
@@ -13,76 +18,147 @@ use spec_vcfg::MergeStrategy;
 use spec_workloads::{crypto_workload, ete_workload, figure2_program};
 
 const BENCH_LINES: u64 = 64;
+const SAMPLES: u32 = 5;
 
 fn cache() -> CacheConfig {
     CacheConfig::fully_associative(BENCH_LINES as usize, 64)
 }
 
+/// Runs `f` `SAMPLES` times and returns the fastest observed duration.
+fn best_of<F: FnMut()>(mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn report(group: &str, name: &str, time: Duration) {
+    println!("{group}/{name}: {:>12.3} ms", time.as_secs_f64() * 1e3);
+}
+
 /// Table 5's analysis-time columns: baseline vs. speculative analysis.
-fn bench_ete_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ete_analysis");
-    group.sample_size(10);
+fn bench_ete_analysis() {
     for name in ["adpcm", "jcphuff", "g72"] {
         let workload = ete_workload(name, BENCH_LINES);
-        let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache()));
-        let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache()));
-        group.bench_with_input(
-            BenchmarkId::new("non_speculative", name),
-            &workload,
-            |b, w| b.iter(|| baseline.run(&w.program).miss_count()),
+        let baseline = CacheAnalysis::new(
+            AnalysisOptions::builder()
+                .baseline()
+                .cache(cache())
+                .build()
+                .unwrap(),
         );
-        group.bench_with_input(
-            BenchmarkId::new("speculative", name),
-            &workload,
-            |b, w| b.iter(|| speculative.run(&w.program).miss_count()),
+        let speculative =
+            CacheAnalysis::new(AnalysisOptions::builder().cache(cache()).build().unwrap());
+        report(
+            "ete_analysis",
+            &format!("non_speculative/{name}"),
+            best_of(|| {
+                baseline.run(&workload.program).miss_count();
+            }),
+        );
+        report(
+            "ete_analysis",
+            &format!("speculative/{name}"),
+            best_of(|| {
+                speculative.run(&workload.program).miss_count();
+            }),
         );
     }
-    group.finish();
 }
 
 /// Table 6's analysis-time columns: merge-at-rollback vs. just-in-time.
-fn bench_merge_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_strategies");
-    group.sample_size(10);
+fn bench_merge_strategies() {
     let workload = ete_workload("jcmarker", BENCH_LINES);
     for (label, strategy) in [
         ("just_in_time", MergeStrategy::JustInTime),
         ("merge_at_rollback", MergeStrategy::MergeAtRollback),
     ] {
         let analysis = CacheAnalysis::new(
-            AnalysisOptions::speculative()
-                .with_cache(cache())
-                .with_merge_strategy(strategy),
+            AnalysisOptions::builder()
+                .cache(cache())
+                .merge_strategy(strategy)
+                .build()
+                .unwrap(),
         );
-        group.bench_function(label, |b| b.iter(|| analysis.run(&workload.program).miss_count()));
+        report(
+            "merge_strategies",
+            label,
+            best_of(|| {
+                analysis.run(&workload.program).miss_count();
+            }),
+        );
     }
-    group.finish();
 }
 
 /// Table 7's analysis-time columns: leak detection on a crypto client.
-fn bench_sidechannel_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sidechannel_analysis");
-    group.sample_size(10);
+fn bench_sidechannel_analysis() {
     let workload = crypto_workload("encoder", BENCH_LINES, 16 * 64);
     for (label, options) in [
-        ("non_speculative", AnalysisOptions::non_speculative().with_cache(cache())),
-        ("speculative", AnalysisOptions::speculative().with_cache(cache())),
+        (
+            "non_speculative",
+            AnalysisOptions::builder()
+                .baseline()
+                .cache(cache())
+                .build()
+                .unwrap(),
+        ),
+        (
+            "speculative",
+            AnalysisOptions::builder().cache(cache()).build().unwrap(),
+        ),
     ] {
         let analysis = CacheAnalysis::new(options);
-        group.bench_function(label, |b| {
-            b.iter(|| detect_leaks(&analysis.run(&workload.program)).leak_detected())
-        });
+        report(
+            "sidechannel_analysis",
+            label,
+            best_of(|| {
+                detect_leaks(&analysis.run(&workload.program)).leak_detected();
+            }),
+        );
     }
-    group.finish();
+}
+
+/// The session API's headline: many configurations of the same program,
+/// fresh `CacheAnalysis::run` calls vs. one `PreparedProgram::run_suite`.
+fn bench_session_suite() {
+    use spec_core::session::Analyzer;
+
+    let workload = ete_workload("g72", BENCH_LINES);
+    let configs = spec_core::session::comparison_configs(cache());
+
+    report(
+        "session_suite",
+        "fresh_runs_sequential",
+        best_of(|| {
+            for (_, options) in &configs {
+                CacheAnalysis::new(*options)
+                    .run(&workload.program)
+                    .miss_count();
+            }
+        }),
+    );
+    report(
+        "session_suite",
+        "prepared_run_suite",
+        best_of(|| {
+            let prepared = Analyzer::new().prepare(&workload.program);
+            prepared.run_suite(&configs).runs.len();
+        }),
+    );
 }
 
 /// The concrete simulator on the Figure 2 program (used by the Figure 3
 /// regeneration and the soundness tests).
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn bench_simulator() {
     let program = figure2_program(BENCH_LINES);
     for (label, config) in [
-        ("non_speculative", SimConfig::non_speculative().with_cache(cache())),
+        (
+            "non_speculative",
+            SimConfig::non_speculative().with_cache(cache()),
+        ),
         (
             "adversarial_speculation",
             SimConfig::default()
@@ -91,18 +167,22 @@ fn bench_simulator(c: &mut Criterion) {
         ),
     ] {
         let simulator = Simulator::new(config);
-        group.bench_function(label, |b| {
-            b.iter(|| simulator.run(&program, &SimInput::new(1, 0)).observable_misses)
-        });
+        report(
+            "simulator",
+            label,
+            best_of(|| {
+                let _ = simulator
+                    .run(&program, &SimInput::new(1, 0))
+                    .observable_misses;
+            }),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ete_analysis,
-    bench_merge_strategies,
-    bench_sidechannel_analysis,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    bench_ete_analysis();
+    bench_merge_strategies();
+    bench_sidechannel_analysis();
+    bench_session_suite();
+    bench_simulator();
+}

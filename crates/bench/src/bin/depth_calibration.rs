@@ -7,7 +7,10 @@ use spec_sim::{calibrate_windows, LatencyModel};
 
 fn main() {
     let rows: Vec<Vec<String>> = [
-        ("paper default (Alpha 21264-like O3CPU)", LatencyModel::default()),
+        (
+            "paper default (Alpha 21264-like O3CPU)",
+            LatencyModel::default(),
+        ),
         (
             "narrow in-order-ish core",
             LatencyModel {

@@ -2,7 +2,7 @@
 //! refinement keeps `a` in the cache, the original join evicts it.
 
 use spec_bench::{bench_cache, print_table, yes_no};
-use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_core::{AnalysisOptions, Analyzer};
 use spec_workloads::figure11_program;
 
 fn main() {
@@ -10,26 +10,45 @@ fn main() {
     let _ = bench_cache(); // the figure uses the paper's 4-line illustration cache
     let program = figure11_program(5);
 
-    let rows: Vec<Vec<String>> = [("original join", false), ("shadow variables", true)]
-        .into_iter()
-        .map(|(label, shadow)| {
-            let result = CacheAnalysis::new(
-                AnalysisOptions::speculative()
-                    .with_cache(cache)
-                    .with_shadow(shadow),
-            )
-            .run(&program);
+    // Both configurations share one prepared session (and, since the shadow
+    // refinement does not change the virtual control flow, one VCFG).
+    let prepared = Analyzer::new().prepare(&program);
+    let suite = prepared.run_suite(&[
+        (
+            "original join",
+            AnalysisOptions::builder()
+                .cache(cache)
+                .shadow(false)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "shadow variables",
+            AnalysisOptions::builder()
+                .cache(cache)
+                .shadow(true)
+                .build()
+                .unwrap(),
+        ),
+    ]);
+
+    let rows: Vec<Vec<String>> = suite
+        .runs
+        .iter()
+        .map(|run| {
+            let result = &run.result;
             // The re-read of `a` sits in the loop's exit block (the entry
             // block holds the initial, necessarily missing load).
             let final_access = result
                 .accesses()
                 .iter()
                 .find(|a| {
-                    a.region_name == "a" && result.program.block(a.block).label().starts_with("exit")
+                    a.region_name == "a"
+                        && result.program.block(a.block).label().starts_with("exit")
                 })
                 .expect("the exit block re-reads a");
             vec![
-                label.to_string(),
+                run.label.clone(),
                 yes_no(final_access.observable_hit),
                 result.miss_count().to_string(),
             ]

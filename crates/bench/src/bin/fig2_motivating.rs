@@ -3,7 +3,7 @@
 //! analysed (c) without and (d) with speculative execution modelled.
 
 use spec_bench::{bench_cache, bench_cache_lines, print_table, yes_no};
-use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_core::{AnalysisOptions, Analyzer};
 use spec_sim::{PredictorKind, SimConfig, SimInput, Simulator};
 use spec_workloads::figure2_program;
 
@@ -24,7 +24,12 @@ fn main() {
 
     print_table(
         &format!("Figure 3 — concrete executions ({lines}-line cache)"),
-        &["Execution", "Observable misses", "Observable hits", "Speculative misses"],
+        &[
+            "Execution",
+            "Observable misses",
+            "Observable hits",
+            "Speculative misses",
+        ],
         &[
             vec![
                 "non-speculative".to_string(),
@@ -42,11 +47,16 @@ fn main() {
     );
 
     // Static analyses (Section 2): is the final, secret-indexed access a
-    // guaranteed hit?
-    let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-        .run(&program);
-    let speculative =
-        CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    // guaranteed hit?  One prepared session serves both.
+    let prepared = Analyzer::new().prepare(&program);
+    let baseline = prepared.run(
+        &AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    );
+    let speculative = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
     let verdict = |r: &spec_core::AnalysisResult| {
         let access = r.secret_accesses().next().expect("ph[k] exists");
         (yes_no(access.observable_hit), r.miss_count())
@@ -57,8 +67,16 @@ fn main() {
         "Figure 2 — static analysis of the final `ph[k]` access",
         &["Analysis", "`ph[k]` guaranteed hit", "#Miss"],
         &[
-            vec!["non-speculative (prior work)".to_string(), base_hit, base_miss.to_string()],
-            vec!["speculative (this work)".to_string(), spec_hit, spec_miss.to_string()],
+            vec![
+                "non-speculative (prior work)".to_string(),
+                base_hit,
+                base_miss.to_string(),
+            ],
+            vec![
+                "speculative (this work)".to_string(),
+                spec_hit,
+                spec_miss.to_string(),
+            ],
         ],
     );
 }

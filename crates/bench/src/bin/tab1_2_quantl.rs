@@ -3,24 +3,30 @@
 //! and the speculative analysis.
 
 use spec_bench::{bench_cache, print_table};
-use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_core::{AnalysisOptions, Analyzer};
 use spec_workloads::quantl_program;
 
 fn main() {
     let cache = bench_cache();
     let program = quantl_program();
 
-    for (title, options) in [
+    let prepared = Analyzer::new().prepare(&program);
+    let suite = prepared.run_suite(&[
         (
             "Table 1 — cache regions fully cached per block (non-speculative)",
-            AnalysisOptions::non_speculative().with_cache(cache),
+            AnalysisOptions::builder()
+                .baseline()
+                .cache(cache)
+                .build()
+                .unwrap(),
         ),
         (
             "Table 2 — cache regions fully cached per block (speculative)",
-            AnalysisOptions::speculative().with_cache(cache),
+            AnalysisOptions::builder().cache(cache).build().unwrap(),
         ),
-    ] {
-        let result = CacheAnalysis::new(options).run(&program);
+    ]);
+    for run in &suite.runs {
+        let (title, result) = (&run.label, &run.result);
         let rows: Vec<Vec<String>> = result
             .accesses()
             .iter()
@@ -29,14 +35,24 @@ fn main() {
                 vec![
                     result.program.block(access.block).label(),
                     format!("{}[{}]", access.region_name, access.inst_index),
-                    if access.observable_hit { "hit" } else { "may miss" }.to_string(),
+                    if access.observable_hit {
+                        "hit"
+                    } else {
+                        "may miss"
+                    }
+                    .to_string(),
                     cached.join(", "),
                 ]
             })
             .collect();
         print_table(
             title,
-            &["Block", "Access", "Verdict", "Regions fully cached before the access"],
+            &[
+                "Block",
+                "Access",
+                "Verdict",
+                "Regions fully cached before the access",
+            ],
             &rows,
         );
     }

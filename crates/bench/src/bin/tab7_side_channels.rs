@@ -20,8 +20,7 @@ fn main() {
                 yes_no(row.nonspec_leak),
                 fmt_secs(row.spec_time),
                 yes_no(row.spec_leak),
-                row.empirically_confirmed
-                    .map_or("-".to_string(), yes_no),
+                row.empirically_confirmed.map_or("-".to_string(), yes_no),
             ]
         })
         .collect();

@@ -42,7 +42,10 @@ pub fn fmt_secs(d: Duration) -> String {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -50,7 +53,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 
 /// Renders a boolean as the paper's "Yes"/"No".
 pub fn yes_no(v: bool) -> String {
-    if v { "Yes".to_string() } else { "No".to_string() }
+    if v {
+        "Yes".to_string()
+    } else {
+        "No".to_string()
+    }
 }
 
 #[cfg(test)]

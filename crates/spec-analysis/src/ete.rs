@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use spec_cache::CacheConfig;
-use spec_core::{AnalysisOptions, AnalysisResult, CacheAnalysis};
+use spec_core::{AnalysisOptions, AnalysisResult, Analyzer};
 use spec_ir::Program;
 use spec_vcfg::MergeStrategy;
 
@@ -63,22 +63,51 @@ impl EteComparison {
     pub fn new(cache: CacheConfig) -> Self {
         Self {
             cache,
-            speculative: AnalysisOptions::speculative().with_cache(cache),
-            baseline: AnalysisOptions::non_speculative().with_cache(cache),
+            speculative: AnalysisOptions::builder()
+                .cache(cache)
+                .build()
+                .expect("default speculative options are valid"),
+            baseline: AnalysisOptions::builder()
+                .baseline()
+                .cache(cache)
+                .build()
+                .expect("default baseline options are valid"),
             miss_penalty: 100,
         }
     }
 
-    /// Overrides the speculative analysis options (cache is kept).
+    /// Overrides the speculative analysis options (the comparison's cache
+    /// is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is inconsistent (see
+    /// [`AnalysisOptions::validate`]) — e.g. a hand-constructed
+    /// configuration with `b_h > b_m` that never went through the builder.
     pub fn with_speculative_options(mut self, options: AnalysisOptions) -> Self {
-        self.speculative = options.with_cache(self.cache);
+        self.speculative = match options.to_builder().cache(self.cache).build() {
+            Ok(options) => options,
+            Err(err) => panic!("invalid speculative options override: {err}"),
+        };
         self
     }
 
-    /// Runs both analyses on one program.
+    /// Runs both analyses on one program, sharing one prepared session.
+    ///
+    /// The reported times are session times: shared preparation (loop
+    /// unrolling, the address map) is billed to the run that triggers it —
+    /// here the baseline, which runs first — and reused for free by the
+    /// other.  Use fresh [`spec_core::CacheAnalysis`] runs when each
+    /// configuration's standalone cost is the quantity of interest.
     pub fn run(&self, program: &Program) -> EteRow {
-        let base = CacheAnalysis::new(self.baseline).run(program);
-        let spec = CacheAnalysis::new(self.speculative).run(program);
+        self.run_prepared(&Analyzer::new().prepare(program))
+    }
+
+    /// Runs both analyses against an already prepared program.
+    pub fn run_prepared(&self, prepared: &spec_core::PreparedProgram) -> EteRow {
+        let program = prepared.program();
+        let base = prepared.run(&self.baseline);
+        let spec = prepared.run(&self.speculative);
         EteRow {
             name: program.name().to_string(),
             instructions: program.instruction_count(),
@@ -135,19 +164,30 @@ impl MergeComparison {
     /// Creates a comparison with the paper's default configuration.
     pub fn new(cache: CacheConfig) -> Self {
         Self {
-            rollback: AnalysisOptions::speculative()
-                .with_cache(cache)
-                .with_merge_strategy(MergeStrategy::MergeAtRollback),
-            jit: AnalysisOptions::speculative()
-                .with_cache(cache)
-                .with_merge_strategy(MergeStrategy::JustInTime),
+            rollback: AnalysisOptions::builder()
+                .cache(cache)
+                .merge_strategy(MergeStrategy::MergeAtRollback)
+                .build()
+                .expect("default rollback options are valid"),
+            jit: AnalysisOptions::builder()
+                .cache(cache)
+                .merge_strategy(MergeStrategy::JustInTime)
+                .build()
+                .expect("default JIT options are valid"),
         }
     }
 
-    /// Runs both strategies on one program.
+    /// Runs both strategies on one program, sharing one prepared session.
+    /// Times are session times (see [`EteComparison::run`]).
     pub fn run(&self, program: &Program) -> MergeRow {
-        let rollback = CacheAnalysis::new(self.rollback).run(program);
-        let jit = CacheAnalysis::new(self.jit).run(program);
+        self.run_prepared(&Analyzer::new().prepare(program))
+    }
+
+    /// Runs both strategies against an already prepared program.
+    pub fn run_prepared(&self, prepared: &spec_core::PreparedProgram) -> MergeRow {
+        let program = prepared.program();
+        let rollback = prepared.run(&self.rollback);
+        let jit = prepared.run(&self.jit);
         MergeRow {
             name: program.name().to_string(),
             rollback_time: rollback.elapsed,
@@ -223,8 +263,14 @@ mod tests {
     #[test]
     fn wcet_estimate_counts_misses_with_penalty() {
         let cache = CacheConfig::fully_associative(8, 64);
-        let result = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-            .run(&sample_program());
+        let result = spec_core::CacheAnalysis::new(
+            AnalysisOptions::builder()
+                .baseline()
+                .cache(cache)
+                .build()
+                .unwrap(),
+        )
+        .run(&sample_program());
         let bound = estimate_wcet_cycles(&result, 100);
         // 10 accesses, 9 of them possible misses (the final ph[0] hits).
         assert_eq!(result.access_count(), 10);

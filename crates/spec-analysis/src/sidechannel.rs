@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use spec_core::{AnalysisOptions, AnalysisResult, CacheAnalysis};
+use spec_core::{AnalysisOptions, AnalysisResult, Analyzer};
 use spec_ir::Program;
 use spec_sim::{PredictorKind, SimConfig, SimInput, Simulator};
 
@@ -104,8 +104,15 @@ impl SideChannelComparison {
     /// Creates a comparison with the paper's default configuration.
     pub fn new(cache: spec_cache::CacheConfig) -> Self {
         Self {
-            baseline: AnalysisOptions::non_speculative().with_cache(cache),
-            speculative: AnalysisOptions::speculative().with_cache(cache),
+            baseline: AnalysisOptions::builder()
+                .baseline()
+                .cache(cache)
+                .build()
+                .expect("default baseline options are valid"),
+            speculative: AnalysisOptions::builder()
+                .cache(cache)
+                .build()
+                .expect("default speculative options are valid"),
             confirm: true,
         }
     }
@@ -116,10 +123,22 @@ impl SideChannelComparison {
         self
     }
 
-    /// Runs leak detection on one program under both analyses.
+    /// Runs leak detection on one program under both analyses, sharing one
+    /// prepared session.  Times are session times: shared preparation is
+    /// billed to the baseline run, which goes first.
     pub fn run(&self, program: &Program, buffer_bytes: u64) -> SideChannelRow {
-        let base = CacheAnalysis::new(self.baseline).run(program);
-        let spec = CacheAnalysis::new(self.speculative).run(program);
+        self.run_prepared(&Analyzer::new().prepare(program), buffer_bytes)
+    }
+
+    /// Runs leak detection against an already prepared program.
+    pub fn run_prepared(
+        &self,
+        prepared: &spec_core::PreparedProgram,
+        buffer_bytes: u64,
+    ) -> SideChannelRow {
+        let program = prepared.program();
+        let base = prepared.run(&self.baseline);
+        let spec = prepared.run(&self.speculative);
         let base_report = detect_leaks(&base);
         let spec_report = detect_leaks(&spec);
         let empirically_confirmed = if self.confirm && spec_report.leak_detected() {
@@ -227,11 +246,8 @@ mod tests {
         );
         assert!(confirmed, "different secrets give different miss counts");
         // Without speculation the program is constant-time.
-        let not_confirmed = confirm_leak_empirically(
-            &program,
-            &SimConfig::non_speculative().with_cache(cache),
-            8,
-        );
+        let not_confirmed =
+            confirm_leak_empirically(&program, &SimConfig::non_speculative().with_cache(cache), 8);
         assert!(!not_confirmed);
     }
 
@@ -266,7 +282,8 @@ mod tests {
         let cache = CacheConfig::fully_associative(8, 64);
         let program = crypto_like(8);
         let result =
-            CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+            spec_core::CacheAnalysis::new(AnalysisOptions::builder().cache(cache).build().unwrap())
+                .run(&program);
         let report = detect_leaks(&result);
         assert_eq!(report.secret_accesses, 1);
         assert_eq!(report.findings.len(), 1);

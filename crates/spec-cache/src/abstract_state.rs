@@ -447,7 +447,11 @@ mod tests {
         s.access(&config, &CacheAccess::Precise(blk(0)), set_of);
         s.access(&config, &CacheAccess::Precise(blk(1)), set_of);
         s.access(&config, &CacheAccess::Precise(blk(2)), set_of); // same set as 0
-        assert_eq!(s.must_age(blk(0)), Some(2), "aged by the conflicting access");
+        assert_eq!(
+            s.must_age(blk(0)),
+            Some(2),
+            "aged by the conflicting access"
+        );
         assert_eq!(s.must_age(blk(1)), Some(1), "other set untouched");
         assert_eq!(s.must_age(blk(2)), Some(1));
     }
@@ -483,7 +487,7 @@ mod tests {
         let run = |track_shadow: bool| -> Option<Age> {
             let mut s = AbstractCacheState::empty_cache(&config, track_shadow);
             access(&mut s, &config, blk(100)); // a
-            // Five unrolled iterations of: (ref b | ref c) then join.
+                                               // Five unrolled iterations of: (ref b | ref c) then join.
             for _ in 0..5 {
                 let mut then_s = s.clone();
                 access(&mut then_s, &config, blk(101)); // b

@@ -1,19 +1,26 @@
-//! The analysis driver: unrolling, VCFG construction, dynamic depth
-//! bounding, fixpoint solving and classification.
+//! The analysis driver: fixpoint solving, dynamic depth bounding and
+//! classification over prepared artifacts.
+//!
+//! [`CacheAnalysis`] is the one-shot entry point; it is a thin wrapper over
+//! a single-use [`crate::session`].  Code that analyses the same program
+//! under several configurations should prepare it once with
+//! [`crate::session::Analyzer::prepare`] and reuse the
+//! [`crate::session::PreparedProgram`].
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use spec_absint::{SolveStats, WorklistSolver};
 use spec_cache::AddressMap;
-use spec_ir::transform::{unroll_counted_loops, UnrollReport};
-use spec_ir::{Cfg, LoopForest, Program};
+use spec_ir::transform::UnrollReport;
+use spec_ir::Program;
 use spec_vcfg::Vcfg;
 
 use crate::classify::{classify_accesses, AnalysisResult};
 use crate::engine::SpecProblem;
 use crate::options::AnalysisOptions;
-use crate::state::SpecState;
+use crate::session::{Analyzer, RoundCache, RoundResult};
 
 /// A configured must-hit cache analysis.
 ///
@@ -64,159 +71,209 @@ impl CacheAnalysis {
     }
 
     /// Runs the analysis on `program`.
+    ///
+    /// This prepares `program` in a throw-away session and runs the one
+    /// configuration; results are identical to
+    /// [`crate::session::PreparedProgram::run`] with the same options.
     pub fn run(&self, program: &Program) -> AnalysisResult {
-        let start = Instant::now();
-        let options = &self.options;
+        Analyzer::new().prepare(program).run(&self.options)
+    }
+}
 
-        // 1. Loop unrolling (Section 6.3).
-        let (analyzed, unroll) = if options.unroll_loops {
-            unroll_counted_loops(program, options.unroll)
-        } else {
-            (program.clone(), UnrollReport::default())
-        };
+/// Runs the fixpoint (with the dynamic depth-bounding refinement of
+/// Section 6.2 when enabled) and classification over prepared artifacts.
+///
+/// This is the shared back half of [`CacheAnalysis::run`] and
+/// [`crate::session::PreparedProgram::run`]: given the same artifacts and
+/// options it is deterministic, which is what makes session runs
+/// bit-identical to fresh runs.  Individual fixpoint rounds are memoized in
+/// `round_cache`, so configurations that revisit a round another
+/// configuration already solved (most prominently the shared zero-bounds
+/// seeding pass of dynamic depth bounding) skip straight to its result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_prepared(
+    options: &AnalysisOptions,
+    analyzed: &Arc<Program>,
+    unroll: UnrollReport,
+    vcfg: &Vcfg,
+    amap: &Arc<AddressMap>,
+    widen_nodes: &HashSet<usize>,
+    round_cache: &RoundCache,
+    start: Instant,
+) -> AnalysisResult {
+    let solver = WorklistSolver {
+        widening_delay: options.widening_delay,
+        ..WorklistSolver::default()
+    };
 
-        // 2. Memory layout and virtual control flow.
-        let amap = AddressMap::new(&analyzed, &options.cache);
-        let spec_config = if options.speculative {
-            options.speculation
-        } else {
-            // Zero-length windows: sites exist but no speculative flow is
-            // ever seeded, giving exactly the baseline Algorithm 1.
-            options.speculation.with_depths(0, 0)
-        };
-        let vcfg = Vcfg::build(&analyzed, spec_config);
+    let num_colors = vcfg.num_colors();
+    let mut total_stats = SolveStats::default();
+    let mut rounds = 0u32;
 
-        // 3. Widening points: headers of loops that survived unrolling.
-        let cfg = Cfg::new(&analyzed);
-        let forest = LoopForest::find(&analyzed, &cfg);
-        let widen_nodes: HashSet<usize> = forest
-            .loops()
+    /// Solves one round (or replays it from the cache), accumulating its
+    /// statistics exactly as a fresh solve would.  The returned problem is
+    /// freshly constructed either way — classification and the dynamic
+    /// depth-bounding checks need its topology.
+    #[allow(clippy::too_many_arguments)]
+    fn run_round<'a>(
+        solver: &WorklistSolver,
+        analyzed: &'a Program,
+        vcfg: &'a Vcfg,
+        amap: &'a AddressMap,
+        options: &AnalysisOptions,
+        widen_nodes: &HashSet<usize>,
+        bounds: Vec<u32>,
+        round_cache: &RoundCache,
+        total: &mut SolveStats,
+        rounds: &mut u32,
+    ) -> (SpecProblem<'a>, Arc<RoundResult>) {
+        let effective = options.effective_speculation();
+        let key = (
+            options.cache,
+            options.track_shadow,
+            options.widening_delay,
+            effective.depth_on_miss,
+            effective.merge_strategy,
+            bounds.clone(),
+        );
+        let mut problem = SpecProblem::new(
+            analyzed,
+            vcfg,
+            amap,
+            options.cache,
+            options.track_shadow,
+            bounds,
+            widen_nodes.clone(),
+        );
+        let round = round_cache.get_or_compute(key, || {
+            let (states, stats) = solver.solve(&mut problem);
+            (Arc::new(states), stats)
+        });
+        let stats = round.1;
+        total.node_visits += stats.node_visits;
+        total.state_updates += stats.state_updates;
+        total.max_worklist_len = total.max_worklist_len.max(stats.max_worklist_len);
+        *rounds += 1;
+        (problem, round)
+    }
+
+    // Fixpoint, with the dynamic depth-bounding refinement (Section 6.2)
+    // when enabled: start every speculating branch at the optimistic window
+    // `b_h` if a baseline pass proves its condition operands are hits, then
+    // verify against the sound speculative result and enlarge any window
+    // whose proof no longer holds, until stable.
+    let (problem, round) = if !options.speculative || num_colors == 0 {
+        run_round(
+            &solver,
+            analyzed,
+            vcfg,
+            amap,
+            options,
+            widen_nodes,
+            vec![0; num_colors],
+            round_cache,
+            &mut total_stats,
+            &mut rounds,
+        )
+    } else if !options.speculation.dynamic_depth_bounding {
+        run_round(
+            &solver,
+            analyzed,
+            vcfg,
+            amap,
+            options,
+            widen_nodes,
+            vec![options.speculation.depth_on_miss; num_colors],
+            round_cache,
+            &mut total_stats,
+            &mut rounds,
+        )
+    } else {
+        // Baseline pass (windows of zero) for the initial must-hit facts.
+        // Across a comparison suite this is the most frequently shared
+        // round: every dynamic-bounding configuration with the same cache,
+        // shadow and widening settings starts from it.
+        let (baseline_problem, baseline_round) = run_round(
+            &solver,
+            analyzed,
+            vcfg,
+            amap,
+            options,
+            widen_nodes,
+            vec![0; num_colors],
+            round_cache,
+            &mut total_stats,
+            &mut rounds,
+        );
+        let mut bounds: Vec<u32> = vcfg
+            .sites()
             .iter()
-            .map(|l| vcfg.graph().first_node_of_block(l.header).index())
+            .map(|site| {
+                let at_branch = &baseline_round.0[site.branch_node.index()].normal;
+                if baseline_problem.condition_is_must_hit(&site.condition_refs, at_branch) {
+                    options.speculation.depth_on_hit
+                } else {
+                    options.speculation.depth_on_miss
+                }
+            })
             .collect();
+        drop(baseline_problem);
+        drop(baseline_round);
 
-        let solver = WorklistSolver {
-            widening_delay: options.widening_delay,
-            ..WorklistSolver::default()
-        };
-
-        let num_colors = vcfg.num_colors();
-        let mut total_stats = SolveStats::default();
-        let mut rounds = 0u32;
-
-        #[allow(clippy::too_many_arguments, clippy::type_complexity)]
-        fn run_round<'a>(
-            solver: &WorklistSolver,
-            analyzed: &'a Program,
-            vcfg: &'a Vcfg,
-            amap: &'a AddressMap,
-            options: &AnalysisOptions,
-            widen_nodes: &HashSet<usize>,
-            bounds: Vec<u32>,
-            total: &mut SolveStats,
-            rounds: &mut u32,
-        ) -> (SpecProblem<'a>, Vec<SpecState>) {
-            let mut problem = SpecProblem::new(
+        loop {
+            let (problem, round) = run_round(
+                &solver,
                 analyzed,
                 vcfg,
                 amap,
-                options.cache,
-                options.track_shadow,
-                bounds,
-                widen_nodes.clone(),
+                options,
+                widen_nodes,
+                bounds.clone(),
+                round_cache,
+                &mut total_stats,
+                &mut rounds,
             );
-            let (states, stats) = solver.solve(&mut problem);
-            total.node_visits += stats.node_visits;
-            total.state_updates += stats.state_updates;
-            total.max_worklist_len = total.max_worklist_len.max(stats.max_worklist_len);
-            *rounds += 1;
-            (problem, states)
-        }
-
-        // 4. Fixpoint, with the dynamic depth-bounding refinement
-        //    (Section 6.2) when enabled: start every speculating branch at
-        //    the optimistic window `b_h` if a baseline pass proves its
-        //    condition operands are hits, then verify against the sound
-        //    speculative result and enlarge any window whose proof no longer
-        //    holds, until stable.
-        let (problem, states) = if !options.speculative || num_colors == 0 {
-            run_round(
-                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
-                vec![0; num_colors], &mut total_stats, &mut rounds,
-            )
-        } else if !options.speculation.dynamic_depth_bounding {
-            run_round(
-                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
-                vec![options.speculation.depth_on_miss; num_colors],
-                &mut total_stats, &mut rounds,
-            )
-        } else {
-            // Baseline pass (windows of zero) for the initial must-hit facts.
-            let (baseline_problem, baseline_states) = run_round(
-                &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
-                vec![0; num_colors], &mut total_stats, &mut rounds,
-            );
-            let mut bounds: Vec<u32> = vcfg
+            // Verify every optimistic window against the sound result.
+            let violations: Vec<usize> = vcfg
                 .sites()
                 .iter()
-                .map(|site| {
-                    let at_branch = &baseline_states[site.branch_node.index()].normal;
-                    if baseline_problem.condition_is_must_hit(&site.condition_refs, at_branch) {
-                        options.speculation.depth_on_hit
-                    } else {
-                        options.speculation.depth_on_miss
+                .enumerate()
+                .filter(|(i, site)| {
+                    bounds[*i] < options.speculation.depth_on_miss && {
+                        let at_branch = &round.0[site.branch_node.index()].normal;
+                        !problem.condition_is_must_hit(&site.condition_refs, at_branch)
                     }
                 })
+                .map(|(i, _)| i)
                 .collect();
-            drop(baseline_problem);
-            drop(baseline_states);
-
-            loop {
-                let (problem, states) = run_round(
-                    &solver, &analyzed, &vcfg, &amap, options, &widen_nodes,
-                    bounds.clone(), &mut total_stats, &mut rounds,
-                );
-                // Verify every optimistic window against the sound result.
-                let violations: Vec<usize> = vcfg
-                    .sites()
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, site)| {
-                        bounds[*i] < options.speculation.depth_on_miss && {
-                            let at_branch = &states[site.branch_node.index()].normal;
-                            !problem.condition_is_must_hit(&site.condition_refs, at_branch)
-                        }
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                if violations.is_empty() {
-                    break (problem, states);
-                }
-                for i in violations {
-                    bounds[i] = options.speculation.depth_on_miss;
-                }
+            if violations.is_empty() {
+                break (problem, round);
             }
-        };
-
-        // 5. Classification.
-        let accesses = classify_accesses(&problem, &vcfg, &states);
-        let bounds = problem.bounds.clone();
-        let speculated_branches = vcfg.num_speculated_branches();
-        drop(problem);
-
-        AnalysisResult {
-            program: analyzed,
-            address_map: amap,
-            cache: options.cache,
-            states,
-            accesses,
-            stats: total_stats,
-            rounds,
-            unroll,
-            speculated_branches,
-            colors: num_colors,
-            bounds,
-            elapsed: start.elapsed(),
+            for i in violations {
+                bounds[i] = options.speculation.depth_on_miss;
+            }
         }
+    };
+
+    // Classification.
+    let states = &round.0;
+    let accesses = classify_accesses(&problem, vcfg, states);
+    let bounds = problem.bounds.clone();
+    let speculated_branches = vcfg.num_speculated_branches();
+    drop(problem);
+
+    AnalysisResult {
+        program: Arc::clone(analyzed),
+        address_map: Arc::clone(amap),
+        cache: options.cache,
+        states: Arc::clone(&round.0),
+        accesses,
+        stats: total_stats,
+        rounds,
+        unroll,
+        speculated_branches,
+        colors: num_colors,
+        bounds,
+        elapsed: start.elapsed(),
     }
 }

@@ -1,5 +1,6 @@
 //! Classification of memory accesses and the analysis result type.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use spec_absint::SolveStats;
@@ -55,16 +56,20 @@ impl AccessInfo {
 }
 
 /// Result of one analysis run.
+///
+/// The program, address map and fixed-point states are shared (`Arc`) with
+/// the session that produced them, so constructing a result from memoized
+/// artifacts costs reference bumps, not deep copies.
 #[derive(Debug)]
 pub struct AnalysisResult {
     /// The program that was actually analysed (after unrolling).
-    pub program: Program,
+    pub program: Arc<Program>,
     /// Memory layout used by the analysis.
-    pub address_map: AddressMap,
+    pub address_map: Arc<AddressMap>,
     /// Cache geometry used by the analysis.
     pub cache: CacheConfig,
     /// Per-node abstract states at the fixed point (indexed by node).
-    pub states: Vec<SpecState>,
+    pub states: Arc<Vec<SpecState>>,
     /// Classification of every memory access.
     pub accesses: Vec<AccessInfo>,
     /// Solver statistics, accumulated over all rounds of the dynamic
@@ -88,7 +93,10 @@ impl AnalysisResult {
     /// Number of accesses that may miss in a committed execution
     /// (the paper's `#Miss`).
     pub fn miss_count(&self) -> usize {
-        self.accesses.iter().filter(|a| a.is_possible_miss()).count()
+        self.accesses
+            .iter()
+            .filter(|a| a.is_possible_miss())
+            .count()
     }
 
     /// Number of accesses that may miss while executed speculatively
@@ -201,7 +209,9 @@ pub(crate) fn classify_accesses(
 
         let inst_index = match graph.kind(node) {
             spec_vcfg::NodeKind::Inst { index, .. } => index,
-            spec_vcfg::NodeKind::Terminator { .. } => unreachable!("terminators do not access memory"),
+            spec_vcfg::NodeKind::Terminator { .. } => {
+                unreachable!("terminators do not access memory")
+            }
         };
         infos.push(AccessInfo {
             node,

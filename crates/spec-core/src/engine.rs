@@ -85,15 +85,18 @@ impl<'a> SpecProblem<'a> {
             .enumerate()
             .map(|(from, set)| {
                 let from_node = NodeId::from_raw(from as u32);
-                set.into_iter()
+                let mut targets: Vec<usize> = set
+                    .into_iter()
                     .filter(|to| {
                         // Keep only targets that are not already plain successors.
-                        !graph
-                            .successors(from_node)
-                            .iter()
-                            .any(|s| s.index() == *to)
+                        !graph.successors(from_node).iter().any(|s| s.index() == *to)
                     })
-                    .collect()
+                    .collect();
+                // Sorted order keeps the worklist schedule — and with it the
+                // solver statistics — deterministic across runs; hash-set
+                // iteration order would otherwise leak into `successors()`.
+                targets.sort_unstable();
+                targets
             })
             .collect();
         Self {

@@ -1,0 +1,56 @@
+//! Minimal JSON emission helpers.
+//!
+//! The workspace builds offline with no external crates, so report
+//! serialization ([`crate::session::Report::to_json`] and the `specan
+//! --json` outputs) hand-writes its JSON through these helpers instead of
+//! pulling in serde.  Only the pieces those emitters need are provided:
+//! string escaping and finite float formatting.
+
+/// Renders `s` as a quoted JSON string with the mandatory escapes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (non-finite values become `null`).
+pub fn float(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\t"), "\"a\\nb\\t\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_finite_json_numbers() {
+        assert_eq!(float(0.5), "0.500000");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+    }
+}

@@ -53,20 +53,36 @@
 //! let program = b.finish().unwrap();
 //!
 //! // With a 4-line cache, the non-speculative analysis proves the final
-//! // access hits, but speculation can evict it.
+//! // access hits, but speculation can evict it.  Preparing the program once
+//! // shares the unrolled program, address map and VCFG between the runs.
 //! let cache = CacheConfig::fully_associative(4, 64);
-//! let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache));
-//! let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
-//! assert!(baseline.run(&program).miss_count() < speculative.run(&program).miss_count());
+//! let prepared = spec_core::Analyzer::new().prepare(&program);
+//! let suite = prepared.run_suite(&[
+//!     ("baseline", AnalysisOptions::builder().baseline().cache(cache).build().unwrap()),
+//!     ("speculative", AnalysisOptions::builder().cache(cache).build().unwrap()),
+//! ]);
+//! assert!(
+//!     suite.get("baseline").unwrap().result.miss_count()
+//!         < suite.get("speculative").unwrap().result.miss_count()
+//! );
 //! ```
+//!
+//! One-shot analyses keep working through [`CacheAnalysis`], which is a thin
+//! wrapper over a single-use session; comparative code should use
+//! [`session::Analyzer::prepare`] and run many configurations against one
+//! [`session::PreparedProgram`] (concurrently, via
+//! [`session::PreparedProgram::run_suite`]).
 
 pub mod analysis;
 pub mod classify;
 mod engine;
+pub mod json;
 pub mod options;
+pub mod session;
 pub mod state;
 
 pub use analysis::CacheAnalysis;
 pub use classify::{AccessInfo, AnalysisResult};
-pub use options::AnalysisOptions;
+pub use options::{AnalysisOptions, AnalysisOptionsBuilder, OptionsError};
+pub use session::{Analyzer, PreparedProgram, Report, ReportRow, Suite, SuiteRun};
 pub use state::SpecState;

@@ -1,11 +1,32 @@
-//! Analysis configuration.
+//! Analysis configuration: [`AnalysisOptions`] and its validating builder.
+
+use std::error::Error;
+use std::fmt;
 
 use spec_cache::CacheConfig;
 use spec_ir::transform::UnrollOptions;
 use spec_vcfg::{MergeStrategy, SpeculationConfig};
 
 /// Configuration of a must-hit cache analysis run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Construct one with a preset ([`AnalysisOptions::speculative`],
+/// [`AnalysisOptions::non_speculative`]) or with the validating
+/// [`AnalysisOptions::builder`]:
+///
+/// ```rust
+/// use spec_core::AnalysisOptions;
+/// use spec_cache::CacheConfig;
+/// use spec_vcfg::MergeStrategy;
+///
+/// let options = AnalysisOptions::builder()
+///     .cache(CacheConfig::fully_associative(64, 64))
+///     .merge_strategy(MergeStrategy::MergeAtRollback)
+///     .shadow(false)
+///     .build()
+///     .unwrap();
+/// assert!(options.speculative);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AnalysisOptions {
     /// Cache geometry.
     pub cache: CacheConfig,
@@ -48,40 +69,189 @@ impl AnalysisOptions {
         }
     }
 
-    /// Replaces the cache configuration.
-    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
-        self.cache = cache;
-        self
+    /// A validating builder, starting from the speculative preset.
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder {
+            options: Self::speculative(),
+        }
     }
 
-    /// Replaces the speculation configuration.
-    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
-        self.speculation = speculation;
-        self
+    /// A builder seeded with this configuration, for deriving variants.
+    pub fn to_builder(self) -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { options: self }
     }
 
-    /// Replaces the merge strategy.
-    pub fn with_merge_strategy(mut self, strategy: MergeStrategy) -> Self {
-        self.speculation.merge_strategy = strategy;
-        self
+    /// Checks the configuration for inconsistencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OptionsError`] violated by this configuration.
+    pub fn validate(&self) -> Result<(), OptionsError> {
+        if self.cache.line_size == 0 {
+            return Err(OptionsError::ZeroCacheLineSize);
+        }
+        if self.cache.num_sets == 0 || self.cache.associativity == 0 {
+            return Err(OptionsError::EmptyCache);
+        }
+        if self.speculation.depth_on_hit > self.speculation.depth_on_miss {
+            return Err(OptionsError::InvertedSpeculationDepths {
+                depth_on_hit: self.speculation.depth_on_hit,
+                depth_on_miss: self.speculation.depth_on_miss,
+            });
+        }
+        if self.unroll_loops
+            && (self.unroll.max_trip_count == 0 || self.unroll.max_program_insts == 0)
+        {
+            return Err(OptionsError::EmptyUnrollBudget);
+        }
+        Ok(())
     }
 
-    /// Enables or disables the shadow-variable refinement.
-    pub fn with_shadow(mut self, track_shadow: bool) -> Self {
-        self.track_shadow = track_shadow;
-        self
-    }
-
-    /// Enables or disables loop unrolling.
-    pub fn with_unrolling(mut self, unroll_loops: bool) -> Self {
-        self.unroll_loops = unroll_loops;
-        self
+    /// The speculation configuration actually in force: with `speculative`
+    /// off, the windows collapse to zero, which reproduces exactly the
+    /// baseline Algorithm 1 (sites exist but no speculative flow is seeded).
+    pub(crate) fn effective_speculation(&self) -> SpeculationConfig {
+        if self.speculative {
+            self.speculation
+        } else {
+            self.speculation.with_depths(0, 0)
+        }
     }
 }
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
         Self::speculative()
+    }
+}
+
+/// An inconsistency in an [`AnalysisOptions`] under construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptionsError {
+    /// The cache line size is zero.
+    ZeroCacheLineSize,
+    /// The cache has zero sets or zero ways.
+    EmptyCache,
+    /// `b_h` exceeds `b_m`: the window for a resolved-fast branch cannot be
+    /// larger than the window for a slow one (Section 6.2).
+    InvertedSpeculationDepths {
+        /// The configured `b_h`.
+        depth_on_hit: u32,
+        /// The configured `b_m`.
+        depth_on_miss: u32,
+    },
+    /// Unrolling is enabled but its budget admits no unrolling at all.
+    EmptyUnrollBudget,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroCacheLineSize => write!(f, "cache line size must be non-zero"),
+            Self::EmptyCache => write!(f, "cache must have at least one set and one way"),
+            Self::InvertedSpeculationDepths {
+                depth_on_hit,
+                depth_on_miss,
+            } => write!(
+                f,
+                "speculation window on hit (b_h = {depth_on_hit}) exceeds the window on miss \
+                 (b_m = {depth_on_miss})"
+            ),
+            Self::EmptyUnrollBudget => {
+                write!(f, "loop unrolling is enabled but its budget is empty")
+            }
+        }
+    }
+}
+
+impl Error for OptionsError {}
+
+/// Validating builder for [`AnalysisOptions`].
+///
+/// Unset knobs keep the values of the paper's speculative configuration;
+/// [`AnalysisOptionsBuilder::build`] rejects inconsistent combinations.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisOptionsBuilder {
+    options: AnalysisOptions,
+}
+
+impl AnalysisOptionsBuilder {
+    /// Sets the cache geometry.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.options.cache = cache;
+        self
+    }
+
+    /// Enables or disables modelling of speculative executions.
+    pub fn speculative(mut self, speculative: bool) -> Self {
+        self.options.speculative = speculative;
+        self
+    }
+
+    /// Selects the non-speculative baseline (shorthand for
+    /// `speculative(false)`).
+    pub fn baseline(self) -> Self {
+        self.speculative(false)
+    }
+
+    /// Replaces the whole speculation configuration.
+    pub fn speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.options.speculation = speculation;
+        self
+    }
+
+    /// Sets the merge strategy for speculative states (Figure 6).
+    pub fn merge_strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.options.speculation.merge_strategy = strategy;
+        self
+    }
+
+    /// Sets the speculation windows `b_h` / `b_m` (Section 6.2).
+    pub fn speculation_depths(mut self, depth_on_hit: u32, depth_on_miss: u32) -> Self {
+        self.options.speculation.depth_on_hit = depth_on_hit;
+        self.options.speculation.depth_on_miss = depth_on_miss;
+        self
+    }
+
+    /// Enables or disables the dynamic depth-bounding refinement.
+    pub fn dynamic_depth_bounding(mut self, enabled: bool) -> Self {
+        self.options.speculation.dynamic_depth_bounding = enabled;
+        self
+    }
+
+    /// Enables or disables the shadow-variable refinement (Appendix B).
+    pub fn shadow(mut self, track_shadow: bool) -> Self {
+        self.options.track_shadow = track_shadow;
+        self
+    }
+
+    /// Enables or disables loop unrolling (Section 6.3).
+    pub fn unroll_loops(mut self, unroll_loops: bool) -> Self {
+        self.options.unroll_loops = unroll_loops;
+        self
+    }
+
+    /// Sets the unrolling budget.
+    pub fn unroll_options(mut self, unroll: UnrollOptions) -> Self {
+        self.options.unroll = unroll;
+        self
+    }
+
+    /// Sets the number of precise joins before widening at loop heads.
+    pub fn widening_delay(mut self, widening_delay: u32) -> Self {
+        self.options.widening_delay = widening_delay;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptionsError`] for inconsistent combinations, e.g. an
+    /// empty cache or `b_h > b_m`.
+    pub fn build(self) -> Result<AnalysisOptions, OptionsError> {
+        self.options.validate()?;
+        Ok(self.options)
     }
 }
 
@@ -101,15 +271,83 @@ mod tests {
     }
 
     #[test]
-    fn builder_setters() {
-        let o = AnalysisOptions::speculative()
-            .with_cache(CacheConfig::fully_associative(4, 64))
-            .with_merge_strategy(MergeStrategy::MergeAtRollback)
-            .with_shadow(false)
-            .with_unrolling(false);
+    fn builder_sets_every_knob() {
+        let o = AnalysisOptions::builder()
+            .cache(CacheConfig::fully_associative(4, 64))
+            .merge_strategy(MergeStrategy::MergeAtRollback)
+            .shadow(false)
+            .unroll_loops(false)
+            .widening_delay(7)
+            .speculation_depths(5, 50)
+            .dynamic_depth_bounding(false)
+            .build()
+            .unwrap();
         assert_eq!(o.cache.total_lines(), 4);
         assert_eq!(o.speculation.merge_strategy, MergeStrategy::MergeAtRollback);
         assert!(!o.track_shadow);
         assert!(!o.unroll_loops);
+        assert_eq!(o.widening_delay, 7);
+        assert_eq!(o.speculation.depth_on_hit, 5);
+        assert_eq!(o.speculation.depth_on_miss, 50);
+        assert!(!o.speculation.dynamic_depth_bounding);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_depths() {
+        let err = AnalysisOptions::builder()
+            .speculation_depths(100, 10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OptionsError::InvertedSpeculationDepths { .. }
+        ));
+        assert!(err.to_string().contains("b_h = 100"));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_caches() {
+        let empty = AnalysisOptions::builder()
+            .cache(CacheConfig::fully_associative(0, 64))
+            .build()
+            .unwrap_err();
+        assert_eq!(empty, OptionsError::EmptyCache);
+        let zero_line = AnalysisOptions::builder()
+            .cache(CacheConfig::fully_associative(4, 0))
+            .build()
+            .unwrap_err();
+        assert_eq!(zero_line, OptionsError::ZeroCacheLineSize);
+    }
+
+    #[test]
+    fn builder_rejects_empty_unroll_budget() {
+        use spec_ir::transform::UnrollOptions;
+        let err = AnalysisOptions::builder()
+            .unroll_options(UnrollOptions {
+                max_program_insts: 0,
+                max_trip_count: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, OptionsError::EmptyUnrollBudget);
+        // ... but an empty budget is fine when unrolling is off entirely.
+        AnalysisOptions::builder()
+            .unroll_loops(false)
+            .unroll_options(UnrollOptions {
+                max_program_insts: 0,
+                max_trip_count: 0,
+            })
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn effective_speculation_collapses_windows_for_the_baseline() {
+        let base = AnalysisOptions::non_speculative();
+        let eff = base.effective_speculation();
+        assert_eq!(eff.depth_on_hit, 0);
+        assert_eq!(eff.depth_on_miss, 0);
+        let spec = AnalysisOptions::speculative();
+        assert_eq!(spec.effective_speculation(), spec.speculation);
     }
 }

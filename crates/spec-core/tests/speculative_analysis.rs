@@ -47,8 +47,12 @@ fn figure2_program(lines: u64) -> (Program, RegionId) {
 fn options_with_lines(lines: usize) -> (AnalysisOptions, AnalysisOptions) {
     let cache = CacheConfig::fully_associative(lines, 64);
     (
-        AnalysisOptions::non_speculative().with_cache(cache),
-        AnalysisOptions::speculative().with_cache(cache),
+        AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+        AnalysisOptions::builder().cache(cache).build().unwrap(),
     )
 }
 
@@ -106,15 +110,19 @@ fn merge_at_rollback_is_at_most_as_precise_as_just_in_time() {
     let (program, _) = figure2_program(16);
     let cache = CacheConfig::fully_associative(16, 64);
     let jit = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_merge_strategy(MergeStrategy::JustInTime),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .merge_strategy(MergeStrategy::JustInTime)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     let rollback = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_merge_strategy(MergeStrategy::MergeAtRollback),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .merge_strategy(MergeStrategy::MergeAtRollback)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     assert!(
@@ -197,28 +205,36 @@ fn dynamic_depth_bounding_does_not_change_soundness_verdicts() {
     let (program, _) = figure2_program(16);
     let cache = CacheConfig::fully_associative(16, 64);
     let with_bounding = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_speculation(
-                spec_vcfg::SpeculationConfig::paper_default().with_dynamic_depth_bounding(true),
-            ),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .dynamic_depth_bounding(true)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     let without_bounding = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_speculation(
-                spec_vcfg::SpeculationConfig::paper_default().with_dynamic_depth_bounding(false),
-            ),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .dynamic_depth_bounding(false)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     // The final secret access is flagged as a possible miss either way.
-    assert!(!with_bounding.secret_accesses().next().unwrap().observable_hit);
-    assert!(!without_bounding
-        .secret_accesses()
-        .next()
-        .unwrap()
-        .observable_hit);
+    assert!(
+        !with_bounding
+            .secret_accesses()
+            .next()
+            .unwrap()
+            .observable_hit
+    );
+    assert!(
+        !without_bounding
+            .secret_accesses()
+            .next()
+            .unwrap()
+            .observable_hit
+    );
     // Bounding may only reduce (never increase) the number of misses.
     assert!(with_bounding.miss_count() <= without_bounding.miss_count());
     assert!(with_bounding.rounds >= 1);
@@ -231,17 +247,22 @@ fn short_speculation_window_limits_the_damage() {
     let (program, _) = figure2_program(16);
     let cache = CacheConfig::fully_associative(16, 64);
     let no_window = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_speculation(
-                spec_vcfg::SpeculationConfig::paper_default()
-                    .with_depths(0, 0)
-                    .with_dynamic_depth_bounding(false),
-            ),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .speculation_depths(0, 0)
+            .dynamic_depth_bounding(false)
+            .build()
+            .unwrap(),
     )
     .run(&program);
-    let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-        .run(&program);
+    let baseline = CacheAnalysis::new(
+        AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    )
+    .run(&program);
     assert_eq!(no_window.miss_count(), baseline.miss_count());
     assert_eq!(no_window.speculative_miss_count(), 0);
 }
@@ -280,15 +301,19 @@ fn shadow_refinement_only_improves_precision() {
 
     let cache = CacheConfig::fully_associative(4, 64);
     let with_shadow = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_shadow(true),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .shadow(true)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     let without_shadow = CacheAnalysis::new(
-        AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_shadow(false),
+        AnalysisOptions::builder()
+            .cache(cache)
+            .shadow(false)
+            .build()
+            .unwrap(),
     )
     .run(&program);
     assert!(

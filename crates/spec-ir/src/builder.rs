@@ -211,7 +211,12 @@ impl ProgramBuilder {
         then_bb: BlockId,
         else_bb: BlockId,
     ) -> &mut Self {
-        self.branch(block, Condition::new(depends_on, semantics), then_bb, else_bb)
+        self.branch(
+            block,
+            Condition::new(depends_on, semantics),
+            then_bb,
+            else_bb,
+        )
     }
 
     // ----- composition -----------------------------------------------------
@@ -247,8 +252,7 @@ impl ProgramBuilder {
 
         let base = self.blocks.len() as u32;
         let map_block = |b: BlockId| BlockId::from_raw(base + b.0);
-        let map_ref =
-            |m: MemRef| MemRef::new(region_map[m.region.index()], m.index);
+        let map_ref = |m: MemRef| MemRef::new(region_map[m.region.index()], m.index);
 
         for block in other.blocks() {
             let insts = block

@@ -335,8 +335,7 @@ mod tests {
         assert_eq!(rpo[0], entry);
         assert_eq!(rpo.len(), 5);
         // Every block appears before its dominated successors.
-        let pos =
-            |b: BlockId| rpo.iter().position(|x| *x == b).expect("in rpo");
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).expect("in rpo");
         for blk in p.blocks() {
             for s in cfg.successors(blk.id) {
                 if cfg.dominates(blk.id, *s) {

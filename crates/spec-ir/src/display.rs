@@ -20,10 +20,21 @@ impl fmt::Display for Program {
             }
         }
         for block in self.blocks() {
-            let marker = if block.id == self.entry() { " entry" } else { "" };
+            let marker = if block.id == self.entry() {
+                " entry"
+            } else {
+                ""
+            };
             writeln!(f, "block {}{marker}:", block.label())?;
             for inst in &block.insts {
-                writeln!(f, "  {}", DisplayInst { program: self, inst })?;
+                writeln!(
+                    f,
+                    "  {}",
+                    DisplayInst {
+                        program: self,
+                        inst
+                    }
+                )?;
             }
             writeln!(
                 f,

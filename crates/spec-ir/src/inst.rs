@@ -10,7 +10,6 @@ use crate::ids::{BlockId, RegionId};
 /// offset at run time, and the side-channel detector needs to know whether
 /// the offset is derived from secret data.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IndexExpr {
     /// A statically known byte offset into the region.
     Const(u64),
@@ -62,7 +61,6 @@ impl IndexExpr {
 
 /// A reference to memory: a region plus an offset expression.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemRef {
     /// The region being accessed.
     pub region: RegionId,
@@ -87,7 +85,6 @@ impl MemRef {
 /// Only memory behaviour and latency are modelled; arithmetic is abstracted
 /// into [`Inst::Compute`] because it has no effect on the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Inst {
     /// Read from memory.
     Load(MemRef),
@@ -121,7 +118,6 @@ impl Inst {
 /// by the loop unroller.  The abstract analysis treats every branch as able
 /// to go either way.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BranchSemantics {
     /// A counted loop back-edge test: the *then* target is taken for the
     /// first `trip_count` evaluations at this branch site, after which the
@@ -147,7 +143,6 @@ pub enum BranchSemantics {
 /// A branch condition: which memory must be read to evaluate it, plus its
 /// concrete semantics for simulation.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Condition {
     /// Memory locations that must be loaded to resolve the condition.
     ///
@@ -197,7 +192,6 @@ impl Condition {
 
 /// Block terminator.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

@@ -69,9 +69,7 @@ impl LoopForest {
                     let header = *succ;
                     let latch = block.id;
                     let body = natural_loop_body(cfg, header, latch);
-                    if let Some(existing) =
-                        loops.iter_mut().find(|l| l.header == header)
-                    {
+                    if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
                         existing.latches.push(latch);
                         existing.body.extend(body);
                     } else {
@@ -217,11 +215,7 @@ mod tests {
         let outer = forest.innermost_containing(outer_latch).unwrap();
         assert_eq!(outer.header, outer_h);
         // inner loop is nested in outer: outer contains inner header.
-        let outer_loop = forest
-            .loops()
-            .iter()
-            .find(|l| l.header == outer_h)
-            .unwrap();
+        let outer_loop = forest.loops().iter().find(|l| l.header == outer_h).unwrap();
         assert!(outer_loop.contains(inner_h));
         assert!(outer_loop.contains(inner_body));
     }

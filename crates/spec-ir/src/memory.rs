@@ -8,7 +8,6 @@
 
 /// A contiguous, named memory region declared by a [`crate::Program`].
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryRegion {
     /// Human-readable name (e.g. `"sbox"`, `"decis_levl"`).
     pub name: String,

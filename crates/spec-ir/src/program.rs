@@ -9,7 +9,6 @@ use crate::memory::MemoryRegion;
 
 /// A basic block: a straight-line instruction sequence plus one terminator.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BasicBlock {
     /// Identifier of this block within its program.
     pub id: BlockId,
@@ -39,7 +38,6 @@ impl BasicBlock {
 /// direct construction is possible but [`Program::validate`] should be called
 /// before handing the program to an analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Program {
     name: String,
     regions: Vec<MemoryRegion>,

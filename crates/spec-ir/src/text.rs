@@ -43,6 +43,10 @@ struct Parser<'a> {
     lines: Vec<(usize, &'a str)>,
 }
 
+/// A block body collected in the first parsing pass: source line, label,
+/// instructions, terminator and whether it is the entry block.
+type PendingBlock = (usize, String, Vec<Inst>, Option<PendingTerm>, bool);
+
 #[derive(Debug)]
 enum PendingTerm {
     Jump(String),
@@ -77,9 +81,7 @@ impl<'a> Parser<'a> {
         let mut iter = self.lines.into_iter().peekable();
 
         // Header.
-        let (line, first) = iter
-            .next()
-            .ok_or_else(|| Self::err(0, "empty input"))?;
+        let (line, first) = iter.next().ok_or_else(|| Self::err(0, "empty input"))?;
         let name = first
             .strip_prefix("program ")
             .ok_or_else(|| Self::err(line, "expected `program <name>`"))?
@@ -116,9 +118,9 @@ impl<'a> Parser<'a> {
         // Blocks: first pass collects labels and bodies, second pass wires
         // terminators (labels may be forward references).
         let mut block_ids: HashMap<String, BlockId> = HashMap::new();
-        let mut bodies: Vec<(usize, String, Vec<Inst>, Option<PendingTerm>, bool)> = Vec::new();
+        let mut bodies: Vec<PendingBlock> = Vec::new();
 
-        let mut current: Option<(usize, String, Vec<Inst>, Option<PendingTerm>, bool)> = None;
+        let mut current: Option<PendingBlock> = None;
         for (line, l) in iter {
             if let Some(rest) = l.strip_prefix("block ") {
                 if let Some(block) = current.take() {
@@ -177,7 +179,9 @@ impl<'a> Parser<'a> {
                     .copied()
                     .ok_or_else(|| Self::err(line, format!("unknown block label `{lbl}`")))
             };
-            match term.ok_or_else(|| Self::err(line, format!("block `{label}` lacks a terminator")))? {
+            match term
+                .ok_or_else(|| Self::err(line, format!("block `{label}` lacks a terminator")))?
+            {
                 PendingTerm::Jump(target) => {
                     builder.jump(id, lookup(&target)?);
                 }
@@ -273,7 +277,11 @@ impl<'a> Parser<'a> {
                     .ok_or_else(|| Self::err(line, "unterminated mem(...) clause"))?;
                 let refs_text = &rest[..close];
                 let mut refs = Vec::new();
-                for piece in refs_text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                for piece in refs_text
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                {
                     refs.push(Self::parse_ref(line, piece)?);
                 }
                 (refs, rest[close + 1..].trim())
@@ -294,8 +302,7 @@ impl<'a> Parser<'a> {
     fn parse_semantics(line: usize, text: &str) -> IrResult<BranchSemantics> {
         let text = text.trim();
         let parse_arg = |prefix: &str| -> Option<&str> {
-            text.strip_prefix(prefix)
-                .and_then(|r| r.strip_suffix(')'))
+            text.strip_prefix(prefix).and_then(|r| r.strip_suffix(')'))
         };
         if let Some(arg) = parse_arg("loop(") {
             let trip_count = arg
@@ -442,8 +449,8 @@ block merge:
 
     #[test]
     fn reports_unknown_region() {
-        let err = parse_program("program x\nblock e entry:\n  load nothere[0]\n  ret\n")
-            .unwrap_err();
+        let err =
+            parse_program("program x\nblock e entry:\n  load nothere[0]\n  ret\n").unwrap_err();
         match err {
             IrError::Parse { line, message } => {
                 assert_eq!(line, 3);
@@ -461,8 +468,7 @@ block merge:
 
     #[test]
     fn reports_unknown_label() {
-        let err =
-            parse_program("program x\nblock e entry:\n  jump nowhere\n").unwrap_err();
+        let err = parse_program("program x\nblock e entry:\n  jump nowhere\n").unwrap_err();
         assert!(matches!(err, IrError::Parse { .. }));
     }
 

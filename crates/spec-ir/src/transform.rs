@@ -12,7 +12,7 @@ use crate::loops::LoopForest;
 use crate::program::{BasicBlock, Program};
 
 /// Options controlling loop unrolling.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct UnrollOptions {
     /// Unrolling is abandoned for a loop if it would push the program past
     /// this many straight-line instructions.
@@ -71,11 +71,7 @@ pub fn unroll_counted_loops(program: &Program, options: UnrollOptions) -> (Progr
             .cloned();
         let Some(lp) = candidate else { break };
         let trip = lp.trip_count.expect("filtered on counted loops");
-        let body_insts: usize = lp
-            .body
-            .iter()
-            .map(|b| current.block(*b).insts.len())
-            .sum();
+        let body_insts: usize = lp.body.iter().map(|b| current.block(*b).insts.len()).sum();
         let projected = current.instruction_count() + body_insts * trip as usize;
         if trip > options.max_trip_count || projected > options.max_program_insts {
             report.skipped_loops += 1;
@@ -277,8 +273,13 @@ fn unroll_single_loop(program: &Program, lp: &crate::loops::Loop, trip: u64) -> 
     } else {
         id_of_old[program.entry().index()].expect("entry was copied")
     };
-    Program::new(program.name(), program.regions().to_vec(), new_blocks, entry)
-        .expect("unrolling preserves validity")
+    Program::new(
+        program.name(),
+        program.regions().to_vec(),
+        new_blocks,
+        entry,
+    )
+    .expect("unrolling preserves validity")
 }
 
 /// Concretises loop-indexed accesses for iteration `k`.
@@ -298,7 +299,6 @@ fn concretize_inst(program: &Program, inst: &Inst, k: u64) -> Inst {
         other => *other,
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -138,6 +138,9 @@ mod tests {
             p.update(site(1), false);
         }
         assert!(!p.predict(site(1), false));
-        assert!(p.predict(site(9), true), "untrained site starts weakly taken");
+        assert!(
+            p.predict(site(9), true),
+            "untrained site starts weakly taken"
+        );
     }
 }

@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use spec_cache::{AddressMap, CacheConfig, ConcreteCache};
-use spec_ir::{
-    BlockId, BranchSemantics, Condition, IndexExpr, Inst, MemRef, Program, Terminator,
-};
+use spec_ir::{BlockId, BranchSemantics, Condition, IndexExpr, Inst, MemRef, Program, Terminator};
 
 use crate::input::SimInput;
 use crate::predictor::{BranchPredictor, Predictor, PredictorKind};
@@ -535,7 +533,10 @@ mod tests {
         let sim = Simulator::default();
         let hit = sim.run(&p, &SimInput::with_secret(0));
         let miss = sim.run(&p, &SimInput::with_secret(1));
-        assert_eq!(hit.observable_misses, 1, "secret 0 re-touches the cached line");
+        assert_eq!(
+            hit.observable_misses, 1,
+            "secret 0 re-touches the cached line"
+        );
         assert_eq!(miss.observable_misses, 2, "secret 1 touches a cold line");
         assert_ne!(hit.cycles, miss.cycles, "timing depends on the secret");
     }
@@ -555,7 +556,10 @@ mod tests {
         b.ret(exit);
         let p = b.finish().unwrap();
         let report = Simulator::default().run(&p, &SimInput::default());
-        assert_eq!(report.observable_misses, 4, "each iteration touches a new line");
+        assert_eq!(
+            report.observable_misses, 4,
+            "each iteration touches a new line"
+        );
         let touched: std::collections::HashSet<u64> = report
             .events
             .iter()
@@ -595,6 +599,9 @@ mod tests {
         let p = b.finish().unwrap();
         let config = SimConfig::default().with_cache(CacheConfig::fully_associative(2, 64));
         let report = Simulator::new(config).run(&p, &SimInput::default());
-        assert_eq!(report.observable_misses, 4, "t[0] was evicted before its reuse");
+        assert_eq!(
+            report.observable_misses, 4,
+            "t[0] was evicted before its reuse"
+        );
     }
 }

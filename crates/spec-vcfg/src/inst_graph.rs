@@ -181,7 +181,11 @@ impl InstGraph {
 
     /// The branch condition evaluated at `node`, if it is a conditional
     /// branch terminator.
-    pub fn branch_condition<'p>(&self, program: &'p Program, node: NodeId) -> Option<&'p Condition> {
+    pub fn branch_condition<'p>(
+        &self,
+        program: &'p Program,
+        node: NodeId,
+    ) -> Option<&'p Condition> {
         match self.kind(node) {
             NodeKind::Terminator { block } => program.block(block).term.condition(),
             NodeKind::Inst { .. } => None,
@@ -205,11 +209,7 @@ impl InstGraph {
     /// edges, up to `max_distance` instructions.  The start node has
     /// distance 1 ("one speculatively executed instruction"); terminator
     /// nodes are free (they do not consume speculation budget).
-    pub fn distances_within(
-        &self,
-        start: NodeId,
-        max_distance: u32,
-    ) -> HashMap<NodeId, u32> {
+    pub fn distances_within(&self, start: NodeId, max_distance: u32) -> HashMap<NodeId, u32> {
         let mut dist: HashMap<NodeId, u32> = HashMap::new();
         let start_cost = match self.kind(start) {
             NodeKind::Inst { .. } => 1,
@@ -287,10 +287,7 @@ mod tests {
         let (p, entry, ..) = branchy_program();
         let g = InstGraph::new(&p);
         assert_eq!(g.entry(), g.first_node_of_block(entry));
-        assert!(matches!(
-            g.kind(g.entry()),
-            NodeKind::Inst { index: 0, .. }
-        ));
+        assert!(matches!(g.kind(g.entry()), NodeKind::Inst { index: 0, .. }));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub enum MergeStrategy {
 }
 
 /// Parameters of the speculative-execution model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SpeculationConfig {
     /// Maximum number of speculatively executed instructions when the
     /// branch condition's operands are guaranteed cache hits (`b_h`,

@@ -58,12 +58,9 @@ impl Vcfg {
                 let color = Color(sites.len() as u32);
                 let speculated_entry = graph.first_node_of_block(speculated_block);
                 let resume_entry = graph.first_node_of_block(resume_block);
-                let spec_distance =
-                    graph.distances_within(speculated_entry, config.depth_on_miss);
+                let spec_distance = graph.distances_within(speculated_entry, config.depth_on_miss);
                 let resume_region = match config.merge_strategy {
-                    MergeStrategy::JustInTime => {
-                        reachable_until(&graph, resume_entry, commit_node)
-                    }
+                    MergeStrategy::JustInTime => reachable_until(&graph, resume_entry, commit_node),
                     MergeStrategy::MergeAtRollback => Vec::new(),
                 };
                 if config.merge_strategy == MergeStrategy::JustInTime {
@@ -257,8 +254,8 @@ mod tests {
     #[test]
     fn merge_at_rollback_has_no_commit_or_resume_regions() {
         let (p, _, _) = figure2_like();
-        let config = SpeculationConfig::paper_default()
-            .with_merge_strategy(MergeStrategy::MergeAtRollback);
+        let config =
+            SpeculationConfig::paper_default().with_merge_strategy(MergeStrategy::MergeAtRollback);
         let vcfg = Vcfg::build(&p, config);
         assert_eq!(vcfg.num_colors(), 2);
         for site in vcfg.sites() {

@@ -95,7 +95,9 @@ pub fn branch_ladder(
             b,
             from,
             cond_region,
-            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            BranchSemantics::InputBit {
+                bit: (i % 8) as u32,
+            },
             &[(scratch, then_off)],
             &[(scratch, else_off)],
             &format!("{label}{i}"),

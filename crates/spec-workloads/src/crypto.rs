@@ -46,9 +46,7 @@ impl CryptoParams {
     /// lines — the knife-edge the paper tunes Table 7's buffer column to.
     pub fn fitting_buffer_bytes(&self, cache_lines: u64) -> u64 {
         let sbox_lines = self.sbox_bytes.div_ceil(64);
-        cache_lines
-            .saturating_sub(sbox_lines + self.resident_lines + 2)
-            * 64
+        cache_lines.saturating_sub(sbox_lines + self.resident_lines + 2) * 64
     }
 }
 
@@ -275,7 +273,11 @@ fn leaky_routine(name: &str, diamonds: usize, walk_blocks: u64, _cache_lines: u6
     let mut b = ProgramBuilder::new(name.to_string());
     let state = b.region(format!("{name}_state"), walk_blocks.max(1) * 64, false);
     let flags = b.region(format!("{name}_flags"), 8, false);
-    let cold = b.region(format!("{name}_cold"), (diamonds as u64 * 2 + 2) * 64, false);
+    let cold = b.region(
+        format!("{name}_cold"),
+        (diamonds as u64 * 2 + 2) * 64,
+        false,
+    );
     let entry = b.entry_block("entry");
     let cur = counted_table_walk(&mut b, entry, state, walk_blocks.max(1), 64, 2, "walk");
     let cur = branch_ladder(&mut b, cur, flags, cold, diamonds, "pad");
@@ -325,7 +327,11 @@ fn robust_refreshing_routine(
     // unifies regions with equal names.
     let sbox = b.region("sbox", sbox_bytes, false);
     let flags = b.region(format!("{name}_flags"), 8, false);
-    let cold = b.region(format!("{name}_cold"), (diamonds as u64 * 2 + 2) * 64, false);
+    let cold = b.region(
+        format!("{name}_cold"),
+        (diamonds as u64 * 2 + 2) * 64,
+        false,
+    );
     let key = b.secret_region(format!("{name}_roundkeys"), 64);
     let entry = b.entry_block("entry");
     let cur = branch_ladder(&mut b, entry, flags, cold, diamonds, "round");
@@ -353,7 +359,9 @@ fn robust_warm_arm_routine(name: &str, diamonds: usize) -> Program {
             &mut b,
             cur,
             flags,
-            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            BranchSemantics::InputBit {
+                bit: (i % 8) as u32,
+            },
             &[(state, 0)],
             &[(state, 64)],
             &format!("mix{i}"),

@@ -11,7 +11,10 @@ use spec_ir::{BranchSemantics, IndexExpr, MemRef, Program};
 /// non-speculative execution has 512 misses plus one hit, the mispredicted
 /// speculative execution has 513 observable misses plus one squashed miss.
 pub fn figure2_program(cache_lines: u64) -> Program {
-    assert!(cache_lines >= 4, "the example needs at least four cache lines");
+    assert!(
+        cache_lines >= 4,
+        "the example needs at least four cache lines"
+    );
     let ph_lines = cache_lines - 2;
     let mut b = ProgramBuilder::new("figure2");
     let ph = b.region("ph", ph_lines * 64, false);
@@ -153,7 +156,10 @@ mod tests {
         let client = figure10_client(&routine, 256, 1024);
         assert!(client.region_by_name("sbox").is_some());
         assert!(client.region_by_name("inBuf").is_some());
-        assert!(client.region_by_name("t").is_some(), "routine regions inlined");
+        assert!(
+            client.region_by_name("t").is_some(),
+            "routine regions inlined"
+        );
         let secret_accesses = client
             .blocks()
             .iter()

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quantl_walkthrough`.
 
-use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_core::{AnalysisOptions, Analyzer};
 use spec_workloads::quantl_program;
 
 fn main() {
@@ -12,11 +12,25 @@ fn main() {
 
     let cache = spec_cache::CacheConfig::fully_associative(16, 64);
 
-    for (label, options) in [
-        ("non-speculative (Table 1)", AnalysisOptions::non_speculative().with_cache(cache)),
-        ("speculative (Table 2)", AnalysisOptions::speculative().with_cache(cache)),
-    ] {
-        let result = CacheAnalysis::new(options).run(&program);
+    // One prepared session serves both tables (and prints a unified,
+    // labelled summary at the end).
+    let prepared = Analyzer::new().prepare(&program);
+    let suite = prepared.run_suite(&[
+        (
+            "non-speculative (Table 1)",
+            AnalysisOptions::builder()
+                .baseline()
+                .cache(cache)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "speculative (Table 2)",
+            AnalysisOptions::builder().cache(cache).build().unwrap(),
+        ),
+    ]);
+    for run in &suite.runs {
+        let (label, result) = (&run.label, &run.result);
         println!("== {label} ==");
         println!(
             "  accesses: {}   possible misses: {}   squashed misses: {}   iterations: {}",
@@ -31,12 +45,22 @@ fn main() {
                 "  {:>4}  {:<22} {:<9} fully cached: {}",
                 result.program.block(access.block).label(),
                 format!("{}[{}]", access.region_name, access.inst_index),
-                if access.observable_hit { "hit" } else { "may-miss" },
-                if cached.is_empty() { "-".to_string() } else { cached.join(", ") }
+                if access.observable_hit {
+                    "hit"
+                } else {
+                    "may-miss"
+                },
+                if cached.is_empty() {
+                    "-".to_string()
+                } else {
+                    cached.join(", ")
+                }
             );
         }
         println!();
     }
+    print!("{}", suite.report());
+    println!();
     println!(
         "Under speculation the quantisation tables of *both* branch arms are brought into the \
          cache (paper, Table 2), which ages every other variable and can turn later hits into \

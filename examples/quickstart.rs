@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use spec_cache::CacheConfig;
-use spec_core::{AnalysisOptions, CacheAnalysis};
+use spec_core::{AnalysisOptions, Analyzer};
 use spec_ir::builder::ProgramBuilder;
 use spec_ir::{BranchSemantics, IndexExpr, MemRef};
 
@@ -44,13 +44,22 @@ fn main() {
     // An 8-line cache: the table, the flag and ONE scratch line fit exactly.
     let cache = CacheConfig::fully_associative(8, 64);
 
-    let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache));
-    let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+    // Prepare once; the unrolled program, address map and VCFG are shared by
+    // both runs (and would be by any further configuration).
+    let prepared = Analyzer::new().prepare(&program);
+    let base = prepared.run(
+        &AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    );
+    let spec = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
 
-    let base = baseline.run(&program);
-    let spec = speculative.run(&program);
-
-    println!("non-speculative analysis: {} possible misses", base.miss_count());
+    println!(
+        "non-speculative analysis: {} possible misses",
+        base.miss_count()
+    );
     println!(
         "speculative analysis:     {} possible misses ({} more, {} squashed misses)",
         spec.miss_count(),

@@ -21,7 +21,11 @@ fn main() {
             "{:<10} {:>10}  {:<14} {:<14} {:<10}",
             row.name,
             row.buffer_bytes,
-            if row.nonspec_leak { "LEAK" } else { "leak-free" },
+            if row.nonspec_leak {
+                "LEAK"
+            } else {
+                "leak-free"
+            },
             if row.spec_leak { "LEAK" } else { "leak-free" },
             match row.empirically_confirmed {
                 Some(true) => "confirmed",

@@ -14,7 +14,10 @@ fn main() {
     let input = SimInput::new(1, 0);
 
     let configs = [
-        ("non-speculative", SimConfig::non_speculative().with_cache(cache)),
+        (
+            "non-speculative",
+            SimConfig::non_speculative().with_cache(cache),
+        ),
         (
             "mispredicted speculation",
             SimConfig::default()
@@ -41,7 +44,11 @@ fn main() {
                 program.region(event.mem_block.region).name,
                 event.mem_block.block_index,
                 if event.hit { "hit " } else { "MISS" },
-                if event.speculative { "  (squashed)" } else { "" }
+                if event.speculative {
+                    "  (squashed)"
+                } else {
+                    ""
+                }
             );
         }
         println!();

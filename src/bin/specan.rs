@@ -1,42 +1,102 @@
-//! `specan` — analyse a program written in the textual IR format.
+//! `specan` — analyse programs written in the textual IR format.
 //!
 //! ```text
-//! specan <program.spec> [--cache-lines N] [--baseline-only | --speculative-only]
-//!        [--merge-at-rollback] [--no-shadow]
+//! specan analyze <program.spec> [options]   one configuration, per-access detail
+//! specan compare <program.spec> [options]   the standard configuration panel, in parallel
+//! specan leaks   <program.spec> [options]   side-channel verdict; exit code 1 on a leak
 //! ```
 //!
-//! The tool parses the program (see `spec_ir::text` for the grammar), runs
-//! the non-speculative baseline and/or the speculative analysis, prints the
-//! per-access classification, and reports potential cache side-channel
-//! leaks.  See `examples/programs/victim.spec` for a ready-made input.
+//! Common options: `--cache-lines N` (default 512) and `--json` (emit
+//! machine-readable output).  `analyze` additionally accepts `--baseline`,
+//! `--no-shadow`, `--merge-at-rollback` and `--no-unroll`.
+//!
+//! Exit codes: `0` success (no leak), `1` leak detected (`leaks` only),
+//! `2` usage or input error — so `specan leaks` is scriptable in CI:
+//!
+//! ```text
+//! specan leaks examples/programs/victim.spec --cache-lines 8 || echo "LEAKY"
+//! ```
+//!
+//! The program grammar is described in `spec_ir::text`; see
+//! `examples/programs/victim.spec` for a ready-made input.
 
 use std::process::ExitCode;
 
-use spec_analysis::detect_leaks;
+use spec_analysis::{detect_leaks, LeakReport};
 use spec_cache::CacheConfig;
-use spec_core::{AnalysisOptions, AnalysisResult, CacheAnalysis};
+use spec_core::session::comparison_configs;
+use spec_core::{AnalysisOptions, AnalysisResult, Analyzer, PreparedProgram, Report};
 use spec_ir::text::parse_program;
+use spec_ir::Program;
 use spec_vcfg::MergeStrategy;
 
+/// Prints a line to stdout, exiting quietly when the downstream consumer
+/// closed the pipe (`specan ... | head` must not panic with a backtrace).
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            // 128 + SIGPIPE, the conventional status of a pipe-killed
+            // process.  Exiting 0 here would fabricate a "no leak" verdict
+            // for `specan leaks ... | grep -q` style pipelines.
+            std::process::exit(141);
+        }
+    }};
+}
+
+const EXIT_LEAK: u8 = 1;
+const EXIT_ERROR: u8 = 2;
+
+enum Command {
+    Analyze,
+    Compare,
+    Leaks,
+}
+
 struct Cli {
+    command: Command,
     path: String,
     cache_lines: usize,
-    run_baseline: bool,
-    run_speculative: bool,
-    merge_at_rollback: bool,
+    json: bool,
+    // `analyze`-only configuration knobs.
+    baseline: bool,
     shadow: bool,
+    merge_at_rollback: bool,
+    unroll: bool,
+}
+
+fn usage() -> String {
+    "usage: specan <analyze|compare|leaks> <program.spec> [--cache-lines N] [--json]\n\
+     \n\
+     analyze   run one configuration and print the per-access classification\n\
+     \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
+     compare   prepare once, run the standard configuration panel in parallel\n\
+     leaks     side-channel verdict under the speculative analysis;\n\
+     \x20         exits 1 when a leak is detected (CI-friendly)"
+        .to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut iter = args.iter().peekable();
+    let command = match iter.next().map(String::as_str) {
+        Some("analyze") => Command::Analyze,
+        Some("compare") => Command::Compare,
+        Some("leaks") => Command::Leaks,
+        Some("--help" | "-h" | "help") | None => return Err(usage()),
+        Some(other) => {
+            return Err(format!("unrecognised command `{other}`\n{}", usage()));
+        }
+    };
     let mut cli = Cli {
+        command,
         path: String::new(),
         cache_lines: 512,
-        run_baseline: true,
-        run_speculative: true,
-        merge_at_rollback: false,
+        json: false,
+        baseline: false,
         shadow: true,
+        merge_at_rollback: false,
+        unroll: true,
     };
-    let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--cache-lines" => {
@@ -47,10 +107,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| format!("`{value}` is not a number"))?;
             }
-            "--baseline-only" => cli.run_speculative = false,
-            "--speculative-only" => cli.run_baseline = false,
-            "--merge-at-rollback" => cli.merge_at_rollback = true,
+            "--json" => cli.json = true,
+            flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
+                if !matches!(cli.command, Command::Analyze) =>
+            {
+                return Err(format!("`{flag}` only applies to `analyze`\n{}", usage()));
+            }
+            "--baseline" => cli.baseline = true,
             "--no-shadow" => cli.shadow = false,
+            "--merge-at-rollback" => cli.merge_at_rollback = true,
+            "--no-unroll" => cli.unroll = false,
             "--help" | "-h" => return Err(usage()),
             other if cli.path.is_empty() && !other.starts_with('-') => {
                 cli.path = other.to_string();
@@ -59,57 +125,241 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         }
     }
     if cli.path.is_empty() {
-        return Err(usage());
+        return Err(format!("missing <program.spec>\n{}", usage()));
     }
     Ok(cli)
 }
 
-fn usage() -> String {
-    "usage: specan <program.spec> [--cache-lines N] [--baseline-only | --speculative-only] \
-     [--merge-at-rollback] [--no-shadow]"
-        .to_string()
+fn load_program(path: &str) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+    parse_program(&source).map_err(|err| format!("cannot parse `{path}`: {err}"))
 }
 
-fn print_report(label: &str, result: &AnalysisResult) {
-    println!("== {label} ==");
-    println!(
-        "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
-        result.access_count(),
-        result.must_hit_count(),
-        result.miss_count(),
-        result.speculative_miss_count()
-    );
-    println!(
-        "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
-        result.speculated_branches,
-        result.iterations(),
-        result.elapsed.as_secs_f64()
-    );
+fn analyze_options(cli: &Cli) -> Result<AnalysisOptions, String> {
+    let mut builder = AnalysisOptions::builder()
+        .cache(CacheConfig::fully_associative(cli.cache_lines, 64))
+        .speculative(!cli.baseline)
+        .shadow(cli.shadow)
+        .unroll_loops(cli.unroll);
+    if cli.merge_at_rollback {
+        builder = builder.merge_strategy(MergeStrategy::MergeAtRollback);
+    }
+    builder
+        .build()
+        .map_err(|err| format!("invalid configuration: {err}"))
+}
+
+/// Per-access detail of one run, as text.
+fn print_accesses(result: &AnalysisResult) {
     for access in result.accesses() {
         if access.observable_hit && !access.is_speculative_miss() {
             continue; // only report the interesting (possibly missing) accesses
         }
-        println!(
+        outln!(
             "  {:>10}  {:<20} {}{}",
             result.program.block(access.block).label(),
             format!("{}[#{}]", access.region_name, access.inst_index),
-            if access.observable_hit { "hit, but may miss speculatively" } else { "may miss" },
-            if access.secret_dependent { "  [secret-indexed]" } else { "" }
+            if access.observable_hit {
+                "hit, but may miss speculatively"
+            } else {
+                "may miss"
+            },
+            if access.secret_dependent {
+                "  [secret-indexed]"
+            } else {
+                ""
+            }
         );
     }
-    let leaks = detect_leaks(result);
+}
+
+fn print_leaks(leaks: &LeakReport) {
     if leaks.secret_accesses == 0 {
-        println!("  no secret-indexed accesses: side-channel check not applicable");
+        outln!("  no secret-indexed accesses: side-channel check not applicable");
     } else if leaks.leak_detected() {
-        println!(
+        outln!(
             "  LEAK: {} of {} secret-indexed accesses may show secret-dependent timing",
             leaks.findings.len(),
             leaks.secret_accesses
         );
     } else {
-        println!("  no cache side-channel leak detected");
+        outln!("  no cache side-channel leak detected");
     }
-    println!();
+}
+
+/// Per-access JSON array for `analyze --json`.
+fn accesses_json(result: &AnalysisResult) -> String {
+    use spec_core::json;
+    let mut out = String::from("[\n");
+    let accesses = result.accesses();
+    for (i, access) in accesses.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"block\": {}, ",
+            json::string(&result.program.block(access.block).label())
+        ));
+        out.push_str(&format!(
+            "\"region\": {}, ",
+            json::string(&access.region_name)
+        ));
+        out.push_str(&format!("\"inst_index\": {}, ", access.inst_index));
+        out.push_str(&format!("\"observable_hit\": {}, ", access.observable_hit));
+        out.push_str(&format!(
+            "\"speculative_miss\": {}, ",
+            access.is_speculative_miss()
+        ));
+        out.push_str(&format!(
+            "\"secret_dependent\": {}",
+            access.secret_dependent
+        ));
+        out.push_str(if i + 1 == accesses.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn cmd_analyze(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+    let options = analyze_options(cli)?;
+    let label = if cli.baseline {
+        "baseline"
+    } else {
+        "speculative"
+    };
+    let result = prepared.run(&options);
+    let leaks = detect_leaks(&result);
+    if cli.json {
+        let report = Report::from_runs(prepared.program().name(), [(label, &result)]);
+        // Wrap the summary row together with the per-access detail.
+        let summary = report.to_json();
+        outln!(
+            "{{\n  \"summary\": {},\n  \"leak_detected\": {},\n  \"accesses\": {}\n}}",
+            indent_json(&summary),
+            leaks.leak_detected(),
+            accesses_json(&result)
+        );
+    } else {
+        outln!("== {label} analysis of `{}` ==", prepared.program().name());
+        outln!(
+            "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
+            result.access_count(),
+            result.must_hit_count(),
+            result.miss_count(),
+            result.speculative_miss_count()
+        );
+        outln!(
+            "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
+            result.speculated_branches,
+            result.iterations(),
+            result.elapsed.as_secs_f64()
+        );
+        print_accesses(&result);
+        print_leaks(&leaks);
+    }
+    Ok(0)
+}
+
+fn cmd_compare(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+    let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
+    // Reject degenerate geometries with a usage error before the panel's
+    // presets (which assume a valid cache) are built.
+    AnalysisOptions::builder()
+        .cache(cache)
+        .build()
+        .map_err(|err| format!("invalid configuration: {err}"))?;
+    let suite = prepared.run_suite(&comparison_configs(cache));
+    let report = suite.report();
+    if cli.json {
+        outln!("{}", report.to_json());
+    } else {
+        outln!("{}", report.to_string().trim_end());
+    }
+    Ok(0)
+}
+
+fn cmd_leaks(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+    let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
+    let baseline = AnalysisOptions::builder()
+        .baseline()
+        .cache(cache)
+        .build()
+        .map_err(|err| format!("invalid configuration: {err}"))?;
+    let speculative = AnalysisOptions::builder()
+        .cache(cache)
+        .build()
+        .map_err(|err| format!("invalid configuration: {err}"))?;
+    let suite = prepared.run_suite(&[("baseline", baseline), ("speculative", speculative)]);
+    let base_leaks = detect_leaks(&suite.runs[0].result);
+    let spec_leaks = detect_leaks(&suite.runs[1].result);
+    if cli.json {
+        use spec_core::json;
+        let mut findings = String::from("[");
+        for (i, finding) in spec_leaks.findings.iter().enumerate() {
+            if i > 0 {
+                findings.push_str(", ");
+            }
+            findings.push_str(&format!(
+                "{{\"region\": {}, \"inst_index\": {}, \"speculative_only\": {}}}",
+                json::string(&finding.region),
+                finding.inst_index,
+                finding.speculative_only
+            ));
+        }
+        findings.push(']');
+        outln!(
+            "{{\n  \"program\": {},\n  \"secret_accesses\": {},\n  \"baseline_leak\": {},\n  \
+             \"speculative_leak\": {},\n  \"findings\": {}\n}}",
+            json::string(&suite.program),
+            spec_leaks.secret_accesses,
+            base_leaks.leak_detected(),
+            spec_leaks.leak_detected(),
+            findings
+        );
+    } else {
+        outln!("side-channel analysis of `{}`:", suite.program);
+        outln!(
+            "  baseline:    {}",
+            if base_leaks.leak_detected() {
+                "LEAK"
+            } else {
+                "leak-free"
+            }
+        );
+        outln!(
+            "  speculative: {}",
+            if spec_leaks.leak_detected() {
+                "LEAK"
+            } else {
+                "leak-free"
+            }
+        );
+        for finding in &spec_leaks.findings {
+            outln!(
+                "  finding: {}[#{}]{}",
+                finding.region,
+                finding.inst_index,
+                if finding.speculative_only {
+                    "  (squashed execution only)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    Ok(if spec_leaks.leak_detected() {
+        EXIT_LEAK
+    } else {
+        0
+    })
+}
+
+/// Re-indents a nested JSON blob by two spaces (cosmetic only).
+fn indent_json(json: &str) -> String {
+    json.replace('\n', "\n  ")
 }
 
 fn main() -> ExitCode {
@@ -118,46 +368,37 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(message) => {
             eprintln!("{message}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
-    let source = match std::fs::read_to_string(&cli.path) {
-        Ok(source) => source,
-        Err(err) => {
-            eprintln!("cannot read `{}`: {err}", cli.path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let program = match parse_program(&source) {
+    let program = match load_program(&cli.path) {
         Ok(program) => program,
-        Err(err) => {
-            eprintln!("cannot parse `{}`: {err}", cli.path);
-            return ExitCode::FAILURE;
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(EXIT_ERROR);
         }
     };
-    let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
-    println!(
-        "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
-        program.name(),
-        program.blocks().len(),
-        program.instruction_count(),
-        program.branch_count(),
-        cli.cache_lines
-    );
-    if cli.run_baseline {
-        let result = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-            .run(&program);
-        print_report("non-speculative baseline", &result);
+    if !cli.json {
+        outln!(
+            "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
+            program.name(),
+            program.blocks().len(),
+            program.instruction_count(),
+            program.branch_count(),
+            cli.cache_lines
+        );
     }
-    if cli.run_speculative {
-        let mut options = AnalysisOptions::speculative()
-            .with_cache(cache)
-            .with_shadow(cli.shadow);
-        if cli.merge_at_rollback {
-            options = options.with_merge_strategy(MergeStrategy::MergeAtRollback);
+    let prepared = Analyzer::new().prepare(&program);
+    let outcome = match cli.command {
+        Command::Analyze => cmd_analyze(&cli, &prepared),
+        Command::Compare => cmd_compare(&cli, &prepared),
+        Command::Leaks => cmd_leaks(&cli, &prepared),
+    };
+    match outcome {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(EXIT_ERROR)
         }
-        let result = CacheAnalysis::new(options).run(&program);
-        print_report("speculative analysis", &result);
     }
-    ExitCode::SUCCESS
 }

@@ -21,16 +21,26 @@
 //!
 //! ## Example
 //!
+//! Prepare a program once, then run many configurations against the shared
+//! artifacts (see [`core::session`] for the full session API):
+//!
 //! ```rust
-//! use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+//! use speculative_absint::core::{AnalysisOptions, Analyzer};
 //! use speculative_absint::cache::CacheConfig;
 //! use speculative_absint::workloads::figure2_program;
 //!
 //! let cache = CacheConfig::fully_associative(16, 64);
 //! let program = figure2_program(16);
-//! let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache));
-//! let speculative = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
-//! assert!(speculative.run(&program).miss_count() > baseline.run(&program).miss_count());
+//! let prepared = Analyzer::new().prepare(&program);
+//! let suite = prepared.run_suite(&[
+//!     ("baseline", AnalysisOptions::builder().baseline().cache(cache).build().unwrap()),
+//!     ("speculative", AnalysisOptions::builder().cache(cache).build().unwrap()),
+//! ]);
+//! assert!(
+//!     suite.get("speculative").unwrap().result.miss_count()
+//!         > suite.get("baseline").unwrap().result.miss_count()
+//! );
+//! println!("{}", suite.report().to_json());
 //! ```
 
 pub use spec_absint as absint;

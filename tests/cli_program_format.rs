@@ -3,7 +3,7 @@
 //! the `specan` CLI relies on.
 
 use speculative_absint::cache::CacheConfig;
-use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+use speculative_absint::core::{AnalysisOptions, Analyzer};
 use speculative_absint::ir::text::parse_program;
 
 #[test]
@@ -15,14 +15,22 @@ fn sample_program_parses_and_shows_the_speculative_gap() {
     assert_eq!(program.secret_regions().len(), 1);
 
     let cache = CacheConfig::fully_associative(8, 64);
-    let baseline = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-        .run(&program);
-    let speculative =
-        CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    let prepared = Analyzer::new().prepare(&program);
+    let baseline = prepared.run(
+        &AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    );
+    let speculative = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
 
     let base_secret = baseline.secret_accesses().next().expect("secret access");
     let spec_secret = speculative.secret_accesses().next().expect("secret access");
-    assert!(base_secret.observable_hit, "baseline proves the lookup hits");
+    assert!(
+        base_secret.observable_hit,
+        "baseline proves the lookup hits"
+    );
     assert!(
         !spec_secret.observable_hit,
         "speculation can evict a table line before the lookup"

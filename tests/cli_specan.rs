@@ -1,0 +1,121 @@
+//! End-to-end tests of the `specan` binary: subcommands, JSON output and
+//! the CI-facing exit-code contract (0 = clean, 1 = leak, 2 = error).
+
+use std::process::{Command, Output};
+
+const VICTIM: &str = "examples/programs/victim.spec";
+
+fn specan(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_specan"))
+        .args(args)
+        .output()
+        .expect("specan runs")
+}
+
+#[test]
+fn leaks_exits_nonzero_when_a_leak_is_detected() {
+    let out = specan(&["leaks", VICTIM, "--cache-lines", "8"]);
+    assert_eq!(out.status.code(), Some(1), "leak must map to exit code 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("speculative: LEAK"));
+    assert!(stdout.contains("baseline:    leak-free"));
+}
+
+#[test]
+fn leaks_exits_zero_on_a_leak_free_cache() {
+    // With a cache big enough that nothing is ever evicted, the lookup
+    // cannot leak.  (The analysis needs headroom beyond the working set
+    // because speculative pollution is modelled too.)
+    let out = specan(&["leaks", VICTIM, "--cache-lines", "64"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "leak-free must map to exit code 0"
+    );
+}
+
+#[test]
+fn leaks_json_reports_the_finding() {
+    let out = specan(&["leaks", VICTIM, "--cache-lines", "8", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"speculative_leak\": true"));
+    assert!(stdout.contains("\"baseline_leak\": false"));
+    assert!(stdout.contains("\"region\": \"sbox\""));
+}
+
+#[test]
+fn compare_runs_the_labelled_panel() {
+    let out = specan(&["compare", VICTIM, "--cache-lines", "8"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for label in [
+        "baseline",
+        "speculative",
+        "merge-at-rollback",
+        "no-shadow",
+        "static-depth",
+    ] {
+        assert!(
+            stdout.contains(label),
+            "missing `{label}` row in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn compare_json_is_labelled() {
+    let out = specan(&["compare", VICTIM, "--cache-lines", "8", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"program\": \"victim\""));
+    assert!(stdout.contains("\"label\": \"merge-at-rollback\""));
+    assert!(stdout.contains("\"suite_elapsed_secs\""));
+}
+
+#[test]
+fn analyze_reports_the_secret_access() {
+    let out = specan(&["analyze", VICTIM, "--cache-lines", "8"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[secret-indexed]"));
+    assert!(stdout.contains("LEAK"));
+}
+
+#[test]
+fn analyze_baseline_sees_no_leak() {
+    let out = specan(&["analyze", VICTIM, "--cache-lines", "8", "--baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no cache side-channel leak detected"));
+}
+
+#[test]
+fn errors_exit_with_code_two() {
+    assert_eq!(specan(&[]).status.code(), Some(2), "missing command");
+    assert_eq!(
+        specan(&["bogus", VICTIM]).status.code(),
+        Some(2),
+        "unknown command"
+    );
+    assert_eq!(specan(&["analyze"]).status.code(), Some(2), "missing path");
+    assert_eq!(
+        specan(&["analyze", "does/not/exist.spec"]).status.code(),
+        Some(2),
+        "unreadable input"
+    );
+    assert_eq!(
+        specan(&["analyze", VICTIM, "--cache-lines", "zero"])
+            .status
+            .code(),
+        Some(2),
+        "malformed flag value"
+    );
+    assert_eq!(
+        specan(&["analyze", VICTIM, "--cache-lines", "0"])
+            .status
+            .code(),
+        Some(2),
+        "options validation rejects an empty cache"
+    );
+}

@@ -4,7 +4,7 @@
 
 use speculative_absint::analysis::{detect_leaks, EteComparison, SideChannelComparison};
 use speculative_absint::cache::CacheConfig;
-use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
+use speculative_absint::core::{AnalysisOptions, Analyzer, CacheAnalysis};
 use speculative_absint::sim::{PredictorKind, SimConfig, SimInput, Simulator};
 use speculative_absint::workloads::{crypto_suite, ete_suite, figure2_program, quantl_program};
 
@@ -34,10 +34,15 @@ fn figure2_results_match_the_paper_shape() {
     assert_eq!(wrong.speculative_misses, 1);
 
     // Static analyses (Section 2): only the speculative one flags ph[k].
-    let base = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-        .run(&program);
-    let spec =
-        CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    let prepared = Analyzer::new().prepare(&program);
+    let base = prepared.run(
+        &AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    );
+    let spec = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
     assert!(base.secret_accesses().next().unwrap().observable_hit);
     assert!(!spec.secret_accesses().next().unwrap().observable_hit);
 }
@@ -72,10 +77,16 @@ fn table7_shape_baseline_clean_speculation_splits_the_suite() {
         }
     }
     for expected in ["hash", "encoder", "chacha20", "ocb", "des"] {
-        assert!(leaky.contains(&expected.to_string()), "{expected} should leak");
+        assert!(
+            leaky.contains(&expected.to_string()),
+            "{expected} should leak"
+        );
     }
     for expected in ["aes", "str2key", "seed", "camellia", "salsa"] {
-        assert!(!leaky.contains(&expected.to_string()), "{expected} should not leak");
+        assert!(
+            !leaky.contains(&expected.to_string()),
+            "{expected} should not leak"
+        );
     }
 }
 
@@ -88,7 +99,7 @@ fn analysis_classification_is_sound_against_concrete_executions() {
     let mut programs = vec![figure2_program(LINES), quantl_program()];
     programs.extend(ete_suite(LINES).into_iter().map(|w| w.program));
 
-    let analysis = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+    let analysis = CacheAnalysis::new(AnalysisOptions::builder().cache(cache).build().unwrap());
     for program in &programs {
         let result = analysis.run(program);
         for predictor in [
@@ -98,14 +109,18 @@ fn analysis_classification_is_sound_against_concrete_executions() {
             PredictorKind::TwoBit,
         ] {
             let simulator = Simulator::new(
-                SimConfig::default().with_cache(cache).with_predictor(predictor),
+                SimConfig::default()
+                    .with_cache(cache)
+                    .with_predictor(predictor),
             );
             for input_value in [0u64, 1, 5, 0xff] {
                 // The analysis runs on the unrolled program, which is an
                 // executable program in its own right: simulate that one so
                 // block/instruction coordinates line up.
-                let report =
-                    simulator.run(&result.program, &SimInput::new(input_value, input_value % 7));
+                let report = simulator.run(
+                    &result.program,
+                    &SimInput::new(input_value, input_value % 7),
+                );
                 for event in report.committed_events() {
                     if event.hit {
                         continue;
@@ -133,7 +148,7 @@ fn leak_verdicts_are_consistent_with_the_simulator() {
     // speculative analysis must report a leak (the converse may not hold —
     // the analysis is allowed to be conservative).
     let cache = cache();
-    let analysis = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache));
+    let analysis = CacheAnalysis::new(AnalysisOptions::builder().cache(cache).build().unwrap());
     for (workload, _) in crypto_suite(LINES) {
         let result = analysis.run(&workload.program);
         let verdict = detect_leaks(&result).leak_detected();
@@ -157,9 +172,15 @@ fn leak_verdicts_are_consistent_with_the_simulator() {
 fn quantl_walkthrough_has_more_pessimism_under_speculation() {
     let program = quantl_program();
     let cache = CacheConfig::fully_associative(16, 64);
-    let base =
-        CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache)).run(&program);
-    let spec = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache)).run(&program);
+    let prepared = Analyzer::new().prepare(&program);
+    let base = prepared.run(
+        &AnalysisOptions::builder()
+            .baseline()
+            .cache(cache)
+            .build()
+            .unwrap(),
+    );
+    let spec = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
     assert!(spec.miss_count() >= base.miss_count());
     assert!(spec.speculated_branches >= 1);
 }

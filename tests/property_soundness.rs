@@ -1,8 +1,10 @@
 //! Property-based tests: the speculative analysis is sound for randomly
 //! generated programs, and the core cache-domain operations satisfy their
 //! lattice laws on random states.
-
-use proptest::prelude::*;
+//!
+//! The generator is a small deterministic xorshift PRNG rather than an
+//! external property-testing crate, so the workspace builds offline; a
+//! failing case can be reproduced from the printed seed.
 
 use speculative_absint::cache::{AbstractCacheState, CacheAccess, CacheConfig, MemBlock};
 use speculative_absint::core::{AnalysisOptions, CacheAnalysis};
@@ -11,6 +13,35 @@ use speculative_absint::ir::{BranchSemantics, IndexExpr, MemRef, Program};
 use speculative_absint::sim::{PredictorKind, SimConfig, SimInput, Simulator};
 
 const LINES: usize = 8;
+const CASES: u64 = 48;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn vec(&mut self, max_len: u64, max_value: u64) -> Vec<u64> {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| self.below(max_value)).collect()
+    }
+}
 
 /// A compact description of a random program: a preload size, a list of
 /// diamonds (each arm's accesses) and a list of final re-reads.
@@ -22,22 +53,15 @@ struct RandomProgram {
     tail_secret_access: bool,
 }
 
-fn random_program_strategy() -> impl Strategy<Value = RandomProgram> {
-    let arm = proptest::collection::vec(0u64..12, 0..3);
-    (
-        1u64..10,
-        proptest::collection::vec((arm.clone(), arm), 0..4),
-        proptest::collection::vec(0u64..10, 0..4),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(preload_blocks, diamonds, rereads, tail_secret_access)| RandomProgram {
-                preload_blocks,
-                diamonds,
-                rereads,
-                tail_secret_access,
-            },
-        )
+fn random_program(rng: &mut Rng) -> RandomProgram {
+    RandomProgram {
+        preload_blocks: 1 + rng.below(9),
+        diamonds: (0..rng.below(4))
+            .map(|_| (rng.vec(2, 12), rng.vec(2, 12)))
+            .collect(),
+        rereads: rng.vec(3, 10),
+        tail_secret_access: rng.below(2) == 1,
+    }
 }
 
 fn build(desc: &RandomProgram) -> Program {
@@ -56,7 +80,9 @@ fn build(desc: &RandomProgram) -> Program {
         b.data_branch(
             current,
             vec![MemRef::at(flag, 0)],
-            BranchSemantics::InputBit { bit: (i % 8) as u32 },
+            BranchSemantics::InputBit {
+                bit: (i % 8) as u32,
+            },
             then_bb,
             else_bb,
         );
@@ -80,23 +106,36 @@ fn build(desc: &RandomProgram) -> Program {
     b.finish().expect("generated program is well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn speculative_options(cache: CacheConfig) -> AnalysisOptions {
+    AnalysisOptions::builder().cache(cache).build().unwrap()
+}
 
-    /// Soundness: every access the speculative analysis declares an
-    /// observable must-hit actually hits in every committed execution, even
-    /// with an adversarial branch predictor.
-    #[test]
-    fn must_hits_never_miss_concretely(desc in random_program_strategy(),
-                                       input_value in 0u64..16,
-                                       secret in 0u64..16) {
+fn baseline_options(cache: CacheConfig) -> AnalysisOptions {
+    AnalysisOptions::builder()
+        .baseline()
+        .cache(cache)
+        .build()
+        .unwrap()
+}
+
+/// Soundness: every access the speculative analysis declares an observable
+/// must-hit actually hits in every committed execution, even with an
+/// adversarial branch predictor.
+#[test]
+fn must_hits_never_miss_concretely() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for case in 0..CASES {
+        let desc = random_program(&mut rng);
+        let input_value = rng.below(16);
+        let secret = rng.below(16);
         let program = build(&desc);
         let cache = CacheConfig::fully_associative(LINES, 64);
-        let result = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache))
-            .run(&program);
+        let result = CacheAnalysis::new(speculative_options(cache)).run(&program);
         for predictor in [PredictorKind::AlwaysWrong, PredictorKind::TwoBit] {
             let report = Simulator::new(
-                SimConfig::default().with_cache(cache).with_predictor(predictor),
+                SimConfig::default()
+                    .with_cache(cache)
+                    .with_predictor(predictor),
             )
             .run(&result.program, &SimInput::new(input_value, secret));
             for event in report.committed_events() {
@@ -104,42 +143,55 @@ proptest! {
                     continue;
                 }
                 if let Some(access) = result.access_at(event.block, event.inst_index) {
-                    prop_assert!(
+                    assert!(
                         !access.observable_hit,
-                        "access {}[{}] declared must-hit but missed concretely",
-                        access.region_name,
-                        access.inst_index
+                        "case {case} ({desc:?}): access {}[{}] declared must-hit but missed \
+                         concretely",
+                        access.region_name, access.inst_index
                     );
                 }
             }
         }
     }
+}
 
-    /// The speculative analysis never claims more must-hits than the
-    /// non-speculative baseline (it only removes guarantees).
-    #[test]
-    fn speculation_only_removes_guarantees(desc in random_program_strategy()) {
+/// The speculative analysis never claims more must-hits than the
+/// non-speculative baseline (it only removes guarantees).
+#[test]
+fn speculation_only_removes_guarantees() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for case in 0..CASES {
+        let desc = random_program(&mut rng);
         let program = build(&desc);
         let cache = CacheConfig::fully_associative(LINES, 64);
-        let base = CacheAnalysis::new(AnalysisOptions::non_speculative().with_cache(cache))
-            .run(&program);
-        let spec = CacheAnalysis::new(AnalysisOptions::speculative().with_cache(cache))
-            .run(&program);
-        prop_assert!(spec.miss_count() >= base.miss_count());
-        prop_assert_eq!(spec.access_count(), base.access_count());
+        let base = CacheAnalysis::new(baseline_options(cache)).run(&program);
+        let spec = CacheAnalysis::new(speculative_options(cache)).run(&program);
+        assert!(
+            spec.miss_count() >= base.miss_count(),
+            "case {case} ({desc:?}): speculation removed a miss"
+        );
+        assert_eq!(spec.access_count(), base.access_count(), "case {case}");
     }
+}
 
-    /// Join is commutative, idempotent, and an upper bound w.r.t. must-hits
-    /// on random abstract cache states.
-    #[test]
-    fn abstract_join_laws(seq_a in proptest::collection::vec(0u64..16, 0..12),
-                          seq_b in proptest::collection::vec(0u64..16, 0..12)) {
-        let config = CacheConfig::fully_associative(4, 64);
-        let region = speculative_absint::ir::RegionId::from_raw(0);
+/// Join is commutative, idempotent, and an upper bound w.r.t. must-hits on
+/// random abstract cache states.
+#[test]
+fn abstract_join_laws() {
+    let mut rng = Rng::new(0x5eed_0003);
+    let config = CacheConfig::fully_associative(4, 64);
+    let region = speculative_absint::ir::RegionId::from_raw(0);
+    for case in 0..CASES {
+        let seq_a = rng.vec(11, 16);
+        let seq_b = rng.vec(11, 16);
         let build_state = |seq: &[u64]| {
             let mut s = AbstractCacheState::empty_cache(&config, true);
             for &i in seq {
-                s.access(&config, &CacheAccess::Precise(MemBlock::new(region, i)), |_| 0);
+                s.access(
+                    &config,
+                    &CacheAccess::Precise(MemBlock::new(region, i)),
+                    |_| 0,
+                );
             }
             s
         };
@@ -150,35 +202,49 @@ proptest! {
         ab.join_in_place(&b);
         let mut ba = b.clone();
         ba.join_in_place(&a);
-        prop_assert_eq!(&ab, &ba, "join is commutative");
+        assert_eq!(&ab, &ba, "case {case}: join is commutative");
 
         let mut aa = a.clone();
-        prop_assert!(!aa.join_in_place(&a), "join is idempotent");
+        assert!(!aa.join_in_place(&a), "case {case}: join is idempotent");
 
         // Upper bound: a must-hit in the join is a must-hit in both inputs.
         for i in 0..16 {
             let block = MemBlock::new(region, i);
             if ab.is_must_hit(block) {
-                prop_assert!(a.is_must_hit(block) && b.is_must_hit(block));
+                assert!(
+                    a.is_must_hit(block) && b.is_must_hit(block),
+                    "case {case}: join invented a must-hit"
+                );
             }
         }
     }
+}
 
-    /// The concrete cache never reports a hit for a line that was not
-    /// previously accessed, and its resident set never exceeds capacity.
-    #[test]
-    fn concrete_cache_invariants(accesses in proptest::collection::vec(0u64..64, 1..200)) {
-        use speculative_absint::cache::ConcreteCache;
+/// The concrete cache never reports a hit for a line that was not previously
+/// accessed, and its resident set never exceeds capacity.
+#[test]
+fn concrete_cache_invariants() {
+    use speculative_absint::cache::ConcreteCache;
+    let mut rng = Rng::new(0x5eed_0004);
+    for case in 0..CASES {
+        let accesses: Vec<u64> = (0..1 + rng.below(200)).map(|_| rng.below(64)).collect();
         let mut cache = ConcreteCache::new(CacheConfig::set_associative(4, 2, 64));
         let mut seen = std::collections::HashSet::new();
         for &line in &accesses {
             let outcome = cache.access(line);
             if outcome.is_hit() {
-                prop_assert!(seen.contains(&line));
+                assert!(seen.contains(&line), "case {case}: hit on a cold line");
             }
             seen.insert(line);
-            prop_assert!(cache.resident_lines() <= 8);
+            assert!(
+                cache.resident_lines() <= 8,
+                "case {case}: capacity exceeded"
+            );
         }
-        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            accesses.len() as u64,
+            "case {case}"
+        );
     }
 }

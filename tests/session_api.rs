@@ -1,0 +1,176 @@
+//! The session API contract: prepared runs are bit-identical to fresh
+//! `CacheAnalysis::run` calls across configurations, suites preserve labels
+//! and order, and a prepared program can be hammered from many threads.
+
+use speculative_absint::cache::CacheConfig;
+use speculative_absint::core::session::comparison_configs;
+use speculative_absint::core::{AnalysisOptions, AnalysisResult, Analyzer, CacheAnalysis};
+use speculative_absint::ir::Program;
+use speculative_absint::vcfg::MergeStrategy;
+use speculative_absint::workloads::{ete_workload, figure2_program, quantl_program};
+
+const LINES: u64 = 32;
+
+fn cache() -> CacheConfig {
+    CacheConfig::fully_associative(LINES as usize, 64)
+}
+
+/// The full observable classification surface of a result.
+fn fingerprint(result: &AnalysisResult) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        result.accesses(),
+        &result.bounds,
+        result.colors,
+        result.rounds,
+        result.speculated_branches,
+        result.unroll,
+        result.iterations(),
+    )
+}
+
+fn exercised_configs() -> Vec<(String, AnalysisOptions)> {
+    let mut configs = comparison_configs(cache());
+    configs.push((
+        "rollback-no-shadow".to_string(),
+        AnalysisOptions::builder()
+            .cache(cache())
+            .merge_strategy(MergeStrategy::MergeAtRollback)
+            .shadow(false)
+            .build()
+            .unwrap(),
+    ));
+    configs.push((
+        "short-windows".to_string(),
+        AnalysisOptions::builder()
+            .cache(cache())
+            .speculation_depths(2, 10)
+            .build()
+            .unwrap(),
+    ));
+    configs.push((
+        "no-unroll".to_string(),
+        AnalysisOptions::builder()
+            .cache(cache())
+            .unroll_loops(false)
+            .build()
+            .unwrap(),
+    ));
+    configs.push((
+        "small-cache".to_string(),
+        AnalysisOptions::builder()
+            .cache(CacheConfig::fully_associative(8, 64))
+            .build()
+            .unwrap(),
+    ));
+    configs
+}
+
+fn programs() -> Vec<Program> {
+    vec![
+        figure2_program(LINES),
+        quantl_program(),
+        ete_workload("jcphuff", LINES).program,
+    ]
+}
+
+#[test]
+fn prepared_runs_match_fresh_runs_bit_for_bit() {
+    for program in programs() {
+        let prepared = Analyzer::new().prepare(&program);
+        for (label, options) in exercised_configs() {
+            let fresh = CacheAnalysis::new(options).run(&program);
+            let session = prepared.run(&options);
+            assert_eq!(
+                fingerprint(&fresh),
+                fingerprint(&session),
+                "{}/{label}: session result diverged from a fresh run",
+                program.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn run_suite_matches_individual_runs() {
+    let program = quantl_program();
+    let prepared = Analyzer::new().prepare(&program);
+    let configs = exercised_configs();
+    let suite = prepared.run_suite(&configs);
+    assert_eq!(suite.runs.len(), configs.len());
+    for ((label, options), run) in configs.iter().zip(&suite.runs) {
+        assert_eq!(&run.label, label, "suite results keep input order");
+        let fresh = CacheAnalysis::new(*options).run(&program);
+        assert_eq!(
+            fingerprint(&fresh),
+            fingerprint(&run.result),
+            "{label}: suite result diverged from a fresh run"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_of_one_config_are_stable() {
+    let program = figure2_program(LINES);
+    let prepared = Analyzer::new().prepare(&program);
+    let options = AnalysisOptions::builder().cache(cache()).build().unwrap();
+    let first = prepared.run(&options);
+    let second = prepared.run(&options);
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+}
+
+#[test]
+fn concurrent_smoke_many_threads_share_one_prepared_program() {
+    // Hammer one prepared program from many scoped threads with a mix of
+    // configurations; every thread must see results identical to a fresh
+    // run, with the memoized artifacts built at most once each.
+    let program = figure2_program(LINES);
+    let prepared = Analyzer::new().prepare(&program);
+    let configs = exercised_configs();
+    let expected: Vec<AnalysisResult> = configs
+        .iter()
+        .map(|(_, options)| CacheAnalysis::new(*options).run(&program))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let configs = &configs;
+            let expected = &expected;
+            let prepared = &prepared;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    let index = (worker + round) % configs.len();
+                    let result = prepared.run(&configs[index].1);
+                    assert_eq!(
+                        fingerprint(&result),
+                        fingerprint(&expected[index]),
+                        "worker {worker} round {round} diverged on `{}`",
+                        configs[index].0
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn suite_report_reflects_the_classifications() {
+    let program = figure2_program(LINES);
+    let prepared = Analyzer::new().prepare(&program);
+    let suite = prepared.run_suite(&comparison_configs(cache()));
+    let report = suite.report();
+    assert_eq!(report.program, "figure2");
+    for (row, run) in report.rows.iter().zip(&suite.runs) {
+        assert_eq!(row.label, run.label);
+        assert_eq!(row.misses, run.result.miss_count());
+        assert_eq!(row.speculative_misses, run.result.speculative_miss_count());
+        assert_eq!(row.accesses, row.must_hits + row.misses);
+    }
+    // The speculative row must be strictly more pessimistic than the
+    // baseline row on Figure 2 (the paper's headline).
+    let baseline = &report.rows[0];
+    let speculative = &report.rows[1];
+    assert!(speculative.misses > baseline.misses);
+    // And the JSON serialization carries the same numbers.
+    let json = report.to_json();
+    assert!(json.contains(&format!("\"misses\": {}", speculative.misses)));
+}
