@@ -1,0 +1,1188 @@
+//! Sharded batch scanning: analyse a *bundle* of programs under a labelled
+//! configuration panel, fanned out across processes, with mergeable reports.
+//!
+//! [`crate::session`] scales one program across threads of one process; this
+//! module scales a **panel** — programs × labelled configurations — across
+//! shards.  The unit of exchange between shards is a deterministic JSON
+//! report ([`BatchReport`], timing stripped via
+//! [`Report::without_timing`]), so the merged result of a sharded run is
+//! **bit-identical** to a single-process in-order run of the same panel, no
+//! matter how the panel was split or which shard finished first.  That
+//! determinism is what makes the reports CI-friendly: they can be diffed,
+//! cached, asserted against and merged across machines.
+//!
+//! The pipeline:
+//!
+//! 1. [`discover_programs`] expands directories into a sorted, de-duplicated
+//!    list of `.spec` files — the *bundle*;
+//! 2. [`plan_shards`] splits the bundle into contiguous, near-even shards;
+//! 3. each shard is a serializable [`ShardSpec`] and runs either in-process
+//!    (scoped threads) or in a spawned worker subprocess
+//!    (`specan worker --shard-json <spec>`) via [`run_bundle`] — the worker
+//!    body itself is [`run_shard`], shared by both paths;
+//! 4. [`BatchReport::merge`] recombines the shard reports in shard order,
+//!    rejecting duplicate program names, and the result serializes with
+//!    [`BatchReport::to_json`] / parses back with [`BatchReport::from_json`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use spec_core::batch::{run_shard, PanelKind, PanelSpec, ShardSpec};
+//!
+//! let dir = std::env::temp_dir().join("spec-batch-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("tiny.spec");
+//! std::fs::write(&path, "program tiny\nregion t 64\nblock main entry:\n  load t[0]\n  ret\n").unwrap();
+//!
+//! let spec = ShardSpec {
+//!     programs: vec![path],
+//!     panel: PanelSpec { kind: PanelKind::LeakCheck, cache_lines: 8 },
+//! };
+//! let report = run_shard(&spec).unwrap();
+//! assert_eq!(report.programs.len(), 1);
+//! assert!(!report.any_leak());
+//! // The JSON round-trips losslessly — the merge protocol depends on it.
+//! let parsed = spec_core::batch::BatchReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(parsed, report);
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use spec_cache::CacheConfig;
+use spec_ir::text::parse_program;
+
+use crate::json::{self, JsonValue};
+use crate::options::AnalysisOptions;
+use crate::session::{comparison_configs, Analyzer, MergeError, Report, ReportRow};
+
+/// The label of the row a program's leak verdict is read from: every panel
+/// kind includes the paper's full speculative configuration under this
+/// label, and a program *leaks* iff that row has a nonzero
+/// `unsafe_secret_accesses` count.
+pub const VERDICT_LABEL: &str = "speculative";
+
+/// Which labelled configuration panel a scan runs per program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelKind {
+    /// The two-row leak panel: non-speculative `baseline` vs. the paper's
+    /// full `speculative` configuration.  The cheap CI gate.
+    LeakCheck,
+    /// The standard five-row comparison panel of
+    /// [`comparison_configs`] — the paper's tables.
+    Comparison,
+}
+
+impl PanelKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PanelKind::LeakCheck => "leak-check",
+            PanelKind::Comparison => "comparison",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "leak-check" => Some(PanelKind::LeakCheck),
+            "comparison" => Some(PanelKind::Comparison),
+            _ => None,
+        }
+    }
+}
+
+/// The serializable description of a panel: which configuration family to
+/// run and on what cache geometry.  Carried inside every [`ShardSpec`] and
+/// [`BatchReport`] so shard outputs are self-describing and a merge can
+/// reject shards that ran different panels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PanelSpec {
+    /// The configuration family.
+    pub kind: PanelKind,
+    /// Cache size in 64-byte lines (fully associative, the paper's model).
+    pub cache_lines: usize,
+}
+
+impl PanelSpec {
+    /// Expands the spec into the labelled configurations every program of
+    /// the bundle is analysed under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::InvalidPanel`] when the cache geometry is
+    /// degenerate (e.g. zero lines).
+    pub fn configs(&self) -> Result<Vec<(String, AnalysisOptions)>, BatchError> {
+        let cache = CacheConfig::fully_associative(self.cache_lines, 64);
+        let check = |builder: crate::options::AnalysisOptionsBuilder| {
+            builder
+                .cache(cache)
+                .build()
+                .map_err(|err| BatchError::InvalidPanel(err.to_string()))
+        };
+        match self.kind {
+            PanelKind::LeakCheck => Ok(vec![
+                (
+                    "baseline".to_string(),
+                    check(AnalysisOptions::builder().baseline())?,
+                ),
+                (
+                    VERDICT_LABEL.to_string(),
+                    check(AnalysisOptions::builder())?,
+                ),
+            ]),
+            PanelKind::Comparison => {
+                check(AnalysisOptions::builder())?; // validate the geometry once
+                Ok(comparison_configs(cache))
+            }
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"kind\": {}, \"cache_lines\": {}}}",
+            json::string(self.kind.as_str()),
+            self.cache_lines
+        )
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, BatchError> {
+        let kind = value
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .and_then(PanelKind::parse)
+            .ok_or_else(|| BatchError::malformed("panel kind"))?;
+        let cache_lines = value
+            .get("cache_lines")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| BatchError::malformed("panel cache_lines"))?
+            as usize;
+        Ok(PanelSpec { kind, cache_lines })
+    }
+}
+
+/// One shard of a bundle: the program files this worker analyses and the
+/// panel it runs them under.  Serializes to the JSON handed to
+/// `specan worker --shard-json`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The `.spec` files of this shard, in bundle order.
+    pub programs: Vec<PathBuf>,
+    /// The panel to run.
+    pub panel: PanelSpec,
+}
+
+impl ShardSpec {
+    /// Serializes the shard for the worker command line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"programs\": [");
+        for (i, path) in self.programs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::string(&path.display().to_string()));
+        }
+        out.push_str("], \"panel\": ");
+        out.push_str(&self.panel.to_json());
+        out.push('}');
+        out
+    }
+
+    /// Parses a shard back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Json`] for syntactically invalid input and
+    /// [`BatchError::MalformedReport`] when required fields are missing.
+    pub fn from_json(input: &str) -> Result<Self, BatchError> {
+        let value = JsonValue::parse(input)?;
+        let programs = value
+            .get("programs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| BatchError::malformed("shard programs"))?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| BatchError::malformed("shard program path"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let panel = PanelSpec::from_json(
+            value
+                .get("panel")
+                .ok_or_else(|| BatchError::malformed("shard panel"))?,
+        )?;
+        Ok(ShardSpec { programs, panel })
+    }
+}
+
+/// How [`run_bundle`] executes its shards.
+#[derive(Clone, Debug)]
+pub enum ExecMode {
+    /// Run every shard on a scoped thread of this process.
+    InProcess,
+    /// Spawn one `<worker_exe> worker --shard-json <spec>` subprocess per
+    /// shard and merge their stdout reports.  The executable is normally
+    /// `std::env::current_exe()` of the `specan` binary itself.
+    Subprocess {
+        /// Path of the worker executable.
+        worker_exe: PathBuf,
+    },
+}
+
+/// Errors of the batch layer.
+#[derive(Debug)]
+pub enum BatchError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A program file failed to parse.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser's message.
+        message: String,
+    },
+    /// No `.spec` files were found.
+    NoPrograms,
+    /// A discovered path is not valid UTF-8, so it cannot travel through
+    /// the JSON worker protocol losslessly.
+    NonUtf8Path {
+        /// The offending path (lossily rendered).
+        path: PathBuf,
+    },
+    /// Two bundle files declare the same program name, which would make the
+    /// merged report ambiguous.
+    DuplicateProgram {
+        /// The duplicated program name.
+        name: String,
+    },
+    /// The panel configuration is invalid.
+    InvalidPanel(String),
+    /// A worker subprocess failed.
+    Worker {
+        /// The worker's exit code, if it exited at all.
+        code: Option<i32>,
+        /// The worker's stderr (trimmed).
+        stderr: String,
+    },
+    /// A report or shard document is not valid JSON.
+    Json(json::JsonError),
+    /// A report or shard document is valid JSON but not a valid document.
+    MalformedReport(String),
+    /// Shard reports could not be merged.
+    Merge(MergeError),
+    /// Shard reports ran different panels.
+    PanelMismatch,
+}
+
+impl BatchError {
+    fn malformed(what: &str) -> Self {
+        BatchError::MalformedReport(format!("missing or malformed {what}"))
+    }
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            BatchError::Parse { path, message } => write!(f, "{}: {message}", path.display()),
+            BatchError::NoPrograms => write!(f, "no .spec programs found"),
+            BatchError::NonUtf8Path { path } => write!(
+                f,
+                "`{}` is not valid UTF-8 (program paths must be UTF-8 to cross \
+                 the JSON worker protocol)",
+                path.display()
+            ),
+            BatchError::DuplicateProgram { name } => {
+                write!(f, "program `{name}` appears more than once in the bundle")
+            }
+            BatchError::InvalidPanel(message) => write!(f, "invalid panel: {message}"),
+            BatchError::Worker { code, stderr } => {
+                write!(f, "worker failed (exit {code:?})")?;
+                if !stderr.is_empty() {
+                    write!(f, ": {stderr}")?;
+                }
+                Ok(())
+            }
+            BatchError::Json(err) => write!(f, "{err}"),
+            BatchError::MalformedReport(message) => write!(f, "malformed report: {message}"),
+            BatchError::Merge(err) => write!(f, "{err}"),
+            BatchError::PanelMismatch => write!(f, "shard reports ran different panels"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<json::JsonError> for BatchError {
+    fn from(err: json::JsonError) -> Self {
+        BatchError::Json(err)
+    }
+}
+
+impl From<MergeError> for BatchError {
+    fn from(err: MergeError) -> Self {
+        BatchError::Merge(err)
+    }
+}
+
+/// Expands files and directories into the bundle's program list:
+/// directories are walked recursively for `*.spec` files, explicit files
+/// are taken as-is, and the result is sorted and de-duplicated — the
+/// canonical panel order every sharding of the bundle reproduces.
+///
+/// # Errors
+///
+/// Returns [`BatchError::Io`] for unreadable paths and
+/// [`BatchError::NoPrograms`] when the expansion comes up empty.
+pub fn discover_programs(paths: &[PathBuf]) -> Result<Vec<PathBuf>, BatchError> {
+    // Directory symlink loops (`sub/back -> ..`) would recurse forever;
+    // tracking each directory's canonical form visits every real directory
+    // once, loop or no loop.
+    fn walk(
+        dir: &Path,
+        out: &mut Vec<PathBuf>,
+        visited: &mut Vec<PathBuf>,
+    ) -> Result<(), BatchError> {
+        let io_err = |error| BatchError::Io {
+            path: dir.to_path_buf(),
+            error,
+        };
+        let canonical = std::fs::canonicalize(dir).map_err(io_err)?;
+        if visited.contains(&canonical) {
+            return Ok(());
+        }
+        visited.push(canonical);
+        let entries = std::fs::read_dir(dir).map_err(io_err)?;
+        for entry in entries {
+            let path = entry.map_err(io_err)?.path();
+            if path.is_dir() {
+                walk(&path, out, visited)?;
+            } else if path.extension().is_some_and(|ext| ext == "spec") {
+                // The path must survive the JSON worker protocol, which
+                // carries it as a UTF-8 string; reject it here, where the
+                // error can name the file, instead of failing opaquely
+                // inside a worker subprocess.
+                if path.to_str().is_none() {
+                    return Err(BatchError::NonUtf8Path { path });
+                }
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+
+    let mut programs = Vec::new();
+    let mut visited = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            walk(path, &mut programs, &mut visited)?;
+        } else if path.is_file() {
+            // Explicit files get the same UTF-8 guard as discovered ones.
+            if path.to_str().is_none() {
+                return Err(BatchError::NonUtf8Path { path: path.clone() });
+            }
+            programs.push(path.clone());
+        } else {
+            return Err(BatchError::Io {
+                path: path.clone(),
+                error: std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+            });
+        }
+    }
+    programs.sort();
+    programs.dedup();
+    if programs.is_empty() {
+        return Err(BatchError::NoPrograms);
+    }
+    Ok(programs)
+}
+
+/// The K-th (1-based) of exactly `n` contiguous, near-even slices of
+/// `n_items` (the first `n_items % n` slices hold one extra item).  Slices
+/// may be empty when `n > n_items` — a CI fleet is allowed more machines
+/// than programs.  This is the one source of truth for the split
+/// arithmetic: [`plan_shards`] and the CLI's `--shard K/N` both use it, so
+/// a per-machine slice always matches the corresponding process shard.
+///
+/// # Panics
+///
+/// Panics unless `1 <= k <= n`.
+pub fn shard_slice(n_items: usize, k: usize, n: usize) -> Range<usize> {
+    assert!(k >= 1 && k <= n, "shard index {k} out of 1..={n}");
+    let base = n_items / n;
+    let extra = n_items % n;
+    let start = (k - 1) * base + (k - 1).min(extra);
+    start..start + base + usize::from(k - 1 < extra)
+}
+
+/// Splits `n_programs` into at most `jobs` contiguous, near-even shards
+/// ([`shard_slice`] does the arithmetic; empty shards are never planned).
+/// Contiguity is what lets [`BatchReport::merge`] restore the bundle order
+/// by concatenating shard reports in shard order.
+pub fn plan_shards(n_programs: usize, jobs: usize) -> Vec<Range<usize>> {
+    let shards = jobs.max(1).min(n_programs);
+    (1..=shards)
+        .map(|k| shard_slice(n_programs, k, shards))
+        .collect()
+}
+
+/// Runs one shard to completion in this process: loads every program,
+/// runs the panel via [`crate::session::PreparedProgram::run_suite`], and
+/// returns the deterministic (timing-stripped) shard report.  This is the
+/// body of `specan worker` and the per-thread work of in-process sharding —
+/// both execution paths share it, which is why their merged outputs agree.
+///
+/// The shard is the batch layer's unit of parallelism, so the suites inside
+/// it run on one thread: `jobs` shards never fan out into `jobs × configs`
+/// threads, and a worker fleet saturates its cores without oversubscribing
+/// them.  (To parallelise one program's configurations instead, use
+/// [`crate::session::PreparedProgram::run_suite`] directly.)
+///
+/// # Errors
+///
+/// Returns [`BatchError::Io`]/[`BatchError::Parse`] for unreadable or
+/// invalid program files, [`BatchError::InvalidPanel`] for a degenerate
+/// panel, and [`BatchError::DuplicateProgram`] when two files of the shard
+/// declare the same program name.
+pub fn run_shard(spec: &ShardSpec) -> Result<BatchReport, BatchError> {
+    let configs = spec.panel.configs()?;
+    let mut programs: Vec<ProgramVerdict> = Vec::with_capacity(spec.programs.len());
+    for path in &spec.programs {
+        let source = std::fs::read_to_string(path).map_err(|error| BatchError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let program = parse_program(&source).map_err(|err| BatchError::Parse {
+            path: path.clone(),
+            message: err.to_string(),
+        })?;
+        let prepared = Analyzer::new()
+            .max_suite_threads(std::num::NonZeroUsize::MIN)
+            .prepare(&program);
+        let report = prepared.run_suite(&configs).report().without_timing();
+        if programs.iter().any(|p| p.report.program == report.program) {
+            return Err(BatchError::DuplicateProgram {
+                name: report.program,
+            });
+        }
+        programs.push(ProgramVerdict::from_report(report));
+    }
+    Ok(BatchReport {
+        panel: spec.panel,
+        programs,
+    })
+}
+
+/// Runs a whole bundle sharded `jobs` ways and returns the merged report.
+///
+/// `programs` is the bundle in panel order (normally the output of
+/// [`discover_programs`]); it is split with [`plan_shards`] and executed
+/// per `mode` — scoped threads in-process, or one spawned worker
+/// subprocess per shard.  Subprocess workers are all spawned before any is
+/// awaited, so at most `jobs` processes run concurrently and waiting in
+/// shard order costs no parallelism.
+///
+/// The merged report is bit-identical to `run_shard` over the undivided
+/// bundle — sharding is an execution detail, not a semantic one.
+///
+/// # Errors
+///
+/// Propagates shard failures ([`run_shard`]'s errors, or
+/// [`BatchError::Worker`] when a subprocess dies) and merge conflicts.
+pub fn run_bundle(
+    programs: &[PathBuf],
+    panel: PanelSpec,
+    jobs: usize,
+    mode: &ExecMode,
+) -> Result<BatchReport, BatchError> {
+    if programs.is_empty() {
+        return Err(BatchError::NoPrograms);
+    }
+    let shards: Vec<ShardSpec> = plan_shards(programs.len(), jobs)
+        .into_iter()
+        .map(|range| ShardSpec {
+            programs: programs[range].to_vec(),
+            panel,
+        })
+        .collect();
+    let reports = match mode {
+        ExecMode::InProcess => run_shards_in_process(&shards)?,
+        ExecMode::Subprocess { worker_exe } => run_shards_subprocess(&shards, worker_exe)?,
+    };
+    BatchReport::merge(reports)
+}
+
+fn run_shards_in_process(shards: &[ShardSpec]) -> Result<Vec<BatchReport>, BatchError> {
+    if let [only] = shards {
+        return Ok(vec![run_shard(only)?]);
+    }
+    let mut slots: Vec<Option<Result<BatchReport, BatchError>>> =
+        shards.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (shard, slot) in shards.iter().zip(slots.iter_mut()) {
+            scope.spawn(move || *slot = Some(run_shard(shard)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard ran"))
+        .collect()
+}
+
+fn run_shards_subprocess(
+    shards: &[ShardSpec],
+    worker_exe: &Path,
+) -> Result<Vec<BatchReport>, BatchError> {
+    // The shard spec travels over the worker's stdin (`--shard-json -`):
+    // a monorepo shard can list thousands of paths, which would overflow
+    // the platform's per-argument size limit as an argv string.
+    let spawn = |shard: &ShardSpec| -> Result<Child, BatchError> {
+        let io_err = |error| BatchError::Io {
+            path: worker_exe.to_path_buf(),
+            error,
+        };
+        let mut child = Command::new(worker_exe)
+            .arg("worker")
+            .arg("--shard-json")
+            .arg("-")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(io_err)?;
+        // Write the spec and close stdin so the worker sees EOF.  The
+        // worker's first act is draining stdin, so this cannot deadlock
+        // against its (not yet produced) output.
+        use std::io::Write as _;
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        if let Err(error) = stdin.write_all(shard.to_json().as_bytes()) {
+            // A broken pipe means the worker died before draining stdin
+            // (wrong binary, early usage error).  Reap it — no zombie —
+            // and surface its stderr, which explains the death better
+            // than the pipe error does.
+            drop(stdin);
+            return match child.wait_with_output() {
+                Ok(output) if !output.status.success() => Err(BatchError::Worker {
+                    code: output.status.code(),
+                    stderr: String::from_utf8_lossy(&output.stderr).trim().to_string(),
+                }),
+                _ => Err(io_err(error)),
+            };
+        }
+        drop(stdin);
+        Ok(child)
+    };
+    // Spawn everything up front; collect in shard order afterwards.
+    let children: Vec<Result<Child, BatchError>> = shards.iter().map(spawn).collect();
+    let mut reports = Vec::with_capacity(shards.len());
+    let mut first_error = None;
+    for child in children {
+        let outcome = child.and_then(|child| {
+            let output = child.wait_with_output().map_err(|error| BatchError::Io {
+                path: worker_exe.to_path_buf(),
+                error,
+            })?;
+            if !output.status.success() {
+                return Err(BatchError::Worker {
+                    code: output.status.code(),
+                    stderr: String::from_utf8_lossy(&output.stderr).trim().to_string(),
+                });
+            }
+            BatchReport::from_json(&String::from_utf8_lossy(&output.stdout))
+        });
+        // Even on error, keep draining the remaining children so none is
+        // left running (wait_with_output reaps each one).
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(err) if first_error.is_none() => first_error = Some(err),
+            Err(_) => {}
+        }
+    }
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(reports),
+    }
+}
+
+/// One program's slice of a [`BatchReport`]: its per-configuration report
+/// and the leak verdict derived from the [`VERDICT_LABEL`] row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramVerdict {
+    /// `true` iff the program has a secret-indexed access that is not
+    /// provably timing-neutral under the full speculative configuration.
+    pub leak: bool,
+    /// The program's labelled (timing-stripped) report.
+    pub report: Report,
+}
+
+impl ProgramVerdict {
+    /// Derives the leak verdict from the report's [`VERDICT_LABEL`] row —
+    /// the one place the "leaks iff `unsafe_secret_accesses > 0` under the
+    /// full speculative configuration" rule lives.
+    pub fn from_report(report: Report) -> Self {
+        let leak = report
+            .rows
+            .iter()
+            .find(|row| row.label == VERDICT_LABEL)
+            .is_some_and(|row| row.unsafe_secret_accesses > 0);
+        Self { leak, report }
+    }
+}
+
+/// The deterministic merged report of a batch scan: one
+/// [`ProgramVerdict`] per program, in panel order, under one panel.
+///
+/// Equal panels over equal programs produce equal reports (`PartialEq`,
+/// and bit-identical [`BatchReport::to_json`]) regardless of sharding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchReport {
+    /// The panel every program was analysed under.
+    pub panel: PanelSpec,
+    /// Per-program results, in panel (bundle) order.
+    pub programs: Vec<ProgramVerdict>,
+}
+
+impl BatchReport {
+    /// Concatenates shard reports in shard order into the bundle report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Merge`] for an empty input,
+    /// [`BatchError::PanelMismatch`] when the shards disagree about the
+    /// panel, and [`BatchError::DuplicateProgram`] when two shards (or two
+    /// files within one) report the same program name.
+    pub fn merge(shards: impl IntoIterator<Item = BatchReport>) -> Result<Self, BatchError> {
+        let mut iter = shards.into_iter();
+        let first = iter.next().ok_or(BatchError::Merge(MergeError::Empty))?;
+        // Absorb every shard — the first included — through the duplicate
+        // check: a parsed foreign artifact may carry internal duplicates.
+        let mut merged = BatchReport {
+            panel: first.panel,
+            programs: Vec::new(),
+        };
+        for shard in std::iter::once(first).chain(iter) {
+            if shard.panel != merged.panel {
+                return Err(BatchError::PanelMismatch);
+            }
+            for verdict in shard.programs {
+                if merged
+                    .programs
+                    .iter()
+                    .any(|p| p.report.program == verdict.report.program)
+                {
+                    return Err(BatchError::DuplicateProgram {
+                        name: verdict.report.program,
+                    });
+                }
+                merged.programs.push(verdict);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Number of leaking programs.
+    pub fn leak_count(&self) -> usize {
+        self.programs.iter().filter(|p| p.leak).count()
+    }
+
+    /// `true` iff at least one program leaks — the scan's exit-1 condition.
+    pub fn any_leak(&self) -> bool {
+        self.programs.iter().any(|p| p.leak)
+    }
+
+    /// Serializes the report.  The output contains only deterministic
+    /// fields (no wall-clock times), so equal panels serialize to equal
+    /// bytes and shard outputs can be merged, cached and diffed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"panel\": {},\n", self.panel.to_json()));
+        out.push_str(&format!("  \"leaks\": {},\n", self.leak_count()));
+        out.push_str("  \"programs\": [\n");
+        for (i, verdict) in self.programs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"program\": {},\n",
+                json::string(&verdict.report.program)
+            ));
+            out.push_str(&format!("      \"leak\": {},\n", verdict.leak));
+            out.push_str("      \"runs\": [\n");
+            for (j, row) in verdict.report.rows.iter().enumerate() {
+                out.push_str("        {");
+                out.push_str(&format!("\"label\": {}, ", json::string(&row.label)));
+                out.push_str(&format!("\"accesses\": {}, ", row.accesses));
+                out.push_str(&format!("\"must_hits\": {}, ", row.must_hits));
+                out.push_str(&format!("\"misses\": {}, ", row.misses));
+                out.push_str(&format!(
+                    "\"speculative_misses\": {}, ",
+                    row.speculative_misses
+                ));
+                out.push_str(&format!("\"secret_accesses\": {}, ", row.secret_accesses));
+                out.push_str(&format!(
+                    "\"unsafe_secret_accesses\": {}, ",
+                    row.unsafe_secret_accesses
+                ));
+                out.push_str(&format!(
+                    "\"speculated_branches\": {}, ",
+                    row.speculated_branches
+                ));
+                out.push_str(&format!("\"iterations\": {}, ", row.iterations));
+                out.push_str(&format!("\"rounds\": {}", row.rounds));
+                out.push_str(if j + 1 == verdict.report.rows.len() {
+                    "}\n"
+                } else {
+                    "},\n"
+                });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 == self.programs.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Parses a report back from [`BatchReport::to_json`] output (e.g. a
+    /// worker subprocess's stdout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Json`] for invalid JSON and
+    /// [`BatchError::MalformedReport`] for a structurally wrong document.
+    pub fn from_json(input: &str) -> Result<Self, BatchError> {
+        let value = JsonValue::parse(input)?;
+        let panel = PanelSpec::from_json(
+            value
+                .get("panel")
+                .ok_or_else(|| BatchError::malformed("report panel"))?,
+        )?;
+        let mut programs = Vec::new();
+        for entry in value
+            .get("programs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| BatchError::malformed("report programs"))?
+        {
+            let program = entry
+                .get("program")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| BatchError::malformed("program name"))?
+                .to_string();
+            let leak = entry
+                .get("leak")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| BatchError::malformed("program leak flag"))?;
+            let mut rows = Vec::new();
+            for run in entry
+                .get("runs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| BatchError::malformed("program runs"))?
+            {
+                rows.push(parse_row(run)?);
+            }
+            programs.push(ProgramVerdict {
+                leak,
+                report: Report {
+                    program,
+                    elapsed: None,
+                    rows,
+                },
+            });
+        }
+        Ok(BatchReport { panel, programs })
+    }
+}
+
+fn parse_row(run: &JsonValue) -> Result<ReportRow, BatchError> {
+    let label = run
+        .get("label")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| BatchError::malformed("run label"))?
+        .to_string();
+    let raw = |key: &str| -> Result<u64, BatchError> {
+        run.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| BatchError::malformed(&format!("run {key}")))
+    };
+    // Checked narrowing: an out-of-range count is corruption and must fail
+    // loudly, not wrap into a plausible-looking small number.
+    let count = |key: &str| -> Result<usize, BatchError> {
+        raw(key)?
+            .try_into()
+            .map_err(|_| BatchError::malformed(&format!("run {key}")))
+    };
+    Ok(ReportRow {
+        label,
+        accesses: count("accesses")?,
+        must_hits: count("must_hits")?,
+        misses: count("misses")?,
+        speculative_misses: count("speculative_misses")?,
+        secret_accesses: count("secret_accesses")?,
+        unsafe_secret_accesses: count("unsafe_secret_accesses")?,
+        speculated_branches: count("speculated_branches")?,
+        iterations: raw("iterations")?,
+        rounds: raw("rounds")?
+            .try_into()
+            .map_err(|_| BatchError::malformed("run rounds"))?,
+        time: Duration::ZERO,
+    })
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scanned {} program(s), {} leaking",
+            self.programs.len(),
+            self.leak_count()
+        )?;
+        for verdict in &self.programs {
+            writeln!(
+                f,
+                "\n`{}`: {}",
+                verdict.report.program,
+                if verdict.leak { "LEAK" } else { "leak-free" }
+            )?;
+            writeln!(
+                f,
+                "{:<20} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7}",
+                "configuration", "accesses", "must-hit", "misses", "sp-miss", "secret", "unsafe"
+            )?;
+            for row in &verdict.report.rows {
+                writeln!(
+                    f,
+                    "{:<20} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7}",
+                    row.label,
+                    row.accesses,
+                    row.must_hits,
+                    row.misses,
+                    row.speculative_misses,
+                    row.secret_accesses,
+                    row.unsafe_secret_accesses
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);
+
+    /// A scratch directory holding the given `(file_stem, program_name)`
+    /// pairs as minimal leak-free programs; removed on drop.
+    struct Scratch {
+        dir: PathBuf,
+        files: Vec<PathBuf>,
+    }
+
+    impl Scratch {
+        fn new(programs: &[(&str, &str)]) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "spec-batch-test-{}-{}",
+                std::process::id(),
+                SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let files = programs
+                .iter()
+                .map(|(stem, name)| {
+                    let path = dir.join(format!("{stem}.spec"));
+                    std::fs::write(
+                        &path,
+                        format!(
+                            "program {name}\nregion t 64\nblock main entry:\n  load t[0]\n  ret\n"
+                        ),
+                    )
+                    .unwrap();
+                    path
+                })
+                .collect();
+            Self { dir, files }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn leak_panel() -> PanelSpec {
+        PanelSpec {
+            kind: PanelKind::LeakCheck,
+            cache_lines: 8,
+        }
+    }
+
+    #[test]
+    fn plan_shards_is_contiguous_near_even_and_complete() {
+        for n in 0..20 {
+            for jobs in 1..8 {
+                let ranges = plan_shards(n, jobs);
+                assert!(ranges.len() <= jobs.min(n.max(1)));
+                let mut covered = 0;
+                let mut sizes = Vec::new();
+                for range in &ranges {
+                    assert_eq!(range.start, covered, "shards must be contiguous");
+                    covered = range.end;
+                    sizes.push(range.len());
+                }
+                assert_eq!(covered, n, "every program must land in a shard");
+                if let (Some(max), Some(min)) = (sizes.iter().max(), sizes.iter().min()) {
+                    assert!(max - min <= 1, "shards must be near-even: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_slice_allows_more_machines_than_programs() {
+        // 3 items over 5 machines: the first three slices hold one each,
+        // the rest are legally empty.
+        let sizes: Vec<usize> = (1..=5).map(|k| shard_slice(3, k, 5).len()).collect();
+        assert_eq!(sizes, [1, 1, 1, 0, 0]);
+        assert_eq!(shard_slice(3, 4, 5), 3..3);
+        // Slices tile the input contiguously.
+        let mut covered = 0;
+        for k in 1..=5 {
+            let range = shard_slice(3, k, 5);
+            assert_eq!(range.start, covered);
+            covered = range.end;
+        }
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn shard_spec_round_trips_through_json() {
+        let spec = ShardSpec {
+            programs: vec![
+                PathBuf::from("a \"quoted\" path.spec"),
+                PathBuf::from("dir/b.spec"),
+            ],
+            panel: PanelSpec {
+                kind: PanelKind::Comparison,
+                cache_lines: 128,
+            },
+        };
+        assert_eq!(ShardSpec::from_json(&spec.to_json()).unwrap(), spec);
+        assert!(ShardSpec::from_json("{\"programs\": 3}").is_err());
+        assert!(ShardSpec::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn discovery_sorts_and_recurses() {
+        let scratch = Scratch::new(&[("b", "beta"), ("a", "alpha")]);
+        let nested = scratch.dir.join("sub");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(
+            nested.join("c.spec"),
+            "program gamma\nregion t 64\nblock main entry:\n  load t[0]\n  ret\n",
+        )
+        .unwrap();
+        std::fs::write(nested.join("ignored.txt"), "not a program").unwrap();
+        let found = discover_programs(std::slice::from_ref(&scratch.dir)).unwrap();
+        let stems: Vec<String> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(stems, ["a.spec", "b.spec", "c.spec"]);
+        // Passing a file and the directory containing it dedups.
+        let again = discover_programs(&[scratch.files[0].clone(), scratch.dir.clone()]).unwrap();
+        assert_eq!(again.len(), 3);
+        assert!(matches!(
+            discover_programs(&[]),
+            Err(BatchError::NoPrograms)
+        ));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn discovery_rejects_non_utf8_paths() {
+        use std::os::unix::ffi::OsStrExt as _;
+        let scratch = Scratch::new(&[("ok", "ok")]);
+        let bad_name = std::ffi::OsStr::from_bytes(b"bad\xff.spec");
+        std::fs::write(
+            scratch.dir.join(bad_name),
+            "program bad\nregion t 64\nblock main entry:\n  load t[0]\n  ret\n",
+        )
+        .unwrap();
+        // The lossy path would break the worker protocol; fail up front.
+        assert!(matches!(
+            discover_programs(std::slice::from_ref(&scratch.dir)),
+            Err(BatchError::NonUtf8Path { .. })
+        ));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn discovery_survives_directory_symlink_loops() {
+        let scratch = Scratch::new(&[("a", "alpha")]);
+        let nested = scratch.dir.join("sub");
+        std::fs::create_dir_all(&nested).unwrap();
+        // `sub/back` points at the scratch root: a cycle.
+        std::os::unix::fs::symlink(&scratch.dir, nested.join("back")).unwrap();
+        let found = discover_programs(std::slice::from_ref(&scratch.dir)).unwrap();
+        // The loop terminates and the real file is found exactly once.
+        assert_eq!(found.len(), 1);
+        assert!(found[0].ends_with("a.spec"));
+    }
+
+    #[test]
+    fn merge_keeps_shard_order_and_rejects_duplicates() {
+        let scratch = Scratch::new(&[("a", "alpha"), ("b", "beta"), ("c", "gamma")]);
+        let shard = |range: std::ops::Range<usize>| ShardSpec {
+            programs: scratch.files[range].to_vec(),
+            panel: leak_panel(),
+        };
+        let first = run_shard(&shard(0..2)).unwrap();
+        let second = run_shard(&shard(2..3)).unwrap();
+        let merged = BatchReport::merge([first.clone(), second.clone()]).unwrap();
+        let names: Vec<&str> = merged
+            .programs
+            .iter()
+            .map(|p| p.report.program.as_str())
+            .collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        // A shard showing up twice duplicates its programs.
+        assert!(matches!(
+            BatchReport::merge([first.clone(), first.clone()]),
+            Err(BatchError::DuplicateProgram { name }) if name == "alpha"
+        ));
+        // A duplicate *inside* the first shard (e.g. a corrupted foreign
+        // artifact fed through from_json) is just as ambiguous.
+        let mut corrupt = first.clone();
+        corrupt.programs.push(corrupt.programs[0].clone());
+        assert!(matches!(
+            BatchReport::merge([corrupt]),
+            Err(BatchError::DuplicateProgram { name }) if name == "alpha"
+        ));
+        // Shards from different panels don't merge.
+        let mut foreign = second;
+        foreign.panel.cache_lines = 16;
+        assert!(matches!(
+            BatchReport::merge([first, foreign]),
+            Err(BatchError::PanelMismatch)
+        ));
+        assert!(matches!(
+            BatchReport::merge(std::iter::empty()),
+            Err(BatchError::Merge(MergeError::Empty))
+        ));
+    }
+
+    #[test]
+    fn duplicate_program_names_within_a_shard_are_rejected() {
+        let scratch = Scratch::new(&[("one", "same"), ("two", "same")]);
+        let result = run_shard(&ShardSpec {
+            programs: scratch.files.clone(),
+            panel: leak_panel(),
+        });
+        assert!(matches!(
+            result,
+            Err(BatchError::DuplicateProgram { name }) if name == "same"
+        ));
+    }
+
+    #[test]
+    fn batch_report_json_round_trips() {
+        let scratch = Scratch::new(&[("x", "with \"quotes\""), ("y", "plain")]);
+        let report = run_shard(&ShardSpec {
+            programs: scratch.files.clone(),
+            panel: PanelSpec {
+                kind: PanelKind::Comparison,
+                cache_lines: 8,
+            },
+        })
+        .unwrap();
+        let json = report.to_json();
+        let parsed = BatchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        // Serialization is deterministic: re-emitting the parse is identical.
+        assert_eq!(parsed.to_json(), json);
+        assert!(BatchReport::from_json("{\"panel\": {}}").is_err());
+    }
+
+    #[test]
+    fn every_report_row_field_survives_the_worker_protocol() {
+        // A synthetic row with pairwise-distinct values pins each field of
+        // the serialize/parse pair: a field dropped from (or miswired in)
+        // BatchReport::to_json/parse_row breaks this equality even though
+        // both sharded execution paths would still agree with each other.
+        let row = ReportRow {
+            label: "pin".to_string(),
+            accesses: 1,
+            must_hits: 2,
+            misses: 3,
+            speculative_misses: 4,
+            secret_accesses: 5,
+            unsafe_secret_accesses: 6,
+            speculated_branches: 7,
+            iterations: 8,
+            rounds: 9,
+            time: std::time::Duration::ZERO,
+        };
+        let report = BatchReport {
+            panel: leak_panel(),
+            programs: vec![ProgramVerdict {
+                leak: true,
+                report: Report {
+                    program: "pinned".to_string(),
+                    elapsed: None,
+                    rows: vec![row],
+                },
+            }],
+        };
+        assert_eq!(BatchReport::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn sharded_bundle_is_bit_identical_to_in_order_run() {
+        let scratch = Scratch::new(&[
+            ("a", "alpha"),
+            ("b", "beta"),
+            ("c", "gamma"),
+            ("d", "delta"),
+            ("e", "epsilon"),
+        ]);
+        let reference = run_bundle(&scratch.files, leak_panel(), 1, &ExecMode::InProcess).unwrap();
+        for jobs in [2, 3, 5, 8] {
+            let sharded =
+                run_bundle(&scratch.files, leak_panel(), jobs, &ExecMode::InProcess).unwrap();
+            assert_eq!(sharded, reference, "jobs={jobs} diverged");
+            assert_eq!(sharded.to_json(), reference.to_json());
+        }
+    }
+
+    #[test]
+    fn invalid_panels_and_unreadable_programs_error_cleanly() {
+        let panel = PanelSpec {
+            kind: PanelKind::LeakCheck,
+            cache_lines: 0,
+        };
+        assert!(matches!(panel.configs(), Err(BatchError::InvalidPanel(_))));
+        let missing = ShardSpec {
+            programs: vec![PathBuf::from("/nonexistent/x.spec")],
+            panel: leak_panel(),
+        };
+        assert!(matches!(run_shard(&missing), Err(BatchError::Io { .. })));
+        let scratch = Scratch::new(&[("ok", "ok")]);
+        std::fs::write(scratch.dir.join("bad.spec"), "this is not a program").unwrap();
+        let bad = ShardSpec {
+            programs: vec![scratch.dir.join("bad.spec")],
+            panel: leak_panel(),
+        };
+        assert!(matches!(run_shard(&bad), Err(BatchError::Parse { .. })));
+    }
+}

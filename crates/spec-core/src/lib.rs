@@ -74,6 +74,7 @@
 //! [`session::PreparedProgram::run_suite`]).
 
 pub mod analysis;
+pub mod batch;
 pub mod classify;
 mod engine;
 pub mod json;
@@ -82,7 +83,8 @@ pub mod session;
 pub mod state;
 
 pub use analysis::CacheAnalysis;
+pub use batch::{BatchError, BatchReport, ExecMode, PanelKind, PanelSpec, ShardSpec};
 pub use classify::{AccessInfo, AnalysisResult};
 pub use options::{AnalysisOptions, AnalysisOptionsBuilder, OptionsError};
-pub use session::{Analyzer, PreparedProgram, Report, ReportRow, Suite, SuiteRun};
+pub use session::{Analyzer, MergeError, PreparedProgram, Report, ReportRow, Suite, SuiteRun};
 pub use state::SpecState;

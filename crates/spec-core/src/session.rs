@@ -428,6 +428,66 @@ impl Report {
         }
     }
 
+    /// Merges several reports of the **same program** into one, keeping the
+    /// rows in input order (first report's rows first).  This is the
+    /// config-axis fan-in primitive: when one program's configuration panel
+    /// was split across invocations (e.g. different sweeps of the same
+    /// program run on different machines), their labelled reports recombine
+    /// here.  The program-axis counterpart — many programs, one panel — is
+    /// [`crate::batch::BatchReport::merge`].
+    ///
+    /// The merged report carries no suite wall-clock (the inputs ran on
+    /// different clocks), so merging is deterministic up to row times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::Empty`] for an empty input,
+    /// [`MergeError::ProgramMismatch`] when the reports disagree about the
+    /// program name, and [`MergeError::DuplicateLabel`] when two rows carry
+    /// the same label (a label must identify one configuration).
+    pub fn merge(reports: impl IntoIterator<Item = Report>) -> Result<Report, MergeError> {
+        let mut iter = reports.into_iter();
+        let first = iter.next().ok_or(MergeError::Empty)?;
+        let mut merged = Report {
+            program: first.program,
+            elapsed: None,
+            rows: Vec::new(),
+        };
+        let mut absorb = |report_rows: Vec<ReportRow>| -> Result<(), MergeError> {
+            for row in report_rows {
+                if merged.rows.iter().any(|r| r.label == row.label) {
+                    return Err(MergeError::DuplicateLabel { label: row.label });
+                }
+                merged.rows.push(row);
+            }
+            Ok(())
+        };
+        absorb(first.rows)?;
+        for report in iter {
+            if report.program != merged.program {
+                return Err(MergeError::ProgramMismatch {
+                    expected: merged.program.clone(),
+                    found: report.program,
+                });
+            }
+            absorb(report.rows)?;
+        }
+        Ok(merged)
+    }
+
+    /// Strips the non-deterministic fields (suite wall-clock and per-row
+    /// times), leaving only values that are pure functions of the program
+    /// and the configurations.  Two runs of the same panel — threaded,
+    /// sharded or sequential — agree bit-for-bit on the result, which is
+    /// what makes [`crate::batch`] reports mergeable and diffable in CI.
+    pub fn without_timing(mut self) -> Report {
+        self.elapsed = None;
+        for row in &mut self.rows {
+            row.time = Duration::ZERO;
+        }
+        self
+    }
+
     /// Serializes the report as a JSON object, for tooling.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -513,6 +573,42 @@ impl fmt::Display for Report {
         Ok(())
     }
 }
+
+/// Why [`Report::merge`] refused to combine its inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No reports were supplied.
+    Empty,
+    /// The reports describe different programs.
+    ProgramMismatch {
+        /// Program of the first report.
+        expected: String,
+        /// Conflicting program encountered later.
+        found: String,
+    },
+    /// Two rows carry the same configuration label.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "cannot merge zero reports"),
+            MergeError::ProgramMismatch { expected, found } => write!(
+                f,
+                "cannot merge reports of different programs (`{expected}` vs `{found}`)"
+            ),
+            MergeError::DuplicateLabel { label } => {
+                write!(f, "duplicate configuration label `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Summary of one labelled analysis run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -721,6 +817,78 @@ mod tests {
         assert!(json.contains("\"a \\\"quoted\\\" label\""));
         assert!(json.contains("\"suite_elapsed_secs\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn toy_report(program: &str, labels: &[&str]) -> Report {
+        Report {
+            program: program.to_string(),
+            elapsed: Some(Duration::from_secs(1)),
+            rows: labels
+                .iter()
+                .map(|label| ReportRow {
+                    label: label.to_string(),
+                    accesses: 1,
+                    must_hits: 1,
+                    misses: 0,
+                    speculative_misses: 0,
+                    secret_accesses: 0,
+                    unsafe_secret_accesses: 0,
+                    speculated_branches: 0,
+                    iterations: 1,
+                    rounds: 1,
+                    time: Duration::from_millis(5),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_rows_in_input_order() {
+        let merged = Report::merge([
+            toy_report("p", &["a", "b"]),
+            toy_report("p", &["c"]),
+            toy_report("p", &[]),
+            toy_report("p", &["d"]),
+        ])
+        .unwrap();
+        let labels: Vec<&str> = merged.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
+        assert_eq!(merged.elapsed, None, "merged reports carry no wall-clock");
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_labels_and_mixed_programs() {
+        assert_eq!(
+            Report::merge([toy_report("p", &["a"]), toy_report("p", &["a"])]),
+            Err(MergeError::DuplicateLabel {
+                label: "a".to_string()
+            })
+        );
+        // A duplicate within a single input is just as ambiguous.
+        assert_eq!(
+            Report::merge([toy_report("p", &["x", "x"])]),
+            Err(MergeError::DuplicateLabel {
+                label: "x".to_string()
+            })
+        );
+        assert_eq!(
+            Report::merge([toy_report("p", &["a"]), toy_report("q", &["b"])]),
+            Err(MergeError::ProgramMismatch {
+                expected: "p".to_string(),
+                found: "q".to_string()
+            })
+        );
+        assert_eq!(Report::merge([]), Err(MergeError::Empty));
+    }
+
+    #[test]
+    fn without_timing_strips_every_clock() {
+        let stripped = toy_report("p", &["a", "b"]).without_timing();
+        assert_eq!(stripped.elapsed, None);
+        assert!(stripped.rows.iter().all(|r| r.time == Duration::ZERO));
+        // Everything else is untouched.
+        assert_eq!(stripped.rows.len(), 2);
+        assert_eq!(stripped.rows[0].accesses, 1);
     }
 
     #[test]

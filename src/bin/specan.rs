@@ -1,31 +1,46 @@
 //! `specan` — analyse programs written in the textual IR format.
 //!
 //! ```text
-//! specan analyze <program.spec> [options]   one configuration, per-access detail
-//! specan compare <program.spec> [options]   the standard configuration panel, in parallel
-//! specan leaks   <program.spec> [options]   side-channel verdict; exit code 1 on a leak
+//! specan analyze <program.spec...> [options]   one configuration, per-access detail
+//! specan compare <program.spec...> [options]   the standard configuration panel, in parallel
+//! specan leaks   <program.spec>    [options]   side-channel verdict; exit code 1 on a leak
+//! specan scan    <dir|files...>    [options]   sharded bundle scan; exit code 1 on any leak
+//! specan worker  --shard-json <spec>           internal: run one shard, print its report
 //! ```
 //!
 //! Common options: `--cache-lines N` (default 512) and `--json` (emit
 //! machine-readable output).  `analyze` additionally accepts `--baseline`,
-//! `--no-shadow`, `--merge-at-rollback` and `--no-unroll`.
+//! `--no-shadow`, `--merge-at-rollback` and `--no-unroll`.  Bundle-aware
+//! commands (`analyze`, `compare`, `scan`) accept several files, `--jobs N`
+//! (parallelism cap) and `--shard K/N` (run the K-th of N contiguous slices
+//! of the sorted file list — for splitting one bundle across CI machines).
+//! `scan` also accepts directories (searched recursively for `*.spec`),
+//! `--panel <leak-check|comparison>` and `--in-process` (threads instead of
+//! worker subprocesses); its merged JSON report is deterministic —
+//! bit-identical however the bundle was sharded.
 //!
-//! Exit codes: `0` success (no leak), `1` leak detected (`leaks` only),
-//! `2` usage or input error — so `specan leaks` is scriptable in CI:
+//! Exit codes: `0` success (no leak), `1` leak detected (`leaks` and `scan`),
+//! `2` usage or input error — so both gates are scriptable in CI:
 //!
 //! ```text
 //! specan leaks examples/programs/victim.spec --cache-lines 8 || echo "LEAKY"
+//! specan scan  examples/programs --jobs 4 --json > report.json
 //! ```
 //!
 //! The program grammar is described in `spec_ir::text`; see
-//! `examples/programs/victim.spec` for a ready-made input.
+//! `examples/programs/` for ready-made inputs.
 
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spec_analysis::{detect_leaks, LeakReport};
+use spec_analysis::detect_leaks;
 use spec_cache::CacheConfig;
+use spec_core::batch::{
+    self, discover_programs, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
+};
 use spec_core::session::comparison_configs;
-use spec_core::{AnalysisOptions, AnalysisResult, Analyzer, PreparedProgram, Report};
+use spec_core::{AnalysisOptions, AnalysisResult, Analyzer, BatchReport, Report};
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 use spec_vcfg::MergeStrategy;
@@ -51,13 +66,25 @@ enum Command {
     Analyze,
     Compare,
     Leaks,
+    Scan,
+    Worker,
 }
 
 struct Cli {
     command: Command,
-    path: String,
+    paths: Vec<String>,
     cache_lines: usize,
     json: bool,
+    /// Parallelism cap: suite threads, and worker processes for `scan`.
+    jobs: Option<NonZeroUsize>,
+    /// `--shard K/N`: restrict to the K-th of N slices of the file list.
+    shard: Option<(usize, usize)>,
+    /// `scan`: run shards on threads instead of worker subprocesses.
+    in_process: bool,
+    /// `scan`: which panel each program runs under.
+    panel: PanelKind,
+    /// `worker`: the serialized [`ShardSpec`].
+    shard_json: Option<String>,
     // `analyze`-only configuration knobs.
     baseline: bool,
     shadow: bool,
@@ -66,14 +93,36 @@ struct Cli {
 }
 
 fn usage() -> String {
-    "usage: specan <analyze|compare|leaks> <program.spec> [--cache-lines N] [--json]\n\
+    "usage: specan <analyze|compare|leaks|scan> <inputs...> [--cache-lines N] [--json]\n\
      \n\
      analyze   run one configuration and print the per-access classification\n\
      \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
+     \x20         [--jobs N] [--shard K/N]; several files allowed (JSON output\n\
+     \x20         becomes an array)\n\
      compare   prepare once, run the standard configuration panel in parallel\n\
+     \x20         [--jobs N] [--shard K/N]; several files allowed (JSON output\n\
+     \x20         becomes the merged batch report)\n\
      leaks     side-channel verdict under the speculative analysis;\n\
-     \x20         exits 1 when a leak is detected (CI-friendly)"
+     \x20         exits 1 when a leak is detected (CI-friendly)\n\
+     scan      discover *.spec under the given files/directories, run the\n\
+     \x20         panel per program sharded across worker processes and print\n\
+     \x20         one merged deterministic report; exits 1 if any program\n\
+     \x20         leaks.  [--jobs N] [--shard K/N] [--in-process]\n\
+     \x20         [--panel <leak-check|comparison>]\n\
+     worker    internal: --shard-json <spec|-> runs one scan shard and\n\
+     \x20         prints its report as JSON (`-` reads the spec from stdin)"
         .to_string()
+}
+
+fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("`{value}` is not of the form K/N (e.g. 1/4)");
+    let (k, n) = value.split_once('/').ok_or_else(err)?;
+    let k: usize = k.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if n == 0 || k == 0 || k > n {
+        return Err(format!("--shard needs 1 <= K <= N, got {k}/{n}"));
+    }
+    Ok((k, n))
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -82,6 +131,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("analyze") => Command::Analyze,
         Some("compare") => Command::Compare,
         Some("leaks") => Command::Leaks,
+        Some("scan") => Command::Scan,
+        Some("worker") => Command::Worker,
         Some("--help" | "-h" | "help") | None => return Err(usage()),
         Some(other) => {
             return Err(format!("unrecognised command `{other}`\n{}", usage()));
@@ -89,25 +140,82 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     let mut cli = Cli {
         command,
-        path: String::new(),
+        paths: Vec::new(),
         cache_lines: 512,
         json: false,
+        jobs: None,
+        shard: None,
+        in_process: false,
+        panel: PanelKind::Comparison,
+        shard_json: None,
         baseline: false,
         shadow: true,
         merge_at_rollback: false,
         unroll: true,
     };
     while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
         match arg.as_str() {
             "--cache-lines" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--cache-lines needs a value".to_string())?;
+                let value = value_of("--cache-lines")?;
                 cli.cache_lines = value
                     .parse()
                     .map_err(|_| format!("`{value}` is not a number"))?;
             }
             "--json" => cli.json = true,
+            "--jobs" if matches!(cli.command, Command::Leaks | Command::Worker) => {
+                return Err(format!("`--jobs` does not apply here\n{}", usage()));
+            }
+            "--jobs" => {
+                let value = value_of("--jobs")?;
+                cli.jobs = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a positive number"))?,
+                );
+            }
+            "--shard"
+                if !matches!(
+                    cli.command,
+                    Command::Analyze | Command::Compare | Command::Scan
+                ) =>
+            {
+                return Err(format!("`--shard` does not apply here\n{}", usage()));
+            }
+            "--shard" => cli.shard = Some(parse_shard(&value_of("--shard")?)?),
+            "--in-process" if !matches!(cli.command, Command::Scan) => {
+                return Err(format!(
+                    "`--in-process` only applies to `scan`\n{}",
+                    usage()
+                ));
+            }
+            "--in-process" => cli.in_process = true,
+            "--panel" if !matches!(cli.command, Command::Scan) => {
+                return Err(format!("`--panel` only applies to `scan`\n{}", usage()));
+            }
+            "--panel" => {
+                let value = value_of("--panel")?;
+                cli.panel = match value.as_str() {
+                    "leak-check" => PanelKind::LeakCheck,
+                    "comparison" => PanelKind::Comparison,
+                    other => {
+                        return Err(format!(
+                            "unknown panel `{other}` (expected leak-check or comparison)"
+                        ))
+                    }
+                };
+            }
+            "--shard-json" if !matches!(cli.command, Command::Worker) => {
+                return Err(format!(
+                    "`--shard-json` only applies to `worker`\n{}",
+                    usage()
+                ));
+            }
+            "--shard-json" => cli.shard_json = Some(value_of("--shard-json")?),
             flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
                 if !matches!(cli.command, Command::Analyze) =>
             {
@@ -118,14 +226,29 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--merge-at-rollback" => cli.merge_at_rollback = true,
             "--no-unroll" => cli.unroll = false,
             "--help" | "-h" => return Err(usage()),
-            other if cli.path.is_empty() && !other.starts_with('-') => {
-                cli.path = other.to_string();
-            }
+            other if !other.starts_with('-') => cli.paths.push(other.to_string()),
             other => return Err(format!("unrecognised argument `{other}`\n{}", usage())),
         }
     }
-    if cli.path.is_empty() {
-        return Err(format!("missing <program.spec>\n{}", usage()));
+    match cli.command {
+        Command::Worker => {
+            if cli.shard_json.is_none() {
+                return Err(format!("`worker` needs --shard-json\n{}", usage()));
+            }
+        }
+        Command::Leaks => {
+            if cli.paths.len() != 1 {
+                return Err(format!(
+                    "`leaks` takes exactly one <program.spec>\n{}",
+                    usage()
+                ));
+            }
+        }
+        _ => {
+            if cli.paths.is_empty() {
+                return Err(format!("missing <program.spec>\n{}", usage()));
+            }
+        }
     }
     Ok(cli)
 }
@@ -150,41 +273,65 @@ fn analyze_options(cli: &Cli) -> Result<AnalysisOptions, String> {
         .map_err(|err| format!("invalid configuration: {err}"))
 }
 
-/// Per-access detail of one run, as text.
-fn print_accesses(result: &AnalysisResult) {
-    for access in result.accesses() {
-        if access.observable_hit && !access.is_speculative_miss() {
-            continue; // only report the interesting (possibly missing) accesses
+/// Expands the positional paths into the bundle this invocation works on:
+/// sorted discovery (directories allowed for `scan` only), then the
+/// `--shard K/N` slice.  An empty slice is legal — a CI fleet may have more
+/// machines than programs.
+fn select_files(cli: &Cli) -> Result<Vec<PathBuf>, String> {
+    let paths: Vec<PathBuf> = cli.paths.iter().map(PathBuf::from).collect();
+    if !matches!(cli.command, Command::Scan) {
+        if let Some(dir) = paths.iter().find(|p| p.is_dir()) {
+            return Err(format!(
+                "`{}` is a directory (only `scan` searches directories)",
+                dir.display()
+            ));
         }
-        outln!(
-            "  {:>10}  {:<20} {}{}",
-            result.program.block(access.block).label(),
-            format!("{}[#{}]", access.region_name, access.inst_index),
-            if access.observable_hit {
-                "hit, but may miss speculatively"
-            } else {
-                "may miss"
-            },
-            if access.secret_dependent {
-                "  [secret-indexed]"
-            } else {
-                ""
-            }
-        );
     }
+    let mut files = discover_programs(&paths).map_err(|err| err.to_string())?;
+    if let Some((k, n)) = cli.shard {
+        // Machine K of N takes slice K of the same near-even contiguous
+        // split the process-level sharding uses.
+        files = files[batch::shard_slice(files.len(), k, n)].to_vec();
+    }
+    Ok(files)
 }
 
-fn print_leaks(leaks: &LeakReport) {
-    if leaks.secret_accesses == 0 {
-        outln!("  no secret-indexed accesses: side-channel check not applicable");
-    } else if leaks.leak_detected() {
-        outln!(
-            "  LEAK: {} of {} secret-indexed accesses may show secret-dependent timing",
-            leaks.findings.len(),
-            leaks.secret_accesses
-        );
-    } else {
-        outln!("  no cache side-channel leak detected");
+fn suite_analyzer(cli: &Cli) -> Analyzer {
+    let mut analyzer = Analyzer::new();
+    if let Some(jobs) = cli.jobs {
+        analyzer = analyzer.max_suite_threads(jobs);
+    }
+    analyzer
+}
+
+/// `--jobs`, defaulting to the machine's parallelism.
+fn effective_jobs(cli: &Cli) -> usize {
+    cli.jobs
+        .map(NonZeroUsize::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// `true` when the invocation addresses a bundle rather than one file —
+/// several paths, or a `--shard` slice (whose size varies per machine, so
+/// the output schema must not depend on it).
+fn bundle_mode(cli: &Cli) -> bool {
+    cli.paths.len() > 1 || cli.shard.is_some()
+}
+
+fn banner(cli: &Cli, program: &Program) -> String {
+    format!(
+        "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
+        program.name(),
+        program.blocks().len(),
+        program.instruction_count(),
+        program.branch_count(),
+        cli.cache_lines
+    )
+}
+
+fn print_banner(cli: &Cli, program: &Program) {
+    if !cli.json {
+        outln!("{}", banner(cli, program));
     }
 }
 
@@ -223,47 +370,151 @@ fn accesses_json(result: &AnalysisResult) -> String {
     out
 }
 
-fn cmd_analyze(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+/// One `analyze` unit of work: its rendered output (text or JSON object).
+fn analyze_one(cli: &Cli, path: &std::path::Path) -> Result<String, String> {
     let options = analyze_options(cli)?;
     let label = if cli.baseline {
         "baseline"
     } else {
         "speculative"
     };
+    let program = load_program(&path.display().to_string())?;
+    let prepared = Analyzer::new().prepare(&program);
     let result = prepared.run(&options);
     let leaks = detect_leaks(&result);
     if cli.json {
         let report = Report::from_runs(prepared.program().name(), [(label, &result)]);
         // Wrap the summary row together with the per-access detail.
-        let summary = report.to_json();
-        outln!(
+        Ok(format!(
             "{{\n  \"summary\": {},\n  \"leak_detected\": {},\n  \"accesses\": {}\n}}",
-            indent_json(&summary),
+            indent_json(&report.to_json()),
             leaks.leak_detected(),
             accesses_json(&result)
-        );
+        ))
     } else {
-        outln!("== {label} analysis of `{}` ==", prepared.program().name());
-        outln!(
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", banner(cli, &program));
+        let _ = writeln!(
+            out,
+            "== {label} analysis of `{}` ==",
+            prepared.program().name()
+        );
+        let _ = writeln!(
+            out,
             "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
             result.access_count(),
             result.must_hit_count(),
             result.miss_count(),
             result.speculative_miss_count()
         );
-        outln!(
+        let _ = writeln!(
+            out,
             "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
             result.speculated_branches,
             result.iterations(),
             result.elapsed.as_secs_f64()
         );
-        print_accesses(&result);
-        print_leaks(&leaks);
+        for access in result.accesses() {
+            if access.observable_hit && !access.is_speculative_miss() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:>10}  {:<20} {}{}",
+                result.program.block(access.block).label(),
+                format!("{}[#{}]", access.region_name, access.inst_index),
+                if access.observable_hit {
+                    "hit, but may miss speculatively"
+                } else {
+                    "may miss"
+                },
+                if access.secret_dependent {
+                    "  [secret-indexed]"
+                } else {
+                    ""
+                }
+            );
+        }
+        if leaks.secret_accesses == 0 {
+            let _ = writeln!(
+                out,
+                "  no secret-indexed accesses: side-channel check not applicable"
+            );
+        } else if leaks.leak_detected() {
+            let _ = writeln!(
+                out,
+                "  LEAK: {} of {} secret-indexed accesses may show secret-dependent timing",
+                leaks.findings.len(),
+                leaks.secret_accesses
+            );
+        } else {
+            let _ = writeln!(out, "  no cache side-channel leak detected");
+        }
+        Ok(out.trim_end().to_string())
+    }
+}
+
+/// Runs `work` over every file, fanning out across at most `--jobs` scoped
+/// threads, and returns the rendered outputs in input order.
+fn map_files<F>(cli: &Cli, files: &[PathBuf], work: F) -> Result<Vec<String>, String>
+where
+    F: Fn(&PathBuf) -> Result<String, String> + Sync,
+{
+    let threads = effective_jobs(cli).min(files.len()).max(1);
+    if threads == 1 {
+        return files.iter().map(&work).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<Result<String, String>>>> =
+        std::sync::Mutex::new(files.iter().map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(index) else {
+                    break;
+                };
+                let output = work(file);
+                slots.lock().expect("analyze slots poisoned")[index] = Some(output);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("analyze slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every file was analysed"))
+        .collect()
+}
+
+fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
+    let files = select_files(cli)?;
+    let outputs = map_files(cli, &files, |path| analyze_one(cli, path))?;
+    if cli.json && bundle_mode(cli) {
+        // A bundle renders as an array of the per-file objects — even when
+        // a `--shard` slice leaves zero or one file, so the schema never
+        // depends on how the bundle happened to split across machines.
+        outln!("[");
+        for (i, output) in outputs.iter().enumerate() {
+            let comma = if i + 1 == outputs.len() { "" } else { "," };
+            outln!("{}{comma}", output.trim_end());
+        }
+        outln!("]");
+    } else {
+        for (i, output) in outputs.iter().enumerate() {
+            if i > 0 {
+                outln!();
+            }
+            outln!("{output}");
+        }
     }
     Ok(0)
 }
 
-fn cmd_compare(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+fn cmd_compare(cli: &Cli) -> Result<u8, String> {
+    let files = select_files(cli)?;
     let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
     // Reject degenerate geometries with a usage error before the panel's
     // presets (which assume a valid cache) are built.
@@ -271,8 +522,38 @@ fn cmd_compare(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
         .cache(cache)
         .build()
         .map_err(|err| format!("invalid configuration: {err}"))?;
-    let suite = prepared.run_suite(&comparison_configs(cache));
-    let report = suite.report();
+    if !bundle_mode(cli) {
+        // A plain single-file invocation: the original timed report.  A
+        // one-file `--shard` slice stays on the batch path below so every
+        // machine of a CI matrix emits the same (mergeable) schema.
+        let path = &files[0];
+        let program = load_program(&path.display().to_string())?;
+        print_banner(cli, &program);
+        let prepared = suite_analyzer(cli).prepare(&program);
+        let suite = prepared.run_suite(&comparison_configs(cache));
+        let report = suite.report();
+        if cli.json {
+            outln!("{}", report.to_json());
+        } else {
+            outln!("{}", report.to_string().trim_end());
+        }
+        return Ok(0);
+    }
+    // Bundle: the deterministic merged batch report, computed in-process.
+    let panel = PanelSpec {
+        kind: PanelKind::Comparison,
+        cache_lines: cli.cache_lines,
+    };
+    let report = if files.is_empty() {
+        // A legal empty `--shard` slice: this machine simply has no work.
+        BatchReport {
+            panel,
+            programs: Vec::new(),
+        }
+    } else {
+        batch::run_bundle(&files, panel, effective_jobs(cli), &ExecMode::InProcess)
+            .map_err(|e| e.to_string())?
+    };
     if cli.json {
         outln!("{}", report.to_json());
     } else {
@@ -281,7 +562,10 @@ fn cmd_compare(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
     Ok(0)
 }
 
-fn cmd_leaks(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
+fn cmd_leaks(cli: &Cli) -> Result<u8, String> {
+    let program = load_program(&cli.paths[0])?;
+    print_banner(cli, &program);
+    let prepared = Analyzer::new().prepare(&program);
     let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
     let baseline = AnalysisOptions::builder()
         .baseline()
@@ -357,6 +641,58 @@ fn cmd_leaks(cli: &Cli, prepared: &PreparedProgram) -> Result<u8, String> {
     })
 }
 
+fn cmd_scan(cli: &Cli) -> Result<u8, String> {
+    let files = select_files(cli)?;
+    let panel = PanelSpec {
+        kind: cli.panel,
+        cache_lines: cli.cache_lines,
+    };
+    panel.configs().map_err(|err| err.to_string())?;
+    let report = if files.is_empty() {
+        // An empty `--shard` slice: this machine simply has no work.
+        BatchReport {
+            panel,
+            programs: Vec::new(),
+        }
+    } else {
+        let jobs = effective_jobs(cli);
+        let mode = if cli.in_process {
+            ExecMode::InProcess
+        } else {
+            let worker_exe = std::env::current_exe()
+                .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
+            ExecMode::Subprocess { worker_exe }
+        };
+        batch::run_bundle(&files, panel, jobs, &mode).map_err(|err| err.to_string())?
+    };
+    if cli.json {
+        outln!("{}", report.to_json());
+    } else {
+        outln!("{}", report.to_string().trim_end());
+    }
+    Ok(if report.any_leak() { EXIT_LEAK } else { 0 })
+}
+
+fn cmd_worker(cli: &Cli) -> Result<u8, String> {
+    let spec_json = match cli.shard_json.as_deref().expect("validated by parse_args") {
+        // `-` means stdin — the parent pipes the spec through it because a
+        // large shard would not fit in an argv string.
+        "-" => {
+            use std::io::Read as _;
+            let mut input = String::new();
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .map_err(|err| format!("cannot read the shard spec from stdin: {err}"))?;
+            input
+        }
+        inline => inline.to_string(),
+    };
+    let spec = ShardSpec::from_json(&spec_json).map_err(|err| err.to_string())?;
+    let report = run_shard(&spec).map_err(|err| err.to_string())?;
+    outln!("{}", report.to_json());
+    Ok(0)
+}
+
 /// Re-indents a nested JSON blob by two spaces (cosmetic only).
 fn indent_json(json: &str) -> String {
     json.replace('\n', "\n  ")
@@ -371,28 +707,12 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_ERROR);
         }
     };
-    let program = match load_program(&cli.path) {
-        Ok(program) => program,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::from(EXIT_ERROR);
-        }
-    };
-    if !cli.json {
-        outln!(
-            "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
-            program.name(),
-            program.blocks().len(),
-            program.instruction_count(),
-            program.branch_count(),
-            cli.cache_lines
-        );
-    }
-    let prepared = Analyzer::new().prepare(&program);
     let outcome = match cli.command {
-        Command::Analyze => cmd_analyze(&cli, &prepared),
-        Command::Compare => cmd_compare(&cli, &prepared),
-        Command::Leaks => cmd_leaks(&cli, &prepared),
+        Command::Analyze => cmd_analyze(&cli),
+        Command::Compare => cmd_compare(&cli),
+        Command::Leaks => cmd_leaks(&cli),
+        Command::Scan => cmd_scan(&cli),
+        Command::Worker => cmd_worker(&cli),
     };
     match outcome {
         Ok(code) => ExitCode::from(code),
