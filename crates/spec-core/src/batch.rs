@@ -793,6 +793,7 @@ impl BatchReport {
                 report: Report {
                     program,
                     elapsed: None,
+                    cache: None,
                     rows,
                 },
             });
@@ -1140,6 +1141,7 @@ mod tests {
                 report: Report {
                     program: "pinned".to_string(),
                     elapsed: None,
+                    cache: None,
                     rows: vec![row],
                 },
             }],

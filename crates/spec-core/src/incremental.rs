@@ -1,0 +1,871 @@
+//! Incremental diff-aware sessions: re-analyze only what changed.
+//!
+//! [`crate::session`] amortizes artifacts across *configurations* of one
+//! program; this module amortizes them across *edits* of a workload.  The
+//! paper's evaluation — and any tool living inside a developer's
+//! modify-and-recheck loop — analyses the same programs over and over as
+//! the code evolves, and before this module every edit threw the whole
+//! session away.
+//!
+//! Three layers, all built on the structural fingerprints of
+//! [`spec_ir::fingerprint`]:
+//!
+//! * [`SessionCache`] — the in-memory core.  It holds one
+//!   [`PreparedProgram`] per program name; [`SessionCache::update`]
+//!   fingerprints the newly parsed program and either **rebinds** the
+//!   previous session wholesale (fingerprint unchanged: every memoized
+//!   unroll variant, address map, VCFG and fixpoint round survives) or
+//!   re-prepares it, reporting *where* the program changed as a
+//!   [`ProgramDiff`] and rebinding the address maps whenever the edit left
+//!   the region table untouched (the memory layout is a pure function of
+//!   the regions).  In a multi-program session, editing one program leaves
+//!   every other program's artifacts bound — the [`SessionStats`] counters
+//!   prove it.
+//! * [`ScanSession`] + [`scan_bundle_incremental`] — cross-process
+//!   persistence for `specan scan --session-dir`.  Fingerprints and the
+//!   previous (deterministic, timing-free) [`BatchReport`] are stored on
+//!   disk; the next scan re-analyses only the programs whose fingerprints
+//!   changed and splices the stored verdicts of the untouched ones back
+//!   into bundle order.
+//! * [`AnalyzeSession`] — output replay for `specan analyze --incremental`,
+//!   keyed on the canonical rendering of the program (which, unlike the
+//!   structural fingerprint, is sensitive to names — `analyze` output
+//!   embeds region and block names) plus the configuration signature.
+//!
+//! # The bit-identical guarantee
+//!
+//! Every reuse path returns results that serialize to **exactly the bytes**
+//! a fresh analysis would produce, once the execution-describing fields
+//! (wall clocks and cache counters, see [`Report::without_timing`]) are
+//! stripped: rebinding reuses values that are pure functions of the
+//! (structurally unchanged) program, and recomputation shares the one
+//! deterministic solver with the fresh path.  The `incremental_equivalence`
+//! property suite and the CI `incremental-gate` job hold this line.
+//!
+//! [`Report::without_timing`]: crate::session::Report::without_timing
+//!
+//! # Example
+//!
+//! ```rust
+//! use spec_core::incremental::SessionCache;
+//! use spec_core::session::comparison_configs;
+//! use spec_cache::CacheConfig;
+//! use spec_ir::builder::ProgramBuilder;
+//! use spec_ir::IndexExpr;
+//!
+//! let build = |offset| {
+//!     let mut b = ProgramBuilder::new("tiny");
+//!     let t = b.region("t", 128, false);
+//!     let entry = b.entry_block("entry");
+//!     b.load(entry, t, IndexExpr::Const(offset));
+//!     b.ret(entry);
+//!     b.finish().unwrap()
+//! };
+//!
+//! let mut session = SessionCache::new();
+//! let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+//! let first = session.update(&build(0));
+//! first.prepared.run_suite(&configs);
+//! // Re-parsing an unchanged program rebinds the whole session...
+//! assert!(session.update(&build(0)).reused);
+//! // ...while an edit re-prepares it and localises the change.
+//! let edited = session.update(&build(64));
+//! assert!(!edited.reused);
+//! assert_eq!(edited.diff.unwrap().changed_blocks.len(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use spec_ir::fingerprint::{program_fingerprint, regions_fingerprint, Fingerprint, ProgramDiff};
+use spec_ir::text::parse_program;
+use spec_ir::Program;
+
+use crate::batch::{run_bundle, BatchError, BatchReport, ExecMode, PanelSpec, ProgramVerdict};
+use crate::json::{self, JsonValue};
+use crate::session::{Analyzer, CacheStats, PreparedProgram};
+
+/// One program's slot in a [`SessionCache`].
+struct SessionEntry {
+    /// Structural fingerprint of the prepared program.
+    fingerprint: Fingerprint,
+    /// Fingerprint of the region table alone (decides address-map reuse).
+    regions: Fingerprint,
+    prepared: Arc<PreparedProgram>,
+}
+
+/// Lifetime counters of a [`SessionCache`] — the evidence that an edit to
+/// one program did not disturb the others.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Updates that rebound an existing session wholesale (fingerprint
+    /// unchanged — renames and formatting included).
+    pub reused: u64,
+    /// Updates that re-prepared a program because its structure changed.
+    pub invalidated: u64,
+    /// Updates that introduced a program the session had not seen.
+    pub inserted: u64,
+    /// Address-map tables rebound across an invalidation because the edit
+    /// left the region table structurally unchanged.
+    pub amaps_adopted: u64,
+}
+
+/// What [`SessionCache::update`] did for one program.
+pub struct SessionUpdate {
+    /// The session to run configurations against — rebound or freshly
+    /// prepared.
+    pub prepared: Arc<PreparedProgram>,
+    /// `true` iff the previous session survived the update wholesale.
+    pub reused: bool,
+    /// Where the program changed relative to the previous snapshot.
+    /// `None` for programs the session had not seen before; for reused
+    /// updates the diff exists and [`ProgramDiff::is_identical`] holds.
+    pub diff: Option<ProgramDiff>,
+}
+
+/// A multi-program analysis session that survives edits: prepared artifacts
+/// are invalidated per program, by structural fingerprint, instead of being
+/// discarded with every re-parse.  See the module docs.
+pub struct SessionCache {
+    analyzer: Analyzer,
+    entries: HashMap<String, SessionEntry>,
+    stats: SessionStats,
+}
+
+impl SessionCache {
+    /// An empty session with default [`Analyzer`] settings.
+    pub fn new() -> Self {
+        Self::with_analyzer(Analyzer::new())
+    }
+
+    /// An empty session whose programs are prepared by `analyzer` (thread
+    /// caps, round-cache bounds).
+    pub fn with_analyzer(analyzer: Analyzer) -> Self {
+        Self {
+            analyzer,
+            entries: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Brings the session up to date with (a freshly parsed version of)
+    /// `program` and returns the prepared session to run against.
+    ///
+    /// Programs are identified by name.  If the structural fingerprint
+    /// matches the previous snapshot, the existing [`PreparedProgram`] —
+    /// with every memoized artifact — is rebound; otherwise the program is
+    /// re-prepared, and its address maps are adopted from the previous
+    /// session when the region table is structurally unchanged.
+    pub fn update(&mut self, program: &Program) -> SessionUpdate {
+        let fingerprint = program_fingerprint(program);
+        let regions = regions_fingerprint(program.regions());
+        let name = program.name().to_string();
+        match self.entries.get_mut(&name) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                self.stats.reused += 1;
+                SessionUpdate {
+                    prepared: entry.prepared.clone(),
+                    reused: true,
+                    diff: Some(ProgramDiff::between(entry.prepared.program(), program)),
+                }
+            }
+            Some(entry) => {
+                self.stats.invalidated += 1;
+                let diff = ProgramDiff::between(entry.prepared.program(), program);
+                let prepared = Arc::new(self.analyzer.prepare(program));
+                if entry.regions == regions {
+                    self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
+                }
+                *entry = SessionEntry {
+                    fingerprint,
+                    regions,
+                    prepared: prepared.clone(),
+                };
+                SessionUpdate {
+                    prepared,
+                    reused: false,
+                    diff: Some(diff),
+                }
+            }
+            None => {
+                self.stats.inserted += 1;
+                let prepared = Arc::new(self.analyzer.prepare(program));
+                self.entries.insert(
+                    name,
+                    SessionEntry {
+                        fingerprint,
+                        regions,
+                        prepared: prepared.clone(),
+                    },
+                );
+                SessionUpdate {
+                    prepared,
+                    reused: false,
+                    diff: None,
+                }
+            }
+        }
+    }
+
+    /// The prepared session of a program, if it is cached.
+    pub fn get(&self, name: &str) -> Option<&Arc<PreparedProgram>> {
+        self.entries.get(name).map(|entry| &entry.prepared)
+    }
+
+    /// Drops one program from the session.  Returns whether it was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// Number of programs currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no program is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The session's lifetime reuse/invalidation counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Aggregated artifact-cache counters across every held program — the
+    /// per-program [`PreparedProgram::cache_stats`] summed up.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for entry in self.entries.values() {
+            let s = entry.prepared.cache_stats();
+            total.core_hits += s.core_hits;
+            total.core_misses += s.core_misses;
+            total.amap_hits += s.amap_hits;
+            total.amap_misses += s.amap_misses;
+            total.amap_adopted += s.amap_adopted;
+            total.vcfg_hits += s.vcfg_hits;
+            total.vcfg_misses += s.vcfg_misses;
+            total.round_hits += s.round_hits;
+            total.round_misses += s.round_misses;
+            total.round_evictions += s.round_evictions;
+        }
+        total
+    }
+}
+
+impl Default for SessionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Version stamp of the on-disk session formats.  Bumped whenever the
+/// fingerprint encoding or the file layout changes; a mismatch makes the
+/// loader fall back to a cold start (which is always sound — the session is
+/// a pure accelerator).
+const SESSION_FORMAT_VERSION: u64 = 1;
+
+const SCAN_SESSION_FILE: &str = "scan-session.json";
+
+/// The persisted state of an incremental bundle scan: the previous merged
+/// report plus one structural fingerprint per program, stored as **one**
+/// JSON document under a caller-chosen session directory — one document so
+/// the temp-file-plus-rename replacement is atomic as a whole, and a crash
+/// can never pair fingerprints from one scan with verdicts from another.
+pub struct ScanSession {
+    dir: PathBuf,
+}
+
+impl ScanSession {
+    /// Opens (without reading) the session stored under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The directory this session persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the previous scan's verdicts and fingerprints, keyed by
+    /// program name.  Any defect — a missing file, malformed JSON, a
+    /// version or panel mismatch — yields `None` (a cold start), never an
+    /// error: the session is an accelerator, and the fallback is simply a
+    /// full re-analysis with identical results.
+    fn load(&self, panel: PanelSpec) -> Option<HashMap<String, (Fingerprint, ProgramVerdict)>> {
+        let text = std::fs::read_to_string(self.dir.join(SCAN_SESSION_FILE)).ok()?;
+        let value = JsonValue::parse(&text).ok()?;
+        if value.get("version").and_then(JsonValue::as_u64) != Some(SESSION_FORMAT_VERSION) {
+            return None;
+        }
+        // The report travels as an embedded JSON string so the whole
+        // session is one atomically-replaced document while reusing
+        // `BatchReport`'s own (de)serialization.
+        let report =
+            BatchReport::from_json(value.get("report").and_then(JsonValue::as_str)?).ok()?;
+        if report.panel != panel {
+            return None;
+        }
+        let mut fingerprints = HashMap::new();
+        for entry in value.get("fingerprints").and_then(JsonValue::as_array)? {
+            let program = entry.get("program").and_then(JsonValue::as_str)?;
+            let fingerprint =
+                Fingerprint::from_hex(entry.get("fingerprint").and_then(JsonValue::as_str)?)?;
+            fingerprints.insert(program.to_string(), fingerprint);
+        }
+        let mut entries = HashMap::new();
+        for verdict in report.programs {
+            if let Some(fingerprint) = fingerprints.get(&verdict.report.program) {
+                entries.insert(verdict.report.program.clone(), (*fingerprint, verdict));
+            }
+        }
+        Some(entries)
+    }
+
+    /// Persists `report` and the given per-program fingerprints as one
+    /// document, replacing the previous snapshot atomically (temp file +
+    /// rename): a crashed scan leaves the old session intact, and no crash
+    /// point can mix fingerprints and verdicts from different scans.
+    fn store(
+        &self,
+        report: &BatchReport,
+        fingerprints: &[(String, Fingerprint)],
+    ) -> Result<(), BatchError> {
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |error| BatchError::Io { path, error }
+        };
+        std::fs::create_dir_all(&self.dir).map_err(io_err(&self.dir))?;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {SESSION_FORMAT_VERSION},\n"));
+        out.push_str("  \"fingerprints\": [\n");
+        for (i, (program, fingerprint)) in fingerprints.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"program\": {}, \"fingerprint\": {}}}{}\n",
+                json::string(program),
+                json::string(&fingerprint.to_hex()),
+                if i + 1 == fingerprints.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"report\": {}\n}}",
+            json::string(&report.to_json())
+        ));
+        let target = self.dir.join(SCAN_SESSION_FILE);
+        let temp = self
+            .dir
+            .join(format!("{SCAN_SESSION_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&temp, out).map_err(io_err(&temp))?;
+        std::fs::rename(&temp, &target).map_err(io_err(&target))
+    }
+}
+
+/// What an incremental scan did, alongside its (deterministic) report.
+pub struct ScanOutcome {
+    /// The merged bundle report — byte-identical to what a fresh
+    /// [`run_bundle`] over the same files produces.
+    pub report: BatchReport,
+    /// Programs whose verdicts were spliced in from the stored session.
+    pub reused: usize,
+    /// Programs that were (re-)analysed this scan.
+    pub analyzed: usize,
+    /// The error that prevented the refreshed session from being written,
+    /// if any.  Non-fatal by design: the report above is complete and
+    /// correct either way, only the *next* scan loses its warm start.
+    pub store_error: Option<BatchError>,
+}
+
+/// Runs a bundle scan against a persisted [`ScanSession`]: programs whose
+/// structural fingerprints match the stored snapshot reuse their stored
+/// verdicts wholesale; only the changed (or new) programs are analysed —
+/// sharded `jobs` ways per `mode`, exactly like [`run_bundle`] — and the
+/// refreshed session is written back.
+///
+/// The returned report is **bit-identical** to a fresh [`run_bundle`] over
+/// the same files: stored verdicts are timing-free pure functions of
+/// (program structure, panel), and renames — which the fingerprint ignores —
+/// cannot appear in a [`BatchReport`], whose only name, the program name,
+/// is the session key itself.
+///
+/// Files saved *while the scan runs* cannot poison the session: analysed
+/// files are re-fingerprinted after the analysis read, and any whose
+/// fingerprint moved are left out of the persisted snapshot, so the next
+/// scan re-analyses them instead of trusting a stale pairing.
+///
+/// # Errors
+///
+/// Everything [`run_bundle`] raises.  Session defects are never errors:
+/// a missing or corrupt session degrades to a cold scan, and a session
+/// that cannot be written back (read-only cache volume, full disk) is
+/// reported through [`ScanOutcome::store_error`] while the completed
+/// report — and with it the CI leak verdict — is still returned.
+pub fn scan_bundle_incremental(
+    files: &[PathBuf],
+    panel: PanelSpec,
+    jobs: usize,
+    mode: &ExecMode,
+    session: &ScanSession,
+) -> Result<ScanOutcome, BatchError> {
+    if files.is_empty() {
+        return Err(BatchError::NoPrograms);
+    }
+    // Fingerprint the bundle.  Parsing is cheap next to analysis, and doing
+    // it here surfaces parse errors with the same shape a fresh scan would.
+    let mut bundle: Vec<(PathBuf, String, Fingerprint)> = Vec::with_capacity(files.len());
+    for path in files {
+        let source = std::fs::read_to_string(path).map_err(|error| BatchError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let program = parse_program(&source).map_err(|err| BatchError::Parse {
+            path: path.clone(),
+            message: err.to_string(),
+        })?;
+        let name = program.name().to_string();
+        if bundle.iter().any(|(_, n, _)| *n == name) {
+            return Err(BatchError::DuplicateProgram { name });
+        }
+        bundle.push((path.clone(), name, program_fingerprint(&program)));
+    }
+
+    let stored = session.load(panel).unwrap_or_default();
+    let misses: Vec<PathBuf> = bundle
+        .iter()
+        .filter(|(_, name, fp)| stored.get(name).map(|(old, _)| old) != Some(fp))
+        .map(|(path, _, _)| path.clone())
+        .collect();
+    let fresh = if misses.is_empty() {
+        Vec::new()
+    } else {
+        run_bundle(&misses, panel, jobs, mode)?.programs
+    };
+    // `run_bundle` yields exactly one verdict per miss file, in input
+    // order; pairing by *position* (not by program name) keeps the splice
+    // total even if a file saved mid-scan changed its program name between
+    // the fingerprint pass and the analysis read.
+    debug_assert_eq!(fresh.len(), misses.len());
+    let mut fresh_by_path: HashMap<&Path, ProgramVerdict> =
+        misses.iter().map(PathBuf::as_path).zip(fresh).collect();
+
+    // Splice stored and fresh verdicts back into bundle order.  The
+    // analysis read each miss file *again* after the fingerprint pass, so a
+    // file saved in between would pair the old fingerprint with a verdict
+    // of newer content; persist only the entries whose on-disk content
+    // still matches the fingerprint the scan was keyed under (the verdict
+    // is reported either way — the next scan simply re-analyses the file).
+    let mut programs = Vec::with_capacity(bundle.len());
+    let mut persist: Vec<(String, Fingerprint)> = Vec::with_capacity(bundle.len());
+    let mut reused = 0;
+    for (path, name, fp) in &bundle {
+        match fresh_by_path.remove(path.as_path()) {
+            Some(verdict) => {
+                let unchanged_on_disk = std::fs::read_to_string(path)
+                    .ok()
+                    .and_then(|source| parse_program(&source).ok())
+                    .is_some_and(|program| {
+                        program.name() == name && program_fingerprint(&program) == *fp
+                    });
+                if unchanged_on_disk && verdict.report.program == *name {
+                    persist.push((name.clone(), *fp));
+                }
+                programs.push(verdict);
+            }
+            None => {
+                // Not a miss, so the stored fingerprint matched this scan's
+                // own read — the lookup cannot fail.
+                let (_, verdict) = stored
+                    .get(name)
+                    .filter(|(old, _)| old == fp)
+                    .expect("a bundle entry is either analysed or a session hit");
+                reused += 1;
+                persist.push((name.clone(), *fp));
+                programs.push(verdict.clone());
+            }
+        }
+    }
+    let report = BatchReport { panel, programs };
+    let store_error = session.store(&report, &persist).err();
+    Ok(ScanOutcome {
+        report,
+        reused,
+        analyzed: bundle.len() - reused,
+        store_error,
+    })
+}
+
+/// Replay store for `specan analyze --incremental`: rendered outputs keyed
+/// by the canonical program text plus a configuration signature.
+///
+/// Unlike the structural fingerprints driving [`ScanSession`], these keys
+/// are **name-sensitive** — `analyze` output embeds region and block names,
+/// so a rename must invalidate the stored rendering.  They remain
+/// insensitive to comments and whitespace, because the key hashes the
+/// canonical `Display` rendering of the parsed program rather than the
+/// source bytes.
+pub struct AnalyzeSession {
+    dir: PathBuf,
+}
+
+/// How many renderings [`AnalyzeSession`] keeps before pruning the oldest.
+/// Every distinct (program text, flag signature) pair stores one file, so
+/// an hours-long edit loop would otherwise grow the directory with every
+/// keystroke-level edit; the bound keeps it at "recent history" size.
+const ANALYZE_STORE_CAP: usize = 512;
+
+impl AnalyzeSession {
+    /// Opens (without reading) the replay store under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The directory this session persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The replay key of `program` analysed under `signature` (a caller-
+    /// built stable rendering of every configuration knob that shapes the
+    /// output, including the output format itself).
+    pub fn key(program: &Program, signature: &str) -> Fingerprint {
+        let mut bytes = program.to_string().into_bytes();
+        bytes.push(0);
+        bytes.extend_from_slice(signature.as_bytes());
+        bytes.extend_from_slice(&SESSION_FORMAT_VERSION.to_le_bytes());
+        Fingerprint::of_bytes(&bytes)
+    }
+
+    fn path_of(&self, key: Fingerprint) -> PathBuf {
+        self.dir.join(format!("analyze-{}.out", key.to_hex()))
+    }
+
+    /// The stored rendering for `key`, if any.  A hit refreshes the file's
+    /// modification time (best-effort) so [`AnalyzeSession::store`]'s
+    /// pruning evicts by recency of *use*, not of creation — a hot replay
+    /// must outlive a churn of never-replayed entries.
+    pub fn lookup(&self, key: Fingerprint) -> Option<String> {
+        let path = self.path_of(key);
+        let output = std::fs::read_to_string(&path).ok()?;
+        if let Ok(file) = std::fs::File::options().append(true).open(&path) {
+            let now = std::time::SystemTime::now();
+            let _ = file.set_times(std::fs::FileTimes::new().set_modified(now));
+        }
+        Some(output)
+    }
+
+    /// Stores `output` under `key` (atomically: temp file + rename) and
+    /// prunes the oldest renderings beyond [`ANALYZE_STORE_CAP`], so the
+    /// store tracks recent edit history instead of growing without bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers may treat them as non-fatal —
+    /// a store that fails only costs the next replay.
+    pub fn store(&self, key: Fingerprint, output: &str) -> std::io::Result<()> {
+        // The temp name carries a process-wide counter on top of the pid:
+        // two suite threads storing the same key (a bundle with duplicate
+        // program text) must never share a temp file, or one thread's
+        // rename could publish the other's half-written content.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::fs::create_dir_all(&self.dir)?;
+        let target = self.path_of(key);
+        let temp = self.dir.join(format!(
+            "analyze-{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&temp, output)?;
+        std::fs::rename(&temp, &target)?;
+        self.prune();
+        Ok(())
+    }
+
+    /// Removes the oldest stored renderings (by modification time) beyond
+    /// the cap.  Best-effort: pruning failures are invisible — a stale
+    /// entry costs disk, never correctness.
+    fn prune(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut outputs: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                let name = path.file_name()?.to_str()?;
+                if !name.starts_with("analyze-") || !name.ends_with(".out") {
+                    return None;
+                }
+                Some((entry.metadata().ok()?.modified().ok()?, path))
+            })
+            .collect();
+        if outputs.len() <= ANALYZE_STORE_CAP {
+            return;
+        }
+        outputs.sort();
+        for (_, path) in &outputs[..outputs.len() - ANALYZE_STORE_CAP] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::PanelKind;
+    use crate::session::comparison_configs;
+    use spec_cache::CacheConfig;
+    use spec_ir::builder::ProgramBuilder;
+    use spec_ir::IndexExpr;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn program(name: &str, offset: u64) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let t = b.region("t", 256, false);
+        let k = b.secret_region("k", 8);
+        let entry = b.entry_block("entry");
+        b.load(entry, t, IndexExpr::Const(offset));
+        b.load(entry, k, IndexExpr::Const(0));
+        b.ret(entry);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unchanged_programs_rebind_and_edits_invalidate() {
+        let mut session = SessionCache::new();
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+
+        let a0 = session.update(&program("a", 0));
+        assert!(!a0.reused);
+        assert!(a0.diff.is_none(), "first sighting has no previous snapshot");
+        a0.prepared.run_suite(&configs);
+        let b0 = session.update(&program("b", 0));
+        b0.prepared.run_suite(&configs);
+        assert_eq!(session.len(), 2);
+
+        // Re-parse of `a`, unchanged: the same session object comes back,
+        // with all its memoized rounds.
+        let a1 = session.update(&program("a", 0));
+        assert!(a1.reused);
+        assert!(Arc::ptr_eq(&a1.prepared, &a0.prepared));
+        assert!(a1.diff.unwrap().is_identical());
+
+        // Edit `a`: invalidated, diff localised; `b` is untouched.
+        let a2 = session.update(&program("a", 64));
+        assert!(!a2.reused);
+        assert!(!Arc::ptr_eq(&a2.prepared, &a0.prepared));
+        let diff = a2.diff.unwrap();
+        assert_eq!(diff.changed_blocks.len(), 1);
+        assert!(!diff.regions_changed);
+        assert!(session.update(&program("b", 0)).reused);
+
+        let stats = session.stats();
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.invalidated, 1);
+    }
+
+    #[test]
+    fn region_preserving_edits_adopt_address_maps() {
+        let mut session = SessionCache::new();
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+        session
+            .update(&program("a", 0))
+            .prepared
+            .run_suite(&configs);
+        let edited = session.update(&program("a", 128));
+        assert!(!edited.reused);
+        assert_eq!(session.stats().amaps_adopted, 1);
+        // The adopted map serves the re-run without a rebuild.
+        edited.prepared.run_suite(&configs);
+        let stats = edited.prepared.cache_stats();
+        assert_eq!(stats.amap_adopted, 1);
+        assert_eq!(stats.amap_misses, 0, "no address map was rebuilt");
+
+        // A region-table edit must not adopt.
+        let mut grown = ProgramBuilder::new("a");
+        let t = grown.region("t", 512, false);
+        let entry = grown.entry_block("entry");
+        grown.load(entry, t, IndexExpr::Const(0));
+        grown.ret(entry);
+        let update = session.update(&grown.finish().unwrap());
+        assert!(update.diff.unwrap().regions_changed);
+        assert_eq!(session.stats().amaps_adopted, 1, "unchanged");
+    }
+
+    static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new() -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "spec-incremental-test-{}-{}",
+                std::process::id(),
+                SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn write(&self, name: &str, contents: &str) -> PathBuf {
+            let path = self.0.join(name);
+            std::fs::write(&path, contents).unwrap();
+            path
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const CLEAN: &str = "program {name}\nregion t 64\nblock main entry:\n  load t[{off}]\n  ret\n";
+
+    fn spec_source(name: &str, off: u64) -> String {
+        CLEAN
+            .replace("{name}", name)
+            .replace("{off}", &off.to_string())
+    }
+
+    fn leak_panel() -> PanelSpec {
+        PanelSpec {
+            kind: PanelKind::LeakCheck,
+            cache_lines: 8,
+        }
+    }
+
+    #[test]
+    fn incremental_scan_reuses_unchanged_programs_and_matches_fresh() {
+        let scratch = Scratch::new();
+        let a = scratch.write("a.spec", &spec_source("alpha", 0));
+        let b = scratch.write("b.spec", &spec_source("beta", 0));
+        let files = vec![a.clone(), b.clone()];
+        let session = ScanSession::new(scratch.0.join("session"));
+
+        let cold = scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
+            .unwrap();
+        assert_eq!((cold.reused, cold.analyzed), (0, 2));
+
+        // No edits: everything replays, and the report is byte-identical to
+        // a fresh bundle run.
+        let warm = scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
+            .unwrap();
+        assert_eq!((warm.reused, warm.analyzed), (2, 0));
+        let fresh = run_bundle(&files, leak_panel(), 1, &ExecMode::InProcess).unwrap();
+        assert_eq!(warm.report, fresh);
+        assert_eq!(warm.report.to_json(), fresh.to_json());
+
+        // Edit one file in place: only it re-analyses; bundle order holds.
+        scratch.write("a.spec", &spec_source("alpha", 32));
+        let edited =
+            scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
+                .unwrap();
+        assert_eq!((edited.reused, edited.analyzed), (1, 1));
+        let fresh = run_bundle(&files, leak_panel(), 1, &ExecMode::InProcess).unwrap();
+        assert_eq!(edited.report.to_json(), fresh.to_json());
+        let names: Vec<&str> = edited
+            .report
+            .programs
+            .iter()
+            .map(|p| p.report.program.as_str())
+            .collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn panel_changes_and_corrupt_sessions_cold_start() {
+        let scratch = Scratch::new();
+        let a = scratch.write("a.spec", &spec_source("alpha", 0));
+        let files = vec![a];
+        let session = ScanSession::new(scratch.0.join("session"));
+        scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session).unwrap();
+
+        // A different panel must not reuse leak-check verdicts.
+        let other = PanelSpec {
+            kind: PanelKind::Comparison,
+            cache_lines: 8,
+        };
+        let outcome =
+            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
+
+        // Corrupt the stored session: the next scan degrades to cold.
+        std::fs::write(session.dir().join(SCAN_SESSION_FILE), "not json").unwrap();
+        let outcome =
+            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
+        // ...and the rewritten session is healthy again.
+        let outcome =
+            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        assert_eq!((outcome.reused, outcome.analyzed), (1, 0));
+    }
+
+    #[test]
+    fn unwritable_session_still_returns_the_report() {
+        let scratch = Scratch::new();
+        let a = scratch.write("a.spec", &spec_source("alpha", 0));
+        // A *file* where the session directory should be: create_dir_all
+        // fails, so the write-back cannot succeed — but the scan must.
+        let blocked = scratch.write("blocked", "not a directory");
+        let session = ScanSession::new(&blocked);
+        let outcome = scan_bundle_incremental(
+            std::slice::from_ref(&a),
+            leak_panel(),
+            1,
+            &ExecMode::InProcess,
+            &session,
+        )
+        .unwrap();
+        assert!(outcome.store_error.is_some(), "the store failure surfaces");
+        assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
+        let fresh = run_bundle(&[a], leak_panel(), 1, &ExecMode::InProcess).unwrap();
+        assert_eq!(outcome.report, fresh, "the verdict survives the failure");
+    }
+
+    #[test]
+    fn analyze_store_prunes_beyond_the_cap() {
+        let scratch = Scratch::new();
+        let session = AnalyzeSession::new(scratch.0.join("analyze"));
+        for i in 0..ANALYZE_STORE_CAP + 8 {
+            session.store(Fingerprint(i as u64), "output").unwrap();
+        }
+        let stored = std::fs::read_dir(session.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".out"))
+            .count();
+        assert_eq!(stored, ANALYZE_STORE_CAP, "the cap holds");
+    }
+
+    #[test]
+    fn analyze_session_replays_by_canonical_text_and_signature() {
+        let scratch = Scratch::new();
+        let session = AnalyzeSession::new(scratch.0.join("analyze"));
+        let p = program("a", 0);
+        let key = AnalyzeSession::key(&p, "json:8");
+        assert_eq!(session.lookup(key), None);
+        session.store(key, "rendered output").unwrap();
+        assert_eq!(session.lookup(key).as_deref(), Some("rendered output"));
+
+        // The key is insensitive to a re-parse round-trip...
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(AnalyzeSession::key(&reparsed, "json:8"), key);
+        // ...sensitive to the configuration signature...
+        assert_ne!(AnalyzeSession::key(&p, "text:8"), key);
+        // ...and sensitive to renames (analyze output embeds names).
+        let mut renamed = ProgramBuilder::new("a");
+        let t = renamed.region("t_v2", 256, false);
+        let k = renamed.secret_region("k", 8);
+        let entry = renamed.entry_block("entry");
+        renamed.load(entry, t, IndexExpr::Const(0));
+        renamed.load(entry, k, IndexExpr::Const(0));
+        renamed.ret(entry);
+        assert_ne!(
+            AnalyzeSession::key(&renamed.finish().unwrap(), "json:8"),
+            key
+        );
+    }
+}

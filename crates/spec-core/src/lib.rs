@@ -77,6 +77,7 @@ pub mod analysis;
 pub mod batch;
 pub mod classify;
 mod engine;
+pub mod incremental;
 pub mod json;
 pub mod options;
 pub mod session;
@@ -85,6 +86,9 @@ pub mod state;
 pub use analysis::CacheAnalysis;
 pub use batch::{BatchError, BatchReport, ExecMode, PanelKind, PanelSpec, ShardSpec};
 pub use classify::{AccessInfo, AnalysisResult};
+pub use incremental::{ScanOutcome, ScanSession, SessionCache, SessionStats, SessionUpdate};
 pub use options::{AnalysisOptions, AnalysisOptionsBuilder, OptionsError};
-pub use session::{Analyzer, MergeError, PreparedProgram, Report, ReportRow, Suite, SuiteRun};
+pub use session::{
+    Analyzer, CacheStats, MergeError, PreparedProgram, Report, ReportRow, Suite, SuiteRun,
+};
 pub use state::SpecState;

@@ -56,13 +56,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use spec_absint::SolveStats;
 use spec_cache::{AddressMap, CacheConfig};
+use spec_ir::fingerprint::{program_fingerprint, Fingerprint};
 use spec_ir::transform::{unroll_counted_loops, UnrollOptions, UnrollReport};
 use spec_ir::{BlockId, Cfg, LoopForest, Program};
 use spec_vcfg::{MergeStrategy, SpeculationConfig, Vcfg};
@@ -80,6 +82,7 @@ use crate::state::SpecState;
 #[derive(Clone, Debug, Default)]
 pub struct Analyzer {
     max_suite_threads: Option<NonZeroUsize>,
+    round_cache_capacity: Option<NonZeroUsize>,
 }
 
 impl Analyzer {
@@ -95,15 +98,109 @@ impl Analyzer {
         self
     }
 
+    /// Bounds the fixpoint-round cache of every prepared variant to at most
+    /// `capacity` entries, evicted in least-recently-used order.
+    ///
+    /// By default the round cache is unbounded, which is right for
+    /// per-comparison sessions but not for long-lived server-style sessions
+    /// (e.g. an edit-analyze loop holding a [`crate::incremental::SessionCache`]
+    /// open for hours).  Eviction never changes results — an evicted round
+    /// is recomputed deterministically on its next use — it only trades
+    /// memory for recomputation; the [`CacheStats`] counters expose the
+    /// trade.
+    pub fn round_cache_capacity(mut self, capacity: NonZeroUsize) -> Self {
+        self.round_cache_capacity = Some(capacity);
+        self
+    }
+
     /// Wraps `program` into a session that computes unrolled programs,
     /// address maps, CFG/loop information and VCFGs at most once each and
     /// shares them across every subsequent run.
     pub fn prepare(&self, program: &Program) -> PreparedProgram {
         PreparedProgram {
+            fingerprint: program_fingerprint(program),
             program: program.clone(),
             max_suite_threads: self.max_suite_threads,
-            cores: Mutex::new(HashMap::new()),
+            round_cache_capacity: self.round_cache_capacity,
+            cores: Memo::new(),
+            amaps: Memo::new(),
+            amaps_adopted: AtomicU64::new(0),
         }
+    }
+}
+
+/// A synchronized memo table with hit/miss counters: the building block of
+/// every per-session artifact cache (unrolled cores, address maps, VCFGs).
+/// Values are computed under the lock — each of these artifacts is built at
+/// most a handful of times per session, so blocking a racing reader is
+/// cheaper than computing twice.
+struct Memo<K, V> {
+    inner: Mutex<MemoInner<K, V>>,
+}
+
+struct MemoInner<K, V> {
+    map: HashMap<K, Arc<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash, V> Memo<K, V> {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(MemoInner {
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
+        let mut inner = self.inner.lock().expect("memo table poisoned");
+        if let Some(hit) = inner.map.get(&key) {
+            let hit = hit.clone();
+            inner.hits += 1;
+            return hit;
+        }
+        inner.misses += 1;
+        let value = Arc::new(make());
+        inner.map.insert(key, value.clone());
+        value
+    }
+
+    /// Inserts `value` under `key` unless present (no counter effect —
+    /// adoption is bookkept by the caller, not as a hit or miss).
+    fn seed(&self, key: K, value: Arc<V>) -> bool {
+        let mut inner = self.inner.lock().expect("memo table poisoned");
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        inner.map.insert(key, value);
+        true
+    }
+
+    /// `(hits, misses)` so far.
+    fn counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("memo table poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("memo table poisoned").map.len()
+    }
+
+    /// Snapshot of the cached values (for aggregation and adoption).
+    fn entries(&self) -> Vec<(K, Arc<V>)>
+    where
+        K: Clone,
+    {
+        self.inner
+            .lock()
+            .expect("memo table poisoned")
+            .map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 }
 
@@ -131,23 +228,68 @@ pub(crate) type RoundResult = (Arc<Vec<SpecState>>, SolveStats);
 /// unrolled program variant).
 pub(crate) type RoundKey = (CacheConfig, bool, u32, u32, MergeStrategy, Vec<u32>);
 
-/// Memoized fixpoint rounds.
+/// Memoized fixpoint rounds, optionally bounded with LRU eviction.
 ///
 /// The biggest repeated cost across a comparison suite is the solver
 /// itself: every dynamic-depth-bounding configuration starts from the same
 /// zero-bounds seeding pass, and ablations that only flip solver-side knobs
 /// revisit identical rounds.  Caching rounds per [`RoundKey`] shares that
 /// work — results stay bit-identical because the solver is deterministic.
-/// The cache lives as long as its [`PreparedProgram`], which is the
-/// intended granularity: sessions are per-comparison, not per-process.
+/// The cache lives as long as its [`PreparedProgram`]; long-lived sessions
+/// (the incremental edit-analyze loop) bound it via
+/// [`Analyzer::round_cache_capacity`], under which the least recently used
+/// round is dropped first.  Eviction is invisible to results — a dropped
+/// round is recomputed identically — and visible in the [`CacheStats`]
+/// counters.
 pub(crate) struct RoundCache {
-    rounds: Mutex<HashMap<RoundKey, Arc<RoundResult>>>,
+    inner: Mutex<RoundCacheInner>,
+    capacity: Option<NonZeroUsize>,
+}
+
+/// Recency is a monotonic use tick per entry: a hit bumps the tick in
+/// O(1), and only an actual eviction pays an O(n) scan for the minimum —
+/// the right trade for a cache whose hits vastly outnumber its evictions
+/// (suite threads holding the lock must never pay per-hit linear scans).
+struct RoundCacheInner {
+    map: HashMap<RoundKey, (Arc<RoundResult>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl RoundCacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_to(&mut self, capacity: Option<NonZeroUsize>) {
+        let Some(capacity) = capacity else { return };
+        while self.map.len() > capacity.get() {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(key, _)| key.clone())
+                .expect("over-capacity map is non-empty");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+    }
 }
 
 impl RoundCache {
-    fn new() -> Self {
+    fn new(capacity: Option<NonZeroUsize>) -> Self {
         Self {
-            rounds: Mutex::new(HashMap::new()),
+            inner: Mutex::new(RoundCacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
         }
     }
 
@@ -161,21 +303,57 @@ impl RoundCache {
         key: RoundKey,
         compute: impl FnOnce() -> RoundResult,
     ) -> Arc<RoundResult> {
-        if let Some(hit) = self.rounds.lock().expect("round cache poisoned").get(&key) {
-            return hit.clone();
+        {
+            let mut inner = self.inner.lock().expect("round cache poisoned");
+            let tick = inner.next_tick();
+            if let Some((hit, used)) = inner.map.get_mut(&key) {
+                let hit = hit.clone();
+                *used = tick;
+                inner.hits += 1;
+                return hit;
+            }
+            inner.misses += 1;
         }
         let value = Arc::new(compute());
-        self.rounds
-            .lock()
-            .expect("round cache poisoned")
-            .entry(key)
-            .or_insert(value)
-            .clone()
+        let mut inner = self.inner.lock().expect("round cache poisoned");
+        let tick = inner.next_tick();
+        let cached = match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                entry.get_mut().1 = tick;
+                entry.get().0.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert((value.clone(), tick));
+                value
+            }
+        };
+        inner.evict_to(self.capacity);
+        cached
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    fn counts(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().expect("round cache poisoned");
+        (inner.hits, inner.misses, inner.evictions)
     }
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.rounds.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// The cached keys from least to most recently used (test introspection
+    /// for the eviction-order contract).
+    #[cfg(test)]
+    fn lru_order(&self) -> Vec<RoundKey> {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<(u64, RoundKey)> = inner
+            .map
+            .iter()
+            .map(|(key, (_, tick))| (*tick, key.clone()))
+            .collect();
+        entries.sort_by_key(|(tick, _)| *tick);
+        entries.into_iter().map(|(_, key)| key).collect()
     }
 }
 
@@ -187,16 +365,14 @@ struct PreparedCore {
     unroll: UnrollReport,
     /// Headers of the loops that survived unrolling — the widening points.
     widen_headers: Vec<BlockId>,
-    /// Address maps, memoized per cache geometry.
-    amaps: Mutex<HashMap<CacheConfig, Arc<AddressMap>>>,
     /// Virtual CFGs, memoized per speculation structure.
-    vcfgs: Mutex<HashMap<VcfgKey, Arc<Vcfg>>>,
+    vcfgs: Memo<VcfgKey, Vcfg>,
     /// Fixpoint rounds, memoized per solver input.
     rounds: RoundCache,
 }
 
 impl PreparedCore {
-    fn new(program: &Program, key: UnrollKey) -> Self {
+    fn new(program: &Program, key: UnrollKey, round_capacity: Option<NonZeroUsize>) -> Self {
         let (analyzed, unroll) = if key.0 {
             unroll_counted_loops(program, key.1)
         } else {
@@ -209,27 +385,87 @@ impl PreparedCore {
             analyzed: Arc::new(analyzed),
             unroll,
             widen_headers,
-            amaps: Mutex::new(HashMap::new()),
-            vcfgs: Mutex::new(HashMap::new()),
-            rounds: RoundCache::new(),
+            vcfgs: Memo::new(),
+            rounds: RoundCache::new(round_capacity),
         }
-    }
-
-    fn amap(&self, cache: CacheConfig) -> Arc<AddressMap> {
-        let mut amaps = self.amaps.lock().expect("address-map cache poisoned");
-        amaps
-            .entry(cache)
-            .or_insert_with(|| Arc::new(AddressMap::new(&self.analyzed, &cache)))
-            .clone()
     }
 
     fn vcfg(&self, config: SpeculationConfig) -> Arc<Vcfg> {
         let key: VcfgKey = (config.depth_on_miss, config.merge_strategy);
-        let mut vcfgs = self.vcfgs.lock().expect("vcfg cache poisoned");
-        vcfgs
-            .entry(key)
-            .or_insert_with(|| Arc::new(Vcfg::build(&self.analyzed, config)))
-            .clone()
+        self.vcfgs
+            .get_or_insert_with(key, || Vcfg::build(&self.analyzed, config))
+    }
+}
+
+/// Hit/miss/eviction counters of every artifact cache inside a
+/// [`PreparedProgram`], cumulative over the session's lifetime.
+///
+/// * *cores* — unrolled program variants (one per unrolling budget);
+/// * *amaps* — address maps (one per cache geometry), including the count
+///   *adopted* wholesale from a previous session snapshot by the
+///   incremental layer (possible because the memory layout is a pure
+///   function of the region table, which the edit left untouched);
+/// * *vcfgs* — virtual CFGs (one per speculation structure);
+/// * *rounds* — memoized fixpoint rounds, with the evictions performed by
+///   the LRU bound of [`Analyzer::round_cache_capacity`].
+///
+/// For every row `hits + misses` equals the number of times the artifact
+/// was requested; a miss is a recomputation.  The counters describe *how* a
+/// result was obtained, never *what* it is — [`Report::without_timing`]
+/// strips them alongside the clocks so that cached and fresh runs of equal
+/// programs serialize to equal bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Unrolled-variant lookups served from the session.
+    pub core_hits: u64,
+    /// Unrolled-variant recomputations.
+    pub core_misses: u64,
+    /// Address-map lookups served from the session.
+    pub amap_hits: u64,
+    /// Address-map recomputations.
+    pub amap_misses: u64,
+    /// Address maps rebound wholesale from a pre-edit session snapshot.
+    pub amap_adopted: u64,
+    /// VCFG lookups served from the session.
+    pub vcfg_hits: u64,
+    /// VCFG recomputations.
+    pub vcfg_misses: u64,
+    /// Fixpoint rounds replayed from the cache.
+    pub round_hits: u64,
+    /// Fixpoint rounds actually solved.
+    pub round_misses: u64,
+    /// Fixpoint rounds evicted by the LRU bound.
+    pub round_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served from a cache instead of recomputed.
+    pub fn total_hits(&self) -> u64 {
+        self.core_hits + self.amap_hits + self.vcfg_hits + self.round_hits
+    }
+
+    /// Total artifact recomputations.
+    pub fn total_misses(&self) -> u64 {
+        self.core_misses + self.amap_misses + self.vcfg_misses + self.round_misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cores {}h/{}m, amaps {}h/{}m (+{} adopted), vcfgs {}h/{}m, rounds {}h/{}m ({} evicted)",
+            self.core_hits,
+            self.core_misses,
+            self.amap_hits,
+            self.amap_misses,
+            self.amap_adopted,
+            self.vcfg_hits,
+            self.vcfg_misses,
+            self.round_hits,
+            self.round_misses,
+            self.round_evictions
+        )
     }
 }
 
@@ -241,8 +477,17 @@ impl PreparedCore {
 /// shared freely across scoped threads.
 pub struct PreparedProgram {
     program: Program,
+    fingerprint: Fingerprint,
     max_suite_threads: Option<NonZeroUsize>,
-    cores: Mutex<HashMap<UnrollKey, Arc<PreparedCore>>>,
+    round_cache_capacity: Option<NonZeroUsize>,
+    cores: Memo<UnrollKey, PreparedCore>,
+    /// Address maps, memoized per cache geometry.  These live on the
+    /// program (not the unrolled core) because the memory layout reads only
+    /// the region table, which unrolling preserves verbatim — so every
+    /// unroll variant shares one map per geometry, and the incremental
+    /// layer can rebind them across edits that leave the regions untouched.
+    amaps: Memo<CacheConfig, AddressMap>,
+    amaps_adopted: AtomicU64,
 }
 
 impl PreparedProgram {
@@ -251,13 +496,56 @@ impl PreparedProgram {
         &self.program
     }
 
+    /// The structural fingerprint of [`PreparedProgram::program`], computed
+    /// at preparation time (see [`spec_ir::fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
     fn core(&self, options: &AnalysisOptions) -> Arc<PreparedCore> {
         let key: UnrollKey = (options.unroll_loops, options.unroll);
-        let mut cores = self.cores.lock().expect("unroll cache poisoned");
-        cores
-            .entry(key)
-            .or_insert_with(|| Arc::new(PreparedCore::new(&self.program, key)))
-            .clone()
+        self.cores.get_or_insert_with(key, || {
+            PreparedCore::new(&self.program, key, self.round_cache_capacity)
+        })
+    }
+
+    fn amap(&self, cache: CacheConfig) -> Arc<AddressMap> {
+        self.amaps
+            .get_or_insert_with(cache, || AddressMap::new(&self.program, &cache))
+    }
+
+    /// Copies every address map of `donor` that this session has not built
+    /// yet.  Sound whenever the two programs' region tables are
+    /// structurally equal (`spec_ir::fingerprint::regions_fingerprint`) —
+    /// the check is the caller's job; [`crate::incremental::SessionCache`]
+    /// performs it before every adoption.  Returns the number adopted.
+    pub(crate) fn adopt_address_maps(&self, donor: &PreparedProgram) -> u64 {
+        let mut adopted = 0;
+        for (cache, amap) in donor.amaps.entries() {
+            if self.amaps.seed(cache, amap) {
+                adopted += 1;
+            }
+        }
+        self.amaps_adopted.fetch_add(adopted, Ordering::Relaxed);
+        adopted
+    }
+
+    /// The cumulative [`CacheStats`] of this session.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        (stats.core_hits, stats.core_misses) = self.cores.counts();
+        (stats.amap_hits, stats.amap_misses) = self.amaps.counts();
+        stats.amap_adopted = self.amaps_adopted.load(Ordering::Relaxed);
+        for (_, core) in self.cores.entries() {
+            let (vh, vm) = core.vcfgs.counts();
+            stats.vcfg_hits += vh;
+            stats.vcfg_misses += vm;
+            let (rh, rm, re) = core.rounds.counts();
+            stats.round_hits += rh;
+            stats.round_misses += rm;
+            stats.round_evictions += re;
+        }
+        stats
     }
 
     /// Runs one configuration, reusing every prepared artifact.
@@ -269,7 +557,7 @@ impl PreparedProgram {
     pub fn run(&self, options: &AnalysisOptions) -> AnalysisResult {
         let start = Instant::now();
         let core = self.core(options);
-        let amap = core.amap(options.cache);
+        let amap = self.amap(options.cache);
         let vcfg = core.vcfg(options.effective_speculation());
         let widen_nodes = core
             .widen_headers
@@ -334,6 +622,7 @@ impl PreparedProgram {
             program: self.program.name().to_string(),
             runs,
             elapsed: start.elapsed(),
+            cache_stats: self.cache_stats(),
         }
     }
 
@@ -350,10 +639,8 @@ impl fmt::Debug for PreparedProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PreparedProgram")
             .field("program", &self.program.name())
-            .field(
-                "prepared_variants",
-                &self.cores.lock().map(|c| c.len()).unwrap_or(0),
-            )
+            .field("fingerprint", &self.fingerprint)
+            .field("prepared_variants", &self.cores.len())
             .finish()
     }
 }
@@ -378,6 +665,9 @@ pub struct Suite {
     pub runs: Vec<SuiteRun>,
     /// Wall-clock time of the whole suite.
     pub elapsed: Duration,
+    /// The session's cumulative cache counters, captured when the suite
+    /// finished.
+    pub cache_stats: CacheStats,
 }
 
 impl Suite {
@@ -391,6 +681,7 @@ impl Suite {
         Report {
             program: self.program.clone(),
             elapsed: Some(self.elapsed),
+            cache: Some(self.cache_stats),
             rows: self
                 .runs
                 .iter()
@@ -407,6 +698,10 @@ pub struct Report {
     pub program: String,
     /// Wall-clock time of the suite that produced this report, if any.
     pub elapsed: Option<Duration>,
+    /// Session cache counters at report time, if the producer had a
+    /// session.  Like `elapsed`, this describes the *execution*, not the
+    /// result: [`Report::without_timing`] strips it.
+    pub cache: Option<CacheStats>,
     /// One row per labelled run.
     pub rows: Vec<ReportRow>,
 }
@@ -421,6 +716,7 @@ impl Report {
         Self {
             program: program.into(),
             elapsed: None,
+            cache: None,
             rows: runs
                 .into_iter()
                 .map(|(label, result)| ReportRow::from_result(label, result))
@@ -451,6 +747,7 @@ impl Report {
         let mut merged = Report {
             program: first.program,
             elapsed: None,
+            cache: None,
             rows: Vec::new(),
         };
         let mut absorb = |report_rows: Vec<ReportRow>| -> Result<(), MergeError> {
@@ -475,13 +772,15 @@ impl Report {
         Ok(merged)
     }
 
-    /// Strips the non-deterministic fields (suite wall-clock and per-row
-    /// times), leaving only values that are pure functions of the program
-    /// and the configurations.  Two runs of the same panel — threaded,
-    /// sharded or sequential — agree bit-for-bit on the result, which is
-    /// what makes [`crate::batch`] reports mergeable and diffable in CI.
+    /// Strips the non-deterministic fields (suite wall-clock, per-row times
+    /// and session cache counters), leaving only values that are pure
+    /// functions of the program and the configurations.  Two runs of the
+    /// same panel — threaded, sharded, sequential, or replayed from an
+    /// incremental session — agree bit-for-bit on the result, which is what
+    /// makes [`crate::batch`] reports mergeable and diffable in CI.
     pub fn without_timing(mut self) -> Report {
         self.elapsed = None;
+        self.cache = None;
         for row in &mut self.rows {
             row.time = Duration::ZERO;
         }
@@ -499,6 +798,24 @@ impl Report {
             out.push_str(&format!(
                 "  \"suite_elapsed_secs\": {},\n",
                 json::float(elapsed.as_secs_f64())
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                "  \"session_cache\": {{\"core_hits\": {}, \"core_misses\": {}, \
+                 \"amap_hits\": {}, \"amap_misses\": {}, \"amap_adopted\": {}, \
+                 \"vcfg_hits\": {}, \"vcfg_misses\": {}, \"round_hits\": {}, \
+                 \"round_misses\": {}, \"round_evictions\": {}}},\n",
+                cache.core_hits,
+                cache.core_misses,
+                cache.amap_hits,
+                cache.amap_misses,
+                cache.amap_adopted,
+                cache.vcfg_hits,
+                cache.vcfg_misses,
+                cache.round_hits,
+                cache.round_misses,
+                cache.round_evictions
             ));
         }
         out.push_str("  \"runs\": [\n");
@@ -569,6 +886,9 @@ impl fmt::Display for Report {
         }
         if let Some(elapsed) = self.elapsed {
             writeln!(f, "suite wall-clock: {:.3}s", elapsed.as_secs_f64())?;
+        }
+        if let Some(cache) = &self.cache {
+            writeln!(f, "session cache: {cache}")?;
         }
         Ok(())
     }
@@ -746,7 +1066,7 @@ mod tests {
         prepared.run(&static_depth);
         let core = prepared.core(&full);
         assert_eq!(
-            core.vcfgs.lock().unwrap().len(),
+            core.vcfgs.len(),
             1,
             "shadow and dynamic-bounding variants share one VCFG"
         );
@@ -758,7 +1078,14 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        assert_eq!(core.vcfgs.lock().unwrap().len(), 2);
+        assert_eq!(core.vcfgs.len(), 2);
+        // The counters agree with the memo table: 4 runs requested a VCFG,
+        // 2 were built.
+        let stats = prepared.cache_stats();
+        assert_eq!(stats.vcfg_misses, 2);
+        assert_eq!(stats.vcfg_hits + stats.vcfg_misses, 4);
+        assert_eq!(stats.amap_misses, 1, "one geometry, one address map");
+        assert_eq!(stats.core_misses, 1, "one unroll budget, one core");
     }
 
     #[test]
@@ -823,6 +1150,7 @@ mod tests {
         Report {
             program: program.to_string(),
             elapsed: Some(Duration::from_secs(1)),
+            cache: Some(CacheStats::default()),
             rows: labels
                 .iter()
                 .map(|label| ReportRow {
@@ -885,10 +1213,129 @@ mod tests {
     fn without_timing_strips_every_clock() {
         let stripped = toy_report("p", &["a", "b"]).without_timing();
         assert_eq!(stripped.elapsed, None);
+        assert_eq!(stripped.cache, None, "cache counters are execution detail");
         assert!(stripped.rows.iter().all(|r| r.time == Duration::ZERO));
         // Everything else is untouched.
         assert_eq!(stripped.rows.len(), 2);
         assert_eq!(stripped.rows[0].accesses, 1);
+    }
+
+    /// Distinct static speculation depths force distinct round keys inside
+    /// one core — the knob the LRU tests turn to fill the cache.
+    fn depth_config(cache: CacheConfig, depth: u32) -> AnalysisOptions {
+        AnalysisOptions::builder()
+            .cache(cache)
+            .speculation_depths(depth, depth)
+            .dynamic_depth_bounding(false)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_cache_evicts_least_recently_used_first() {
+        let program = diamond_program();
+        let cache = CacheConfig::fully_associative(6, 64);
+        let prepared = Analyzer::new()
+            .round_cache_capacity(NonZeroUsize::new(2).unwrap())
+            .prepare(&program);
+        let configs: Vec<AnalysisOptions> = (1..=3).map(|d| depth_config(cache, d)).collect();
+        let fresh: Vec<AnalysisResult> = configs
+            .iter()
+            .map(|o| Analyzer::new().prepare(&program).run(o))
+            .collect();
+
+        // Fill to capacity: A, B — then C evicts A (the LRU).
+        prepared.run(&configs[0]);
+        prepared.run(&configs[1]);
+        let rounds = &prepared.core(&configs[0]).rounds;
+        assert_eq!(rounds.len(), 2);
+        prepared.run(&configs[2]);
+        assert_eq!(rounds.len(), 2, "the bound holds");
+        let key_depth = |key: &RoundKey| key.5.first().copied().unwrap_or(0);
+        assert_eq!(
+            rounds.lru_order().iter().map(key_depth).collect::<Vec<_>>(),
+            vec![2, 3],
+            "depth-1 (least recently used) must be the eviction victim"
+        );
+
+        // Re-running the evicted configuration recomputes — a miss, another
+        // eviction (of depth-2, now the LRU) — and matches the fresh run.
+        let replayed = prepared.run(&configs[0]);
+        assert_eq!(replayed.accesses, fresh[0].accesses);
+        assert_eq!(
+            rounds.lru_order().iter().map(key_depth).collect::<Vec<_>>(),
+            vec![3, 1]
+        );
+        // A hit refreshes recency without evicting.
+        prepared.run(&configs[2]);
+        assert_eq!(
+            rounds.lru_order().iter().map(key_depth).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+
+        let stats = prepared.cache_stats();
+        assert_eq!(stats.round_misses, 4, "three fills plus one recompute");
+        assert_eq!(stats.round_hits, 1);
+        assert_eq!(stats.round_evictions, 2);
+    }
+
+    #[test]
+    fn post_eviction_reruns_match_fresh_results_and_counters_add_up() {
+        let program = diamond_program();
+        let cache = CacheConfig::fully_associative(6, 64);
+        let prepared = Analyzer::new()
+            .round_cache_capacity(NonZeroUsize::MIN)
+            .prepare(&program);
+        // A capacity-1 cache thrashes across this panel, yet every result
+        // must stay bit-identical to an unbounded fresh run.
+        let configs = comparison_configs(cache);
+        let mut total_rounds = 0u64;
+        for _ in 0..2 {
+            for (label, options) in &configs {
+                let bounded = prepared.run(options);
+                let fresh = Analyzer::new().prepare(&program).run(options);
+                assert_eq!(bounded.accesses, fresh.accesses, "{label}");
+                assert_eq!(bounded.rounds, fresh.rounds, "{label}");
+                assert_eq!(bounded.bounds, fresh.bounds, "{label}");
+                total_rounds += u64::from(bounded.rounds);
+            }
+        }
+        let stats = prepared.cache_stats();
+        assert_eq!(
+            stats.round_hits + stats.round_misses,
+            total_rounds,
+            "every round is either replayed or solved"
+        );
+        assert!(stats.round_evictions > 0, "capacity 1 must evict");
+        assert_eq!(
+            stats.core_hits + stats.core_misses,
+            2 * configs.len() as u64,
+            "one core lookup per run"
+        );
+        assert_eq!(
+            stats.amap_hits + stats.amap_misses,
+            2 * configs.len() as u64
+        );
+    }
+
+    #[test]
+    fn suite_reports_surface_cache_counters() {
+        let program = diamond_program();
+        let prepared = Analyzer::new().prepare(&program);
+        let cache = CacheConfig::fully_associative(6, 64);
+        let suite = prepared.run_suite(&comparison_configs(cache));
+        let report = suite.report();
+        let stats = report.cache.expect("suites carry cache stats");
+        assert_eq!(stats, prepared.cache_stats());
+        assert!(stats.round_misses > 0);
+        assert_eq!(stats.round_evictions, 0, "unbounded by default");
+        let json = report.to_json();
+        assert!(json.contains("\"session_cache\""));
+        assert!(json.contains("\"round_evictions\": 0"));
+        // The stripped form is free of execution detail.
+        let stripped = report.without_timing();
+        assert_eq!(stripped.cache, None);
+        assert!(!stripped.to_json().contains("session_cache"));
     }
 
     #[test]

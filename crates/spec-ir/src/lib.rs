@@ -39,6 +39,7 @@ pub mod builder;
 pub mod cfg;
 pub mod display;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod inst;
 pub mod loops;
@@ -50,6 +51,7 @@ pub mod transform;
 pub use builder::ProgramBuilder;
 pub use cfg::Cfg;
 pub use error::{IrError, IrResult};
+pub use fingerprint::{program_fingerprint, Fingerprint, ProgramDiff};
 pub use ids::{BlockId, InstId, RegionId};
 pub use inst::{BranchSemantics, Condition, IndexExpr, Inst, MemRef, Terminator};
 pub use loops::{Loop, LoopForest};

@@ -10,14 +10,19 @@
 //!
 //! Common options: `--cache-lines N` (default 512) and `--json` (emit
 //! machine-readable output).  `analyze` additionally accepts `--baseline`,
-//! `--no-shadow`, `--merge-at-rollback` and `--no-unroll`.  Bundle-aware
+//! `--no-shadow`, `--merge-at-rollback`, `--no-unroll` and `--incremental`
+//! (replay unchanged programs from a session directory, default
+//! `.specan-session`, overridable with `--session-dir`).  Bundle-aware
 //! commands (`analyze`, `compare`, `scan`) accept several files, `--jobs N`
 //! (parallelism cap) and `--shard K/N` (run the K-th of N contiguous slices
 //! of the sorted file list — for splitting one bundle across CI machines).
 //! `scan` also accepts directories (searched recursively for `*.spec`),
-//! `--panel <leak-check|comparison>` and `--in-process` (threads instead of
-//! worker subprocesses); its merged JSON report is deterministic —
-//! bit-identical however the bundle was sharded.
+//! `--panel <leak-check|comparison>`, `--in-process` (threads instead of
+//! worker subprocesses) and `--session-dir DIR` (incremental: re-analyse
+//! only the programs whose structural fingerprints changed since the last
+//! scan against the same directory); its merged JSON report is
+//! deterministic — bit-identical however the bundle was sharded and whether
+//! or not a session replayed parts of it.
 //!
 //! Exit codes: `0` success (no leak), `1` leak detected (`leaks` and `scan`),
 //! `2` usage or input error — so both gates are scriptable in CI:
@@ -39,11 +44,15 @@ use spec_cache::CacheConfig;
 use spec_core::batch::{
     self, discover_programs, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
 };
+use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession};
 use spec_core::session::comparison_configs;
 use spec_core::{AnalysisOptions, AnalysisResult, Analyzer, BatchReport, Report};
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 use spec_vcfg::MergeStrategy;
+
+/// Default session directory of `analyze --incremental`.
+const DEFAULT_SESSION_DIR: &str = ".specan-session";
 
 /// Prints a line to stdout, exiting quietly when the downstream consumer
 /// closed the pipe (`specan ... | head` must not panic with a backtrace).
@@ -85,6 +94,10 @@ struct Cli {
     panel: PanelKind,
     /// `worker`: the serialized [`ShardSpec`].
     shard_json: Option<String>,
+    /// `analyze`/`scan`: where incremental session state lives.
+    session_dir: Option<PathBuf>,
+    /// `analyze`: replay unchanged programs from the session directory.
+    incremental: bool,
     // `analyze`-only configuration knobs.
     baseline: bool,
     shadow: bool,
@@ -97,8 +110,12 @@ fn usage() -> String {
      \n\
      analyze   run one configuration and print the per-access classification\n\
      \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
-     \x20         [--jobs N] [--shard K/N]; several files allowed (JSON output\n\
-     \x20         becomes an array)\n\
+     \x20         [--jobs N] [--shard K/N] [--incremental [--session-dir DIR]];\n\
+     \x20         several files allowed (JSON output becomes an array);\n\
+     \x20         --incremental replays byte-identical output for programs\n\
+     \x20         unchanged since the last run against the session directory\n\
+     \x20         (default .specan-session; replayed output carries the\n\
+     \x20         original run's timing fields)\n\
      compare   prepare once, run the standard configuration panel in parallel\n\
      \x20         [--jobs N] [--shard K/N]; several files allowed (JSON output\n\
      \x20         becomes the merged batch report)\n\
@@ -108,7 +125,10 @@ fn usage() -> String {
      \x20         panel per program sharded across worker processes and print\n\
      \x20         one merged deterministic report; exits 1 if any program\n\
      \x20         leaks.  [--jobs N] [--shard K/N] [--in-process]\n\
-     \x20         [--panel <leak-check|comparison>]\n\
+     \x20         [--panel <leak-check|comparison>] [--session-dir DIR];\n\
+     \x20         with --session-dir only programs whose structural\n\
+     \x20         fingerprints changed since the last scan are re-analysed\n\
+     \x20         (the merged report stays bit-identical to a fresh scan)\n\
      worker    internal: --shard-json <spec|-> runs one scan shard and\n\
      \x20         prints its report as JSON (`-` reads the spec from stdin)"
         .to_string()
@@ -148,6 +168,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         in_process: false,
         panel: PanelKind::Comparison,
         shard_json: None,
+        session_dir: None,
+        incremental: false,
         baseline: false,
         shadow: true,
         merge_at_rollback: false,
@@ -216,6 +238,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 ));
             }
             "--shard-json" => cli.shard_json = Some(value_of("--shard-json")?),
+            "--session-dir" if !matches!(cli.command, Command::Analyze | Command::Scan) => {
+                return Err(format!(
+                    "`--session-dir` only applies to `analyze` and `scan`\n{}",
+                    usage()
+                ));
+            }
+            "--session-dir" => {
+                cli.session_dir = Some(PathBuf::from(value_of("--session-dir")?));
+            }
+            "--incremental" if !matches!(cli.command, Command::Analyze) => {
+                return Err(format!(
+                    "`--incremental` only applies to `analyze` (for `scan`, \
+                     `--session-dir` alone enables it)\n{}",
+                    usage()
+                ));
+            }
+            "--incremental" => cli.incremental = true,
             flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
                 if !matches!(cli.command, Command::Analyze) =>
             {
@@ -243,6 +282,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     usage()
                 ));
             }
+        }
+        Command::Analyze if cli.session_dir.is_some() && !cli.incremental => {
+            return Err(format!(
+                "`analyze --session-dir` needs `--incremental`\n{}",
+                usage()
+            ));
         }
         _ => {
             if cli.paths.is_empty() {
@@ -370,8 +415,24 @@ fn accesses_json(result: &AnalysisResult) -> String {
     out
 }
 
-/// One `analyze` unit of work: its rendered output (text or JSON object).
-fn analyze_one(cli: &Cli, path: &std::path::Path) -> Result<String, String> {
+/// The configuration knobs that shape `analyze` output, rendered stably —
+/// the replay key of the incremental session covers the program text *and*
+/// this signature, so a flag change can never replay a stale rendering.
+fn analyze_signature(cli: &Cli) -> String {
+    format!(
+        "json={};lines={};baseline={};shadow={};mar={};unroll={}",
+        cli.json, cli.cache_lines, cli.baseline, cli.shadow, cli.merge_at_rollback, cli.unroll
+    )
+}
+
+/// One `analyze` unit of work: its rendered output (text or JSON object),
+/// replayed from `session` when the program is unchanged since the output
+/// was stored.
+fn analyze_one(
+    cli: &Cli,
+    path: &std::path::Path,
+    session: Option<&AnalyzeSession>,
+) -> Result<String, String> {
     let options = analyze_options(cli)?;
     let label = if cli.baseline {
         "baseline"
@@ -379,18 +440,30 @@ fn analyze_one(cli: &Cli, path: &std::path::Path) -> Result<String, String> {
         "speculative"
     };
     let program = load_program(&path.display().to_string())?;
+    let key = session.map(|session| {
+        let key = AnalyzeSession::key(&program, &analyze_signature(cli));
+        (session, key)
+    });
+    if let Some((session, key)) = &key {
+        if let Some(stored) = session.lookup(*key) {
+            // Replayed byte-for-byte — including the original run's timing
+            // fields, which a CI diff strips anyway.
+            eprintln!("session: replayed `{}`", path.display());
+            return Ok(stored);
+        }
+    }
     let prepared = Analyzer::new().prepare(&program);
     let result = prepared.run(&options);
     let leaks = detect_leaks(&result);
-    if cli.json {
+    let output = if cli.json {
         let report = Report::from_runs(prepared.program().name(), [(label, &result)]);
         // Wrap the summary row together with the per-access detail.
-        Ok(format!(
+        format!(
             "{{\n  \"summary\": {},\n  \"leak_detected\": {},\n  \"accesses\": {}\n}}",
             indent_json(&report.to_json()),
             leaks.leak_detected(),
             accesses_json(&result)
-        ))
+        )
     } else {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -451,8 +524,20 @@ fn analyze_one(cli: &Cli, path: &std::path::Path) -> Result<String, String> {
         } else {
             let _ = writeln!(out, "  no cache side-channel leak detected");
         }
-        Ok(out.trim_end().to_string())
+        out.trim_end().to_string()
+    };
+    if let Some((session, key)) = key {
+        eprintln!("session: analysed `{}`", path.display());
+        if let Err(err) = session.store(key, &output) {
+            // A failed store only costs the next replay; say so and go on.
+            eprintln!(
+                "session: warning: cannot store `{}` in {}: {err}",
+                path.display(),
+                session.dir().display()
+            );
+        }
     }
+    Ok(output)
 }
 
 /// Runs `work` over every file, fanning out across at most `--jobs` scoped
@@ -491,7 +576,14 @@ where
 
 fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
     let files = select_files(cli)?;
-    let outputs = map_files(cli, &files, |path| analyze_one(cli, path))?;
+    let session = cli.incremental.then(|| {
+        AnalyzeSession::new(
+            cli.session_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(DEFAULT_SESSION_DIR)),
+        )
+    });
+    let outputs = map_files(cli, &files, |path| analyze_one(cli, path, session.as_ref()))?;
     if cli.json && bundle_mode(cli) {
         // A bundle renders as an array of the per-file objects — even when
         // a `--shard` slice leaves zero or one file, so the schema never
@@ -649,7 +741,8 @@ fn cmd_scan(cli: &Cli) -> Result<u8, String> {
     };
     panel.configs().map_err(|err| err.to_string())?;
     let report = if files.is_empty() {
-        // An empty `--shard` slice: this machine simply has no work.
+        // An empty `--shard` slice: this machine simply has no work (and
+        // nothing worth persisting into a session).
         BatchReport {
             panel,
             programs: Vec::new(),
@@ -663,7 +756,28 @@ fn cmd_scan(cli: &Cli) -> Result<u8, String> {
                 .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
             ExecMode::Subprocess { worker_exe }
         };
-        batch::run_bundle(&files, panel, jobs, &mode).map_err(|err| err.to_string())?
+        match &cli.session_dir {
+            Some(dir) => {
+                let session = ScanSession::new(dir);
+                let outcome = scan_bundle_incremental(&files, panel, jobs, &mode, &session)
+                    .map_err(|err| err.to_string())?;
+                eprintln!(
+                    "session: {} program(s) reused, {} analysed ({})",
+                    outcome.reused,
+                    outcome.analyzed,
+                    session.dir().display()
+                );
+                if let Some(err) = outcome.store_error {
+                    // Losing the warm start must not cost the leak verdict.
+                    eprintln!(
+                        "session: warning: cannot persist session in {}: {err}",
+                        session.dir().display()
+                    );
+                }
+                outcome.report
+            }
+            None => batch::run_bundle(&files, panel, jobs, &mode).map_err(|err| err.to_string())?,
+        }
     };
     if cli.json {
         outln!("{}", report.to_json());

@@ -1,0 +1,142 @@
+//! Set-associative geometry sweep over the example bundle.
+//!
+//! The abstract domain supports set-associative caches, but the paper's
+//! tables (and, until this suite, the tier-1 tests) only exercised the
+//! fully-associative setup.  This sweep runs every example program through
+//! `run_suite` at associativities 1, 2, 4 and 8 — holding the set count at
+//! 8, so capacity grows with associativity — and snapshot-asserts the
+//! deterministic verdict rows.  A change in any number here means the
+//! set-associative path of the abstract domain changed behaviour.
+
+use speculative_absint::cache::CacheConfig;
+use speculative_absint::core::batch::VERDICT_LABEL;
+use speculative_absint::core::{AnalysisOptions, Analyzer};
+use speculative_absint::ir::text::parse_program;
+use speculative_absint::ir::Program;
+
+const NUM_SETS: usize = 8;
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+
+/// One snapshot row: program, ways, then the speculative verdict row's
+/// deterministic fields `(must_hits, misses, speculative_misses,
+/// unsafe_secret_accesses)` and the derived leak verdict.
+type Row = (&'static str, usize, (usize, usize, usize, usize), bool);
+
+/// The pinned behaviour of the example bundle across the sweep.
+///
+/// Reading the snapshot: `ct_sbox` (constant-time) never leaks at any
+/// associativity; `cold_lookup` leaks at every one (its secret-indexed
+/// table is never preloaded); `victim` leaks in the direct-mapped geometry
+/// — where the preloaded sbox lines conflict-evict each other, so the
+/// secret-indexed access is not provably timing-neutral — and becomes
+/// clean from 2 ways up, once each set can hold the conflicting lines.
+const EXPECTED: &[Row] = &[
+    ("cold_lookup", 1, (0, 3, 1, 1), true),
+    ("cold_lookup", 2, (0, 3, 1, 1), true),
+    ("cold_lookup", 4, (0, 3, 1, 1), true),
+    ("cold_lookup", 8, (0, 3, 1, 1), true),
+    ("ct_sbox", 1, (1, 4, 0, 0), false),
+    ("ct_sbox", 2, (1, 4, 0, 0), false),
+    ("ct_sbox", 4, (1, 4, 0, 0), false),
+    ("ct_sbox", 8, (1, 4, 0, 0), false),
+    ("victim", 1, (0, 10, 2, 1), true),
+    ("victim", 2, (1, 9, 2, 0), false),
+    ("victim", 4, (1, 9, 2, 0), false),
+    ("victim", 8, (1, 9, 2, 0), false),
+];
+
+fn example_programs() -> Vec<Program> {
+    let mut paths: Vec<_> = std::fs::read_dir("examples/programs")
+        .expect("example bundle exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "spec"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|path| {
+            parse_program(&std::fs::read_to_string(path).unwrap())
+                .unwrap_or_else(|err| panic!("{}: {err}", path.display()))
+        })
+        .collect()
+}
+
+#[test]
+fn set_associative_sweep_matches_snapshot() {
+    let mut actual: Vec<Row> = Vec::new();
+    let names: Vec<String> = example_programs()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for (program, name) in example_programs().iter().zip(&names) {
+        let prepared = Analyzer::new().prepare(program);
+        for ways in WAYS {
+            let cache = CacheConfig::set_associative(NUM_SETS, ways, 64);
+            let suite = prepared.run_suite(&[
+                (
+                    "baseline",
+                    AnalysisOptions::builder()
+                        .baseline()
+                        .cache(cache)
+                        .build()
+                        .unwrap(),
+                ),
+                (
+                    VERDICT_LABEL,
+                    AnalysisOptions::builder().cache(cache).build().unwrap(),
+                ),
+            ]);
+            let report = suite.report();
+            let row = report
+                .rows
+                .iter()
+                .find(|row| row.label == VERDICT_LABEL)
+                .expect("speculative row exists");
+            let name: &'static str = match name.as_str() {
+                "cold_lookup" => "cold_lookup",
+                "ct_sbox" => "ct_sbox",
+                "victim" => "victim",
+                other => panic!("unexpected example program `{other}`"),
+            };
+            actual.push((
+                name,
+                ways,
+                (
+                    row.must_hits,
+                    row.misses,
+                    row.speculative_misses,
+                    row.unsafe_secret_accesses,
+                ),
+                row.unsafe_secret_accesses > 0,
+            ));
+        }
+    }
+    assert_eq!(
+        actual, EXPECTED,
+        "set-associative verdicts drifted; if the change is intended, \
+         re-pin the snapshot from this failure's `left` value"
+    );
+}
+
+/// Associativity only ever helps within a fixed set count: growing the
+/// ways must never lose a must-hit guarantee on this bundle.
+#[test]
+fn more_ways_never_lose_must_hits() {
+    for program in example_programs() {
+        let prepared = Analyzer::new().prepare(&program);
+        let mut previous = None;
+        for ways in WAYS {
+            let cache = CacheConfig::set_associative(NUM_SETS, ways, 64);
+            let result = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
+            let must_hits = result.must_hit_count();
+            if let Some(previous) = previous {
+                assert!(
+                    must_hits >= previous,
+                    "{}: {ways} ways lost must-hits ({must_hits} < {previous})",
+                    program.name()
+                );
+            }
+            previous = Some(must_hits);
+        }
+    }
+}
