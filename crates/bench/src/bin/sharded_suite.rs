@@ -100,16 +100,36 @@ fn main() {
     // The session API's axis: per-program, configurations across threads.
     modes.push(timed("suite-threads", || {
         let configs = panel.configs().expect("panel");
+        let programs: Vec<spec_ir::Program> = bundle
+            .iter()
+            .map(|path| {
+                let source = std::fs::read_to_string(path).expect("read program");
+                spec_ir::text::parse_program(&source).expect("bundle programs round-trip")
+            })
+            .collect();
+        // Stamp each per-program report as a one-program slice so the
+        // merged result carries the same bundle checksum as `run_bundle`.
+        let checksum = spec_core::batch::panel_checksum(
+            panel,
+            programs
+                .iter()
+                .map(spec_ir::fingerprint::program_fingerprint),
+        );
         let mut shards = Vec::new();
-        for path in &bundle {
-            let source = std::fs::read_to_string(path).expect("read program");
-            let program =
-                spec_ir::text::parse_program(&source).expect("bundle programs round-trip");
-            let prepared = Analyzer::new().prepare(&program);
+        for (start, program) in programs.iter().enumerate() {
+            let prepared = Analyzer::new().prepare(program);
             let report = prepared.run_suite(&configs).report().without_timing();
             shards.push(BatchReport {
                 panel,
-                programs: vec![spec_core::batch::ProgramVerdict::from_report(report)],
+                stamp: Some(spec_core::BundleStamp {
+                    checksum,
+                    total: programs.len(),
+                    start,
+                }),
+                programs: vec![spec_core::batch::ProgramVerdict::from_report(
+                    report,
+                    prepared.fingerprint(),
+                )],
             });
         }
         BatchReport::merge(shards).expect("merge")

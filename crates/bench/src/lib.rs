@@ -16,6 +16,8 @@ use std::time::Duration;
 
 use spec_cache::CacheConfig;
 
+pub mod service_harness;
+
 /// Number of cache lines used by the benchmark harness.
 ///
 /// Controlled by `SPEC_BENCH_CACHE_LINES`; defaults to 128.

@@ -1,0 +1,101 @@
+//! Shared harness for driving a real `specan serve` process — used by the
+//! `service_throughput` bench bin and the workspace's `service_equivalence`
+//! integration tests, so the banner-scrape, log-drain and timing-strip
+//! logic evolves in one place.
+
+use std::io::{BufRead as _, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+use spec_core::service::{Request, ServiceClient};
+
+/// A spawned `specan serve` child on an ephemeral port.
+///
+/// [`ServeProcess::start`] scrapes the bound address from the server's
+/// first stderr line (`serve: listening on <addr> ...`) and keeps a
+/// background thread draining the per-request log so the server never
+/// blocks on a full pipe.  Call [`ServeProcess::shutdown`] — or drop the
+/// value — to stop it.
+pub struct ServeProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProcess {
+    /// Spawns `<specan> serve --addr 127.0.0.1:0 --jobs <jobs>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the binary cannot be spawned or the banner line does
+    /// not arrive — both setup failures a harness should fail loudly on.
+    pub fn start(specan: &Path, jobs: usize) -> ServeProcess {
+        let mut child = Command::new(specan)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--jobs",
+                &jobs.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("specan serve spawns");
+        let stderr = child.stderr.take().expect("stderr is piped");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .expect("serve prints its address");
+        let addr = line
+            .strip_prefix("serve: listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+            .to_string();
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                sink.clear();
+            }
+        });
+        ServeProcess { child, addr }
+    }
+
+    /// The `host:port` the server actually bound.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests a graceful shutdown and reaps the child.  Best-effort and
+    /// idempotent: a server that already died is simply reaped.
+    pub fn shutdown(&mut self) {
+        if let Ok(mut client) = ServiceClient::connect(&self.addr) {
+            let _ = client.call(&Request::Shutdown);
+        }
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Zeroes the `"time_secs"` wall clocks of `analyze`/`compare` JSON output
+/// — the execution-describing bytes the byte-identity contracts strip on
+/// both sides (the CI gates' `sed` is the shell twin of this function).
+pub fn strip_analyze_timing(output: &str) -> String {
+    let mut out = String::with_capacity(output.len());
+    for line in output.lines() {
+        if let Some(at) = line.find("\"time_secs\": ") {
+            out.push_str(&line[..at]);
+            out.push_str("\"time_secs\": 0");
+            out.push_str(line[at..].find('}').map_or("", |_| "}"));
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -20,9 +20,14 @@
 //!    (scoped threads) or in a spawned worker subprocess
 //!    (`specan worker --shard-json <spec>`) via [`run_bundle`] — the worker
 //!    body itself is [`run_shard`], shared by both paths;
-//! 4. [`BatchReport::merge`] recombines the shard reports in shard order,
-//!    rejecting duplicate program names, and the result serializes with
-//!    [`BatchReport::to_json`] / parses back with [`BatchReport::from_json`].
+//! 4. [`BatchReport::merge`] recombines the shard reports in bundle order
+//!    — verifying, via the [`BundleStamp`] every stamped report carries
+//!    (the [`panel_checksum`] over the full bundle's program fingerprints
+//!    plus the slice position), that the inputs are complete, compatible,
+//!    non-overlapping slices of one bundle — and the result serializes
+//!    with [`BatchReport::to_json`] / parses back with
+//!    [`BatchReport::from_json`].  `specan merge` is this fan-in as a CLI
+//!    step for artifacts produced on different machines.
 //!
 //! # Example
 //!
@@ -37,6 +42,7 @@
 //! let spec = ShardSpec {
 //!     programs: vec![path],
 //!     panel: PanelSpec { kind: PanelKind::LeakCheck, cache_lines: 8 },
+//!     stamp: None,
 //! };
 //! let report = run_shard(&spec).unwrap();
 //! assert_eq!(report.programs.len(), 1);
@@ -53,6 +59,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 use spec_cache::CacheConfig;
+use spec_ir::fingerprint::{combined_fingerprint, program_fingerprint, Fingerprint};
 use spec_ir::text::parse_program;
 
 use crate::json::{self, JsonValue};
@@ -139,7 +146,14 @@ impl PanelSpec {
         }
     }
 
-    fn to_json(self) -> String {
+    /// The stable signature folded into every bundle checksum: a checksum
+    /// only matches across runs of the *same* configuration family on the
+    /// same geometry.
+    fn signature(&self) -> String {
+        format!("specan-panel:{}:{}", self.kind.as_str(), self.cache_lines)
+    }
+
+    pub(crate) fn to_json(self) -> String {
         format!(
             "{{\"kind\": {}, \"cache_lines\": {}}}",
             json::string(self.kind.as_str()),
@@ -147,7 +161,7 @@ impl PanelSpec {
         )
     }
 
-    fn from_json(value: &JsonValue) -> Result<Self, BatchError> {
+    pub(crate) fn from_json(value: &JsonValue) -> Result<Self, BatchError> {
         let kind = value
             .get("kind")
             .and_then(JsonValue::as_str)
@@ -162,15 +176,117 @@ impl PanelSpec {
     }
 }
 
-/// One shard of a bundle: the program files this worker analyses and the
-/// panel it runs them under.  Serializes to the JSON handed to
-/// `specan worker --shard-json`.
+/// Where a report's programs sit inside the full panel — the integrity
+/// stamp that lets a cross-machine fan-in ([`BatchReport::merge`]) verify
+/// it is combining **complete, compatible** slices.
+///
+/// The `checksum` is [`panel_checksum`] over the *whole* bundle (every
+/// program's structural fingerprint, in bundle order, folded with the
+/// panel signature), so every slice of one `--shard K/N` matrix carries the
+/// same checksum while any other bundle — an extra file, an edited program,
+/// a different panel — carries a different one.  `start`/`total` place the
+/// slice: concatenating slices whose starts tile `0..total` reproduces the
+/// bundle, and anything else (overlap, gap, missing machine) is detected
+/// before a merged report exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BundleStamp {
+    /// [`panel_checksum`] of the full bundle this report slices.
+    pub checksum: Fingerprint,
+    /// Number of programs in the full bundle.
+    pub total: usize,
+    /// Bundle index of this report's first program.
+    pub start: usize,
+}
+
+impl BundleStamp {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"checksum\": {}, \"total\": {}, \"start\": {}}}",
+            json::string(&self.checksum.to_hex()),
+            self.total,
+            self.start
+        )
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, BatchError> {
+        let checksum = value
+            .get("checksum")
+            .and_then(JsonValue::as_str)
+            .and_then(Fingerprint::from_hex)
+            .ok_or_else(|| BatchError::malformed("bundle checksum"))?;
+        let field = |key: &str| -> Result<usize, BatchError> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| BatchError::malformed(&format!("bundle {key}")))
+        };
+        Ok(BundleStamp {
+            checksum,
+            total: field("total")?,
+            start: field("start")?,
+        })
+    }
+}
+
+/// The checksum of one panel over an ordered list of program fingerprints
+/// — the value a [`BundleStamp`] carries.  Reuses the stable FNV core of
+/// [`spec_ir::fingerprint`], so checksums survive disk, sockets and
+/// process boundaries.
+pub fn panel_checksum(
+    panel: PanelSpec,
+    fingerprints: impl IntoIterator<Item = Fingerprint>,
+) -> Fingerprint {
+    combined_fingerprint(&panel.signature(), fingerprints)
+}
+
+/// Fingerprints every program of `files` (the full bundle, in bundle
+/// order) and returns the bundle's [`panel_checksum`].  This is the
+/// pre-sharding pass every bundle command runs, so each machine of a
+/// `--shard K/N` matrix stamps its slice against the same full-bundle
+/// checksum.  Parsing is cheap next to analysis (the incremental layer
+/// leans on the same fact).
+///
+/// # Errors
+///
+/// Returns [`BatchError::Io`]/[`BatchError::Parse`] for unreadable or
+/// invalid files and [`BatchError::DuplicateProgram`] when two files
+/// declare the same program name.
+pub fn stamp_bundle(files: &[PathBuf], panel: PanelSpec) -> Result<Fingerprint, BatchError> {
+    let mut names: Vec<String> = Vec::with_capacity(files.len());
+    let mut fingerprints = Vec::with_capacity(files.len());
+    for path in files {
+        let source = std::fs::read_to_string(path).map_err(|error| BatchError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let program = parse_program(&source).map_err(|err| BatchError::Parse {
+            path: path.clone(),
+            message: err.to_string(),
+        })?;
+        let name = program.name().to_string();
+        if names.contains(&name) {
+            return Err(BatchError::DuplicateProgram { name });
+        }
+        names.push(name);
+        fingerprints.push(program_fingerprint(&program));
+    }
+    Ok(panel_checksum(panel, fingerprints))
+}
+
+/// One shard of a bundle: the program files this worker analyses, the
+/// panel it runs them under, and (when the caller knows the full bundle)
+/// the stamp placing the shard inside it.  Serializes to the JSON handed
+/// to `specan worker --shard-json`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardSpec {
     /// The `.spec` files of this shard, in bundle order.
     pub programs: Vec<PathBuf>,
     /// The panel to run.
     pub panel: PanelSpec,
+    /// The shard's place in the full bundle; `None` produces an unstamped
+    /// report (hand-rolled worker invocations, ad-hoc shards).
+    pub stamp: Option<BundleStamp>,
 }
 
 impl ShardSpec {
@@ -185,6 +301,10 @@ impl ShardSpec {
         }
         out.push_str("], \"panel\": ");
         out.push_str(&self.panel.to_json());
+        if let Some(stamp) = self.stamp {
+            out.push_str(", \"bundle\": ");
+            out.push_str(&stamp.to_json());
+        }
         out.push('}');
         out
     }
@@ -213,7 +333,15 @@ impl ShardSpec {
                 .get("panel")
                 .ok_or_else(|| BatchError::malformed("shard panel"))?,
         )?;
-        Ok(ShardSpec { programs, panel })
+        let stamp = value
+            .get("bundle")
+            .map(BundleStamp::from_json)
+            .transpose()?;
+        Ok(ShardSpec {
+            programs,
+            panel,
+            stamp,
+        })
     }
 }
 
@@ -279,6 +407,24 @@ pub enum BatchError {
     Merge(MergeError),
     /// Shard reports ran different panels.
     PanelMismatch,
+    /// Shard reports disagree about the bundle they slice: different
+    /// checksums or totals, or a mix of stamped and unstamped reports.
+    StampMismatch,
+    /// Two stamped shard reports cover the same bundle position.
+    OverlappingShards {
+        /// The first doubly-covered bundle index.
+        index: usize,
+    },
+    /// The stamped shard reports do not cover the whole bundle.
+    IncompleteBundle {
+        /// Programs covered by the supplied slices.
+        covered: usize,
+        /// Programs in the full bundle.
+        total: usize,
+    },
+    /// The merged verdicts do not reproduce the bundle checksum the shards
+    /// claim — a slice was tampered with or belongs to a different bundle.
+    ChecksumMismatch,
 }
 
 impl BatchError {
@@ -314,6 +460,24 @@ impl fmt::Display for BatchError {
             BatchError::MalformedReport(message) => write!(f, "malformed report: {message}"),
             BatchError::Merge(err) => write!(f, "{err}"),
             BatchError::PanelMismatch => write!(f, "shard reports ran different panels"),
+            BatchError::StampMismatch => write!(
+                f,
+                "shard reports do not slice the same bundle (bundle checksum, \
+                 total, or stamp presence differs)"
+            ),
+            BatchError::OverlappingShards { index } => write!(
+                f,
+                "shard reports overlap: bundle position {index} is covered twice"
+            ),
+            BatchError::IncompleteBundle { covered, total } => write!(
+                f,
+                "shard reports cover only {covered} of {total} bundle programs \
+                 (a slice is missing)"
+            ),
+            BatchError::ChecksumMismatch => write!(
+                f,
+                "merged programs do not reproduce the claimed bundle checksum"
+            ),
         }
     }
 }
@@ -472,10 +636,11 @@ pub fn run_shard(spec: &ShardSpec) -> Result<BatchReport, BatchError> {
                 name: report.program,
             });
         }
-        programs.push(ProgramVerdict::from_report(report));
+        programs.push(ProgramVerdict::from_report(report, prepared.fingerprint()));
     }
     Ok(BatchReport {
         panel: spec.panel,
+        stamp: spec.stamp,
         programs,
     })
 }
@@ -502,21 +667,58 @@ pub fn run_bundle(
     jobs: usize,
     mode: &ExecMode,
 ) -> Result<BatchReport, BatchError> {
-    if programs.is_empty() {
+    run_bundle_slice(programs, 0..programs.len(), panel, jobs, mode)
+}
+
+/// Runs the `slice` of a bundle sharded `jobs` ways and returns the merged
+/// **slice report**, stamped against the full bundle: its [`BundleStamp`]
+/// carries the checksum over *all* of `bundle`, so per-machine artifacts of
+/// a `--shard K/N` matrix recombine — and verify — through
+/// [`BatchReport::merge`].  An empty slice is legal (a CI fleet may have
+/// more machines than programs) and yields a stamped, program-free report.
+///
+/// # Errors
+///
+/// Everything [`run_bundle`] raises; [`BatchError::NoPrograms`] refers to
+/// an empty *bundle*, not an empty slice.
+pub fn run_bundle_slice(
+    bundle: &[PathBuf],
+    slice: Range<usize>,
+    panel: PanelSpec,
+    jobs: usize,
+    mode: &ExecMode,
+) -> Result<BatchReport, BatchError> {
+    if bundle.is_empty() {
         return Err(BatchError::NoPrograms);
     }
-    let shards: Vec<ShardSpec> = plan_shards(programs.len(), jobs)
+    // The full-bundle checksum every slice stamps itself against.
+    let checksum = stamp_bundle(bundle, panel)?;
+    let stamp_at = |start: usize| BundleStamp {
+        checksum,
+        total: bundle.len(),
+        start,
+    };
+    let files = &bundle[slice.clone()];
+    if files.is_empty() {
+        return Ok(BatchReport {
+            panel,
+            stamp: Some(stamp_at(slice.start)),
+            programs: Vec::new(),
+        });
+    }
+    let shards: Vec<ShardSpec> = plan_shards(files.len(), jobs)
         .into_iter()
         .map(|range| ShardSpec {
-            programs: programs[range].to_vec(),
+            programs: files[range.clone()].to_vec(),
             panel,
+            stamp: Some(stamp_at(slice.start + range.start)),
         })
         .collect();
     let reports = match mode {
         ExecMode::InProcess => run_shards_in_process(&shards)?,
         ExecMode::Subprocess { worker_exe } => run_shards_subprocess(&shards, worker_exe)?,
     };
-    BatchReport::merge(reports)
+    BatchReport::merge_slices(reports)
 }
 
 fn run_shards_in_process(shards: &[ShardSpec]) -> Result<Vec<BatchReport>, BatchError> {
@@ -611,13 +813,17 @@ fn run_shards_subprocess(
     }
 }
 
-/// One program's slice of a [`BatchReport`]: its per-configuration report
-/// and the leak verdict derived from the [`VERDICT_LABEL`] row.
+/// One program's slice of a [`BatchReport`]: its per-configuration report,
+/// its structural fingerprint (the [`spec_ir::fingerprint`] value the
+/// bundle checksum folds over), and the leak verdict derived from the
+/// [`VERDICT_LABEL`] row.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProgramVerdict {
     /// `true` iff the program has a secret-indexed access that is not
     /// provably timing-neutral under the full speculative configuration.
     pub leak: bool,
+    /// The structural fingerprint of the analysed program.
+    pub fingerprint: Fingerprint,
     /// The program's labelled (timing-stripped) report.
     pub report: Report,
 }
@@ -626,18 +832,24 @@ impl ProgramVerdict {
     /// Derives the leak verdict from the report's [`VERDICT_LABEL`] row —
     /// the one place the "leaks iff `unsafe_secret_accesses > 0` under the
     /// full speculative configuration" rule lives.
-    pub fn from_report(report: Report) -> Self {
+    pub fn from_report(report: Report, fingerprint: Fingerprint) -> Self {
         let leak = report
             .rows
             .iter()
             .find(|row| row.label == VERDICT_LABEL)
             .is_some_and(|row| row.unsafe_secret_accesses > 0);
-        Self { leak, report }
+        Self {
+            leak,
+            fingerprint,
+            report,
+        }
     }
 }
 
 /// The deterministic merged report of a batch scan: one
-/// [`ProgramVerdict`] per program, in panel order, under one panel.
+/// [`ProgramVerdict`] per program, in panel order, under one panel, with
+/// the [`BundleStamp`] placing the covered programs inside the full
+/// bundle.
 ///
 /// Equal panels over equal programs produce equal reports (`PartialEq`,
 /// and bit-identical [`BatchReport::to_json`]) regardless of sharding.
@@ -645,32 +857,130 @@ impl ProgramVerdict {
 pub struct BatchReport {
     /// The panel every program was analysed under.
     pub panel: PanelSpec,
+    /// The slice's place in the full bundle; `None` for unstamped reports
+    /// (hand-rolled worker shards), which merge without verification.
+    pub stamp: Option<BundleStamp>,
     /// Per-program results, in panel (bundle) order.
     pub programs: Vec<ProgramVerdict>,
 }
 
 impl BatchReport {
-    /// Concatenates shard reports in shard order into the bundle report.
+    /// Combines shard reports into the **complete** bundle report,
+    /// verifying — when the shards are stamped, which everything this
+    /// workspace emits is — that they are compatible slices of one bundle
+    /// and that together they cover it exactly.  This is the cross-machine
+    /// fan-in behind `specan merge`: it refuses to fabricate a "green"
+    /// merged artifact out of mismatched, overlapping or incomplete
+    /// slices.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BatchReport::merge_slices`] raises, plus
+    /// [`BatchError::IncompleteBundle`] when the (stamped) slices do not
+    /// cover the whole bundle.
+    pub fn merge(shards: impl IntoIterator<Item = BatchReport>) -> Result<Self, BatchError> {
+        let merged = Self::merge_slices(shards)?;
+        if let Some(stamp) = merged.stamp {
+            if stamp.start != 0 || merged.programs.len() != stamp.total {
+                return Err(BatchError::IncompleteBundle {
+                    covered: merged.programs.len(),
+                    total: stamp.total,
+                });
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Combines shard reports into one contiguous slice report — the
+    /// relaxed fan-in [`run_bundle_slice`] uses for one machine's share of
+    /// a `--shard K/N` matrix, where full coverage is someone else's job.
+    ///
+    /// Stamped inputs are sorted by their bundle position and verified:
+    /// same panel, same checksum and total, contiguous non-overlapping
+    /// coverage; when the result happens to cover the whole bundle, the
+    /// checksum is recomputed from the merged program fingerprints and
+    /// compared against the claim.  Unstamped inputs are concatenated in
+    /// input order, with only the panel and duplicate checks of old.
     ///
     /// # Errors
     ///
     /// Returns [`BatchError::Merge`] for an empty input,
-    /// [`BatchError::PanelMismatch`] when the shards disagree about the
-    /// panel, and [`BatchError::DuplicateProgram`] when two shards (or two
-    /// files within one) report the same program name.
-    pub fn merge(shards: impl IntoIterator<Item = BatchReport>) -> Result<Self, BatchError> {
-        let mut iter = shards.into_iter();
-        let first = iter.next().ok_or(BatchError::Merge(MergeError::Empty))?;
-        // Absorb every shard — the first included — through the duplicate
-        // check: a parsed foreign artifact may carry internal duplicates.
-        let mut merged = BatchReport {
-            panel: first.panel,
-            programs: Vec::new(),
-        };
-        for shard in std::iter::once(first).chain(iter) {
-            if shard.panel != merged.panel {
+    /// [`BatchError::PanelMismatch`]/[`BatchError::StampMismatch`] for
+    /// incompatible shards, [`BatchError::OverlappingShards`] when two
+    /// slices cover the same bundle position, a gap inside the supplied
+    /// slices as [`BatchError::IncompleteBundle`],
+    /// [`BatchError::ChecksumMismatch`] when a complete merge does not
+    /// reproduce the claimed checksum, and
+    /// [`BatchError::DuplicateProgram`] / duplicate-label
+    /// [`BatchError::Merge`] for ambiguous contents.
+    pub fn merge_slices(shards: impl IntoIterator<Item = BatchReport>) -> Result<Self, BatchError> {
+        let mut shards: Vec<BatchReport> = shards.into_iter().collect();
+        let first = shards.first().ok_or(BatchError::Merge(MergeError::Empty))?;
+        let panel = first.panel;
+        let reference = first.stamp;
+        for shard in &shards {
+            if shard.panel != panel {
                 return Err(BatchError::PanelMismatch);
             }
+            match (shard.stamp, reference) {
+                (Some(stamp), Some(reference))
+                    if stamp.checksum == reference.checksum && stamp.total == reference.total => {}
+                (None, None) => {}
+                _ => return Err(BatchError::StampMismatch),
+            }
+        }
+        let merged_stamp = match reference {
+            Some(reference) => {
+                // Slices in bundle order; verify they tile without overlap
+                // or gap.  (Empty slices are legal anywhere their start
+                // matches the running position.)
+                shards.sort_by_key(|shard| shard.stamp.expect("checked stamped").start);
+                let covered: usize = shards.iter().map(|shard| shard.programs.len()).sum();
+                // Program-free slices cover nothing, so they play no part
+                // in the tiling walk — wherever their start happens to sit
+                // relative to the populated slices (a legal empty slice of
+                // a small bundle can share a start with a populated one).
+                let start = shards
+                    .iter()
+                    .find(|shard| !shard.programs.is_empty())
+                    .map(|shard| shard.stamp.expect("checked stamped").start)
+                    .unwrap_or(0);
+                let mut position = start;
+                for shard in &shards {
+                    if shard.programs.is_empty() {
+                        continue;
+                    }
+                    let stamp = shard.stamp.expect("checked stamped");
+                    if stamp.start < position {
+                        return Err(BatchError::OverlappingShards { index: stamp.start });
+                    }
+                    if stamp.start > position {
+                        return Err(BatchError::IncompleteBundle {
+                            covered,
+                            total: reference.total,
+                        });
+                    }
+                    position += shard.programs.len();
+                }
+                if position > reference.total {
+                    return Err(BatchError::StampMismatch);
+                }
+                Some(BundleStamp {
+                    checksum: reference.checksum,
+                    total: reference.total,
+                    start,
+                })
+            }
+            None => None,
+        };
+        // Absorb every shard — the first included — through the duplicate
+        // checks: a parsed foreign artifact may carry internal duplicates.
+        let mut merged = BatchReport {
+            panel,
+            stamp: merged_stamp,
+            programs: Vec::new(),
+        };
+        for shard in shards {
             for verdict in shard.programs {
                 if merged
                     .programs
@@ -681,7 +991,28 @@ impl BatchReport {
                         name: verdict.report.program,
                     });
                 }
+                for (i, row) in verdict.report.rows.iter().enumerate() {
+                    if verdict.report.rows[..i]
+                        .iter()
+                        .any(|r| r.label == row.label)
+                    {
+                        return Err(BatchError::Merge(MergeError::DuplicateLabel {
+                            label: row.label.clone(),
+                        }));
+                    }
+                }
                 merged.programs.push(verdict);
+            }
+        }
+        if let Some(stamp) = merged.stamp {
+            if stamp.start == 0 && merged.programs.len() == stamp.total {
+                // A complete merge must reproduce the claimed checksum from
+                // the verdicts it actually absorbed.
+                let recomputed =
+                    panel_checksum(panel, merged.programs.iter().map(|p| p.fingerprint));
+                if recomputed != stamp.checksum {
+                    return Err(BatchError::ChecksumMismatch);
+                }
             }
         }
         Ok(merged)
@@ -703,6 +1034,9 @@ impl BatchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"panel\": {},\n", self.panel.to_json()));
+        if let Some(stamp) = self.stamp {
+            out.push_str(&format!("  \"bundle\": {},\n", stamp.to_json()));
+        }
         out.push_str(&format!("  \"leaks\": {},\n", self.leak_count()));
         out.push_str("  \"programs\": [\n");
         for (i, verdict) in self.programs.iter().enumerate() {
@@ -710,6 +1044,10 @@ impl BatchReport {
             out.push_str(&format!(
                 "      \"program\": {},\n",
                 json::string(&verdict.report.program)
+            ));
+            out.push_str(&format!(
+                "      \"fingerprint\": {},\n",
+                json::string(&verdict.fingerprint.to_hex())
             ));
             out.push_str(&format!("      \"leak\": {},\n", verdict.leak));
             out.push_str("      \"runs\": [\n");
@@ -765,6 +1103,10 @@ impl BatchReport {
                 .get("panel")
                 .ok_or_else(|| BatchError::malformed("report panel"))?,
         )?;
+        let stamp = value
+            .get("bundle")
+            .map(BundleStamp::from_json)
+            .transpose()?;
         let mut programs = Vec::new();
         for entry in value
             .get("programs")
@@ -776,6 +1118,11 @@ impl BatchReport {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| BatchError::malformed("program name"))?
                 .to_string();
+            let fingerprint = entry
+                .get("fingerprint")
+                .and_then(JsonValue::as_str)
+                .and_then(Fingerprint::from_hex)
+                .ok_or_else(|| BatchError::malformed("program fingerprint"))?;
             let leak = entry
                 .get("leak")
                 .and_then(JsonValue::as_bool)
@@ -790,6 +1137,7 @@ impl BatchReport {
             }
             programs.push(ProgramVerdict {
                 leak,
+                fingerprint,
                 report: Report {
                     program,
                     elapsed: None,
@@ -798,7 +1146,11 @@ impl BatchReport {
                 },
             });
         }
-        Ok(BatchReport { panel, programs })
+        Ok(BatchReport {
+            panel,
+            stamp,
+            programs,
+        })
     }
 }
 
@@ -977,8 +1329,19 @@ mod tests {
                 kind: PanelKind::Comparison,
                 cache_lines: 128,
             },
+            stamp: None,
         };
         assert_eq!(ShardSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // A stamped shard round-trips its bundle placement too.
+        let stamped = ShardSpec {
+            stamp: Some(BundleStamp {
+                checksum: Fingerprint(0xdead_beef),
+                total: 7,
+                start: 3,
+            }),
+            ..spec
+        };
+        assert_eq!(ShardSpec::from_json(&stamped.to_json()).unwrap(), stamped);
         assert!(ShardSpec::from_json("{\"programs\": 3}").is_err());
         assert!(ShardSpec::from_json("not json").is_err());
     }
@@ -1047,6 +1410,7 @@ mod tests {
         let shard = |range: std::ops::Range<usize>| ShardSpec {
             programs: scratch.files[range].to_vec(),
             panel: leak_panel(),
+            stamp: None,
         };
         let first = run_shard(&shard(0..2)).unwrap();
         let second = run_shard(&shard(2..3)).unwrap();
@@ -1089,6 +1453,7 @@ mod tests {
         let result = run_shard(&ShardSpec {
             programs: scratch.files.clone(),
             panel: leak_panel(),
+            stamp: None,
         });
         assert!(matches!(
             result,
@@ -1105,6 +1470,7 @@ mod tests {
                 kind: PanelKind::Comparison,
                 cache_lines: 8,
             },
+            stamp: None,
         })
         .unwrap();
         let json = report.to_json();
@@ -1136,8 +1502,14 @@ mod tests {
         };
         let report = BatchReport {
             panel: leak_panel(),
+            stamp: Some(BundleStamp {
+                checksum: Fingerprint(11),
+                total: 12,
+                start: 10,
+            }),
             programs: vec![ProgramVerdict {
                 leak: true,
+                fingerprint: Fingerprint(13),
                 report: Report {
                     program: "pinned".to_string(),
                     elapsed: None,
@@ -1168,6 +1540,144 @@ mod tests {
     }
 
     #[test]
+    fn stamped_slices_merge_back_to_the_unsharded_report() {
+        let scratch = Scratch::new(&[("a", "alpha"), ("b", "beta"), ("c", "gamma")]);
+        let full = run_bundle(&scratch.files, leak_panel(), 2, &ExecMode::InProcess).unwrap();
+        let stamp = full.stamp.expect("bundle runs are stamped");
+        assert_eq!((stamp.start, stamp.total), (0, 3));
+        let slice = |range: std::ops::Range<usize>| {
+            run_bundle_slice(&scratch.files, range, leak_panel(), 1, &ExecMode::InProcess).unwrap()
+        };
+        let first = slice(0..2);
+        let second = slice(2..3);
+        assert_eq!(first.stamp.unwrap().start, 0);
+        assert_eq!(second.stamp.unwrap().start, 2);
+        assert_eq!(second.stamp.unwrap().checksum, stamp.checksum);
+        // Order-independent fan-in, byte-identical to the unsharded run.
+        let merged = BatchReport::merge([second.clone(), first.clone()]).unwrap();
+        assert_eq!(merged, full);
+        assert_eq!(merged.to_json(), full.to_json());
+        // The same holds through the JSON artifacts a CI fleet exchanges.
+        let merged = BatchReport::merge([
+            BatchReport::from_json(&first.to_json()).unwrap(),
+            BatchReport::from_json(&second.to_json()).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(merged.to_json(), full.to_json());
+        // An empty slice (more machines than programs) merges in silently —
+        // wherever its start sits, including one shared with a populated
+        // slice (the sort may then place it between populated slices).
+        let empty = slice(3..3);
+        assert!(empty.programs.is_empty());
+        let merged = BatchReport::merge([empty, first.clone(), second.clone()]).unwrap();
+        assert_eq!(merged, full);
+        let zero_width = slice(0..0);
+        assert_eq!(zero_width.stamp.unwrap().start, 0);
+        let merged = BatchReport::merge([first, zero_width, second]).unwrap();
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_incomplete_and_mismatched_slices() {
+        let scratch = Scratch::new(&[("a", "alpha"), ("b", "beta"), ("c", "gamma")]);
+        let slice = |range: std::ops::Range<usize>| {
+            run_bundle_slice(&scratch.files, range, leak_panel(), 1, &ExecMode::InProcess).unwrap()
+        };
+        let first = slice(0..2);
+        let second = slice(2..3);
+
+        // The same slice twice covers bundle positions twice.
+        assert!(matches!(
+            BatchReport::merge([first.clone(), first.clone()]),
+            Err(BatchError::OverlappingShards { index: 0 })
+        ));
+        // A missing slice (a machine's artifact never arrived) is refused.
+        assert!(matches!(
+            BatchReport::merge([first.clone()]),
+            Err(BatchError::IncompleteBundle {
+                covered: 2,
+                total: 3
+            })
+        ));
+        // So is a gap *between* the supplied slices.
+        assert!(matches!(
+            BatchReport::merge([slice(0..1), second.clone()]),
+            Err(BatchError::IncompleteBundle {
+                covered: 2,
+                total: 3
+            })
+        ));
+        // A slice of a *different* bundle (one program structurally edited)
+        // cannot sneak in: its full-bundle checksum differs.  (Fingerprints
+        // are name-free, so the edit must be structural, not a rename.)
+        let other = Scratch::new(&[("a", "alpha"), ("b", "beta"), ("c", "gamma")]);
+        std::fs::write(
+            &other.files[2],
+            "program gamma\nregion t 64\nblock main entry:\n  load t[0]\n  load t[0]\n  ret\n",
+        )
+        .unwrap();
+        let foreign =
+            run_bundle_slice(&other.files, 2..3, leak_panel(), 1, &ExecMode::InProcess).unwrap();
+        assert!(matches!(
+            BatchReport::merge([first.clone(), foreign]),
+            Err(BatchError::StampMismatch)
+        ));
+        // Mixing stamped and unstamped reports is ambiguous, not legacy.
+        let mut unstamped = second.clone();
+        unstamped.stamp = None;
+        assert!(matches!(
+            BatchReport::merge([first.clone(), unstamped]),
+            Err(BatchError::StampMismatch)
+        ));
+        // Tampered contents under a matching stamp fail the recompute.
+        let mut tampered = second.clone();
+        tampered.programs[0].fingerprint = Fingerprint(0x1234);
+        assert!(matches!(
+            BatchReport::merge([first.clone(), tampered]),
+            Err(BatchError::ChecksumMismatch)
+        ));
+        // The honest pair still merges after all those rejections.
+        assert!(BatchReport::merge([first, second]).is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_labels_within_a_slice() {
+        let row = |label: &str| ReportRow {
+            label: label.to_string(),
+            accesses: 1,
+            must_hits: 1,
+            misses: 0,
+            speculative_misses: 0,
+            secret_accesses: 0,
+            unsafe_secret_accesses: 0,
+            speculated_branches: 0,
+            iterations: 1,
+            rounds: 1,
+            time: Duration::ZERO,
+        };
+        // A foreign artifact whose rows duplicate a configuration label is
+        // ambiguous — which "speculative" row is the verdict's?
+        let doubled = BatchReport {
+            panel: leak_panel(),
+            stamp: None,
+            programs: vec![ProgramVerdict {
+                leak: false,
+                fingerprint: Fingerprint(1),
+                report: Report {
+                    program: "dup".to_string(),
+                    elapsed: None,
+                    cache: None,
+                    rows: vec![row("speculative"), row("speculative")],
+                },
+            }],
+        };
+        assert!(matches!(
+            BatchReport::merge([doubled]),
+            Err(BatchError::Merge(MergeError::DuplicateLabel { label })) if label == "speculative"
+        ));
+    }
+
+    #[test]
     fn invalid_panels_and_unreadable_programs_error_cleanly() {
         let panel = PanelSpec {
             kind: PanelKind::LeakCheck,
@@ -1177,6 +1687,7 @@ mod tests {
         let missing = ShardSpec {
             programs: vec![PathBuf::from("/nonexistent/x.spec")],
             panel: leak_panel(),
+            stamp: None,
         };
         assert!(matches!(run_shard(&missing), Err(BatchError::Io { .. })));
         let scratch = Scratch::new(&[("ok", "ok")]);
@@ -1184,6 +1695,7 @@ mod tests {
         let bad = ShardSpec {
             programs: vec![scratch.dir.join("bad.spec")],
             panel: leak_panel(),
+            stamp: None,
         };
         assert!(matches!(run_shard(&bad), Err(BatchError::Parse { .. })));
     }

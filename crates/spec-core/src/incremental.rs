@@ -82,7 +82,10 @@ use spec_ir::fingerprint::{program_fingerprint, regions_fingerprint, Fingerprint
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 
-use crate::batch::{run_bundle, BatchError, BatchReport, ExecMode, PanelSpec, ProgramVerdict};
+use crate::batch::{
+    panel_checksum, run_bundle, BatchError, BatchReport, BundleStamp, ExecMode, PanelSpec,
+    ProgramVerdict,
+};
 use crate::json::{self, JsonValue};
 use crate::session::{Analyzer, CacheStats, PreparedProgram};
 
@@ -158,21 +161,87 @@ impl SessionCache {
     /// re-prepared, and its address maps are adopted from the previous
     /// session when the region table is structurally unchanged.
     pub fn update(&mut self, program: &Program) -> SessionUpdate {
+        self.update_inner(program, true)
+    }
+
+    /// First half of the two-phase resolve for lock-averse callers: the
+    /// warm session when the structural fingerprint matches the snapshot
+    /// (counted as a reuse), `None` otherwise.  On a miss the caller runs
+    /// the expensive [`Analyzer::prepare`] **outside** its lock and offers
+    /// the result back through [`SessionCache::install`] — the analysis
+    /// service's worker pool must not serialize every request behind one
+    /// cold preparation.
+    pub fn lookup_warm(&mut self, program: &Program) -> Option<Arc<PreparedProgram>> {
+        match self.entries.get(program.name()) {
+            Some(entry) if entry.fingerprint == program_fingerprint(program) => {
+                self.stats.reused += 1;
+                Some(entry.prepared.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Second half of the two-phase resolve: installs an externally
+    /// prepared session, replacing whatever the name currently maps to
+    /// (adopting the predecessor's address maps when the region table is
+    /// structurally unchanged, exactly like [`SessionCache::update`] — a
+    /// rename-only replacement qualifies trivially).  Every replacement
+    /// counts as an invalidation, renames included, so the counters show a
+    /// re-preparation happened even when the structural fingerprint did
+    /// not move.  Last-writer-wins by design: racing cold preparations of
+    /// one program produce interchangeable sessions, and the
+    /// name-sensitive service path relies on replacement to retire a
+    /// rebound entry whose *names* went stale.
+    pub fn install(&mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
+        let fingerprint = prepared.fingerprint();
+        let regions = regions_fingerprint(prepared.program().regions());
+        let name = prepared.program().name().to_string();
+        match self.entries.get_mut(&name) {
+            Some(entry) => {
+                self.stats.invalidated += 1;
+                if entry.regions == regions {
+                    self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
+                }
+                *entry = SessionEntry {
+                    fingerprint,
+                    regions,
+                    prepared: prepared.clone(),
+                };
+            }
+            None => {
+                self.stats.inserted += 1;
+                self.entries.insert(
+                    name,
+                    SessionEntry {
+                        fingerprint,
+                        regions,
+                        prepared: prepared.clone(),
+                    },
+                );
+            }
+        }
+        prepared
+    }
+
+    fn update_inner(&mut self, program: &Program, want_diff: bool) -> SessionUpdate {
         let fingerprint = program_fingerprint(program);
         let regions = regions_fingerprint(program.regions());
         let name = program.name().to_string();
+        let diff_against = |previous: &PreparedProgram| {
+            want_diff.then(|| ProgramDiff::between(previous.program(), program))
+        };
         match self.entries.get_mut(&name) {
             Some(entry) if entry.fingerprint == fingerprint => {
                 self.stats.reused += 1;
                 SessionUpdate {
                     prepared: entry.prepared.clone(),
                     reused: true,
-                    diff: Some(ProgramDiff::between(entry.prepared.program(), program)),
+                    diff: diff_against(&entry.prepared),
                 }
             }
             Some(entry) => {
                 self.stats.invalidated += 1;
-                let diff = ProgramDiff::between(entry.prepared.program(), program);
+                let diff = diff_against(&entry.prepared);
                 let prepared = Arc::new(self.analyzer.prepare(program));
                 if entry.regions == regions {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
@@ -185,7 +254,7 @@ impl SessionCache {
                 SessionUpdate {
                     prepared,
                     reused: false,
-                    diff: Some(diff),
+                    diff,
                 }
             }
             None => {
@@ -264,7 +333,9 @@ impl Default for SessionCache {
 /// fingerprint encoding or the file layout changes; a mismatch makes the
 /// loader fall back to a cold start (which is always sound — the session is
 /// a pure accelerator).
-const SESSION_FORMAT_VERSION: u64 = 1;
+///
+/// v2: [`BatchReport`] grew the bundle stamp and per-program fingerprints.
+const SESSION_FORMAT_VERSION: u64 = 2;
 
 const SCAN_SESSION_FILE: &str = "scan-session.json";
 
@@ -317,6 +388,11 @@ impl ScanSession {
         let mut entries = HashMap::new();
         for verdict in report.programs {
             if let Some(fingerprint) = fingerprints.get(&verdict.report.program) {
+                // A verdict whose own fingerprint disagrees with the keyed
+                // one is a corrupted pairing; dropping it just re-analyses.
+                if verdict.fingerprint != *fingerprint {
+                    continue;
+                }
                 entries.insert(verdict.report.program.clone(), (*fingerprint, verdict));
             }
         }
@@ -467,7 +543,10 @@ pub fn scan_bundle_incremental(
                     .is_some_and(|program| {
                         program.name() == name && program_fingerprint(&program) == *fp
                     });
-                if unchanged_on_disk && verdict.report.program == *name {
+                if unchanged_on_disk
+                    && verdict.report.program == *name
+                    && verdict.fingerprint == *fp
+                {
                     persist.push((name.clone(), *fp));
                 }
                 programs.push(verdict);
@@ -485,7 +564,18 @@ pub fn scan_bundle_incremental(
             }
         }
     }
-    let report = BatchReport { panel, programs };
+    // Stamp against the full bundle, exactly as a fresh `run_bundle` would:
+    // the checksum folds the fingerprint pass this scan already ran.
+    let stamp = BundleStamp {
+        checksum: panel_checksum(panel, bundle.iter().map(|(_, _, fp)| *fp)),
+        total: bundle.len(),
+        start: 0,
+    };
+    let report = BatchReport {
+        panel,
+        stamp: Some(stamp),
+        programs,
+    };
     let store_error = session.store(&report, &persist).err();
     Ok(ScanOutcome {
         report,
@@ -692,6 +782,45 @@ mod tests {
         let update = session.update(&grown.finish().unwrap());
         assert!(update.diff.unwrap().regions_changed);
         assert_eq!(session.stats().amaps_adopted, 1, "unchanged");
+    }
+
+    #[test]
+    fn two_phase_resolve_adopts_maps_and_counts_rename_installs() {
+        let mut session = SessionCache::new();
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+        let p = program("a", 0);
+        assert!(session.lookup_warm(&p).is_none(), "cold lookup misses");
+
+        let installed = session.install(Arc::new(Analyzer::new().prepare(&p)));
+        installed.run_suite(&configs); // builds the address map to adopt
+        assert!(session.lookup_warm(&p).is_some(), "installed entry is warm");
+
+        // A rename-only variant: same structural fingerprint, new names.
+        let mut renamed = ProgramBuilder::new("a");
+        let t = renamed.region("t_renamed", 256, false);
+        let k = renamed.secret_region("k_renamed", 8);
+        let entry = renamed.entry_block("entry");
+        renamed.load(entry, t, IndexExpr::Const(0));
+        renamed.load(entry, k, IndexExpr::Const(0));
+        renamed.ret(entry);
+        let renamed = renamed.finish().unwrap();
+        assert_eq!(program_fingerprint(&renamed), program_fingerprint(&p));
+
+        let fresh = Arc::new(Analyzer::new().prepare(&renamed));
+        let swapped = session.install(fresh.clone());
+        assert!(Arc::ptr_eq(&swapped, &fresh), "install is last-writer-wins");
+        let stats = session.stats();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(
+            stats.invalidated, 1,
+            "a same-fingerprint replacement still counts as an invalidation"
+        );
+        assert_eq!(stats.reused, 1, "one warm lookup");
+        assert_eq!(
+            stats.amaps_adopted, 1,
+            "the rename left the region table structurally unchanged"
+        );
+        assert_eq!(swapped.cache_stats().amap_adopted, 1);
     }
 
     static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);

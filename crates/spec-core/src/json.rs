@@ -8,6 +8,13 @@
 //! `specan worker` subprocesses — so a small recursive-descent parser,
 //! [`JsonValue::parse`], lives here too.  Numbers are kept as their raw
 //! source tokens so integer round-trips are lossless.
+//!
+//! Since the service layer ([`crate::service`]) feeds this parser straight
+//! from a TCP socket, it is hardened against adversarial input: documents
+//! are capped in size and nesting depth ([`ParseLimits`], tightenable per
+//! call with [`JsonValue::parse_with_limits`]), strings reject unescaped
+//! control characters and malformed `\u` escapes, and numbers are validated
+//! against the JSON grammar rather than whatever `f64::from_str` tolerates.
 
 /// Renders `s` as a quoted JSON string with the mandatory escapes.
 pub fn string(s: &str) -> String {
@@ -77,17 +84,65 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Bounds enforced while parsing a document — the defence against hostile
+/// or corrupted input now that documents arrive over sockets, not just from
+/// our own emitters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Documents larger than this many bytes are rejected before a single
+    /// byte is parsed (an attacker must not get O(input) work for free).
+    pub max_bytes: usize,
+    /// Containers nested deeper than this are rejected: recursion depth
+    /// must stay bounded so 100k repeated `[` yields a clean [`JsonError`]
+    /// instead of a stack overflow.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    /// 64 MiB / 128 levels: far beyond any report this workspace emits
+    /// (the formats nest four levels deep), well below anything dangerous.
+    fn default() -> Self {
+        Self {
+            max_bytes: 64 << 20,
+            max_depth: 128,
+        }
+    }
+}
+
 impl JsonValue {
-    /// Parses one JSON document, requiring it to span the whole input.
+    /// Parses one JSON document under the default [`ParseLimits`],
+    /// requiring it to span the whole input.
     ///
     /// # Errors
     ///
     /// Returns a [`JsonError`] locating the first offending byte.
     pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        Self::parse_with_limits(input, &ParseLimits::default())
+    }
+
+    /// Parses one JSON document under caller-chosen [`ParseLimits`] (the
+    /// service layer tightens the size cap to its per-request budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first offending byte; an
+    /// over-sized document fails at offset 0 without being scanned.
+    pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<JsonValue, JsonError> {
+        if input.len() > limits.max_bytes {
+            return Err(JsonError {
+                offset: 0,
+                message: format!(
+                    "document of {} bytes exceeds the {}-byte cap",
+                    input.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let mut parser = JsonParser {
             bytes: input.as_bytes(),
             pos: 0,
             depth: 0,
+            max_depth: limits.max_depth,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -147,16 +202,11 @@ impl JsonValue {
     }
 }
 
-/// Containers nested deeper than this are rejected: recursion depth must
-/// stay bounded so a corrupted or hostile document (e.g. 100k repeated
-/// `[`) yields a clean [`JsonError`] instead of a stack overflow.  The
-/// report formats nest four levels deep; 128 is beyond anything legitimate.
-const MAX_NESTING_DEPTH: usize = 128;
-
 struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    max_depth: usize,
 }
 
 impl JsonParser<'_> {
@@ -196,8 +246,8 @@ impl JsonParser<'_> {
     }
 
     fn value(&mut self) -> Result<JsonValue, JsonError> {
-        if self.depth > MAX_NESTING_DEPTH {
-            return Err(self.err(format!("nesting exceeds {MAX_NESTING_DEPTH} levels")));
+        if self.depth > self.max_depth {
+            return Err(self.err(format!("nesting exceeds {} levels", self.max_depth)));
         }
         match self.peek() {
             Some(b'{') => self.object(),
@@ -323,13 +373,20 @@ impl JsonParser<'_> {
                         }
                     }
                 }
+                // The grammar requires control characters to travel escaped;
+                // a raw one here is a truncated or tampered document (our
+                // own emitter always escapes them).
+                Some(c) if c < 0x20 => {
+                    return Err(self.err(format!("unescaped control character 0x{c:02x} in string")))
+                }
                 Some(_) => {
                     // Copy the whole contiguous unescaped span in one step.
-                    // The span ends at `"` or `\` — both ASCII, which never
-                    // occur inside a multi-byte sequence — so slicing the
-                    // original &str input there stays on char boundaries.
+                    // The span ends at `"`, `\` or a control byte — all
+                    // ASCII, which never occur inside a multi-byte sequence
+                    // — so slicing the original &str input there stays on
+                    // char boundaries.
                     let start = self.pos;
-                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\' | 0x00..=0x1f)) {
                         self.pos += 1;
                     }
                     let span = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -341,14 +398,17 @@ impl JsonParser<'_> {
     }
 
     /// Consumes the four hex digits of a `\u` escape (the `\u` itself is
-    /// already consumed) and returns the code unit.
+    /// already consumed) and returns the code unit.  Exactly four ASCII hex
+    /// digits are accepted — `from_str_radix` alone would also take a
+    /// leading sign (`\u+12f`), which the grammar forbids.
     fn hex_escape(&mut self) -> Result<u32, JsonError> {
         let hex = self
             .bytes
             .get(self.pos..self.pos + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
             .and_then(|h| std::str::from_utf8(h).ok())
-            .ok_or_else(|| self.err("truncated \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("malformed \\u escape"))?;
+            .ok_or_else(|| self.err("truncated or malformed \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).expect("four hex digits fit a u32");
         self.pos += 4;
         Ok(code)
     }
@@ -367,11 +427,54 @@ impl JsonParser<'_> {
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number token is ASCII")
             .to_string();
-        if raw.parse::<f64>().is_err() {
+        if !valid_json_number(&raw) {
             return Err(self.err(format!("malformed number `{raw}`")));
         }
         Ok(JsonValue::Number(raw))
     }
+}
+
+/// Validates a number token against the JSON grammar:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.  `f64::from_str` is
+/// far laxer (it accepts `01`, `1.`, `.5`), and raw tokens are preserved
+/// for lossless round-trips, so the grammar has to be enforced here.
+fn valid_json_number(raw: &str) -> bool {
+    let bytes = raw.as_bytes();
+    let mut i = usize::from(bytes.first() == Some(&b'-'));
+    // Integer part: `0` alone, or a non-zero digit followed by digits.
+    match bytes.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    // Optional fraction: `.` followed by at least one digit.
+    if bytes.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    // Optional exponent: `e`/`E`, optional sign, at least one digit.
+    if matches!(bytes.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == bytes.len()
 }
 
 #[cfg(test)]
@@ -463,6 +566,74 @@ mod tests {
         // Legitimate nesting well past the report formats still parses.
         let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
         assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn size_cap_rejects_oversized_documents_without_scanning() {
+        let tight = ParseLimits {
+            max_bytes: 8,
+            max_depth: 128,
+        };
+        assert!(JsonValue::parse_with_limits("[1, 2]", &tight).is_ok());
+        let err = JsonValue::parse_with_limits("[1, 2, 3]", &tight).unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.message.contains("cap"), "{err}");
+        // The default cap is generous enough for real reports.
+        assert!(JsonValue::parse("[1, 2, 3]").is_ok());
+    }
+
+    #[test]
+    fn depth_limit_is_tightenable_per_call() {
+        let shallow = ParseLimits {
+            max_bytes: 1 << 20,
+            max_depth: 2,
+        };
+        assert!(JsonValue::parse_with_limits("[[1]]", &shallow).is_ok());
+        assert!(JsonValue::parse_with_limits("[[[1]]]", &shallow).is_err());
+    }
+
+    #[test]
+    fn unescaped_control_characters_are_rejected() {
+        assert!(JsonValue::parse("\"a\nb\"").is_err());
+        assert!(JsonValue::parse("\"a\tb\"").is_err());
+        assert!(JsonValue::parse("\"a\u{1}b\"").is_err());
+        // The escaped forms keep working (and round-trip via `string`).
+        assert_eq!(
+            JsonValue::parse(r#""a\nb""#).unwrap().as_str(),
+            Some("a\nb")
+        );
+        let escaped = string("a\n\u{1}b");
+        assert_eq!(
+            JsonValue::parse(&escaped).unwrap().as_str(),
+            Some("a\n\u{1}b")
+        );
+    }
+
+    #[test]
+    fn signed_hex_escapes_are_rejected() {
+        // `u32::from_str_radix` alone tolerates a leading sign; the JSON
+        // grammar requires exactly four hex digits.
+        assert!(JsonValue::parse(r#""\u+12f""#).is_err());
+        assert!(JsonValue::parse(r#""\u-12f""#).is_err());
+        assert!(JsonValue::parse(r#""\u12""#).is_err());
+        assert!(JsonValue::parse(r#""\u12g4""#).is_err());
+        // Uppercase hex digits stay legal (the escaped form, so this
+        // actually exercises hex_escape, not the plain-span copy path).
+        assert_eq!(
+            JsonValue::parse("\"A\\uFFFD\"").unwrap().as_str(),
+            Some("A\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn numbers_follow_the_json_grammar_not_f64_from_str() {
+        // All of these parse as f64 but are not JSON numbers.
+        for bad in ["01", "1.", "-01", "1.e3", "1e", "1e+", "-"] {
+            assert!(JsonValue::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        for good in ["0", "-0", "10", "0.5", "-1.25e-3", "2E+8", "1e9"] {
+            assert!(JsonValue::parse(good).is_ok(), "`{good}` must parse");
+        }
     }
 
     #[test]

@@ -80,11 +80,12 @@ mod engine;
 pub mod incremental;
 pub mod json;
 pub mod options;
+pub mod service;
 pub mod session;
 pub mod state;
 
 pub use analysis::CacheAnalysis;
-pub use batch::{BatchError, BatchReport, ExecMode, PanelKind, PanelSpec, ShardSpec};
+pub use batch::{BatchError, BatchReport, BundleStamp, ExecMode, PanelKind, PanelSpec, ShardSpec};
 pub use classify::{AccessInfo, AnalysisResult};
 pub use incremental::{ScanOutcome, ScanSession, SessionCache, SessionStats, SessionUpdate};
 pub use options::{AnalysisOptions, AnalysisOptionsBuilder, OptionsError};

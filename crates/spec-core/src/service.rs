@@ -1,0 +1,1221 @@
+//! A long-running analysis service with warm incremental sessions.
+//!
+//! The analysis is cheap to *query* but expensive to *prepare* (unrolling,
+//! VCFG construction, fixpoint rounds), and the session layers built the
+//! machinery — [`PreparedProgram`], [`SessionCache`], fingerprint-keyed
+//! invalidation — that a persistent process can amortize across thousands
+//! of requests, the way IDE-style inspection services do.  This module is
+//! that process: `specan serve` speaks the protocol below over TCP, and
+//! `specan submit` (or any client — the protocol is a few lines of JSON)
+//! scripts against it.
+//!
+//! # Protocol
+//!
+//! Newline-delimited JSON over TCP, std-only, zero new dependencies: each
+//! request is one line, each response is one line, and a connection may
+//! pipeline as many requests as it likes.  Responses carry the request's
+//! `id` and may arrive out of order (requests are scheduled onto a fixed
+//! worker pool); clients reorder by `id`.
+//!
+//! ```text
+//! → {"v": 1, "id": 0, "cmd": "analyze", "program": "<.spec source>",
+//!    "cache_lines": 8, "json": true, "baseline": false, "shadow": true,
+//!    "merge_at_rollback": false, "unroll": true}
+//! → {"v": 1, "id": 1, "cmd": "compare", "program": "<.spec source>",
+//!    "cache_lines": 8, "json": true}
+//! → {"v": 1, "id": 2, "cmd": "scan", "panel": {"kind": "leak-check",
+//!    "cache_lines": 8}, "json": true, "programs": ["<src>", "<src>"]}
+//! → {"v": 1, "id": 3, "cmd": "status"}
+//! → {"v": 1, "id": 4, "cmd": "shutdown"}
+//! ← {"id": 0, "ok": true, "exit": 0, "output": "<rendered output>"}
+//! ← {"id": 9, "ok": false, "exit": 2, "error": "<message>"}
+//! ```
+//!
+//! `output` is **exactly** what the equivalent one-shot CLI invocation
+//! prints to stdout, and `exit` is the code it would exit with — the
+//! render functions in this module ([`analyze_output`],
+//! [`compare_output`], [`scan_output`]) are shared by the CLI and the
+//! server, so the equivalence is by construction, not by parallel
+//! maintenance.  Once the execution-describing fields are stripped (wall
+//! clocks and session-cache counters; scan reports carry neither), a warm
+//! server response is **byte-identical** to a fresh CLI run — the
+//! `service_equivalence` property suite and the CI `service-gate` job hold
+//! that line.
+//!
+//! # Scheduling and warmth
+//!
+//! Requests from every connection are queued onto one fixed pool of
+//! `jobs` workers (scoped threads).  Each worker resolves programs through
+//! a shared [`SessionCache`], so a re-submitted program — identified by
+//! name, invalidated by structural fingerprint — reuses its warm
+//! [`PreparedProgram`] exactly as `--incremental` reuses on-disk sessions:
+//! every memoized unroll variant, address map, VCFG and fixpoint round
+//! survives across requests, and an edit re-prepares only the program it
+//! touched.  `status` and `shutdown` are answered inline by the connection
+//! reader (they must stay responsive while the pool is busy).
+//!
+//! Hostile input cannot wedge the server: request lines are capped
+//! ([`ServiceConfig::max_request_bytes`]) while being read, and documents
+//! go through the hardened [`crate::json`] parser (size, depth, escape
+//! validation).
+
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use spec_cache::CacheConfig;
+use spec_ir::text::parse_program;
+use spec_ir::Program;
+use spec_vcfg::MergeStrategy;
+
+use crate::batch::{panel_checksum, BatchReport, BundleStamp, PanelSpec, ProgramVerdict};
+use crate::classify::AnalysisResult;
+use crate::incremental::SessionCache;
+use crate::json::{self, JsonValue, ParseLimits};
+use crate::options::AnalysisOptions;
+use crate::session::{comparison_configs, Analyzer, PreparedProgram, Report};
+
+/// Version tag of the request/response protocol; requests carrying a
+/// different `v` are rejected up front.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default `host:port` of `specan serve` / `specan submit`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4870";
+
+/// The configuration knobs of one `analyze` request — the service-layer
+/// mirror of the CLI's `analyze` flags, shared so the two render the same
+/// bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalyzeConfig {
+    /// Cache size in 64-byte lines (fully associative, the paper's model).
+    pub cache_lines: usize,
+    /// Render machine-readable JSON instead of the human text report.
+    pub json: bool,
+    /// Run the non-speculative baseline instead of the full analysis.
+    pub baseline: bool,
+    /// Keep shadow-variable join refinement on.
+    pub shadow: bool,
+    /// Merge speculative paths at rollback instead of at decode.
+    pub merge_at_rollback: bool,
+    /// Unroll counted loops before the analysis.
+    pub unroll: bool,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        Self {
+            cache_lines: 512,
+            json: false,
+            baseline: false,
+            shadow: true,
+            merge_at_rollback: false,
+            unroll: true,
+        }
+    }
+}
+
+impl AnalyzeConfig {
+    /// Builds the validated [`AnalysisOptions`] these knobs describe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's message for inconsistent configurations
+    /// (e.g. a zero-line cache).
+    pub fn options(&self) -> Result<AnalysisOptions, String> {
+        let mut builder = AnalysisOptions::builder()
+            .cache(CacheConfig::fully_associative(self.cache_lines, 64))
+            .speculative(!self.baseline)
+            .shadow(self.shadow)
+            .unroll_loops(self.unroll);
+        if self.merge_at_rollback {
+            builder = builder.merge_strategy(MergeStrategy::MergeAtRollback);
+        }
+        builder
+            .build()
+            .map_err(|err| format!("invalid configuration: {err}"))
+    }
+
+    /// The row label of the configuration (`baseline` / `speculative`).
+    pub fn label(&self) -> &'static str {
+        if self.baseline {
+            "baseline"
+        } else {
+            "speculative"
+        }
+    }
+}
+
+/// The banner line of human-readable single-program output.
+pub fn banner(program: &Program, cache_lines: usize) -> String {
+    format!(
+        "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
+        program.name(),
+        program.blocks().len(),
+        program.instruction_count(),
+        program.branch_count(),
+        cache_lines
+    )
+}
+
+/// Re-indents a nested JSON blob by two spaces (cosmetic only).
+fn indent_json(json: &str) -> String {
+    json.replace('\n', "\n  ")
+}
+
+/// Per-access JSON array for `analyze --json`.
+fn accesses_json(result: &AnalysisResult) -> String {
+    let mut out = String::from("[\n");
+    let accesses = result.accesses();
+    for (i, access) in accesses.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"block\": {}, ",
+            json::string(&result.program.block(access.block).label())
+        ));
+        out.push_str(&format!(
+            "\"region\": {}, ",
+            json::string(&access.region_name)
+        ));
+        out.push_str(&format!("\"inst_index\": {}, ", access.inst_index));
+        out.push_str(&format!("\"observable_hit\": {}, ", access.observable_hit));
+        out.push_str(&format!(
+            "\"speculative_miss\": {}, ",
+            access.is_speculative_miss()
+        ));
+        out.push_str(&format!(
+            "\"secret_dependent\": {}",
+            access.secret_dependent
+        ));
+        out.push_str(if i + 1 == accesses.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Runs one `analyze` configuration against a prepared session and renders
+/// the output the CLI prints — text or JSON per [`AnalyzeConfig::json`].
+/// One render path serves `specan analyze` and the server, which is what
+/// makes warm service responses byte-identical (post timing-strip) to
+/// one-shot runs.
+///
+/// # Errors
+///
+/// Returns the message of an invalid configuration.
+pub fn analyze_output(
+    prepared: &PreparedProgram,
+    config: &AnalyzeConfig,
+) -> Result<String, String> {
+    let options = config.options()?;
+    let program = prepared.program();
+    let result = prepared.run(&options);
+    // The leak verdict, derived the same way `spec_analysis::detect_leaks`
+    // derives it: a secret-indexed access leaks unless it is a must-hit
+    // that also never misses during squashed speculation.
+    let secret_accesses = result.secret_accesses().count();
+    let findings = result
+        .secret_accesses()
+        .filter(|access| !access.observable_hit || access.is_speculative_miss())
+        .count();
+    let leak_detected = findings > 0;
+    if config.json {
+        let report = Report::from_runs(program.name(), [(config.label(), &result)]);
+        // Wrap the summary row together with the per-access detail.
+        return Ok(format!(
+            "{{\n  \"summary\": {},\n  \"leak_detected\": {},\n  \"accesses\": {}\n}}",
+            indent_json(&report.to_json()),
+            leak_detected,
+            accesses_json(&result)
+        ));
+    }
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", banner(program, config.cache_lines));
+    let _ = writeln!(
+        out,
+        "== {} analysis of `{}` ==",
+        config.label(),
+        program.name()
+    );
+    let _ = writeln!(
+        out,
+        "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
+        result.access_count(),
+        result.must_hit_count(),
+        result.miss_count(),
+        result.speculative_miss_count()
+    );
+    let _ = writeln!(
+        out,
+        "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
+        result.speculated_branches,
+        result.iterations(),
+        result.elapsed.as_secs_f64()
+    );
+    for access in result.accesses() {
+        if access.observable_hit && !access.is_speculative_miss() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:>10}  {:<20} {}{}",
+            result.program.block(access.block).label(),
+            format!("{}[#{}]", access.region_name, access.inst_index),
+            if access.observable_hit {
+                "hit, but may miss speculatively"
+            } else {
+                "may miss"
+            },
+            if access.secret_dependent {
+                "  [secret-indexed]"
+            } else {
+                ""
+            }
+        );
+    }
+    if secret_accesses == 0 {
+        let _ = writeln!(
+            out,
+            "  no secret-indexed accesses: side-channel check not applicable"
+        );
+    } else if leak_detected {
+        let _ = writeln!(
+            out,
+            "  LEAK: {findings} of {secret_accesses} secret-indexed accesses may show secret-dependent timing"
+        );
+    } else {
+        let _ = writeln!(out, "  no cache side-channel leak detected");
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// Runs the standard comparison panel against a prepared session and
+/// renders single-program `compare` output — shared by the CLI and the
+/// server.
+///
+/// # Errors
+///
+/// Returns the message of a degenerate cache geometry.
+pub fn compare_output(
+    prepared: &PreparedProgram,
+    cache_lines: usize,
+    render_json: bool,
+) -> Result<String, String> {
+    let cache = CacheConfig::fully_associative(cache_lines, 64);
+    // Reject degenerate geometries with a usage error before the panel's
+    // presets (which assume a valid cache) are built.
+    AnalysisOptions::builder()
+        .cache(cache)
+        .build()
+        .map_err(|err| format!("invalid configuration: {err}"))?;
+    let suite = prepared.run_suite(&comparison_configs(cache));
+    let report = suite.report();
+    Ok(if render_json {
+        report.to_json()
+    } else {
+        format!(
+            "{}\n{}",
+            banner(prepared.program(), cache_lines),
+            report.to_string().trim_end()
+        )
+    })
+}
+
+/// Renders a scan report exactly as `specan scan` prints it.
+pub fn scan_output(report: &BatchReport, render_json: bool) -> String {
+    if render_json {
+        report.to_json()
+    } else {
+        report.to_string().trim_end().to_string()
+    }
+}
+
+/// One request of the service protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// One `specan analyze` unit: a program source and its knobs.
+    Analyze {
+        /// The `.spec` source text.
+        source: String,
+        /// The configuration knobs.
+        config: AnalyzeConfig,
+    },
+    /// One single-program `specan compare` run.
+    Compare {
+        /// The `.spec` source text.
+        source: String,
+        /// Cache size in 64-byte lines.
+        cache_lines: usize,
+        /// Render JSON instead of the table.
+        json: bool,
+    },
+    /// A bundle scan over inline sources, in bundle order.
+    Scan {
+        /// The `.spec` sources, in bundle order.
+        sources: Vec<String>,
+        /// The panel to run every program under.
+        panel: PanelSpec,
+        /// Render JSON instead of the table.
+        json: bool,
+    },
+    /// Service introspection: counters and session warmth.
+    Status,
+    /// Stop accepting connections and drain the worker pool.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as one protocol line (no trailing newline).
+    pub fn to_json(&self, id: u64) -> String {
+        let head = format!("{{\"v\": {PROTOCOL_VERSION}, \"id\": {id}");
+        match self {
+            Request::Analyze { source, config } => format!(
+                "{head}, \"cmd\": \"analyze\", \"cache_lines\": {}, \"json\": {}, \
+                 \"baseline\": {}, \"shadow\": {}, \"merge_at_rollback\": {}, \
+                 \"unroll\": {}, \"program\": {}}}",
+                config.cache_lines,
+                config.json,
+                config.baseline,
+                config.shadow,
+                config.merge_at_rollback,
+                config.unroll,
+                json::string(source)
+            ),
+            Request::Compare {
+                source,
+                cache_lines,
+                json: render_json,
+            } => format!(
+                "{head}, \"cmd\": \"compare\", \"cache_lines\": {cache_lines}, \
+                 \"json\": {render_json}, \"program\": {}}}",
+                json::string(source)
+            ),
+            Request::Scan {
+                sources,
+                panel,
+                json: render_json,
+            } => {
+                let mut out = format!(
+                    "{head}, \"cmd\": \"scan\", \"panel\": {}, \"json\": {render_json}, \
+                     \"programs\": [",
+                    panel.to_json()
+                );
+                for (i, source) in sources.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json::string(source));
+                }
+                out.push_str("]}");
+                out
+            }
+            Request::Status => format!("{head}, \"cmd\": \"status\"}}"),
+            Request::Shutdown => format!("{head}, \"cmd\": \"shutdown\"}}"),
+        }
+    }
+
+    /// Parses one protocol line into `(id, request)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an error response: invalid JSON, an
+    /// unsupported protocol version, or a malformed request shape.
+    pub fn from_json(line: &str, limits: &ParseLimits) -> Result<(Option<u64>, Request), String> {
+        let value = JsonValue::parse_with_limits(line, limits).map_err(|err| err.to_string())?;
+        let id = value.get("id").and_then(JsonValue::as_u64);
+        if let Some(version) = value.get("v").and_then(JsonValue::as_u64) {
+            if version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+                ));
+            }
+        }
+        let cmd = value
+            .get("cmd")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `cmd`")?;
+        let flag = |key: &str, default: bool| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(default)
+        };
+        let cache_lines = || {
+            value
+                .get("cache_lines")
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("malformed `cache_lines`")
+                })
+                .unwrap_or(Ok(512))
+        };
+        let source = || {
+            value
+                .get("program")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or("missing `program` source")
+        };
+        let request = match cmd {
+            "analyze" => Request::Analyze {
+                source: source()?,
+                config: AnalyzeConfig {
+                    cache_lines: cache_lines()?,
+                    json: flag("json", false),
+                    baseline: flag("baseline", false),
+                    shadow: flag("shadow", true),
+                    merge_at_rollback: flag("merge_at_rollback", false),
+                    unroll: flag("unroll", true),
+                },
+            },
+            "compare" => Request::Compare {
+                source: source()?,
+                cache_lines: cache_lines()?,
+                json: flag("json", false),
+            },
+            "scan" => {
+                let panel = PanelSpec::from_json(value.get("panel").ok_or("missing `panel`")?)
+                    .map_err(|err| err.to_string())?;
+                let sources = value
+                    .get("programs")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing `programs` array")?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or("malformed program source")
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Request::Scan {
+                    sources,
+                    panel,
+                    json: flag("json", false),
+                }
+            }
+            "status" => Request::Status,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        Ok((id, request))
+    }
+}
+
+/// One response of the service protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request's `id`, echoed back (absent when the request had none
+    /// or was too malformed to carry one).
+    pub id: Option<u64>,
+    /// Whether the request executed.
+    pub ok: bool,
+    /// The exit code the equivalent one-shot CLI run would end with
+    /// (`0` clean, `1` leak for `scan`, `2` error).
+    pub exit: u8,
+    /// On success: exactly the bytes the CLI prints to stdout.
+    pub output: String,
+    /// On failure: the error message.
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn success(id: Option<u64>, exit: u8, output: String) -> Self {
+        Self {
+            id,
+            ok: true,
+            exit,
+            output,
+            error: None,
+        }
+    }
+
+    fn failure(id: Option<u64>, message: String) -> Self {
+        Self {
+            id,
+            ok: false,
+            exit: 2,
+            output: String::new(),
+            error: Some(message),
+        }
+    }
+
+    /// Serializes the response as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(id) = self.id {
+            out.push_str(&format!("\"id\": {id}, "));
+        }
+        out.push_str(&format!("\"ok\": {}, \"exit\": {}", self.ok, self.exit));
+        if let Some(error) = &self.error {
+            out.push_str(&format!(", \"error\": {}", json::string(error)));
+        } else {
+            out.push_str(&format!(", \"output\": {}", json::string(&self.output)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one protocol line back into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not a valid response document.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(line).map_err(|err| err.to_string())?;
+        let ok = value
+            .get("ok")
+            .and_then(JsonValue::as_bool)
+            .ok_or("missing `ok`")?;
+        let exit = value
+            .get("exit")
+            .and_then(JsonValue::as_u64)
+            .and_then(|code| u8::try_from(code).ok())
+            .ok_or("missing `exit`")?;
+        Ok(Response {
+            id: value.get("id").and_then(JsonValue::as_u64),
+            ok,
+            exit,
+            output: value
+                .get("output")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            error: value
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// Server tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Fixed worker-pool size (the request-level parallelism).
+    pub jobs: NonZeroUsize,
+    /// Per-request line cap; longer lines close the connection with an
+    /// error response instead of buffering without bound.
+    pub max_request_bytes: usize,
+    /// LRU bound on every prepared variant's fixpoint-round cache — a
+    /// long-lived server must not grow without limit.  Eviction never
+    /// changes results.
+    pub round_cache_capacity: NonZeroUsize,
+}
+
+impl ServiceConfig {
+    /// A config with `jobs` workers and default caps (8 MiB requests,
+    /// 256-round caches).
+    pub fn new(jobs: NonZeroUsize) -> Self {
+        Self {
+            jobs,
+            max_request_bytes: 8 << 20,
+            round_cache_capacity: NonZeroUsize::new(256).expect("nonzero"),
+        }
+    }
+}
+
+/// Lifetime counters of one [`serve`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Requests parsed (including `status`/`shutdown`).
+    pub requests: u64,
+    /// Requests that failed (parse or execution).
+    pub errors: u64,
+}
+
+struct ServerState {
+    cache: Mutex<SessionCache>,
+    /// The analyzer cold preparations run under — outside the cache lock,
+    /// so one expensive prepare never serializes the whole worker pool.
+    analyzer: Analyzer,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    jobs: usize,
+    limits: ParseLimits,
+    addr: SocketAddr,
+}
+
+struct Job {
+    id: Option<u64>,
+    request: Request,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// Runs the analysis service on `listener` until a `shutdown` request
+/// arrives, then drains the worker pool and returns the lifetime counters.
+///
+/// Every connection gets a reader thread; work requests are queued onto
+/// `config.jobs` pool workers sharing one warm [`SessionCache`].  One
+/// `serve: <cmd> ...` line per request goes to stderr — the server's
+/// accounting log, and the CI gate's evidence of warm reuse.
+///
+/// # Errors
+///
+/// Propagates listener-level I/O errors; per-connection failures only
+/// close that connection.
+pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<ServiceReport> {
+    let addr = listener.local_addr()?;
+    let analyzer = Analyzer::new()
+        .max_suite_threads(NonZeroUsize::MIN)
+        .round_cache_capacity(config.round_cache_capacity);
+    let state = ServerState {
+        cache: Mutex::new(SessionCache::with_analyzer(analyzer.clone())),
+        analyzer,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        jobs: config.jobs.get(),
+        limits: ParseLimits {
+            max_bytes: config.max_request_bytes,
+            ..ParseLimits::default()
+        },
+        addr,
+    };
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        let rx = &rx;
+        let state = &state;
+        for _ in 0..state.jobs {
+            scope.spawn(move || worker_loop(rx, state));
+        }
+        loop {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(err) => {
+                    // Transient by assumption: ECONNABORTED (peer reset
+                    // mid-handshake) and EMFILE (fd pressure) both clear on
+                    // their own, and a long-running service must outlive
+                    // them.  The pause stops an error storm from spinning;
+                    // the loop re-checks the shutdown flag either way.
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        eprintln!("serve: accept error (retrying): {err}");
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    continue;
+                }
+            };
+            if state.shutdown.load(Ordering::SeqCst) {
+                // The wake-up connection of the shutdown path.
+                break;
+            }
+            let tx = tx.clone();
+            scope.spawn(move || connection_loop(stream, tx, state));
+        }
+        // Dropping the accept loop's sender lets the pool drain and exit
+        // once the connection readers (each holding a clone) finish.
+        drop(tx);
+    });
+    Ok(ServiceReport {
+        requests: state.requests.load(Ordering::Relaxed),
+        errors: state.errors.load(Ordering::Relaxed),
+    })
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("job queue poisoned");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // every sender is gone: drained
+            }
+        };
+        let response = match execute(&job.request, state) {
+            Ok((exit, output)) => Response::success(job.id, exit, output),
+            Err(message) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                Response::failure(job.id, message)
+            }
+        };
+        write_response(&job.out, &response);
+    }
+}
+
+/// Executes one queued request and returns `(exit code, output)`.
+fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), String> {
+    match request {
+        Request::Analyze { source, config } => {
+            // Validate the configuration before the program enters the
+            // cache: a bad request must not leave side effects.
+            config.options()?;
+            let (prepared, how) = resolve_session(source, state, true)?;
+            eprintln!("serve: analyze `{}` ({how})", prepared.program().name());
+            Ok((0, analyze_output(&prepared, config)?))
+        }
+        Request::Compare {
+            source,
+            cache_lines,
+            json: render_json,
+        } => {
+            AnalysisOptions::builder()
+                .cache(CacheConfig::fully_associative(*cache_lines, 64))
+                .build()
+                .map_err(|err| format!("invalid configuration: {err}"))?;
+            let (prepared, how) = resolve_session(source, state, false)?;
+            eprintln!("serve: compare `{}` ({how})", prepared.program().name());
+            Ok((0, compare_output(&prepared, *cache_lines, *render_json)?))
+        }
+        Request::Scan {
+            sources,
+            panel,
+            json: render_json,
+        } => {
+            let configs = panel.configs().map_err(|err| err.to_string())?;
+            if sources.is_empty() {
+                return Err("no programs in scan request".to_string());
+            }
+            // Resolve (and, cold, prepare) every program in bundle order,
+            // then fan the per-program suites out across scoped threads —
+            // one pool worker owns the request, but the bundle itself runs
+            // `jobs`-wide, matching what `specan scan` does locally.  The
+            // transient oversubscription is bounded by `jobs` extra
+            // threads per in-flight scan, and determinism is untouched:
+            // verdicts are collected in bundle order.
+            let mut sessions = Vec::with_capacity(sources.len());
+            let mut warm = 0usize;
+            for source in sources {
+                let (prepared, how) = resolve_session(source, state, false)?;
+                if sessions.iter().any(|other: &Arc<PreparedProgram>| {
+                    other.program().name() == prepared.program().name()
+                }) {
+                    return Err(format!(
+                        "program `{}` appears more than once in the bundle",
+                        prepared.program().name()
+                    ));
+                }
+                warm += usize::from(how == "warm");
+                sessions.push(prepared);
+            }
+            eprintln!("serve: scan {} program(s) ({} warm)", sessions.len(), warm);
+            let threads = state.jobs.min(sessions.len()).max(1);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<ProgramVerdict>>> =
+                Mutex::new(sessions.iter().map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(prepared) = sessions.get(index) else {
+                            break;
+                        };
+                        let report = prepared.run_suite(&configs).report().without_timing();
+                        let verdict = ProgramVerdict::from_report(report, prepared.fingerprint());
+                        slots.lock().expect("scan slots poisoned")[index] = Some(verdict);
+                    });
+                }
+            });
+            let programs: Vec<ProgramVerdict> = slots
+                .into_inner()
+                .expect("scan slots poisoned")
+                .into_iter()
+                .map(|slot| slot.expect("every program was scanned"))
+                .collect();
+            let stamp = BundleStamp {
+                checksum: panel_checksum(*panel, programs.iter().map(|p| p.fingerprint)),
+                total: programs.len(),
+                start: 0,
+            };
+            let report = BatchReport {
+                panel: *panel,
+                stamp: Some(stamp),
+                programs,
+            };
+            let exit = u8::from(report.any_leak());
+            Ok((exit, scan_output(&report, *render_json)))
+        }
+        // Handled inline by the connection reader; reaching a worker is a
+        // scheduling bug.
+        Request::Status | Request::Shutdown => Err("internal: unqueued request".to_string()),
+    }
+}
+
+/// Parses `source` and brings the shared session up to date, returning the
+/// session to run against plus the accounting tag (`warm`, `prepared`,
+/// `renamed`).
+///
+/// The cache lock is held only for the lookup and the install — the
+/// expensive [`Analyzer::prepare`] of a cold or edited program runs
+/// outside it, so one cold request never serializes the whole pool.
+/// Racing preparations of the same program are benign (the sessions are
+/// interchangeable; last writer wins).
+///
+/// With `name_sensitive`, a warm hit additionally requires the canonical
+/// program text to match: `analyze` output embeds region and block names,
+/// which the structural fingerprint deliberately ignores, so a
+/// rename-only edit must swap the entry instead of replaying the previous
+/// names (the same rule `AnalyzeSession` keys its on-disk replays on).
+/// The text comparison itself happens outside the lock.
+fn resolve_session(
+    source: &str,
+    state: &ServerState,
+    name_sensitive: bool,
+) -> Result<(Arc<PreparedProgram>, &'static str), String> {
+    let program = parse_program(source).map_err(|err| format!("cannot parse program: {err}"))?;
+    let warm = {
+        let mut cache = state.cache.lock().expect("session cache poisoned");
+        cache.lookup_warm(&program)
+    };
+    if let Some(prepared) = warm {
+        if !name_sensitive || prepared.program().to_string() == program.to_string() {
+            return Ok((prepared, "warm"));
+        }
+        let prepared = Arc::new(state.analyzer.prepare(&program));
+        let mut cache = state.cache.lock().expect("session cache poisoned");
+        return Ok((cache.install(prepared), "renamed"));
+    }
+    let prepared = Arc::new(state.analyzer.prepare(&program));
+    let mut cache = state.cache.lock().expect("session cache poisoned");
+    Ok((cache.install(prepared), "prepared"))
+}
+
+fn status_output(state: &ServerState) -> String {
+    let (programs, stats) = {
+        let cache = state.cache.lock().expect("session cache poisoned");
+        (cache.len(), cache.stats())
+    };
+    format!(
+        "{{\"protocol\": {PROTOCOL_VERSION}, \"jobs\": {}, \"programs\": {}, \
+         \"requests\": {}, \"errors\": {}, \"session\": {{\"inserted\": {}, \
+         \"reused\": {}, \"invalidated\": {}}}}}",
+        state.jobs,
+        programs,
+        state.requests.load(Ordering::Relaxed),
+        state.errors.load(Ordering::Relaxed),
+        stats.inserted,
+        stats.reused,
+        stats.invalidated
+    )
+}
+
+fn write_response(out: &Mutex<TcpStream>, response: &Response) {
+    let mut line = response.to_json();
+    line.push('\n');
+    let mut stream = out.lock().expect("response stream poisoned");
+    // A client that hung up forfeits its response; the server carries on.
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: TcpStream, tx: mpsc::Sender<Job>, state: &ServerState) {
+    // The timeout is a shutdown poll, not a deadline: an idle connection
+    // stays open, but a shutdown elsewhere releases this thread within a
+    // beat so `serve` can return.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(stream));
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let line = match read_line_capped(&mut reader, state.limits.max_bytes, &state.shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // EOF or shutdown
+            Err(err) => {
+                // Oversized or undecodable input desynchronizes the line
+                // protocol: answer once, then close the connection.
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                write_response(&out, &Response::failure(None, err.to_string()));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::from_json(&line, &state.limits) {
+            Ok((id, Request::Status)) => {
+                write_response(&out, &Response::success(id, 0, status_output(state)));
+            }
+            Ok((id, Request::Shutdown)) => {
+                eprintln!("serve: shutdown requested");
+                write_response(&out, &Response::success(id, 0, "shutting down".to_string()));
+                state.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so `serve` can wind down.
+                let _ = TcpStream::connect(state.addr);
+                return;
+            }
+            Ok((id, request)) => {
+                let job = Job {
+                    id,
+                    request,
+                    out: Arc::clone(&out),
+                };
+                if tx.send(job).is_err() {
+                    return; // the pool is gone: shutting down
+                }
+            }
+            Err(message) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                write_response(&out, &Response::failure(None, message));
+            }
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, accumulating across read timeouts (which
+/// double as shutdown polls) and enforcing the byte cap as data arrives —
+/// a hostile peer cannot buffer unbounded garbage.  `Ok(None)` means EOF
+/// (an unterminated trailing fragment is dropped) or shutdown.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&buf[..nl]);
+                    (nl + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > cap {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request line exceeds the {cap}-byte cap"),
+            ));
+        }
+        if done {
+            return String::from_utf8(line).map(Some).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "request is not valid UTF-8")
+            });
+        }
+    }
+}
+
+/// A minimal blocking client for the service protocol — the guts of
+/// `specan submit`, also used directly by the bench harness.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects to a running `specan serve` at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            reader,
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request line (pipelining is fine) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = request.to_json(id);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Reads the next response line (responses may arrive out of id order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; a closed connection or malformed
+    /// response surfaces as `UnexpectedEof`/`InvalidData`.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_json(line.trim_end())
+            .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServiceClient::send`]/[`ServiceClient::recv`] failures.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let id = self.send(request)?;
+        let response = self.recv()?;
+        debug_assert_eq!(response.id, Some(id), "call() does not pipeline");
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::PanelKind;
+
+    // A cold secret-indexed lookup: leaks under every panel.
+    const TINY: &str = "program tiny\nregion t 128\nsecret_region k 128\nblock main entry:\n  load t[0]\n  load k[secret*64]\n  ret\n";
+
+    #[test]
+    fn requests_round_trip_through_the_protocol() {
+        let limits = ParseLimits::default();
+        let requests = [
+            Request::Analyze {
+                source: TINY.to_string(),
+                config: AnalyzeConfig {
+                    cache_lines: 8,
+                    json: true,
+                    baseline: true,
+                    shadow: false,
+                    merge_at_rollback: true,
+                    unroll: false,
+                },
+            },
+            Request::Compare {
+                source: "with \"quotes\"\nand newlines".to_string(),
+                cache_lines: 16,
+                json: false,
+            },
+            Request::Scan {
+                sources: vec![TINY.to_string(), "second".to_string()],
+                panel: PanelSpec {
+                    kind: PanelKind::LeakCheck,
+                    cache_lines: 8,
+                },
+                json: true,
+            },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for (i, request) in requests.into_iter().enumerate() {
+            let line = request.to_json(i as u64);
+            assert!(!line.contains('\n'), "one request, one line: {line}");
+            let (id, parsed) = Request::from_json(&line, &limits).unwrap();
+            assert_eq!(id, Some(i as u64));
+            assert_eq!(parsed, request);
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_errors() {
+        let limits = ParseLimits::default();
+        // Omitted knobs fall back to the CLI defaults.
+        let (_, parsed) =
+            Request::from_json(r#"{"cmd": "analyze", "program": "p"}"#, &limits).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Analyze {
+                source: "p".to_string(),
+                config: AnalyzeConfig::default(),
+            }
+        );
+        assert!(Request::from_json("not json", &limits).is_err());
+        assert!(Request::from_json(r#"{"cmd": "frobnicate"}"#, &limits).is_err());
+        assert!(Request::from_json(r#"{"cmd": "analyze"}"#, &limits).is_err());
+        assert!(
+            Request::from_json(r#"{"v": 99, "cmd": "status"}"#, &limits).is_err(),
+            "foreign protocol versions are rejected"
+        );
+    }
+
+    #[test]
+    fn responses_round_trip_including_multiline_output() {
+        let ok = Response::success(Some(7), 1, "line one\nline two\n".to_string());
+        let line = ok.to_json();
+        assert!(!line.contains('\n'));
+        assert_eq!(Response::from_json(&line).unwrap(), ok);
+        let err = Response::failure(None, "boom \"quoted\"".to_string());
+        assert_eq!(Response::from_json(&err.to_json()).unwrap(), err);
+    }
+
+    #[test]
+    fn serve_loopback_warms_sessions_and_shuts_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServiceConfig::new(NonZeroUsize::new(2).unwrap());
+        let server = std::thread::spawn(move || serve(listener, &config));
+
+        let mut client = ServiceClient::connect(&addr.to_string()).unwrap();
+        let scan = Request::Scan {
+            sources: vec![TINY.to_string()],
+            panel: PanelSpec {
+                kind: PanelKind::LeakCheck,
+                cache_lines: 8,
+            },
+            json: true,
+        };
+        let cold = client.call(&scan).unwrap();
+        assert!(cold.ok, "{:?}", cold.error);
+        assert_eq!(cold.exit, 1, "the tiny program leaks at 8 lines");
+        // Scan output is timing-free, so the warm re-run is byte-identical.
+        let warm = client.call(&scan).unwrap();
+        assert_eq!(warm.output, cold.output);
+
+        let status = client.call(&Request::Status).unwrap();
+        assert!(status.ok);
+        assert!(
+            status.output.contains("\"reused\": 1"),
+            "the warm re-run must reuse the session: {}",
+            status.output
+        );
+        assert!(status.output.contains("\"programs\": 1"));
+
+        // Malformed lines answer with an error and keep counting.
+        let mut raw = ServiceClient::connect(&addr.to_string()).unwrap();
+        raw.writer.write_all(b"{\"cmd\": \"nope\"}\n").unwrap();
+        let rejected = raw.recv().unwrap();
+        assert!(!rejected.ok);
+        assert_eq!(rejected.exit, 2);
+
+        let bye = client.call(&Request::Shutdown).unwrap();
+        assert!(bye.ok);
+        let report = server.join().unwrap().unwrap();
+        assert!(report.requests >= 5);
+        assert!(report.errors >= 1);
+    }
+}

@@ -5,6 +5,10 @@
 //! specan compare <program.spec...> [options]   the standard configuration panel, in parallel
 //! specan leaks   <program.spec>    [options]   side-channel verdict; exit code 1 on a leak
 //! specan scan    <dir|files...>    [options]   sharded bundle scan; exit code 1 on any leak
+//! specan merge   <reports.json...> [options]   verified fan-in of sharded scan artifacts
+//! specan serve   [--addr H:P] [--jobs N]       persistent analysis service (NDJSON over TCP)
+//! specan submit  [--addr H:P] <cmd> <args...>  script a running server; prints what the
+//!                                              one-shot command would print
 //! specan worker  --shard-json <spec>           internal: run one shard, print its report
 //! ```
 //!
@@ -42,14 +46,13 @@ use std::process::ExitCode;
 use spec_analysis::detect_leaks;
 use spec_cache::CacheConfig;
 use spec_core::batch::{
-    self, discover_programs, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
+    self, discover_programs, run_bundle_slice, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
 };
 use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession};
-use spec_core::session::comparison_configs;
-use spec_core::{AnalysisOptions, AnalysisResult, Analyzer, BatchReport, Report};
+use spec_core::service::{self, AnalyzeConfig, Request, ServiceClient, ServiceConfig};
+use spec_core::{AnalysisOptions, Analyzer, BatchReport};
 use spec_ir::text::parse_program;
 use spec_ir::Program;
-use spec_vcfg::MergeStrategy;
 
 /// Default session directory of `analyze --incremental`.
 const DEFAULT_SESSION_DIR: &str = ".specan-session";
@@ -76,6 +79,8 @@ enum Command {
     Compare,
     Leaks,
     Scan,
+    Merge,
+    Serve,
     Worker,
 }
 
@@ -94,6 +99,8 @@ struct Cli {
     panel: PanelKind,
     /// `worker`: the serialized [`ShardSpec`].
     shard_json: Option<String>,
+    /// `serve`: the `host:port` to listen on.
+    addr: Option<String>,
     /// `analyze`/`scan`: where incremental session state lives.
     session_dir: Option<PathBuf>,
     /// `analyze`: replay unchanged programs from the session directory.
@@ -106,7 +113,8 @@ struct Cli {
 }
 
 fn usage() -> String {
-    "usage: specan <analyze|compare|leaks|scan> <inputs...> [--cache-lines N] [--json]\n\
+    "usage: specan <analyze|compare|leaks|scan|merge|serve|submit> <inputs...> \n\
+     \x20      [--cache-lines N] [--json]\n\
      \n\
      analyze   run one configuration and print the per-access classification\n\
      \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
@@ -129,6 +137,16 @@ fn usage() -> String {
      \x20         with --session-dir only programs whose structural\n\
      \x20         fingerprints changed since the last scan are re-analysed\n\
      \x20         (the merged report stays bit-identical to a fresh scan)\n\
+     merge     verified fan-in of sharded scan/compare artifacts: checks the\n\
+     \x20         slices share one bundle checksum and tile it completely,\n\
+     \x20         then prints the merged report; exits 1 if any program\n\
+     \x20         leaks, 2 on incomplete/overlapping/mismatched slices\n\
+     serve     run the persistent analysis service on --addr (default\n\
+     \x20         127.0.0.1:4870) with a --jobs worker pool; programs are\n\
+     \x20         kept warm in a shared fingerprint-keyed session cache\n\
+     submit    send <analyze|compare|scan|status|shutdown> to a running\n\
+     \x20         server ([--addr H:P]); prints exactly what the one-shot\n\
+     \x20         command would print and exits with its code\n\
      worker    internal: --shard-json <spec|-> runs one scan shard and\n\
      \x20         prints its report as JSON (`-` reads the spec from stdin)"
         .to_string()
@@ -152,6 +170,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("compare") => Command::Compare,
         Some("leaks") => Command::Leaks,
         Some("scan") => Command::Scan,
+        Some("merge") => Command::Merge,
+        Some("serve") => Command::Serve,
         Some("worker") => Command::Worker,
         Some("--help" | "-h" | "help") | None => return Err(usage()),
         Some(other) => {
@@ -168,6 +188,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         in_process: false,
         panel: PanelKind::Comparison,
         shard_json: None,
+        addr: None,
         session_dir: None,
         incremental: false,
         baseline: false,
@@ -182,14 +203,32 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 .cloned()
         };
         match arg.as_str() {
+            "--cache-lines" if matches!(cli.command, Command::Merge | Command::Serve) => {
+                return Err(format!("`--cache-lines` does not apply here\n{}", usage()));
+            }
             "--cache-lines" => {
                 let value = value_of("--cache-lines")?;
                 cli.cache_lines = value
                     .parse()
                     .map_err(|_| format!("`{value}` is not a number"))?;
             }
+            "--json" if matches!(cli.command, Command::Serve) => {
+                return Err(format!("`--json` does not apply to `serve`\n{}", usage()));
+            }
             "--json" => cli.json = true,
-            "--jobs" if matches!(cli.command, Command::Leaks | Command::Worker) => {
+            "--addr" if !matches!(cli.command, Command::Serve) => {
+                return Err(format!(
+                    "`--addr` only applies to `serve` (and `submit`)\n{}",
+                    usage()
+                ));
+            }
+            "--addr" => cli.addr = Some(value_of("--addr")?),
+            "--jobs"
+                if matches!(
+                    cli.command,
+                    Command::Leaks | Command::Worker | Command::Merge
+                ) =>
+            {
                 return Err(format!("`--jobs` does not apply here\n{}", usage()));
             }
             "--jobs" => {
@@ -283,9 +322,27 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 ));
             }
         }
+        Command::Serve => {
+            if !cli.paths.is_empty() {
+                return Err(format!("`serve` takes no input files\n{}", usage()));
+            }
+        }
+        Command::Merge => {
+            if cli.paths.is_empty() {
+                return Err(format!("missing <report.json...>\n{}", usage()));
+            }
+        }
         Command::Analyze if cli.session_dir.is_some() && !cli.incremental => {
             return Err(format!(
                 "`analyze --session-dir` needs `--incremental`\n{}",
+                usage()
+            ));
+        }
+        Command::Scan if cli.session_dir.is_some() && cli.shard.is_some() => {
+            return Err(format!(
+                "`scan` cannot combine `--shard` with `--session-dir`: an \
+                 incremental session already skips unchanged programs, and a \
+                 slice must not be stamped as a whole bundle\n{}",
                 usage()
             ));
         }
@@ -304,25 +361,24 @@ fn load_program(path: &str) -> Result<Program, String> {
     parse_program(&source).map_err(|err| format!("cannot parse `{path}`: {err}"))
 }
 
-fn analyze_options(cli: &Cli) -> Result<AnalysisOptions, String> {
-    let mut builder = AnalysisOptions::builder()
-        .cache(CacheConfig::fully_associative(cli.cache_lines, 64))
-        .speculative(!cli.baseline)
-        .shadow(cli.shadow)
-        .unroll_loops(cli.unroll);
-    if cli.merge_at_rollback {
-        builder = builder.merge_strategy(MergeStrategy::MergeAtRollback);
+/// The `analyze` knobs of this invocation, in the shared service-layer
+/// shape (one render path for the CLI and the server).
+fn analyze_config(cli: &Cli) -> AnalyzeConfig {
+    AnalyzeConfig {
+        cache_lines: cli.cache_lines,
+        json: cli.json,
+        baseline: cli.baseline,
+        shadow: cli.shadow,
+        merge_at_rollback: cli.merge_at_rollback,
+        unroll: cli.unroll,
     }
-    builder
-        .build()
-        .map_err(|err| format!("invalid configuration: {err}"))
 }
 
-/// Expands the positional paths into the bundle this invocation works on:
-/// sorted discovery (directories allowed for `scan` only), then the
-/// `--shard K/N` slice.  An empty slice is legal — a CI fleet may have more
-/// machines than programs.
-fn select_files(cli: &Cli) -> Result<Vec<PathBuf>, String> {
+/// Expands the positional paths into the full sorted bundle plus the
+/// `--shard K/N` slice range this machine works on.  An empty slice is
+/// legal — a CI fleet may have more machines than programs — and the full
+/// bundle stays visible so slice reports can be stamped against it.
+fn select_bundle(cli: &Cli) -> Result<(Vec<PathBuf>, std::ops::Range<usize>), String> {
     let paths: Vec<PathBuf> = cli.paths.iter().map(PathBuf::from).collect();
     if !matches!(cli.command, Command::Scan) {
         if let Some(dir) = paths.iter().find(|p| p.is_dir()) {
@@ -332,13 +388,14 @@ fn select_files(cli: &Cli) -> Result<Vec<PathBuf>, String> {
             ));
         }
     }
-    let mut files = discover_programs(&paths).map_err(|err| err.to_string())?;
-    if let Some((k, n)) = cli.shard {
-        // Machine K of N takes slice K of the same near-even contiguous
-        // split the process-level sharding uses.
-        files = files[batch::shard_slice(files.len(), k, n)].to_vec();
-    }
-    Ok(files)
+    let files = discover_programs(&paths).map_err(|err| err.to_string())?;
+    // Machine K of N takes slice K of the same near-even contiguous split
+    // the process-level sharding uses.
+    let range = match cli.shard {
+        Some((k, n)) => batch::shard_slice(files.len(), k, n),
+        None => 0..files.len(),
+    };
+    Ok((files, range))
 }
 
 fn suite_analyzer(cli: &Cli) -> Analyzer {
@@ -356,6 +413,19 @@ fn effective_jobs(cli: &Cli) -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
 }
 
+/// One stderr accounting line naming the resolved parallelism, so a CI log
+/// always shows what `--jobs` defaulted to on that machine.
+fn echo_jobs(cli: &Cli, jobs: usize) {
+    eprintln!(
+        "jobs: {jobs}{}",
+        if cli.jobs.is_some() {
+            ""
+        } else {
+            " (auto-detected)"
+        }
+    );
+}
+
 /// `true` when the invocation addresses a bundle rather than one file —
 /// several paths, or a `--shard` slice (whose size varies per machine, so
 /// the output schema must not depend on it).
@@ -363,56 +433,10 @@ fn bundle_mode(cli: &Cli) -> bool {
     cli.paths.len() > 1 || cli.shard.is_some()
 }
 
-fn banner(cli: &Cli, program: &Program) -> String {
-    format!(
-        "analysing `{}` ({} blocks, {} instructions, {} branches) on a {}-line cache\n",
-        program.name(),
-        program.blocks().len(),
-        program.instruction_count(),
-        program.branch_count(),
-        cli.cache_lines
-    )
-}
-
 fn print_banner(cli: &Cli, program: &Program) {
     if !cli.json {
-        outln!("{}", banner(cli, program));
+        outln!("{}", service::banner(program, cli.cache_lines));
     }
-}
-
-/// Per-access JSON array for `analyze --json`.
-fn accesses_json(result: &AnalysisResult) -> String {
-    use spec_core::json;
-    let mut out = String::from("[\n");
-    let accesses = result.accesses();
-    for (i, access) in accesses.iter().enumerate() {
-        out.push_str("    {");
-        out.push_str(&format!(
-            "\"block\": {}, ",
-            json::string(&result.program.block(access.block).label())
-        ));
-        out.push_str(&format!(
-            "\"region\": {}, ",
-            json::string(&access.region_name)
-        ));
-        out.push_str(&format!("\"inst_index\": {}, ", access.inst_index));
-        out.push_str(&format!("\"observable_hit\": {}, ", access.observable_hit));
-        out.push_str(&format!(
-            "\"speculative_miss\": {}, ",
-            access.is_speculative_miss()
-        ));
-        out.push_str(&format!(
-            "\"secret_dependent\": {}",
-            access.secret_dependent
-        ));
-        out.push_str(if i + 1 == accesses.len() {
-            "}\n"
-        } else {
-            "},\n"
-        });
-    }
-    out.push_str("  ]");
-    out
 }
 
 /// The configuration knobs that shape `analyze` output, rendered stably —
@@ -427,18 +451,14 @@ fn analyze_signature(cli: &Cli) -> String {
 
 /// One `analyze` unit of work: its rendered output (text or JSON object),
 /// replayed from `session` when the program is unchanged since the output
-/// was stored.
+/// was stored, rendered through the shared service-layer path otherwise.
 fn analyze_one(
     cli: &Cli,
     path: &std::path::Path,
     session: Option<&AnalyzeSession>,
 ) -> Result<String, String> {
-    let options = analyze_options(cli)?;
-    let label = if cli.baseline {
-        "baseline"
-    } else {
-        "speculative"
-    };
+    let config = analyze_config(cli);
+    config.options()?; // surface configuration errors before any analysis
     let program = load_program(&path.display().to_string())?;
     let key = session.map(|session| {
         let key = AnalyzeSession::key(&program, &analyze_signature(cli));
@@ -453,79 +473,7 @@ fn analyze_one(
         }
     }
     let prepared = Analyzer::new().prepare(&program);
-    let result = prepared.run(&options);
-    let leaks = detect_leaks(&result);
-    let output = if cli.json {
-        let report = Report::from_runs(prepared.program().name(), [(label, &result)]);
-        // Wrap the summary row together with the per-access detail.
-        format!(
-            "{{\n  \"summary\": {},\n  \"leak_detected\": {},\n  \"accesses\": {}\n}}",
-            indent_json(&report.to_json()),
-            leaks.leak_detected(),
-            accesses_json(&result)
-        )
-    } else {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", banner(cli, &program));
-        let _ = writeln!(
-            out,
-            "== {label} analysis of `{}` ==",
-            prepared.program().name()
-        );
-        let _ = writeln!(
-            out,
-            "  accesses: {}   guaranteed hits: {}   possible misses: {}   squashed misses: {}",
-            result.access_count(),
-            result.must_hit_count(),
-            result.miss_count(),
-            result.speculative_miss_count()
-        );
-        let _ = writeln!(
-            out,
-            "  speculated branches: {}   fixpoint iterations: {}   analysis time: {:.3}s",
-            result.speculated_branches,
-            result.iterations(),
-            result.elapsed.as_secs_f64()
-        );
-        for access in result.accesses() {
-            if access.observable_hit && !access.is_speculative_miss() {
-                continue;
-            }
-            let _ = writeln!(
-                out,
-                "  {:>10}  {:<20} {}{}",
-                result.program.block(access.block).label(),
-                format!("{}[#{}]", access.region_name, access.inst_index),
-                if access.observable_hit {
-                    "hit, but may miss speculatively"
-                } else {
-                    "may miss"
-                },
-                if access.secret_dependent {
-                    "  [secret-indexed]"
-                } else {
-                    ""
-                }
-            );
-        }
-        if leaks.secret_accesses == 0 {
-            let _ = writeln!(
-                out,
-                "  no secret-indexed accesses: side-channel check not applicable"
-            );
-        } else if leaks.leak_detected() {
-            let _ = writeln!(
-                out,
-                "  LEAK: {} of {} secret-indexed accesses may show secret-dependent timing",
-                leaks.findings.len(),
-                leaks.secret_accesses
-            );
-        } else {
-            let _ = writeln!(out, "  no cache side-channel leak detected");
-        }
-        out.trim_end().to_string()
-    };
+    let output = service::analyze_output(&prepared, &config)?;
     if let Some((session, key)) = key {
         eprintln!("session: analysed `{}`", path.display());
         if let Err(err) = session.store(key, &output) {
@@ -574,20 +522,12 @@ where
         .collect()
 }
 
-fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
-    let files = select_files(cli)?;
-    let session = cli.incremental.then(|| {
-        AnalyzeSession::new(
-            cli.session_dir
-                .clone()
-                .unwrap_or_else(|| PathBuf::from(DEFAULT_SESSION_DIR)),
-        )
-    });
-    let outputs = map_files(cli, &files, |path| analyze_one(cli, path, session.as_ref()))?;
+/// Prints `analyze` outputs with the bundle-aware wrapping: a JSON array
+/// in bundle mode (even for zero or one file, so the schema never depends
+/// on how a bundle split across machines), plain concatenation otherwise.
+/// Shared by the local and the `submit` execution paths.
+fn print_analyze_outputs(cli: &Cli, outputs: &[String]) {
     if cli.json && bundle_mode(cli) {
-        // A bundle renders as an array of the per-file objects — even when
-        // a `--shard` slice leaves zero or one file, so the schema never
-        // depends on how the bundle happened to split across machines.
         outln!("[");
         for (i, output) in outputs.iter().enumerate() {
             let comma = if i + 1 == outputs.len() { "" } else { "," };
@@ -602,55 +542,54 @@ fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
             outln!("{output}");
         }
     }
+}
+
+fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
+    let (bundle, range) = select_bundle(cli)?;
+    let files = bundle[range].to_vec();
+    echo_jobs(cli, effective_jobs(cli));
+    let session = cli.incremental.then(|| {
+        AnalyzeSession::new(
+            cli.session_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(DEFAULT_SESSION_DIR)),
+        )
+    });
+    let outputs = map_files(cli, &files, |path| analyze_one(cli, path, session.as_ref()))?;
+    print_analyze_outputs(cli, &outputs);
     Ok(0)
 }
 
 fn cmd_compare(cli: &Cli) -> Result<u8, String> {
-    let files = select_files(cli)?;
-    let cache = CacheConfig::fully_associative(cli.cache_lines, 64);
-    // Reject degenerate geometries with a usage error before the panel's
-    // presets (which assume a valid cache) are built.
-    AnalysisOptions::builder()
-        .cache(cache)
-        .build()
-        .map_err(|err| format!("invalid configuration: {err}"))?;
+    let (bundle, range) = select_bundle(cli)?;
+    echo_jobs(cli, effective_jobs(cli));
     if !bundle_mode(cli) {
         // A plain single-file invocation: the original timed report.  A
         // one-file `--shard` slice stays on the batch path below so every
         // machine of a CI matrix emits the same (mergeable) schema.
-        let path = &files[0];
+        let path = &bundle[0];
         let program = load_program(&path.display().to_string())?;
-        print_banner(cli, &program);
         let prepared = suite_analyzer(cli).prepare(&program);
-        let suite = prepared.run_suite(&comparison_configs(cache));
-        let report = suite.report();
-        if cli.json {
-            outln!("{}", report.to_json());
-        } else {
-            outln!("{}", report.to_string().trim_end());
-        }
+        let output = service::compare_output(&prepared, cli.cache_lines, cli.json)?;
+        outln!("{output}");
         return Ok(0);
     }
-    // Bundle: the deterministic merged batch report, computed in-process.
+    // Bundle: the deterministic merged batch report, computed in-process
+    // and stamped against the full bundle so per-machine artifacts can be
+    // fan-in verified by `specan merge`.
     let panel = PanelSpec {
         kind: PanelKind::Comparison,
         cache_lines: cli.cache_lines,
     };
-    let report = if files.is_empty() {
-        // A legal empty `--shard` slice: this machine simply has no work.
-        BatchReport {
-            panel,
-            programs: Vec::new(),
-        }
-    } else {
-        batch::run_bundle(&files, panel, effective_jobs(cli), &ExecMode::InProcess)
-            .map_err(|e| e.to_string())?
-    };
-    if cli.json {
-        outln!("{}", report.to_json());
-    } else {
-        outln!("{}", report.to_string().trim_end());
-    }
+    let report = run_bundle_slice(
+        &bundle,
+        range,
+        panel,
+        effective_jobs(cli),
+        &ExecMode::InProcess,
+    )
+    .map_err(|e| e.to_string())?;
+    outln!("{}", service::scan_output(&report, cli.json));
     Ok(0)
 }
 
@@ -734,56 +673,48 @@ fn cmd_leaks(cli: &Cli) -> Result<u8, String> {
 }
 
 fn cmd_scan(cli: &Cli) -> Result<u8, String> {
-    let files = select_files(cli)?;
+    let (bundle, range) = select_bundle(cli)?;
     let panel = PanelSpec {
         kind: cli.panel,
         cache_lines: cli.cache_lines,
     };
     panel.configs().map_err(|err| err.to_string())?;
-    let report = if files.is_empty() {
-        // An empty `--shard` slice: this machine simply has no work (and
-        // nothing worth persisting into a session).
-        BatchReport {
-            panel,
-            programs: Vec::new(),
-        }
+    let jobs = effective_jobs(cli);
+    echo_jobs(cli, jobs);
+    let mode = if cli.in_process {
+        ExecMode::InProcess
     } else {
-        let jobs = effective_jobs(cli);
-        let mode = if cli.in_process {
-            ExecMode::InProcess
-        } else {
-            let worker_exe = std::env::current_exe()
-                .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
-            ExecMode::Subprocess { worker_exe }
-        };
-        match &cli.session_dir {
-            Some(dir) => {
-                let session = ScanSession::new(dir);
-                let outcome = scan_bundle_incremental(&files, panel, jobs, &mode, &session)
-                    .map_err(|err| err.to_string())?;
+        let worker_exe = std::env::current_exe()
+            .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
+        ExecMode::Subprocess { worker_exe }
+    };
+    let report = match &cli.session_dir {
+        Some(dir) => {
+            // `--shard` is rejected with `--session-dir` at parse time, so
+            // the slice is always the whole bundle here.
+            let session = ScanSession::new(dir);
+            let outcome = scan_bundle_incremental(&bundle, panel, jobs, &mode, &session)
+                .map_err(|err| err.to_string())?;
+            eprintln!(
+                "session: {} program(s) reused, {} analysed ({})",
+                outcome.reused,
+                outcome.analyzed,
+                session.dir().display()
+            );
+            if let Some(err) = outcome.store_error {
+                // Losing the warm start must not cost the leak verdict.
                 eprintln!(
-                    "session: {} program(s) reused, {} analysed ({})",
-                    outcome.reused,
-                    outcome.analyzed,
+                    "session: warning: cannot persist session in {}: {err}",
                     session.dir().display()
                 );
-                if let Some(err) = outcome.store_error {
-                    // Losing the warm start must not cost the leak verdict.
-                    eprintln!(
-                        "session: warning: cannot persist session in {}: {err}",
-                        session.dir().display()
-                    );
-                }
-                outcome.report
             }
-            None => batch::run_bundle(&files, panel, jobs, &mode).map_err(|err| err.to_string())?,
+            outcome.report
+        }
+        None => {
+            run_bundle_slice(&bundle, range, panel, jobs, &mode).map_err(|err| err.to_string())?
         }
     };
-    if cli.json {
-        outln!("{}", report.to_json());
-    } else {
-        outln!("{}", report.to_string().trim_end());
-    }
+    outln!("{}", service::scan_output(&report, cli.json));
     Ok(if report.any_leak() { EXIT_LEAK } else { 0 })
 }
 
@@ -807,13 +738,239 @@ fn cmd_worker(cli: &Cli) -> Result<u8, String> {
     Ok(0)
 }
 
-/// Re-indents a nested JSON blob by two spaces (cosmetic only).
-fn indent_json(json: &str) -> String {
-    json.replace('\n', "\n  ")
+/// `specan merge <reports.json...>`: the verified cross-machine fan-in of
+/// sharded scan/compare artifacts.
+fn cmd_merge(cli: &Cli) -> Result<u8, String> {
+    let mut reports = Vec::with_capacity(cli.paths.len());
+    for path in &cli.paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+        let report = BatchReport::from_json(&text).map_err(|err| format!("`{path}`: {err}"))?;
+        if report.stamp.is_none() {
+            return Err(format!(
+                "`{path}` carries no bundle stamp: regenerate the artifact with \
+                 this specan version (unstamped slices cannot be verified)"
+            ));
+        }
+        reports.push(report);
+    }
+    let merged = BatchReport::merge(reports).map_err(|err| err.to_string())?;
+    eprintln!(
+        "merge: {} slice(s) verified, {} program(s), {} leaking",
+        cli.paths.len(),
+        merged.programs.len(),
+        merged.leak_count()
+    );
+    outln!("{}", service::scan_output(&merged, cli.json));
+    Ok(if merged.any_leak() { EXIT_LEAK } else { 0 })
+}
+
+/// `specan serve`: the persistent analysis service.
+fn cmd_serve(cli: &Cli) -> Result<u8, String> {
+    let addr = cli.addr.as_deref().unwrap_or(service::DEFAULT_ADDR);
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|err| format!("cannot bind `{addr}`: {err}"))?;
+    let jobs = NonZeroUsize::new(effective_jobs(cli)).unwrap_or(NonZeroUsize::MIN);
+    let local = listener
+        .local_addr()
+        .map_err(|err| format!("cannot resolve the bound address: {err}"))?;
+    // First stderr line — it both scrapes cleanly (scripts read the port
+    // of an `--addr 127.0.0.1:0` ephemeral bind from it) and doubles as
+    // the resolved-`--jobs` accounting for `serve`.
+    eprintln!(
+        "serve: listening on {local} (jobs = {jobs}{})",
+        if cli.jobs.is_some() {
+            ""
+        } else {
+            ", auto-detected"
+        }
+    );
+    let report = service::serve(listener, &ServiceConfig::new(jobs))
+        .map_err(|err| format!("service failed: {err}"))?;
+    eprintln!(
+        "serve: stopped after {} request(s), {} error(s)",
+        report.requests, report.errors
+    );
+    Ok(0)
+}
+
+/// `specan submit [--addr H:P] <analyze|compare|scan|status|shutdown> ...`:
+/// run a command against a running server, printing exactly what the
+/// one-shot invocation would print and exiting with its code.
+fn cmd_submit(args: &[String]) -> Result<u8, String> {
+    // Peel off `--addr` wherever it appears; everything else re-parses
+    // through the normal grammar, so submit accepts the same flags.
+    let mut addr = service::DEFAULT_ADDR.to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--addr" {
+            addr = iter
+                .next()
+                .ok_or_else(|| "--addr needs a value".to_string())?
+                .clone();
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let connect = || {
+        ServiceClient::connect(&addr)
+            .map_err(|err| format!("cannot connect to a specan server at `{addr}`: {err}"))
+    };
+    // status/shutdown have no flags or files of their own.
+    if let Some(cmd @ ("status" | "shutdown")) = rest.first().map(String::as_str) {
+        if rest.len() != 1 {
+            return Err(format!("`submit {cmd}` takes no further arguments"));
+        }
+        let request = if cmd == "status" {
+            Request::Status
+        } else {
+            Request::Shutdown
+        };
+        let response = connect()?
+            .call(&request)
+            .map_err(|err| format!("request failed: {err}"))?;
+        return match response.error {
+            None => {
+                outln!("{}", response.output);
+                Ok(response.exit)
+            }
+            Some(message) => Err(format!("server error: {message}")),
+        };
+    }
+    let cli = parse_args(&rest)?;
+    if !matches!(
+        cli.command,
+        Command::Analyze | Command::Compare | Command::Scan
+    ) {
+        return Err(format!(
+            "`submit` supports analyze, compare, scan, status and shutdown\n{}",
+            usage()
+        ));
+    }
+    if cli.shard.is_some() {
+        return Err(
+            "`--shard` does not apply over the wire: shard locally and fan the \
+             artifacts in with `specan merge`"
+                .to_string(),
+        );
+    }
+    if cli.incremental || cli.session_dir.is_some() {
+        return Err(
+            "sessions live inside the server: drop `--incremental`/`--session-dir`".to_string(),
+        );
+    }
+    if cli.jobs.is_some() {
+        return Err("`--jobs` is the server's knob (`specan serve --jobs N`)".to_string());
+    }
+    if cli.in_process {
+        return Err("`--in-process` does not apply over the wire".to_string());
+    }
+    let (bundle, range) = select_bundle(&cli)?;
+    let files = bundle[range].to_vec();
+    let read_source = |path: &PathBuf| {
+        std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read `{}`: {err}", path.display()))
+    };
+    let mut client = connect()?;
+    let fail = |response: &spec_core::service::Response| {
+        format!(
+            "server error: {}",
+            response.error.as_deref().unwrap_or("unknown failure")
+        )
+    };
+    match cli.command {
+        Command::Analyze => {
+            // Pipeline one request per file; reorder responses by id.
+            let config = analyze_config(&cli);
+            let mut ids = Vec::with_capacity(files.len());
+            for path in &files {
+                let request = Request::Analyze {
+                    source: read_source(path)?,
+                    config,
+                };
+                ids.push(client.send(&request).map_err(|err| err.to_string())?);
+            }
+            let mut by_id = std::collections::HashMap::new();
+            for _ in &ids {
+                let response = client.recv().map_err(|err| err.to_string())?;
+                by_id.insert(response.id, response);
+            }
+            let mut outputs = Vec::with_capacity(ids.len());
+            for id in ids {
+                let response = by_id
+                    .remove(&Some(id))
+                    .ok_or_else(|| format!("server never answered request {id}"))?;
+                if !response.ok {
+                    return Err(fail(&response));
+                }
+                outputs.push(response.output);
+            }
+            print_analyze_outputs(&cli, &outputs);
+            Ok(0)
+        }
+        Command::Compare if !bundle_mode(&cli) => {
+            let response = client
+                .call(&Request::Compare {
+                    source: read_source(&files[0])?,
+                    cache_lines: cli.cache_lines,
+                    json: cli.json,
+                })
+                .map_err(|err| err.to_string())?;
+            if !response.ok {
+                return Err(fail(&response));
+            }
+            outln!("{}", response.output);
+            Ok(0)
+        }
+        Command::Compare | Command::Scan => {
+            // A compare bundle is a scan under the comparison panel (same
+            // report, exit 0 regardless of leaks — compare never gates).
+            let panel = PanelSpec {
+                kind: if matches!(cli.command, Command::Scan) {
+                    cli.panel
+                } else {
+                    PanelKind::Comparison
+                },
+                cache_lines: cli.cache_lines,
+            };
+            let sources = files
+                .iter()
+                .map(read_source)
+                .collect::<Result<Vec<_>, _>>()?;
+            let response = client
+                .call(&Request::Scan {
+                    sources,
+                    panel,
+                    json: cli.json,
+                })
+                .map_err(|err| err.to_string())?;
+            if !response.ok {
+                return Err(fail(&response));
+            }
+            outln!("{}", response.output);
+            Ok(if matches!(cli.command, Command::Scan) {
+                response.exit
+            } else {
+                0
+            })
+        }
+        _ => unreachable!("gated above"),
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `submit` wraps another command, so it owns its own argument handling.
+    if args.first().map(String::as_str) == Some("submit") {
+        return match cmd_submit(&args[1..]) {
+            Ok(code) => ExitCode::from(code),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(EXIT_ERROR)
+            }
+        };
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(message) => {
@@ -826,6 +983,8 @@ fn main() -> ExitCode {
         Command::Compare => cmd_compare(&cli),
         Command::Leaks => cmd_leaks(&cli),
         Command::Scan => cmd_scan(&cli),
+        Command::Merge => cmd_merge(&cli),
+        Command::Serve => cmd_serve(&cli),
         Command::Worker => cmd_worker(&cli),
     };
     match outcome {

@@ -254,9 +254,10 @@ fn incremental_reports_are_bit_identical_to_fresh_runs() {
             "case {case}: label order"
         );
         // Leak verdicts agree (the batch layer's rule applied to both).
+        let fingerprint = program_fingerprint(&edited);
         assert_eq!(
-            ProgramVerdict::from_report(incremental).leak,
-            ProgramVerdict::from_report(fresh).leak,
+            ProgramVerdict::from_report(incremental, fingerprint).leak,
+            ProgramVerdict::from_report(fresh, fingerprint).leak,
             "case {case} ({what})"
         );
 
