@@ -1,0 +1,175 @@
+//! Full set-associative geometry sweep over the paper's workload tables.
+//!
+//! The abstract domain supports set-associative caches, but the paper's
+//! evaluation (Tables 3/4) only exercises the fully-associative setup.
+//! This harness closes the ROADMAP's remaining gap: every workload of the
+//! e2e (Table 3), crypto (Table 4) and motivating suites is analysed at
+//! ways 1/2/4/8 across several set counts, using one prepared session per
+//! workload so the sweep shares unrolled cores and address maps across
+//! geometries.
+//!
+//! Knobs (environment):
+//!
+//! * `SPEC_BENCH_CACHE_LINES` — workload scale (default 128); the set
+//!   counts sweep `lines/8`, `lines/4` and `lines/2` so capacity moves
+//!   with the scale.
+//!
+//! Pass `--json` for a machine-readable report.  The harness also asserts
+//! the domain's monotonicity invariant on every workload and set count:
+//! within a fixed set count, growing the associativity never loses a
+//! must-hit guarantee.
+
+use spec_bench::{bench_cache_lines, print_table, yes_no};
+use spec_cache::CacheConfig;
+use spec_core::session::Analyzer;
+use spec_core::AnalysisOptions;
+use spec_ir::Program;
+use spec_workloads::{crypto_suite, ete_suite, figure11_program, figure2_program, quantl_program};
+
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    workload: String,
+    table: &'static str,
+    num_sets: usize,
+    ways: usize,
+    must_hits: usize,
+    misses: usize,
+    speculative_misses: usize,
+    unsafe_secret_accesses: usize,
+}
+
+impl Row {
+    fn leak(&self) -> bool {
+        self.unsafe_secret_accesses > 0
+    }
+}
+
+fn sweep_workload(name: &str, table: &'static str, program: &Program, sets: &[usize]) -> Vec<Row> {
+    let prepared = Analyzer::new().prepare(program);
+    let mut rows = Vec::new();
+    for &num_sets in sets {
+        let mut previous_must_hits = None;
+        for ways in WAYS {
+            let cache = CacheConfig::set_associative(num_sets, ways, 64);
+            let options = AnalysisOptions::builder()
+                .cache(cache)
+                .build()
+                .expect("sweep geometries are valid");
+            let result = prepared.run(&options);
+            let must_hits = result.must_hit_count();
+            if let Some(previous) = previous_must_hits {
+                assert!(
+                    must_hits >= previous,
+                    "{name} at {num_sets} sets: {ways} ways lost must-hits \
+                     ({must_hits} < {previous})"
+                );
+            }
+            previous_must_hits = Some(must_hits);
+            rows.push(Row {
+                workload: name.to_string(),
+                table,
+                num_sets,
+                ways,
+                must_hits,
+                misses: result.miss_count(),
+                speculative_misses: result.speculative_miss_count(),
+                unsafe_secret_accesses: result
+                    .secret_accesses()
+                    .filter(|a| !a.observable_hit || a.is_speculative_miss())
+                    .count(),
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let lines = bench_cache_lines();
+    let sets: Vec<usize> = [lines / 8, lines / 4, lines / 2]
+        .iter()
+        .map(|&s| (s as usize).max(1))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for workload in ete_suite(lines) {
+        rows.extend(sweep_workload(
+            workload.name(),
+            "ete",
+            &workload.program,
+            &sets,
+        ));
+    }
+    for (workload, _) in crypto_suite(lines) {
+        rows.extend(sweep_workload(
+            workload.name(),
+            "crypto",
+            &workload.program,
+            &sets,
+        ));
+    }
+    for (name, program) in [
+        ("figure2", figure2_program(lines)),
+        ("figure11", figure11_program(8)),
+        ("quantl", quantl_program()),
+    ] {
+        rows.extend(sweep_workload(name, "motivating", &program, &sets));
+    }
+
+    if json {
+        println!("{{\n  \"cache_lines\": {lines},\n  \"rows\": [");
+        for (i, row) in rows.iter().enumerate() {
+            println!(
+                "    {{\"workload\": \"{}\", \"table\": \"{}\", \"num_sets\": {}, \
+                 \"ways\": {}, \"must_hits\": {}, \"misses\": {}, \
+                 \"speculative_misses\": {}, \"unsafe_secret_accesses\": {}, \
+                 \"leak\": {}}}{}",
+                row.workload,
+                row.table,
+                row.num_sets,
+                row.ways,
+                row.must_hits,
+                row.misses,
+                row.speculative_misses,
+                row.unsafe_secret_accesses,
+                row.leak(),
+                if i + 1 == rows.len() { "" } else { "," }
+            );
+        }
+        println!("  ]\n}}");
+        return;
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.workload.clone(),
+                row.table.to_string(),
+                row.num_sets.to_string(),
+                row.ways.to_string(),
+                row.must_hits.to_string(),
+                row.misses.to_string(),
+                row.speculative_misses.to_string(),
+                row.unsafe_secret_accesses.to_string(),
+                yes_no(row.leak()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Set-associative geometry sweep ({lines}-line scale)"),
+        &[
+            "Workload",
+            "Table",
+            "Sets",
+            "Ways",
+            "Must-hits",
+            "Misses",
+            "Sp-misses",
+            "Unsafe secret",
+            "Leak",
+        ],
+        &table_rows,
+    );
+}

@@ -1,11 +1,13 @@
 //! Shared harness for driving a real `specan serve` process — used by the
-//! `service_throughput` bench bin and the workspace's `service_equivalence`
-//! integration tests, so the banner-scrape, log-drain and timing-strip
-//! logic evolves in one place.
+//! `service_throughput` bench bin and the workspace's service-facing
+//! integration suites (`service_equivalence`, `eviction_equivalence`,
+//! `service_soak`), so the banner-scrape, log-drain, timing-strip,
+//! program-generator and scratch-dir logic evolves in one place.
 
 use std::io::{BufRead as _, BufReader};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use spec_core::service::{Request, ServiceClient};
 
@@ -29,6 +31,16 @@ impl ServeProcess {
     /// Panics when the binary cannot be spawned or the banner line does
     /// not arrive — both setup failures a harness should fail loudly on.
     pub fn start(specan: &Path, jobs: usize) -> ServeProcess {
+        Self::start_with_args(specan, jobs, &[])
+    }
+
+    /// Like [`ServeProcess::start`], with extra `serve` flags appended
+    /// (e.g. `["--max-session-bytes", "65536"]` for the eviction suites).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`ServeProcess::start`].
+    pub fn start_with_args(specan: &Path, jobs: usize, extra: &[&str]) -> ServeProcess {
         let mut child = Command::new(specan)
             .args([
                 "serve",
@@ -37,6 +49,7 @@ impl ServeProcess {
                 "--jobs",
                 &jobs.to_string(),
             ])
+            .args(extra)
             .stdout(Stdio::null())
             .stderr(Stdio::piped())
             .spawn()
@@ -79,6 +92,108 @@ impl ServeProcess {
 impl Drop for ServeProcess {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Deterministic xorshift64* generator: the seed-reproducible randomness
+/// behind every service property suite.
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator from a fixed seed (zero is mapped to one).
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A draw uniform in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A random textual program: straight-line loads, an optional input-branch
+/// diamond, an optional secret-indexed lookup.  The same `name` across
+/// regenerations makes a regeneration an in-place *edit* of the program —
+/// which is what the warm-cache suites feed their servers.
+pub fn random_program_text(rng: &mut Rng, name: &str) -> String {
+    let mut out = format!("program {name}\nregion table 768\nregion flag 8\n\n");
+    out.push_str("block main entry:\n");
+    for _ in 0..1 + rng.below(5) {
+        out.push_str(&format!("  load table[{}]\n", rng.below(12) * 64));
+    }
+    out.push_str("  load flag[0]\n");
+    if rng.below(2) == 1 {
+        out.push_str("  branch mem(flag[0]) input_bit(0) -> left, right\n\n");
+        out.push_str(&format!(
+            "block left:\n  load table[{}]\n  jump tail\n\n",
+            rng.below(12) * 64
+        ));
+        out.push_str(&format!(
+            "block right:\n  load table[{}]\n  jump tail\n\n",
+            rng.below(12) * 64
+        ));
+        out.push_str("block tail:\n");
+    }
+    if rng.below(2) == 1 {
+        out.push_str("  load table[secret*64]\n");
+    } else {
+        out.push_str(&format!("  load table[{}]\n", rng.below(12) * 64));
+    }
+    out.push_str("  ret\n");
+    out
+}
+
+static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A process-unique scratch directory, removed on drop.
+pub struct Scratch(PathBuf);
+
+impl Scratch {
+    /// Creates `<tmp>/<label>-<pid>-<seq>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created.
+    pub fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "{label}-{}-{}",
+            std::process::id(),
+            SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    /// The scratch directory itself.
+    pub fn dir(&self) -> &Path {
+        &self.0
+    }
+
+    /// Writes `contents` under `name` and returns the full path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write fails.
+    pub fn write(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 

@@ -324,6 +324,14 @@ impl AbstractCacheState {
     }
 }
 
+impl spec_ir::heap::HeapSize for AbstractCacheState {
+    fn heap_size(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.must.heap_size() + inner.may.heap_size())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

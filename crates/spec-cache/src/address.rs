@@ -1,5 +1,6 @@
 //! Memory layout: regions → cache blocks and cache sets.
 
+use spec_ir::heap::HeapSize;
 use spec_ir::{IndexExpr, MemRef, Program, RegionId};
 
 use crate::config::CacheConfig;
@@ -104,6 +105,14 @@ impl AddressMap {
     /// Total number of blocks across all regions.
     pub fn total_blocks(&self) -> u64 {
         self.blocks.iter().sum()
+    }
+}
+
+spec_ir::zero_heap_size!(MemBlock, CacheConfig);
+
+impl HeapSize for AddressMap {
+    fn heap_size(&self) -> usize {
+        self.base_block.heap_size() + self.blocks.heap_size()
     }
 }
 

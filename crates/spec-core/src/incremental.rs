@@ -20,7 +20,11 @@
 //!   the region table untouched (the memory layout is a pure function of
 //!   the regions).  In a multi-program session, editing one program leaves
 //!   every other program's artifacts bound — the [`SessionStats`] counters
-//!   prove it.
+//!   prove it.  A long-lived holder bounds the session with
+//!   [`SessionCache::max_session_bytes`]: resident entries are byte-
+//!   accounted through [`spec_ir::heap::HeapSize`] and whole programs are
+//!   evicted least-recently-used first, which trades re-preparation for
+//!   memory but never changes a result.
 //! * [`ScanSession`] + [`scan_bundle_incremental`] — cross-process
 //!   persistence for `specan scan --session-dir`.  Fingerprints and the
 //!   previous (deterministic, timing-free) [`BatchReport`] are stored on
@@ -79,6 +83,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use spec_ir::fingerprint::{program_fingerprint, regions_fingerprint, Fingerprint, ProgramDiff};
+use spec_ir::heap::HeapSize;
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 
@@ -95,7 +100,21 @@ struct SessionEntry {
     fingerprint: Fingerprint,
     /// Fingerprint of the region table alone (decides address-map reuse).
     regions: Fingerprint,
+    /// Monotonic use tick: bumped by every lookup, reuse and install, so a
+    /// byte budget evicts the least recently *used* program first.
+    tick: u64,
     prepared: Arc<PreparedProgram>,
+}
+
+impl SessionEntry {
+    /// The deterministic [`HeapSize`] estimate of everything this slot
+    /// keeps alive: the slot itself, its key string, and the prepared
+    /// session with every memoized artifact.  Re-measured at every
+    /// enforcement point because runs grow the artifact caches *after*
+    /// install.
+    fn resident_bytes(&self, name: &str) -> u64 {
+        (std::mem::size_of::<Self>() + name.len() + self.prepared.heap_size()) as u64
+    }
 }
 
 /// Lifetime counters of a [`SessionCache`] — the evidence that an edit to
@@ -112,6 +131,17 @@ pub struct SessionStats {
     /// Address-map tables rebound across an invalidation because the edit
     /// left the region table structurally unchanged.
     pub amaps_adopted: u64,
+    /// Whole [`PreparedProgram`]s evicted by the byte budget
+    /// ([`SessionCache::max_session_bytes`]), least recently used first.
+    /// Replacements of an entry under the same name are *not* evictions —
+    /// so `inserted - session_evictions` (minus explicit removals) is the
+    /// number of resident entries, the invariant the eviction-equivalence
+    /// suite reconciles.
+    pub session_evictions: u64,
+    /// Resident bytes at snapshot time: the summed [`HeapSize`] estimate
+    /// of every held entry.  After an enforcement point this never exceeds
+    /// the configured budget.
+    pub session_bytes: u64,
 }
 
 /// What [`SessionCache::update`] did for one program.
@@ -134,6 +164,11 @@ pub struct SessionCache {
     analyzer: Analyzer,
     entries: HashMap<String, SessionEntry>,
     stats: SessionStats,
+    /// Byte budget over the summed [`HeapSize`] estimates of every entry;
+    /// `None` is unbounded (the pre-budget behaviour).
+    max_bytes: Option<u64>,
+    /// Monotonic source of the entries' use ticks.
+    tick: u64,
 }
 
 impl SessionCache {
@@ -149,7 +184,83 @@ impl SessionCache {
             analyzer,
             entries: HashMap::new(),
             stats: SessionStats::default(),
+            max_bytes: None,
+            tick: 0,
         }
+    }
+
+    /// Bounds the session to at most `bytes` resident bytes (the
+    /// deterministic [`HeapSize`] estimate — see `spec_ir::heap` for what
+    /// it counts), evicting whole [`PreparedProgram`]s in least recently
+    /// used order whenever an enforcement point finds the session over
+    /// budget.  Enforcement points are [`SessionCache::update`],
+    /// [`SessionCache::install`], and explicit
+    /// [`SessionCache::enforce_budget`] calls (which long-running holders
+    /// make after every request, because running configurations grows the
+    /// memoized artifacts of a resident entry).
+    ///
+    /// Eviction never changes results: an evicted program is simply
+    /// re-prepared on its next sighting, and the one deterministic solver
+    /// reproduces every artifact bit-identically.  A budget smaller than a
+    /// single entry degenerates to re-preparing on every request — slow,
+    /// never wrong.
+    pub fn max_session_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// The summed byte estimate of every resident entry, re-measured now.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(name, entry)| entry.resident_bytes(name))
+            .sum()
+    }
+
+    /// Re-measures every entry and evicts the least recently used whole
+    /// programs until the session fits its byte budget (a no-op without
+    /// one).  Returns the number of entries evicted by this call.
+    ///
+    /// Measurement happens here — not at install time — because a resident
+    /// entry keeps growing as requests populate its memoized unrolls,
+    /// VCFGs and fixpoint rounds; budget holders therefore call this after
+    /// every request, and the resident-bytes invariant holds at every
+    /// request boundary.
+    pub fn enforce_budget(&mut self) -> u64 {
+        let Some(budget) = self.max_bytes else {
+            return 0;
+        };
+        let mut sizes: Vec<(u64, u64, String)> = self
+            .entries
+            .iter()
+            .map(|(name, entry)| (entry.tick, entry.resident_bytes(name), name.clone()))
+            .collect();
+        // Oldest tick first; the most recently used entry is the last
+        // eviction candidate (and is evicted too when it alone overflows
+        // the budget — the bound is strict).
+        sizes.sort();
+        let mut resident: u64 = sizes.iter().map(|(_, bytes, _)| bytes).sum();
+        let mut evicted = 0;
+        for (_, bytes, name) in &sizes {
+            if resident <= budget {
+                break;
+            }
+            self.entries.remove(name);
+            resident -= bytes;
+            evicted += 1;
+        }
+        self.stats.session_evictions += evicted;
+        evicted
     }
 
     /// Brings the session up to date with (a freshly parsed version of)
@@ -172,9 +283,11 @@ impl SessionCache {
     /// service's worker pool must not serialize every request behind one
     /// cold preparation.
     pub fn lookup_warm(&mut self, program: &Program) -> Option<Arc<PreparedProgram>> {
-        match self.entries.get(program.name()) {
+        let tick = self.next_tick();
+        match self.entries.get_mut(program.name()) {
             Some(entry) if entry.fingerprint == program_fingerprint(program) => {
                 self.stats.reused += 1;
+                entry.tick = tick;
                 Some(entry.prepared.clone())
             }
             _ => None,
@@ -196,6 +309,7 @@ impl SessionCache {
         let fingerprint = prepared.fingerprint();
         let regions = regions_fingerprint(prepared.program().regions());
         let name = prepared.program().name().to_string();
+        let tick = self.next_tick();
         match self.entries.get_mut(&name) {
             Some(entry) => {
                 self.stats.invalidated += 1;
@@ -205,6 +319,7 @@ impl SessionCache {
                 *entry = SessionEntry {
                     fingerprint,
                     regions,
+                    tick,
                     prepared: prepared.clone(),
                 };
             }
@@ -215,11 +330,13 @@ impl SessionCache {
                     SessionEntry {
                         fingerprint,
                         regions,
+                        tick,
                         prepared: prepared.clone(),
                     },
                 );
             }
         }
+        self.enforce_budget();
         prepared
     }
 
@@ -227,17 +344,19 @@ impl SessionCache {
         let fingerprint = program_fingerprint(program);
         let regions = regions_fingerprint(program.regions());
         let name = program.name().to_string();
+        let tick = self.next_tick();
         let diff_against = |previous: &PreparedProgram| {
             want_diff.then(|| ProgramDiff::between(previous.program(), program))
         };
-        match self.entries.get_mut(&name) {
+        let update = match self.entries.get_mut(&name) {
             Some(entry) if entry.fingerprint == fingerprint => {
                 self.stats.reused += 1;
-                SessionUpdate {
+                entry.tick = tick;
+                return SessionUpdate {
                     prepared: entry.prepared.clone(),
                     reused: true,
                     diff: diff_against(&entry.prepared),
-                }
+                };
             }
             Some(entry) => {
                 self.stats.invalidated += 1;
@@ -249,6 +368,7 @@ impl SessionCache {
                 *entry = SessionEntry {
                     fingerprint,
                     regions,
+                    tick,
                     prepared: prepared.clone(),
                 };
                 SessionUpdate {
@@ -265,6 +385,7 @@ impl SessionCache {
                     SessionEntry {
                         fingerprint,
                         regions,
+                        tick,
                         prepared: prepared.clone(),
                     },
                 );
@@ -274,7 +395,9 @@ impl SessionCache {
                     diff: None,
                 }
             }
-        }
+        };
+        self.enforce_budget();
+        update
     }
 
     /// The prepared session of a program, if it is cached.
@@ -297,9 +420,13 @@ impl SessionCache {
         self.entries.is_empty()
     }
 
-    /// The session's lifetime reuse/invalidation counters.
+    /// The session's lifetime reuse/invalidation counters, with
+    /// [`SessionStats::session_bytes`] measured at call time.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        SessionStats {
+            session_bytes: self.resident_bytes(),
+            ..self.stats
+        }
     }
 
     /// Aggregated artifact-cache counters across every held program — the
@@ -319,6 +446,8 @@ impl SessionCache {
             total.round_misses += s.round_misses;
             total.round_evictions += s.round_evictions;
         }
+        total.session_evictions = self.stats.session_evictions;
+        total.session_bytes = self.resident_bytes();
         total
     }
 }
@@ -596,6 +725,10 @@ pub fn scan_bundle_incremental(
 /// source bytes.
 pub struct AnalyzeSession {
     dir: PathBuf,
+    /// Optional byte budget over the stored renderings (`--max-session-bytes`
+    /// on `specan analyze --incremental`); pruning drops least recently
+    /// *used* entries first, exactly like the in-memory cache.
+    max_bytes: Option<u64>,
 }
 
 /// How many renderings [`AnalyzeSession`] keeps before pruning the oldest.
@@ -607,7 +740,19 @@ const ANALYZE_STORE_CAP: usize = 512;
 impl AnalyzeSession {
     /// Opens (without reading) the replay store under `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            max_bytes: None,
+        }
+    }
+
+    /// Additionally bounds the store to at most `bytes` of stored output
+    /// (on top of the [`ANALYZE_STORE_CAP`] entry count): pruning removes
+    /// the least recently used renderings until the rest fit.  Like every
+    /// session bound, this only costs replays, never correctness.
+    pub fn max_session_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
     }
 
     /// The directory this session persists into.
@@ -672,14 +817,15 @@ impl AnalyzeSession {
         Ok(())
     }
 
-    /// Removes the oldest stored renderings (by modification time) beyond
-    /// the cap.  Best-effort: pruning failures are invisible — a stale
-    /// entry costs disk, never correctness.
+    /// Removes the least recently used stored renderings (by modification
+    /// time — refreshed on every replay) beyond the entry cap and, when a
+    /// byte budget is set, beyond it too.  Best-effort: pruning failures
+    /// are invisible — a stale entry costs disk, never correctness.
     fn prune(&self) {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
-        let mut outputs: Vec<(std::time::SystemTime, PathBuf)> = entries
+        let mut outputs: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
             .flatten()
             .filter_map(|entry| {
                 let path = entry.path();
@@ -687,14 +833,21 @@ impl AnalyzeSession {
                 if !name.starts_with("analyze-") || !name.ends_with(".out") {
                     return None;
                 }
-                Some((entry.metadata().ok()?.modified().ok()?, path))
+                let meta = entry.metadata().ok()?;
+                Some((meta.modified().ok()?, meta.len(), path))
             })
             .collect();
-        if outputs.len() <= ANALYZE_STORE_CAP {
-            return;
-        }
         outputs.sort();
-        for (_, path) in &outputs[..outputs.len() - ANALYZE_STORE_CAP] {
+        let mut resident: u64 = outputs.iter().map(|(_, bytes, _)| bytes).sum();
+        let mut drop = 0;
+        while drop < outputs.len()
+            && (outputs.len() - drop > ANALYZE_STORE_CAP
+                || self.max_bytes.is_some_and(|budget| resident > budget))
+        {
+            resident -= outputs[drop].1;
+            drop += 1;
+        }
+        for (_, _, path) in &outputs[..drop] {
             let _ = std::fs::remove_file(path);
         }
     }
@@ -821,6 +974,46 @@ mod tests {
             "the rename left the region table structurally unchanged"
         );
         assert_eq!(swapped.cache_stats().amap_adopted, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_programs() {
+        // Probe one entry's (un-run) footprint; `a`, `b` and `c` are
+        // structurally identical with equal-length names, so they account
+        // identically.
+        let mut probe = SessionCache::new();
+        probe.update(&program("a", 0));
+        let one = probe.resident_bytes();
+        assert!(one > 0);
+        assert_eq!(probe.stats().session_bytes, one);
+
+        let mut session = SessionCache::new().max_session_bytes(one * 2 + one / 2);
+        session.update(&program("a", 0));
+        session.update(&program("b", 0));
+        // Touching `a` demotes `b` to least recently used...
+        assert!(session.update(&program("a", 0)).reused);
+        // ...so the third insert evicts `b`, not `a`.
+        session.update(&program("c", 0));
+        assert!(session.get("a").is_some(), "recently used survives");
+        assert!(session.get("b").is_none(), "the LRU entry is the victim");
+        assert!(session.get("c").is_some(), "the newcomer is resident");
+        let stats = session.stats();
+        assert_eq!(stats.session_evictions, 1);
+        assert_eq!(
+            stats.inserted - stats.session_evictions,
+            session.len() as u64,
+            "installs minus evictions is the resident population"
+        );
+        assert!(stats.session_bytes <= one * 2 + one / 2, "the bound holds");
+
+        // An evicted program's next sighting is a plain re-insert — never
+        // a stale rebind.
+        let back = session.update(&program("b", 0));
+        assert!(!back.reused);
+        assert!(
+            back.diff.is_none(),
+            "the session kept nothing to diff against"
+        );
     }
 
     static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);
@@ -967,6 +1160,129 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".out"))
             .count();
         assert_eq!(stored, ANALYZE_STORE_CAP, "the cap holds");
+    }
+
+    /// Pins every stored rendering's modification time to a distinct past
+    /// instant (older for lower indices), so pruning order is a pure
+    /// function of the test's subsequent lookups.
+    fn age_stored_outputs(session: &AnalyzeSession, keys: &[Fingerprint]) {
+        for (i, key) in keys.iter().enumerate() {
+            let path = session.dir().join(format!("analyze-{}.out", key.to_hex()));
+            let stamp = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64);
+            let file = std::fs::File::options().append(true).open(&path).unwrap();
+            file.set_times(std::fs::FileTimes::new().set_modified(stamp))
+                .unwrap();
+        }
+    }
+
+    fn stored_keys(session: &AnalyzeSession) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(session.dir())
+            .unwrap()
+            .flatten()
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".out"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn analyze_store_prunes_by_recency_of_use_not_creation() {
+        let scratch = Scratch::new();
+        let session = AnalyzeSession::new(scratch.0.join("analyze"));
+        let keys: Vec<Fingerprint> = (0..ANALYZE_STORE_CAP as u64).map(Fingerprint).collect();
+        for key in &keys {
+            session.store(*key, "output").unwrap();
+        }
+        age_stored_outputs(&session, &keys);
+
+        // Replaying the *oldest-created* entry refreshes its recency...
+        assert_eq!(session.lookup(keys[0]).as_deref(), Some("output"));
+        // ...so the next over-cap store evicts entry 1 (now the LRU),
+        // never the hot entry 0.
+        session
+            .store(Fingerprint(ANALYZE_STORE_CAP as u64 + 7), "new")
+            .unwrap();
+        let names = stored_keys(&session);
+        assert_eq!(names.len(), ANALYZE_STORE_CAP, "the cap holds");
+        assert!(
+            names.contains(&format!("analyze-{}.out", keys[0].to_hex())),
+            "the replayed entry survives the churn"
+        );
+        assert!(
+            !names.contains(&format!("analyze-{}.out", keys[1].to_hex())),
+            "the least recently used entry is the victim"
+        );
+    }
+
+    #[test]
+    fn analyze_store_byte_budget_prunes_least_recently_used_first() {
+        let scratch = Scratch::new();
+        // Four 100-byte renderings stored unbounded, then re-opened under
+        // a 250-byte budget: the next store keeps only the two most
+        // recently used.
+        let unbounded = AnalyzeSession::new(scratch.0.join("analyze"));
+        let keys: Vec<Fingerprint> = (0..4u64).map(Fingerprint).collect();
+        let output = "x".repeat(100);
+        for key in &keys {
+            unbounded.store(*key, &output).unwrap();
+        }
+        age_stored_outputs(&unbounded, &keys);
+        let session = AnalyzeSession::new(scratch.0.join("analyze")).max_session_bytes(250);
+        // A refresh pulls entry 0 ahead of 1 and 2 before the next store
+        // triggers pruning.
+        assert!(session.lookup(keys[0]).is_some());
+        session.store(Fingerprint(9), &output).unwrap();
+        let names = stored_keys(&session);
+        assert_eq!(names.len(), 2, "250 bytes hold two 100-byte entries");
+        assert!(names.contains(&format!("analyze-{}.out", keys[0].to_hex())));
+        assert!(names.contains(&format!("analyze-{}.out", Fingerprint(9).to_hex())));
+    }
+
+    #[test]
+    fn corrupt_stored_entries_cold_start_instead_of_replaying() {
+        let scratch = Scratch::new();
+        let session = AnalyzeSession::new(scratch.0.join("analyze"));
+        let key = Fingerprint(42);
+        session.store(key, "good output").unwrap();
+        // Corrupt the stored rendering in place (invalid UTF-8): the next
+        // lookup must miss — a cold re-analysis — not crash or replay
+        // garbage, and a fresh store heals the entry.
+        let path = session.dir().join(format!("analyze-{}.out", key.to_hex()));
+        std::fs::write(&path, [0xff, 0xfe, 0x00, 0x9f]).unwrap();
+        assert_eq!(session.lookup(key), None, "corruption degrades to a miss");
+        session.store(key, "fresh output").unwrap();
+        assert_eq!(session.lookup(key).as_deref(), Some("fresh output"));
+    }
+
+    #[test]
+    fn identical_programs_under_different_signatures_never_collide() {
+        let scratch = Scratch::new();
+        let session = AnalyzeSession::new(scratch.0.join("analyze"));
+        let p = program("a", 0);
+        // One program text, two flag signatures: distinct keys, distinct
+        // replays — a stored JSON rendering must never answer a text
+        // request (the rename-stale-flags twin of the rename-stale-names
+        // class).
+        let json_key = AnalyzeSession::key(&p, "json:8");
+        let text_key = AnalyzeSession::key(&p, "text:8");
+        assert_ne!(json_key, text_key);
+        session.store(json_key, "json rendering").unwrap();
+        assert_eq!(
+            session.lookup(text_key),
+            None,
+            "a different signature must miss"
+        );
+        session.store(text_key, "text rendering").unwrap();
+        assert_eq!(session.lookup(json_key).as_deref(), Some("json rendering"));
+        assert_eq!(session.lookup(text_key).as_deref(), Some("text rendering"));
+
+        // And a *reparsed* copy of the same program (identical canonical
+        // text) under the same signature intentionally shares the key —
+        // that is the replay hit the store exists for.
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(AnalyzeSession::key(&reparsed, "json:8"), json_key);
     }
 
     #[test]

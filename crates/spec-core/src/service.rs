@@ -54,6 +54,14 @@
 //! touched.  `status` and `shutdown` are answered inline by the connection
 //! reader (they must stay responsive while the pool is busy).
 //!
+//! With [`ServiceConfig::max_session_bytes`] set (`specan serve
+//! --max-session-bytes`), the cache is re-measured after every request and
+//! whole sessions are evicted least recently used first until the resident
+//! bytes fit the budget — so a server fed a stream of distinct programs
+//! stays memory-bounded.  An evicted program is re-prepared on its next
+//! submission; the `eviction_equivalence` suite and the CI `eviction-gate`
+//! prove responses are byte-identical (post timing-strip) either way.
+//!
 //! Hostile input cannot wedge the server: request lines are capped
 //! ([`ServiceConfig::max_request_bytes`]) while being read, and documents
 //! go through the hardened [`crate::json`] parser (size, depth, escape
@@ -607,16 +615,24 @@ pub struct ServiceConfig {
     /// long-lived server must not grow without limit.  Eviction never
     /// changes results.
     pub round_cache_capacity: NonZeroUsize,
+    /// Byte budget over the whole session cache (`--max-session-bytes`):
+    /// resident [`PreparedProgram`]s are byte-accounted after every request
+    /// and evicted least recently used first until the cache fits.  `None`
+    /// (the default) keeps one warm session per program name forever —
+    /// fine for a trusted workload, unbounded for a public endpoint fed a
+    /// stream of distinct programs.  Eviction never changes responses.
+    pub max_session_bytes: Option<u64>,
 }
 
 impl ServiceConfig {
     /// A config with `jobs` workers and default caps (8 MiB requests,
-    /// 256-round caches).
+    /// 256-round caches, no session byte budget).
     pub fn new(jobs: NonZeroUsize) -> Self {
         Self {
             jobs,
             max_request_bytes: 8 << 20,
             round_cache_capacity: NonZeroUsize::new(256).expect("nonzero"),
+            max_session_bytes: None,
         }
     }
 }
@@ -666,8 +682,12 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
     let analyzer = Analyzer::new()
         .max_suite_threads(NonZeroUsize::MIN)
         .round_cache_capacity(config.round_cache_capacity);
+    let mut cache = SessionCache::with_analyzer(analyzer.clone());
+    if let Some(bytes) = config.max_session_bytes {
+        cache = cache.max_session_bytes(bytes);
+    }
     let state = ServerState {
-        cache: Mutex::new(SessionCache::with_analyzer(analyzer.clone())),
+        cache: Mutex::new(cache),
         analyzer,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
@@ -735,12 +755,41 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
         let response = match execute(&job.request, state) {
             Ok((exit, output)) => Response::success(job.id, exit, output),
             Err(message) => {
+                // A failed request may still have grown resident artifacts
+                // (e.g. a render error after the analysis ran); re-enforce
+                // so the byte bound holds at *every* request boundary, not
+                // just successful ones.
+                session_accounting(state);
                 state.errors.fetch_add(1, Ordering::Relaxed);
                 Response::failure(job.id, message)
             }
         };
         write_response(&job.out, &response);
     }
+}
+
+/// Re-enforces the session byte budget after a request and renders the
+/// accounting tail of the per-request log line — the empty string on an
+/// unbounded server, which then neither measures nor logs anything extra
+/// (re-walking every resident artifact per request would be pure overhead
+/// with no budget to enforce).  Enforcement happens *after* the analysis
+/// because running configurations grows a resident entry's memoized
+/// artifacts — measuring at install time alone would let the cache drift
+/// over budget between installs.  Together with the error-path enforcement
+/// in [`worker_loop`], its placement makes `session_bytes` ≤ budget an
+/// invariant at every request boundary, which the soak test and the CI
+/// eviction gate watch.
+fn session_accounting(state: &ServerState) -> String {
+    let mut cache = state.cache.lock().expect("session cache poisoned");
+    if cache.budget().is_none() {
+        return String::new();
+    }
+    cache.enforce_budget();
+    let stats = cache.stats();
+    format!(
+        " session: {} bytes resident, {} evicted",
+        stats.session_bytes, stats.session_evictions
+    )
 }
 
 /// Executes one queued request and returns `(exit code, output)`.
@@ -751,8 +800,13 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
             // cache: a bad request must not leave side effects.
             config.options()?;
             let (prepared, how) = resolve_session(source, state, true)?;
-            eprintln!("serve: analyze `{}` ({how})", prepared.program().name());
-            Ok((0, analyze_output(&prepared, config)?))
+            let output = analyze_output(&prepared, config)?;
+            eprintln!(
+                "serve: analyze `{}` ({how}){}",
+                prepared.program().name(),
+                session_accounting(state)
+            );
+            Ok((0, output))
         }
         Request::Compare {
             source,
@@ -764,8 +818,13 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 .build()
                 .map_err(|err| format!("invalid configuration: {err}"))?;
             let (prepared, how) = resolve_session(source, state, false)?;
-            eprintln!("serve: compare `{}` ({how})", prepared.program().name());
-            Ok((0, compare_output(&prepared, *cache_lines, *render_json)?))
+            let output = compare_output(&prepared, *cache_lines, *render_json)?;
+            eprintln!(
+                "serve: compare `{}` ({how}){}",
+                prepared.program().name(),
+                session_accounting(state)
+            );
+            Ok((0, output))
         }
         Request::Scan {
             sources,
@@ -798,7 +857,6 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 warm += usize::from(how == "warm");
                 sessions.push(prepared);
             }
-            eprintln!("serve: scan {} program(s) ({} warm)", sessions.len(), warm);
             let threads = state.jobs.min(sessions.len()).max(1);
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots: Mutex<Vec<Option<ProgramVerdict>>> =
@@ -822,6 +880,12 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 .into_iter()
                 .map(|slot| slot.expect("every program was scanned"))
                 .collect();
+            eprintln!(
+                "serve: scan {} program(s) ({} warm){}",
+                sessions.len(),
+                warm,
+                session_accounting(state)
+            );
             let stamp = BundleStamp {
                 checksum: panel_checksum(*panel, programs.iter().map(|p| p.fingerprint)),
                 total: programs.len(),
@@ -888,14 +952,17 @@ fn status_output(state: &ServerState) -> String {
     format!(
         "{{\"protocol\": {PROTOCOL_VERSION}, \"jobs\": {}, \"programs\": {}, \
          \"requests\": {}, \"errors\": {}, \"session\": {{\"inserted\": {}, \
-         \"reused\": {}, \"invalidated\": {}}}}}",
+         \"reused\": {}, \"invalidated\": {}, \"session_bytes\": {}, \
+         \"session_evictions\": {}}}}}",
         state.jobs,
         programs,
         state.requests.load(Ordering::Relaxed),
         state.errors.load(Ordering::Relaxed),
         stats.inserted,
         stats.reused,
-        stats.invalidated
+        stats.invalidated,
+        stats.session_bytes,
+        stats.session_evictions
     )
 }
 

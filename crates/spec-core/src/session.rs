@@ -65,6 +65,7 @@ use std::time::{Duration, Instant};
 use spec_absint::SolveStats;
 use spec_cache::{AddressMap, CacheConfig};
 use spec_ir::fingerprint::{program_fingerprint, Fingerprint};
+use spec_ir::heap::HeapSize;
 use spec_ir::transform::{unroll_counted_loops, UnrollOptions, UnrollReport};
 use spec_ir::{BlockId, Cfg, LoopForest, Program};
 use spec_vcfg::{MergeStrategy, SpeculationConfig, Vcfg};
@@ -131,9 +132,13 @@ impl Analyzer {
 
 /// A synchronized memo table with hit/miss counters: the building block of
 /// every per-session artifact cache (unrolled cores, address maps, VCFGs).
-/// Values are computed under the lock — each of these artifacts is built at
-/// most a handful of times per session, so blocking a racing reader is
-/// cheaper than computing twice.
+/// Values are computed **outside** the lock, exactly like [`RoundCache`]:
+/// the lock only guards map operations, so readers that merely inspect the
+/// table — above all the byte-accounting [`Memo::heap_bytes`] walk behind
+/// `status` and budget enforcement — never block behind a slow artifact
+/// build.  Racing computations are benign: every artifact is a pure
+/// function of its key, so the copies are interchangeable and the first
+/// insert wins (both count as misses — two recomputations happened).
 struct Memo<K, V> {
     inner: Mutex<MemoInner<K, V>>,
 }
@@ -156,16 +161,24 @@ impl<K: Eq + Hash, V> Memo<K, V> {
     }
 
     fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> Arc<V> {
-        let mut inner = self.inner.lock().expect("memo table poisoned");
-        if let Some(hit) = inner.map.get(&key) {
-            let hit = hit.clone();
-            inner.hits += 1;
-            return hit;
+        {
+            let mut inner = self.inner.lock().expect("memo table poisoned");
+            if let Some(hit) = inner.map.get(&key) {
+                let hit = hit.clone();
+                inner.hits += 1;
+                return hit;
+            }
+            inner.misses += 1;
         }
-        inner.misses += 1;
         let value = Arc::new(make());
-        inner.map.insert(key, value.clone());
-        value
+        let mut inner = self.inner.lock().expect("memo table poisoned");
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => entry.get().clone(),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(value.clone());
+                value
+            }
+        }
     }
 
     /// Inserts `value` under `key` unless present (no counter effect —
@@ -201,6 +214,20 @@ impl<K: Eq + Hash, V> Memo<K, V> {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
+    }
+
+    /// Estimated owned heap bytes of the table: entry slots, key heap, and
+    /// every `Arc`-held value in full (see [`spec_ir::heap`]).
+    fn heap_bytes(&self) -> usize
+    where
+        K: HeapSize,
+        V: HeapSize,
+    {
+        self.inner
+            .lock()
+            .expect("memo table poisoned")
+            .map
+            .heap_size()
     }
 }
 
@@ -337,6 +364,25 @@ impl RoundCache {
         (inner.hits, inner.misses, inner.evictions)
     }
 
+    /// Estimated owned heap bytes of the cached rounds.  Counted by hand
+    /// because [`SolveStats`] lives outside the [`HeapSize`] crates: per
+    /// entry, the key (inline plus its bounds vector), the map slot, and
+    /// the `Arc`-held round with its state vector in full.
+    fn heap_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("round cache poisoned");
+        inner
+            .map
+            .iter()
+            .map(|(key, (value, _tick))| {
+                std::mem::size_of::<RoundKey>()
+                    + key.5.heap_size()
+                    + std::mem::size_of::<(Arc<RoundResult>, u64)>()
+                    + std::mem::size_of::<RoundResult>()
+                    + value.0.heap_size()
+            })
+            .sum()
+    }
+
     #[cfg(test)]
     fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()
@@ -397,6 +443,15 @@ impl PreparedCore {
     }
 }
 
+impl HeapSize for PreparedCore {
+    fn heap_size(&self) -> usize {
+        self.analyzed.heap_size()
+            + self.widen_headers.heap_size()
+            + self.vcfgs.heap_bytes()
+            + self.rounds.heap_bytes()
+    }
+}
+
 /// Hit/miss/eviction counters of every artifact cache inside a
 /// [`PreparedProgram`], cumulative over the session's lifetime.
 ///
@@ -436,6 +491,13 @@ pub struct CacheStats {
     pub round_misses: u64,
     /// Fixpoint rounds evicted by the LRU bound.
     pub round_evictions: u64,
+    /// Whole [`PreparedProgram`]s evicted by a session byte budget
+    /// ([`crate::incremental::SessionCache::max_session_bytes`]).  Zero for
+    /// plain (budget-free) sessions.
+    pub session_evictions: u64,
+    /// Resident bytes of the owning session cache at snapshot time (the
+    /// [`spec_ir::heap::HeapSize`] estimate).  Zero for per-program stats.
+    pub session_bytes: u64,
 }
 
 impl CacheStats {
@@ -465,7 +527,15 @@ impl fmt::Display for CacheStats {
             self.round_hits,
             self.round_misses,
             self.round_evictions
-        )
+        )?;
+        if self.session_bytes > 0 || self.session_evictions > 0 {
+            write!(
+                f,
+                ", sessions {} bytes resident ({} evicted)",
+                self.session_bytes, self.session_evictions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -632,6 +702,18 @@ impl PreparedProgram {
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
         available.min(jobs).max(1)
+    }
+}
+
+impl HeapSize for PreparedProgram {
+    /// The deterministic byte estimate driving
+    /// [`crate::incremental::SessionCache`] eviction: the program itself
+    /// plus every memoized artifact (unrolled cores with their VCFGs and
+    /// fixpoint rounds, address maps).  Grows as runs populate the memo
+    /// tables, which is why budget holders re-measure after every request
+    /// rather than caching the number at install time.
+    fn heap_size(&self) -> usize {
+        self.program.heap_size() + self.cores.heap_bytes() + self.amaps.heap_bytes()
     }
 }
 
@@ -805,7 +887,8 @@ impl Report {
                 "  \"session_cache\": {{\"core_hits\": {}, \"core_misses\": {}, \
                  \"amap_hits\": {}, \"amap_misses\": {}, \"amap_adopted\": {}, \
                  \"vcfg_hits\": {}, \"vcfg_misses\": {}, \"round_hits\": {}, \
-                 \"round_misses\": {}, \"round_evictions\": {}}},\n",
+                 \"round_misses\": {}, \"round_evictions\": {}, \
+                 \"session_evictions\": {}, \"session_bytes\": {}}},\n",
                 cache.core_hits,
                 cache.core_misses,
                 cache.amap_hits,
@@ -815,7 +898,9 @@ impl Report {
                 cache.vcfg_misses,
                 cache.round_hits,
                 cache.round_misses,
-                cache.round_evictions
+                cache.round_evictions,
+                cache.session_evictions,
+                cache.session_bytes
             ));
         }
         out.push_str("  \"runs\": [\n");

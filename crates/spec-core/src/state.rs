@@ -76,6 +76,12 @@ impl SpecState {
     }
 }
 
+impl spec_ir::heap::HeapSize for SpecState {
+    fn heap_size(&self) -> usize {
+        self.normal.heap_size() + self.spec.heap_size()
+    }
+}
+
 impl JoinSemiLattice for SpecState {
     fn join_in_place(&mut self, other: &Self) -> bool {
         let mut changed = self.normal.join_in_place(&other.normal);

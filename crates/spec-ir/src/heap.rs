@@ -1,0 +1,251 @@
+//! Deterministic accounting of owned heap memory.
+//!
+//! Long-lived sessions (`spec_core::incremental::SessionCache`, the
+//! `specan serve` process) need to know how big their prepared artifacts
+//! are to enforce a byte budget.  [`HeapSize`] is that accounting trait:
+//! every crate of the prepared-artifact stack implements it for the types
+//! a session keeps alive, and the session sums the estimates to decide
+//! what to evict.
+//!
+//! Two properties matter more than byte-perfect precision:
+//!
+//! * **Determinism.**  Estimates are functions of *lengths*, never of
+//!   capacities or allocator behaviour, so two processes holding equal
+//!   values account equal sizes — which is what lets eviction tests
+//!   reconcile counters across runs and machines.
+//! * **Monotonicity.**  Growing a collection grows its estimate, so a
+//!   budget-driven evictor always has something to reclaim.
+//!
+//! The estimates deliberately ignore allocator slack, hash-table control
+//! bytes and tree-node overhead; they under-report true RSS by a modest
+//! constant factor.  Budgets are tuning knobs, not hard `malloc` caps, and
+//! the docs of `--max-session-bytes` say so.
+//!
+//! Shared values (`Arc`) are counted in full by every owner.  A session
+//! that adopted an artifact from a predecessor therefore double-counts it
+//! briefly; that errs on the safe (evict sooner) side.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::fingerprint::Fingerprint;
+use crate::ids::{BlockId, RegionId};
+use crate::inst::{Condition, Inst, MemRef, Terminator};
+use crate::memory::MemoryRegion;
+use crate::program::{BasicBlock, Program};
+use crate::transform::{UnrollOptions, UnrollReport};
+
+/// Estimated bytes of heap memory owned by a value.
+pub trait HeapSize {
+    /// Heap bytes owned by `self`, **excluding** `size_of::<Self>()`
+    /// itself (the inline part is the owner's business).  Deterministic:
+    /// derived from lengths, never from capacities.
+    fn heap_size(&self) -> usize;
+
+    /// The value's inline size plus everything it owns on the heap.
+    fn total_size(&self) -> usize {
+        std::mem::size_of_val(self) + self.heap_size()
+    }
+}
+
+/// Implements [`HeapSize`] as zero for types that own no heap memory.
+#[macro_export]
+macro_rules! zero_heap_size {
+    ($($ty:ty),* $(,)?) => {
+        $(impl $crate::heap::HeapSize for $ty {
+            fn heap_size(&self) -> usize {
+                0
+            }
+        })*
+    };
+}
+
+zero_heap_size!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    bool,
+    BlockId,
+    RegionId,
+    MemRef,
+    Inst,
+    UnrollOptions,
+    UnrollReport,
+    Fingerprint,
+);
+
+macro_rules! tuple_heap_size {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(impl<$($name: HeapSize),+> HeapSize for ($($name,)+) {
+            fn heap_size(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.heap_size())+
+            }
+        })+
+    };
+}
+
+tuple_heap_size!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl<T: HeapSize> HeapSize for Arc<T> {
+    /// The pointee is counted in full by every owner (see module docs).
+    fn heap_size(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().heap_size()
+    }
+}
+
+impl<K: HeapSize, V: HeapSize> HeapSize for HashMap<K, V> {
+    fn heap_size(&self) -> usize {
+        self.len() * (std::mem::size_of::<K>() + std::mem::size_of::<V>())
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_size() + v.heap_size())
+                .sum::<usize>()
+    }
+}
+
+impl<K: HeapSize, V: HeapSize> HeapSize for BTreeMap<K, V> {
+    fn heap_size(&self) -> usize {
+        self.len() * (std::mem::size_of::<K>() + std::mem::size_of::<V>())
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_size() + v.heap_size())
+                .sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for HashSet<T> {
+    fn heap_size(&self) -> usize {
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl HeapSize for Condition {
+    fn heap_size(&self) -> usize {
+        self.depends_on.heap_size()
+    }
+}
+
+impl HeapSize for Terminator {
+    fn heap_size(&self) -> usize {
+        match self {
+            Terminator::Branch { cond, .. } => cond.heap_size(),
+            Terminator::Jump(_) | Terminator::Return => 0,
+        }
+    }
+}
+
+impl HeapSize for MemoryRegion {
+    fn heap_size(&self) -> usize {
+        self.name.heap_size()
+    }
+}
+
+impl HeapSize for BasicBlock {
+    fn heap_size(&self) -> usize {
+        self.name.heap_size() + self.insts.heap_size() + self.term.heap_size()
+    }
+}
+
+impl HeapSize for Program {
+    fn heap_size(&self) -> usize {
+        self.name().len()
+            + self
+                .regions()
+                .iter()
+                .map(HeapSize::total_size)
+                .sum::<usize>()
+            + self
+                .blocks()
+                .iter()
+                .map(HeapSize::total_size)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::IndexExpr;
+
+    #[test]
+    fn strings_and_vecs_count_lengths() {
+        assert_eq!("abc".to_string().heap_size(), 3);
+        assert_eq!(vec![1u64, 2, 3].heap_size(), 24);
+        let nested = vec!["ab".to_string(), "c".to_string()];
+        assert_eq!(
+            nested.heap_size(),
+            2 * std::mem::size_of::<String>() + 3,
+            "element inline sizes plus their heap"
+        );
+    }
+
+    #[test]
+    fn estimates_are_deterministic_and_monotone() {
+        let build = |loads: u64| {
+            let mut b = ProgramBuilder::new("sizer");
+            let t = b.region("t", 256, false);
+            let entry = b.entry_block("entry");
+            for i in 0..loads {
+                b.load(entry, t, IndexExpr::Const(i % 4 * 64));
+            }
+            b.ret(entry);
+            b.finish().unwrap()
+        };
+        let small = build(2);
+        assert_eq!(
+            small.heap_size(),
+            build(2).heap_size(),
+            "equal programs account equal sizes"
+        );
+        assert!(
+            build(20).heap_size() > small.heap_size(),
+            "more instructions, more bytes"
+        );
+        assert!(small.heap_size() > 0);
+    }
+
+    #[test]
+    fn maps_count_entries_and_their_heap() {
+        let mut map: HashMap<u32, String> = HashMap::new();
+        assert_eq!(map.heap_size(), 0);
+        map.insert(1, "abcd".to_string());
+        assert_eq!(
+            map.heap_size(),
+            std::mem::size_of::<u32>() + std::mem::size_of::<String>() + 4
+        );
+    }
+}

@@ -40,6 +40,7 @@ pub mod cfg;
 pub mod display;
 pub mod error;
 pub mod fingerprint;
+pub mod heap;
 pub mod ids;
 pub mod inst;
 pub mod loops;
@@ -52,6 +53,7 @@ pub use builder::ProgramBuilder;
 pub use cfg::Cfg;
 pub use error::{IrError, IrResult};
 pub use fingerprint::{program_fingerprint, Fingerprint, ProgramDiff};
+pub use heap::HeapSize;
 pub use ids::{BlockId, InstId, RegionId};
 pub use inst::{BranchSemantics, Condition, IndexExpr, Inst, MemRef, Terminator};
 pub use loops::{Loop, LoopForest};

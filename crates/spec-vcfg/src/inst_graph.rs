@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use spec_ir::heap::HeapSize;
 use spec_ir::{BlockId, Condition, Inst, MemRef, Program, Terminator};
 
 /// Identifier of a node in an [`InstGraph`].
@@ -239,6 +240,17 @@ impl InstGraph {
             }
         }
         dist
+    }
+}
+
+spec_ir::zero_heap_size!(NodeId, NodeKind);
+
+impl HeapSize for InstGraph {
+    fn heap_size(&self) -> usize {
+        self.kinds.heap_size()
+            + self.successors.heap_size()
+            + self.predecessors.heap_size()
+            + self.first_node_of_block.heap_size()
     }
 }
 

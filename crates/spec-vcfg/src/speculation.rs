@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use spec_ir::heap::HeapSize;
 use spec_ir::{BlockId, MemRef};
 
 use crate::inst_graph::NodeId;
@@ -158,6 +159,16 @@ impl SpeculationSite {
     /// Number of nodes that can be reached speculatively.
     pub fn spec_region_len(&self) -> usize {
         self.spec_distance.len()
+    }
+}
+
+spec_ir::zero_heap_size!(Color, MergeStrategy, SpeculationConfig);
+
+impl HeapSize for SpeculationSite {
+    fn heap_size(&self) -> usize {
+        self.condition_refs.heap_size()
+            + self.spec_distance.heap_size()
+            + self.resume_region.heap_size()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use spec_ir::heap::HeapSize;
 use spec_ir::{Cfg, Program};
 
 use crate::inst_graph::{InstGraph, NodeId};
@@ -132,6 +133,15 @@ impl Vcfg {
     /// Colors whose speculative state is committed when reaching `node`.
     pub fn commits_at(&self, node: NodeId) -> &[Color] {
         self.commits_at.get(&node).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl HeapSize for Vcfg {
+    fn heap_size(&self) -> usize {
+        self.graph.heap_size()
+            + self.sites.heap_size()
+            + self.commits_at.heap_size()
+            + self.sites_at_branch.heap_size()
     }
 }
 

@@ -7,6 +7,7 @@
 //! specan scan    <dir|files...>    [options]   sharded bundle scan; exit code 1 on any leak
 //! specan merge   <reports.json...> [options]   verified fan-in of sharded scan artifacts
 //! specan serve   [--addr H:P] [--jobs N]       persistent analysis service (NDJSON over TCP)
+//!                [--max-session-bytes B]       ... with a byte-bounded session cache
 //! specan submit  [--addr H:P] <cmd> <args...>  script a running server; prints what the
 //!                                              one-shot command would print
 //! specan worker  --shard-json <spec>           internal: run one shard, print its report
@@ -105,6 +106,10 @@ struct Cli {
     session_dir: Option<PathBuf>,
     /// `analyze`: replay unchanged programs from the session directory.
     incremental: bool,
+    /// `serve`/`analyze --incremental`: byte budget on session state —
+    /// warm in-memory sessions for `serve`, the on-disk replay store for
+    /// `analyze`.  Evictions trade recomputation for memory, never output.
+    max_session_bytes: Option<u64>,
     // `analyze`-only configuration knobs.
     baseline: bool,
     shadow: bool,
@@ -118,7 +123,8 @@ fn usage() -> String {
      \n\
      analyze   run one configuration and print the per-access classification\n\
      \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
-     \x20         [--jobs N] [--shard K/N] [--incremental [--session-dir DIR]];\n\
+     \x20         [--jobs N] [--shard K/N] [--incremental [--session-dir DIR]\n\
+     \x20         [--max-session-bytes N]];\n\
      \x20         several files allowed (JSON output becomes an array);\n\
      \x20         --incremental replays byte-identical output for programs\n\
      \x20         unchanged since the last run against the session directory\n\
@@ -143,7 +149,10 @@ fn usage() -> String {
      \x20         leaks, 2 on incomplete/overlapping/mismatched slices\n\
      serve     run the persistent analysis service on --addr (default\n\
      \x20         127.0.0.1:4870) with a --jobs worker pool; programs are\n\
-     \x20         kept warm in a shared fingerprint-keyed session cache\n\
+     \x20         kept warm in a shared fingerprint-keyed session cache;\n\
+     \x20         --max-session-bytes N bounds that cache (least recently\n\
+     \x20         used programs are evicted and re-prepared on their next\n\
+     \x20         submission — responses never change)\n\
      submit    send <analyze|compare|scan|status|shutdown> to a running\n\
      \x20         server ([--addr H:P]); prints exactly what the one-shot\n\
      \x20         command would print and exits with its code\n\
@@ -191,6 +200,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         addr: None,
         session_dir: None,
         incremental: false,
+        max_session_bytes: None,
         baseline: false,
         shadow: true,
         merge_at_rollback: false,
@@ -294,6 +304,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 ));
             }
             "--incremental" => cli.incremental = true,
+            "--max-session-bytes" if !matches!(cli.command, Command::Serve | Command::Analyze) => {
+                return Err(format!(
+                    "`--max-session-bytes` only applies to `serve` and \
+                     `analyze --incremental`\n{}",
+                    usage()
+                ));
+            }
+            "--max-session-bytes" => {
+                let value = value_of("--max-session-bytes")?;
+                cli.max_session_bytes = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a byte count"))?,
+                );
+            }
             flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
                 if !matches!(cli.command, Command::Analyze) =>
             {
@@ -335,6 +360,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Command::Analyze if cli.session_dir.is_some() && !cli.incremental => {
             return Err(format!(
                 "`analyze --session-dir` needs `--incremental`\n{}",
+                usage()
+            ));
+        }
+        Command::Analyze if cli.max_session_bytes.is_some() && !cli.incremental => {
+            return Err(format!(
+                "`analyze --max-session-bytes` needs `--incremental` (it bounds \
+                 the replay store)\n{}",
                 usage()
             ));
         }
@@ -549,11 +581,15 @@ fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
     let files = bundle[range].to_vec();
     echo_jobs(cli, effective_jobs(cli));
     let session = cli.incremental.then(|| {
-        AnalyzeSession::new(
+        let session = AnalyzeSession::new(
             cli.session_dir
                 .clone()
                 .unwrap_or_else(|| PathBuf::from(DEFAULT_SESSION_DIR)),
-        )
+        );
+        match cli.max_session_bytes {
+            Some(bytes) => session.max_session_bytes(bytes),
+            None => session,
+        }
     });
     let outputs = map_files(cli, &files, |path| analyze_one(cli, path, session.as_ref()))?;
     print_analyze_outputs(cli, &outputs);
@@ -778,15 +814,23 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
     // of an `--addr 127.0.0.1:0` ephemeral bind from it) and doubles as
     // the resolved-`--jobs` accounting for `serve`.
     eprintln!(
-        "serve: listening on {local} (jobs = {jobs}{})",
+        "serve: listening on {local} (jobs = {jobs}{}{})",
         if cli.jobs.is_some() {
             ""
         } else {
             ", auto-detected"
+        },
+        match cli.max_session_bytes {
+            Some(bytes) => format!(", max-session-bytes = {bytes}"),
+            None => String::new(),
         }
     );
-    let report = service::serve(listener, &ServiceConfig::new(jobs))
-        .map_err(|err| format!("service failed: {err}"))?;
+    let config = ServiceConfig {
+        max_session_bytes: cli.max_session_bytes,
+        ..ServiceConfig::new(jobs)
+    };
+    let report =
+        service::serve(listener, &config).map_err(|err| format!("service failed: {err}"))?;
     eprintln!(
         "serve: stopped after {} request(s), {} error(s)",
         report.requests, report.errors

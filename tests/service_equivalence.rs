@@ -13,67 +13,14 @@
 //! Like `property_soundness`, the generator is a deterministic xorshift
 //! PRNG, so a failure reproduces from the printed case number.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::{Command, Output};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use spec_bench::service_harness::{strip_analyze_timing, ServeProcess};
+use spec_bench::service_harness::{
+    random_program_text, strip_analyze_timing, Rng, Scratch, ServeProcess,
+};
 
 const CASES: u64 = 6;
-
-/// Deterministic xorshift64* generator.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Self(seed.max(1))
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
-    }
-}
-
-/// A random textual program: straight-line loads, an optional input
-/// branch diamond, an optional secret-indexed lookup.  Same `name` across
-/// regenerations, so a regeneration *is* an in-place edit of the program.
-fn random_program_text(rng: &mut Rng, name: &str) -> String {
-    let mut out = format!("program {name}\nregion table 768\nregion flag 8\n\n");
-    out.push_str("block main entry:\n");
-    for _ in 0..1 + rng.below(5) {
-        out.push_str(&format!("  load table[{}]\n", rng.below(12) * 64));
-    }
-    out.push_str("  load flag[0]\n");
-    let branched = rng.below(2) == 1;
-    if branched {
-        out.push_str("  branch mem(flag[0]) input_bit(0) -> left, right\n\n");
-        out.push_str(&format!(
-            "block left:\n  load table[{}]\n  jump tail\n\n",
-            rng.below(12) * 64
-        ));
-        out.push_str(&format!(
-            "block right:\n  load table[{}]\n  jump tail\n\n",
-            rng.below(12) * 64
-        ));
-        out.push_str("block tail:\n");
-    }
-    if rng.below(2) == 1 {
-        out.push_str("  load table[secret*64]\n");
-    } else {
-        out.push_str(&format!("  load table[{}]\n", rng.below(12) * 64));
-    }
-    out.push_str("  ret\n");
-    out
-}
 
 fn specan(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_specan"))
@@ -105,34 +52,6 @@ impl Server {
     }
 }
 
-static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);
-
-struct Scratch(PathBuf);
-
-impl Scratch {
-    fn new() -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "specan-service-equiv-{}-{}",
-            std::process::id(),
-            SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
-        Self(dir)
-    }
-
-    fn write(&self, name: &str, contents: &str) -> PathBuf {
-        let path = self.0.join(name);
-        std::fs::write(&path, contents).unwrap();
-        path
-    }
-}
-
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
 fn path_str(path: &Path) -> &str {
     path.to_str().expect("scratch paths are UTF-8")
 }
@@ -140,9 +59,9 @@ fn path_str(path: &Path) -> &str {
 #[test]
 fn warm_server_responses_match_fresh_one_shot_runs() {
     let server = Server::start();
-    let scratch = Scratch::new();
+    let scratch = Scratch::new("specan-service-equiv");
     let mut rng = Rng::new(0x5eca_2024);
-    let dir = path_str(&scratch.0).to_string();
+    let dir = path_str(scratch.dir()).to_string();
 
     // Two programs live in the bundle for the whole test; each case edits
     // one of them in place, so the server's cache sees a mix of warm
@@ -213,7 +132,7 @@ fn warm_server_responses_match_fresh_one_shot_runs() {
 #[test]
 fn rename_only_edits_render_current_names() {
     let server = Server::start();
-    let scratch = Scratch::new();
+    let scratch = Scratch::new("specan-service-equiv");
     let source = "program rn\nregion table 768\nregion flag 8\n\nblock main entry:\n  \
                   load table[0]\n  load flag[0]\n  load table[secret*64]\n  ret\n";
     let path = scratch.write("rn.spec", source);
@@ -262,7 +181,7 @@ fn submit_rejects_flags_that_cannot_travel() {
 #[test]
 fn compare_submission_matches_one_shot_output() {
     let server = Server::start();
-    let scratch = Scratch::new();
+    let scratch = Scratch::new("specan-service-equiv");
     let mut rng = Rng::new(0xc0_fee);
     let path = scratch.write("gamma.spec", &random_program_text(&mut rng, "gamma"));
     let path = path_str(&path);

@@ -1,0 +1,176 @@
+//! Soak test for the memory-bounded analysis service: one `specan serve
+//! --max-session-bytes` process fed far more distinct programs than its
+//! budget holds, every one submitted twice.
+//!
+//! Three properties are held under load:
+//!
+//! * **the bound is strict** — the server's reported `session_bytes` never
+//!   exceeds the budget at any request boundary (the server re-measures
+//!   and evicts after every request);
+//! * **eviction is invisible** — every response, first or second
+//!   submission, warm or re-prepared, is byte-identical (post timing
+//!   strip) to a fresh one-shot CLI run of the same file;
+//! * **no stale replay** — re-submitting an *evicted* program under
+//!   renamed regions renders the new names, closing the
+//!   rename-stale-names class of bugs for the eviction path (the entry is
+//!   gone, so nothing stale can possibly be replayed).
+
+use std::path::Path;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use spec_bench::service_harness::{
+    random_program_text, strip_analyze_timing, Rng, Scratch, ServeProcess,
+};
+use speculative_absint::core::incremental::SessionCache;
+use speculative_absint::core::service::{analyze_output, AnalyzeConfig};
+use speculative_absint::core::session::Analyzer;
+use speculative_absint::ir::text::parse_program;
+
+const PROGRAMS: usize = 12;
+const CACHE_LINES: &str = "8";
+
+fn specan(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_specan"))
+        .args(args)
+        .output()
+        .expect("specan runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+fn submit(server: &ServeProcess, args: &[&str]) -> Output {
+    let mut full = vec!["submit", "--addr", server.addr()];
+    full.extend_from_slice(args);
+    specan(&full)
+}
+
+/// Extracts an unsigned field from the `status` JSON by key.
+fn status_field(status: &str, key: &str) -> u64 {
+    status
+        .split(&format!("\"{key}\": "))
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("status lacks `{key}`: {status}"))
+}
+
+#[test]
+fn bounded_server_soak_holds_the_byte_budget_without_changing_results() {
+    let scratch = Scratch::new("specan-service-soak");
+    let mut rng = Rng::new(0x50a6_2026);
+    let mut texts = Vec::new();
+    let mut paths = Vec::new();
+    for i in 0..PROGRAMS {
+        let name = format!("soak{i:02}");
+        let text = random_program_text(&mut rng, &name);
+        paths.push(scratch.write(&format!("{name}.spec"), &text));
+        texts.push(text);
+    }
+
+    // Calibrate the budget in-process with the *same* request the server
+    // will run (the shared `analyze_output` path), so "N programs ≫
+    // budget" holds by construction: the budget is a quarter of the whole
+    // ran-in set, i.e. roughly three entries' worth for twelve programs.
+    let config = AnalyzeConfig {
+        cache_lines: 8,
+        json: true,
+        ..AnalyzeConfig::default()
+    };
+    let total_bytes: u64 = texts
+        .iter()
+        .map(|text| {
+            let program = parse_program(text).expect("generated programs parse");
+            let prepared = Arc::new(Analyzer::new().prepare(&program));
+            analyze_output(&prepared, &config).expect("probe analyzes");
+            let mut probe = SessionCache::new();
+            probe.install(prepared);
+            probe.resident_bytes()
+        })
+        .sum();
+    let budget = total_bytes / 4;
+    assert!(budget > 0);
+
+    let server = ServeProcess::start_with_args(
+        Path::new(env!("CARGO_BIN_EXE_specan")),
+        2,
+        &["--max-session-bytes", &budget.to_string()],
+    );
+
+    // Submit every program twice; after each response the reported
+    // resident bytes must fit the budget, and each response must equal a
+    // fresh one-shot run (eviction and re-preparation included).
+    for round in 0..2 {
+        for (i, path) in paths.iter().enumerate() {
+            let path = path.to_str().unwrap();
+            let served = submit(
+                &server,
+                &["analyze", path, "--cache-lines", CACHE_LINES, "--json"],
+            );
+            assert_eq!(
+                served.status.code(),
+                Some(0),
+                "round {round} program {i}: {}",
+                String::from_utf8_lossy(&served.stderr)
+            );
+            let fresh = specan(&["analyze", path, "--cache-lines", CACHE_LINES, "--json"]);
+            assert_eq!(
+                strip_analyze_timing(&stdout_of(&served)),
+                strip_analyze_timing(&stdout_of(&fresh)),
+                "round {round} program {i}: response must match a fresh run"
+            );
+            let status = stdout_of(&submit(&server, &["status"]));
+            let resident = status_field(&status, "session_bytes");
+            assert!(
+                resident <= budget,
+                "round {round} program {i}: resident {resident} bytes exceed \
+                 the {budget}-byte budget: {status}"
+            );
+        }
+    }
+
+    // The soak really exercised eviction, and the counters reconcile:
+    // installs minus evictions is exactly the resident population.
+    let status = stdout_of(&submit(&server, &["status"]));
+    let evictions = status_field(&status, "session_evictions");
+    let inserted = status_field(&status, "inserted");
+    let resident_programs = status_field(&status, "programs");
+    assert!(
+        evictions > 0,
+        "twelve programs against a ~three-program budget must evict: {status}"
+    );
+    assert!(resident_programs < PROGRAMS as u64, "not everything fits");
+    assert_eq!(
+        inserted - evictions,
+        resident_programs,
+        "installs - evictions must equal resident entries: {status}"
+    );
+
+    // No stale replay after eviction: the first program of the final round
+    // is long evicted (eleven fresher programs follow it, worth far more
+    // than the budget).  Re-submit it with every region renamed — same
+    // structural fingerprint — and the server must render the *new* names,
+    // exactly like a fresh run of the edited file.
+    let renamed = texts[0].replace("table", "lut").replace("flag", "toggle");
+    assert_ne!(renamed, texts[0], "the rename must actually rename");
+    let path = scratch.write("soak00.spec", &renamed);
+    let path = path.to_str().unwrap();
+    let served = submit(
+        &server,
+        &["analyze", path, "--cache-lines", CACHE_LINES, "--json"],
+    );
+    assert_eq!(served.status.code(), Some(0));
+    let fresh = specan(&["analyze", path, "--cache-lines", CACHE_LINES, "--json"]);
+    assert_eq!(
+        strip_analyze_timing(&stdout_of(&served)),
+        strip_analyze_timing(&stdout_of(&fresh)),
+        "an evicted program must be re-prepared, never replayed stale"
+    );
+    assert!(stdout_of(&served).contains("\"lut\""), "new names render");
+    assert!(
+        !stdout_of(&served).contains("\"table\""),
+        "old names are gone"
+    );
+}

@@ -1,0 +1,161 @@
+//! Set-associative geometry snapshot over the paper's crypto and
+//! motivating workloads — the tier-1 face of the bench harness's full
+//! `geometry_sweep` bin.
+//!
+//! The bundle-level sweep (`tests/geometry_sweep.rs`) pins the three
+//! example programs; this suite pins the *workload tables*: every Table 4
+//! crypto routine plus the motivating programs, analysed at 8 sets ×
+//! ways 1/2/4/8 (capacity grows with associativity), at the 16-line bench
+//! scale so the whole sweep stays tier-1 fast.  A drift in any number
+//! means the set-associative path of the abstract domain — or a workload
+//! generator — changed behaviour.
+
+use speculative_absint::cache::CacheConfig;
+use speculative_absint::core::{AnalysisOptions, Analyzer};
+use speculative_absint::ir::Program;
+use speculative_absint::workloads::{
+    crypto_suite, figure11_program, figure2_program, quantl_program,
+};
+
+const NUM_SETS: usize = 8;
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+const SCALE_LINES: u64 = 16;
+
+/// One snapshot row: workload, ways, the speculative run's deterministic
+/// fields `(must_hits, misses, speculative_misses,
+/// unsafe_secret_accesses)`, and the derived leak verdict.
+type Row = (&'static str, usize, (usize, usize, usize, usize), bool);
+
+/// The pinned behaviour of the crypto + motivating workloads across the
+/// sweep.  The qualitative shape is the interesting part: every crypto
+/// routine leaks in the direct-mapped geometry (preloaded table lines
+/// conflict-evict each other, so the secret-indexed lookups are not
+/// provably timing-neutral) and goes clean once each set holds enough
+/// ways for its working set — at different associativities per routine
+/// (`seed`/`camellia` at 2, `aes`/`hash` at 4, `des`/`chacha20` only at
+/// 8).  The motivating `figure11` and `quantl` programs have no
+/// secret-indexed accesses and never leak at any geometry.
+const EXPECTED: &[Row] = &[
+    ("hash", 1, (3, 20, 8, 2), true),
+    ("hash", 2, (3, 20, 8, 2), true),
+    ("hash", 4, (5, 18, 8, 0), false),
+    ("hash", 8, (5, 18, 8, 0), false),
+    ("encoder", 1, (3, 20, 8, 2), true),
+    ("encoder", 2, (3, 20, 8, 2), true),
+    ("encoder", 4, (5, 18, 8, 0), false),
+    ("encoder", 8, (5, 18, 8, 0), false),
+    ("chacha20", 1, (4, 28, 12, 2), true),
+    ("chacha20", 2, (5, 27, 12, 2), true),
+    ("chacha20", 4, (6, 26, 12, 1), true),
+    ("chacha20", 8, (7, 25, 12, 0), false),
+    ("ocb", 1, (3, 21, 8, 2), true),
+    ("ocb", 2, (3, 21, 8, 2), true),
+    ("ocb", 4, (5, 19, 8, 0), false),
+    ("ocb", 8, (5, 19, 8, 0), false),
+    ("aes", 1, (6, 29, 16, 2), true),
+    ("aes", 2, (8, 27, 16, 1), true),
+    ("aes", 4, (13, 22, 16, 0), false),
+    ("aes", 8, (13, 22, 16, 0), false),
+    ("str2key", 1, (8, 16, 0, 2), true),
+    ("str2key", 2, (9, 15, 0, 1), true),
+    ("str2key", 4, (10, 14, 0, 0), false),
+    ("str2key", 8, (10, 14, 0, 0), false),
+    ("des", 1, (4, 40, 12, 2), true),
+    ("des", 2, (5, 39, 12, 2), true),
+    ("des", 4, (5, 39, 12, 2), true),
+    ("des", 8, (7, 37, 12, 0), false),
+    ("seed", 1, (4, 23, 8, 1), true),
+    ("seed", 2, (8, 19, 8, 0), false),
+    ("seed", 4, (9, 18, 8, 0), false),
+    ("seed", 8, (9, 18, 8, 0), false),
+    ("camellia", 1, (5, 26, 12, 1), true),
+    ("camellia", 2, (7, 24, 12, 0), false),
+    ("camellia", 4, (11, 20, 12, 0), false),
+    ("camellia", 8, (11, 20, 12, 0), false),
+    ("salsa", 1, (14, 16, 0, 2), true),
+    ("salsa", 2, (15, 15, 0, 1), true),
+    ("salsa", 4, (16, 14, 0, 0), false),
+    ("salsa", 8, (16, 14, 0, 0), false),
+    ("figure2", 1, (0, 18, 2, 1), true),
+    ("figure2", 2, (0, 18, 2, 1), true),
+    ("figure2", 4, (1, 17, 2, 0), false),
+    ("figure2", 8, (1, 17, 2, 0), false),
+    ("figure11", 1, (8, 10, 0, 0), false),
+    ("figure11", 2, (8, 10, 0, 0), false),
+    ("figure11", 4, (8, 10, 0, 0), false),
+    ("figure11", 8, (8, 10, 0, 0), false),
+    ("quantl", 1, (20, 12, 4, 0), false),
+    ("quantl", 2, (22, 10, 4, 0), false),
+    ("quantl", 4, (22, 10, 4, 0), false),
+    ("quantl", 8, (22, 10, 4, 0), false),
+];
+
+fn workloads() -> Vec<(String, Program)> {
+    let mut programs: Vec<(String, Program)> = crypto_suite(SCALE_LINES)
+        .into_iter()
+        .map(|(workload, _)| (workload.info.name.to_string(), workload.program))
+        .collect();
+    programs.push(("figure2".to_string(), figure2_program(SCALE_LINES)));
+    programs.push(("figure11".to_string(), figure11_program(8)));
+    programs.push(("quantl".to_string(), quantl_program()));
+    programs
+}
+
+#[test]
+fn crypto_and_motivating_verdicts_are_stable_across_the_sweep() {
+    let mut actual: Vec<Row> = Vec::new();
+    for (name, program) in workloads() {
+        let prepared = Analyzer::new().prepare(&program);
+        let name: &'static str = EXPECTED
+            .iter()
+            .map(|(expected_name, ..)| *expected_name)
+            .find(|expected_name| *expected_name == name)
+            .unwrap_or_else(|| panic!("unexpected workload `{name}`: re-pin the snapshot"));
+        for ways in WAYS {
+            let cache = CacheConfig::set_associative(NUM_SETS, ways, 64);
+            let result = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
+            let unsafe_secret = result
+                .secret_accesses()
+                .filter(|access| !access.observable_hit || access.is_speculative_miss())
+                .count();
+            actual.push((
+                name,
+                ways,
+                (
+                    result.must_hit_count(),
+                    result.miss_count(),
+                    result.speculative_miss_count(),
+                    unsafe_secret,
+                ),
+                unsafe_secret > 0,
+            ));
+        }
+    }
+    assert_eq!(
+        actual, EXPECTED,
+        "workload geometry verdicts drifted; if the change is intended, \
+         re-pin the snapshot from this failure's `left` value"
+    );
+}
+
+/// The domain's monotonicity contract on the workload tables: within a
+/// fixed set count, growing the ways never loses a must-hit guarantee.
+#[test]
+fn more_ways_never_lose_must_hits_on_the_workloads() {
+    for (name, program) in workloads() {
+        let prepared = Analyzer::new().prepare(&program);
+        let mut previous = None;
+        for ways in WAYS {
+            let cache = CacheConfig::set_associative(NUM_SETS, ways, 64);
+            let result = prepared.run(&AnalysisOptions::builder().cache(cache).build().unwrap());
+            let must_hits = result.must_hit_count();
+            if let Some(previous) = previous {
+                assert!(
+                    must_hits >= previous,
+                    "{name}: {ways} ways lost must-hits ({must_hits} < {previous})"
+                );
+            }
+            previous = Some(must_hits);
+        }
+    }
+}
