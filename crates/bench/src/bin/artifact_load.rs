@@ -1,0 +1,191 @@
+//! Artifact store: cold prepare vs disk load, per ETE workload.
+//!
+//! The artifact store's pitch is that a warm restart skips preparation
+//! entirely — unrolling, address maps, VCFGs and the memoized fixpoint
+//! rounds all come back from one checksummed file.  This harness measures
+//! that trade directly, without a server: for every ETE workload it
+//! prepares the program cold, runs the comparison panel (which populates
+//! the round memo), saves the artifact into a scratch store, loads it back,
+//! and re-runs the same panel on the restored session.  The restored report
+//! must be byte-identical to the cold one after the timing strip — the same
+//! contract `specan serve --artifact-dir` gives across restarts.
+//!
+//! Knobs (environment):
+//!
+//! * `SPEC_BENCH_CACHE_LINES` — cache/workload scale (default 128).
+//!
+//! Pass `--json` to emit a machine-readable report (the CI bench-smoke
+//! job uploads it as an artifact, feeding the BENCH trajectory).
+
+use std::time::{Duration, Instant};
+
+use spec_bench::service_harness::Scratch;
+use spec_bench::{bench_cache, bench_cache_lines, fmt_secs, print_table};
+use spec_core::session::comparison_configs;
+use spec_core::{Analyzer, PreparedStore};
+use spec_workloads::ete_suite;
+
+struct Row {
+    name: &'static str,
+    prepare: Duration,
+    run_cold: Duration,
+    save: Duration,
+    load: Duration,
+    run_restored: Duration,
+    artifact_bytes: u64,
+}
+
+impl Row {
+    /// Wall time to first report on a cold start: prepare + analyze.
+    fn cold_total(&self) -> Duration {
+        self.prepare + self.run_cold
+    }
+
+    /// Wall time to first report on a warm restart: load + analyze with
+    /// the memoized rounds replayed.
+    fn restored_total(&self) -> Duration {
+        self.load + self.run_restored
+    }
+
+    fn speedup(&self) -> f64 {
+        self.cold_total().as_secs_f64() / self.restored_total().as_secs_f64().max(1e-9)
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cache_lines = bench_cache_lines();
+    let configs = comparison_configs(bench_cache());
+
+    let scratch = Scratch::new("spec-artifact-load");
+    let store = PreparedStore::open(scratch.dir());
+    let analyzer = Analyzer::new();
+
+    let mut rows = Vec::new();
+    for workload in ete_suite(cache_lines) {
+        let start = Instant::now();
+        let prepared = analyzer.prepare(&workload.program);
+        let prepare = start.elapsed();
+
+        let start = Instant::now();
+        let cold_suite = prepared.run_suite(&configs);
+        let run_cold = start.elapsed();
+        let cold_report = cold_suite.report().without_timing().to_json();
+
+        let start = Instant::now();
+        let artifact_bytes = store.save(&prepared).expect("artifact saves");
+        let save = start.elapsed();
+
+        let start = Instant::now();
+        let (restored, _) = store
+            .load(&analyzer, prepared.fingerprint())
+            .expect("artifact loads back");
+        let load = start.elapsed();
+
+        let start = Instant::now();
+        let restored_suite = restored.run_suite(&configs);
+        let run_restored = start.elapsed();
+        assert_eq!(
+            cold_report,
+            restored_suite.report().without_timing().to_json(),
+            "restored report diverged from the cold one for `{}`",
+            workload.name()
+        );
+
+        rows.push(Row {
+            name: workload.info.name,
+            prepare,
+            run_cold,
+            save,
+            load,
+            run_restored,
+            artifact_bytes,
+        });
+    }
+
+    let store_bytes = store
+        .store()
+        .entries()
+        .expect("store lists")
+        .iter()
+        .map(|e| e.file_bytes)
+        .sum::<u64>();
+    let total = |f: fn(&Row) -> Duration| rows.iter().map(f).sum::<Duration>();
+    let cold_total = total(Row::cold_total);
+    let restored_total = total(Row::restored_total);
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cache_lines\": {cache_lines},\n"));
+        out.push_str(&format!("  \"configs\": {},\n", configs.len()));
+        out.push_str("  \"workloads\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"prepare_secs\": {:.6}, \"run_cold_secs\": {:.6}, \
+                 \"save_secs\": {:.6}, \"load_secs\": {:.6}, \"run_restored_secs\": {:.6}, \
+                 \"artifact_bytes\": {}, \"restart_speedup\": {:.3}}}{}\n",
+                row.name,
+                row.prepare.as_secs_f64(),
+                row.run_cold.as_secs_f64(),
+                row.save.as_secs_f64(),
+                row.load.as_secs_f64(),
+                row.run_restored.as_secs_f64(),
+                row.artifact_bytes,
+                row.speedup(),
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"store_bytes\": {store_bytes},\n"));
+        out.push_str(&format!(
+            "  \"cold_total_secs\": {:.6},\n",
+            cold_total.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"restored_total_secs\": {:.6},\n",
+            restored_total.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"restart_speedup\": {:.3},\n",
+            cold_total.as_secs_f64() / restored_total.as_secs_f64().max(1e-9)
+        ));
+        out.push_str("  \"reports_identical\": true\n}");
+        println!("{out}");
+    } else {
+        let table = rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.name.to_string(),
+                    fmt_secs(row.cold_total()),
+                    fmt_secs(row.restored_total()),
+                    format!("{:.2}x", row.speedup()),
+                    format!("{}", row.artifact_bytes),
+                ]
+            })
+            .collect::<Vec<_>>();
+        print_table(
+            &format!(
+                "Artifact load vs cold prepare ({} configs, {cache_lines}-line cache)",
+                configs.len()
+            ),
+            &[
+                "Workload",
+                "Cold (s)",
+                "Restored (s)",
+                "Speedup",
+                "Artifact (bytes)",
+            ],
+            &table,
+        );
+        println!(
+            "\nStore size: {store_bytes} bytes across {} artifact(s); total cold {} s vs \
+             restored {} s ({:.2}x).  All restored reports were byte-identical to their \
+             cold counterparts (post timing-strip).",
+            rows.len(),
+            fmt_secs(cold_total),
+            fmt_secs(restored_total),
+            cold_total.as_secs_f64() / restored_total.as_secs_f64().max(1e-9)
+        );
+    }
+}

@@ -79,6 +79,14 @@ impl ServeProcess {
         &self.addr
     }
 
+    /// Hard-kills the server without a shutdown handshake — the harness's
+    /// stand-in for a crash (or SIGKILL) in the warm-restart suites, which
+    /// must prove that whatever survives on disk is enough to answer again.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
     /// Requests a graceful shutdown and reaps the child.  Best-effort and
     /// idempotent: a server that already died is simply reaped.
     pub fn shutdown(&mut self) {

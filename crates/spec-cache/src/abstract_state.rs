@@ -44,6 +44,10 @@ struct StateInner {
     may: BTreeMap<MemBlock, Age>,
 }
 
+/// Borrowed `(must, may)` age maps of a non-bottom state — the serializable
+/// payload of [`AbstractCacheState::to_parts`].
+pub type AgeMapsRef<'a> = (&'a BTreeMap<MemBlock, Age>, &'a BTreeMap<MemBlock, Age>);
+
 /// Abstract cache state (must analysis, optionally refined with shadow
 /// variables).
 ///
@@ -70,6 +74,26 @@ impl AbstractCacheState {
     pub fn empty_cache(_config: &CacheConfig, track_shadow: bool) -> Self {
         Self {
             inner: Some(StateInner::default()),
+            track_shadow,
+        }
+    }
+
+    /// Decomposes the state into its serializable parts: the shadow flag
+    /// plus, for non-bottom states, the must and may age maps.
+    pub fn to_parts(&self) -> (bool, Option<AgeMapsRef<'_>>) {
+        (
+            self.track_shadow,
+            self.inner.as_ref().map(|s| (&s.must, &s.may)),
+        )
+    }
+
+    /// Rebuilds a state from its parts (inverse of [`Self::to_parts`]).
+    pub fn from_parts(
+        track_shadow: bool,
+        inner: Option<(BTreeMap<MemBlock, Age>, BTreeMap<MemBlock, Age>)>,
+    ) -> Self {
+        Self {
+            inner: inner.map(|(must, may)| StateInner { must, may }),
             track_shadow,
         }
     }

@@ -65,6 +65,43 @@ impl AddressMap {
         }
     }
 
+    /// Rebuilds a map from its serialized parts (inverse of the accessor
+    /// quadruple [`Self::line_size`], [`Self::num_sets`],
+    /// [`Self::base_blocks`], [`Self::block_counts`]).
+    pub fn from_parts(
+        line_size: u64,
+        num_sets: usize,
+        base_block: Vec<u64>,
+        blocks: Vec<u64>,
+    ) -> Self {
+        Self {
+            line_size,
+            num_sets,
+            base_block,
+            blocks,
+        }
+    }
+
+    /// Cache line size the layout was computed for.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of cache sets the layout maps onto.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Base block number of each region, in region order.
+    pub fn base_blocks(&self) -> &[u64] {
+        &self.base_block
+    }
+
+    /// Number of blocks of each region, in region order.
+    pub fn block_counts(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Number of cache blocks occupied by `region`.
     pub fn region_blocks(&self, region: RegionId) -> u64 {
         self.blocks[region.index()]

@@ -1,0 +1,465 @@
+//! Persistent prepared-program artifacts: serialize a whole analysis
+//! session to disk and restore it in another process.
+//!
+//! A [`crate::session::PreparedProgram`] is a pure function of the program
+//! plus the requests that have been run against it — every memoized artifact
+//! (unrolled cores, address maps, VCFGs, fixpoint rounds) is deterministic.
+//! That makes the entire session serializable: this module walks the same
+//! structure the `HeapSize` accounting walks and encodes it with the
+//! [`spec_store`] codec, so a server restart (or a different machine sharing
+//! the artifact directory) can load warm state instead of re-preparing.
+//!
+//! ## Content addressing
+//!
+//! An artifact is addressed by the pair
+//!
+//! * **structural fingerprint** ([`spec_ir::fingerprint::program_fingerprint`])
+//!   — names the file and keys lookups, and
+//! * **options/schema signature** ([`options_signature`]) — a hash over a
+//!   canonical description of the serialized traversal; any change to the
+//!   shape of [`crate::AnalysisOptions`] or to this module's encoding must
+//!   be reflected in the descriptor, turning stale artifacts into clean
+//!   store misses instead of misdecodes.
+//!
+//! ## What is (not) persisted
+//!
+//! Cache *counters* (hits/misses/adoptions) are process statistics, not
+//! session content — restored sessions start from zero, exactly like a fresh
+//! prepare, so responses stay byte-identical after the timing strip.
+//! Analyzer policy (suite-thread and round-cache bounds) is also per-process
+//! and is re-applied from the loading [`Analyzer`], not read from disk.
+//! Round-cache *recency* is preserved: rounds are written in
+//! least-to-most-recently-used order and restored under fresh ticks, so a
+//! restored bounded cache evicts in the same order the saved one would have.
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use spec_ir::fingerprint::{program_fingerprint, Fingerprint};
+use spec_ir::Program;
+use spec_store::{fnv64, ArtifactStore, Codec, DecodeError, Decoder, Encoder, LoadOutcome};
+
+use crate::session::{Analyzer, Memo, PreparedCore, PreparedProgram, RoundCache};
+use crate::state::SpecState;
+
+/// Canonical description of the serialized traversal.
+///
+/// This string *is* the schema: [`options_signature`] hashes it, and the
+/// hash rides in every artifact header.  Whenever the encoding of any
+/// serialized type changes shape — a new `AnalysisOptions` knob that feeds a
+/// memo key, a new field in a serialized struct, a reordered traversal —
+/// edit this descriptor (or bump `spec_store::ARTIFACT_FORMAT_VERSION`), and
+/// every stale artifact turns into a clean store miss.
+const PREPARED_SCHEMA: &str = "prepared-v1;\
+ program{name,regions{name,size_bytes,secret},blocks{id,name?,insts,term},entry};\
+ amaps[(line_size,num_sets,assoc)->{line_size,num_sets,base_blocks,block_counts}];\
+ cores[(unroll_loops,{max_program_insts,max_trip_count})->{analyzed,\
+ unroll{unrolled_loops,skipped_loops},widen_headers,\
+ vcfgs[(depth_on_miss,merge)->{graph{kinds,successors,entry},sites,config}],\
+ rounds[(cache,shadow,widening_delay,depth_on_hit,merge,bounds)->\
+ (states{normal,spec[color->{shadow,must,may}]},solve_stats)] in lru order]}";
+
+/// The options/schema signature embedded in every artifact header.
+pub fn options_signature() -> u64 {
+    fnv64(PREPARED_SCHEMA.as_bytes())
+}
+
+impl Codec for SpecState {
+    fn encode(&self, e: &mut Encoder) {
+        self.normal.encode(e);
+        self.spec.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SpecState {
+            normal: Codec::decode(d)?,
+            spec: Codec::decode(d)?,
+        })
+    }
+}
+
+/// Serializes a prepared session into a self-contained payload.
+///
+/// Memo tables are emitted in sorted key order (rounds in LRU order, whose
+/// recency is part of the session's observable eviction behaviour), so the
+/// payload is a deterministic function of the session contents.
+pub fn encode_prepared(prepared: &PreparedProgram) -> Vec<u8> {
+    let mut e = Encoder::new();
+    prepared.fingerprint.encode(&mut e);
+    prepared.program.encode(&mut e);
+
+    let mut amaps = prepared.amaps.entries();
+    amaps.sort_by_key(|(cache, _)| (cache.line_size, cache.num_sets, cache.associativity));
+    e.usize(amaps.len());
+    for (cache, amap) in amaps {
+        cache.encode(&mut e);
+        amap.encode(&mut e);
+    }
+
+    let mut cores = prepared.cores.entries();
+    cores.sort_by_key(|((unroll_loops, unroll), _)| {
+        (
+            *unroll_loops,
+            unroll.max_program_insts,
+            unroll.max_trip_count,
+        )
+    });
+    e.usize(cores.len());
+    for (key, core) in cores {
+        key.encode(&mut e);
+        core.analyzed.encode(&mut e);
+        core.unroll.encode(&mut e);
+        core.widen_headers.encode(&mut e);
+
+        let mut vcfgs = core.vcfgs.entries();
+        vcfgs.sort_by_key(|((depth, merge), _)| (*depth, *merge as u8));
+        e.usize(vcfgs.len());
+        for (vkey, vcfg) in vcfgs {
+            vkey.encode(&mut e);
+            vcfg.encode(&mut e);
+        }
+
+        core.rounds.lru_entries().encode(&mut e);
+    }
+    e.into_bytes()
+}
+
+/// Deserializes a prepared session, applying the loading process's analyzer
+/// policy (thread and round-cache bounds).
+///
+/// Fails — rather than producing an inconsistent session — if the payload is
+/// malformed, if the embedded program does not hash to the embedded
+/// fingerprint, or if any derived index is out of range.
+pub fn decode_prepared(bytes: &[u8], analyzer: &Analyzer) -> Result<PreparedProgram, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    let prepared = decode_prepared_inner(&mut d, analyzer)?;
+    d.finish()?;
+    Ok(prepared)
+}
+
+fn decode_prepared_inner(
+    d: &mut Decoder<'_>,
+    analyzer: &Analyzer,
+) -> Result<PreparedProgram, DecodeError> {
+    let (max_suite_threads, round_cache_capacity) = analyzer.settings();
+    let fingerprint = Fingerprint::decode(d)?;
+    let program = Program::decode(d)?;
+    if program_fingerprint(&program) != fingerprint {
+        return Err(DecodeError::Invalid("program does not match fingerprint"));
+    }
+
+    let amap_count = d.seq_len()?;
+    let mut amaps = Vec::with_capacity(amap_count);
+    for _ in 0..amap_count {
+        let cache = Codec::decode(d)?;
+        let amap = Codec::decode(d)?;
+        amaps.push((cache, Arc::new(amap)));
+    }
+
+    let core_count = d.seq_len()?;
+    let mut cores = Vec::with_capacity(core_count);
+    for _ in 0..core_count {
+        let key = Codec::decode(d)?;
+        let core = decode_core(d, round_cache_capacity)?;
+        cores.push((key, Arc::new(core)));
+    }
+
+    Ok(PreparedProgram {
+        program,
+        fingerprint,
+        max_suite_threads,
+        round_cache_capacity,
+        cores: Memo::from_entries(cores),
+        amaps: Memo::from_entries(amaps),
+        amaps_adopted: AtomicU64::new(0),
+    })
+}
+
+fn decode_core(
+    d: &mut Decoder<'_>,
+    round_cache_capacity: Option<NonZeroUsize>,
+) -> Result<PreparedCore, DecodeError> {
+    let analyzed: Arc<Program> = Codec::decode(d)?;
+    let unroll = Codec::decode(d)?;
+    let widen_headers: Vec<spec_ir::BlockId> = Codec::decode(d)?;
+    if widen_headers
+        .iter()
+        .any(|header| header.index() >= analyzed.blocks().len())
+    {
+        return Err(DecodeError::Invalid("widen header out of range"));
+    }
+
+    let vcfg_count = d.seq_len()?;
+    let mut vcfgs = Vec::with_capacity(vcfg_count);
+    for _ in 0..vcfg_count {
+        let key = Codec::decode(d)?;
+        let vcfg: spec_vcfg::Vcfg = Codec::decode(d)?;
+        vcfgs.push((key, Arc::new(vcfg)));
+    }
+
+    let rounds = Codec::decode(d)?;
+    Ok(PreparedCore {
+        analyzed,
+        unroll,
+        widen_headers,
+        vcfgs: Memo::from_entries(vcfgs),
+        rounds: RoundCache::from_entries(round_cache_capacity, rounds),
+    })
+}
+
+/// An [`ArtifactStore`] specialised to prepared-program payloads: the
+/// second cache tier below [`crate::incremental::SessionCache`]'s in-memory
+/// entries.
+#[derive(Clone, Debug)]
+pub struct PreparedStore {
+    store: ArtifactStore,
+    signature: u64,
+}
+
+impl PreparedStore {
+    /// Opens a store rooted at `dir` (created lazily on first save).
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            store: ArtifactStore::new(dir),
+            signature: options_signature(),
+        }
+    }
+
+    /// Bounds the on-disk store to `bytes`, enforced by recency after every
+    /// save (the disk-tier analogue of
+    /// [`crate::incremental::SessionCache::max_session_bytes`]).
+    pub fn max_store_bytes(mut self, bytes: u64) -> Self {
+        self.store = self.store.with_max_bytes(Some(bytes));
+        self
+    }
+
+    /// The underlying artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Loads and deserializes the artifact for `fingerprint`, if present
+    /// and valid.  Returns the restored session plus the payload size in
+    /// bytes (for the load-bytes counters).  Any failure — missing file,
+    /// header/checksum rejection, or a payload that fails to decode — comes
+    /// back as `None`, with the offending file quarantined, so callers fall
+    /// through to a cold prepare.
+    pub fn load(
+        &self,
+        analyzer: &Analyzer,
+        fingerprint: Fingerprint,
+    ) -> Option<(PreparedProgram, u64)> {
+        match self.store.load(fingerprint.0, self.signature) {
+            LoadOutcome::Loaded(payload) => {
+                match decode_prepared(&payload, analyzer) {
+                    Ok(prepared) => Some((prepared, payload.len() as u64)),
+                    Err(_) => {
+                        // The checksum matched but the payload did not
+                        // decode: a schema drift the signature failed to
+                        // catch.  Quarantine so it is never retried.
+                        self.store.reject(fingerprint.0);
+                        None
+                    }
+                }
+            }
+            LoadOutcome::Missing | LoadOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// Serializes and atomically writes `prepared`, returning the bytes
+    /// written.
+    pub fn save(&self, prepared: &PreparedProgram) -> std::io::Result<u64> {
+        let payload = encode_prepared(prepared);
+        self.store
+            .save(prepared.fingerprint().0, self.signature, &payload)
+    }
+
+    /// Read-only full verification of every artifact in the store — the
+    /// engine of `specan artifacts verify`.  Each file goes through the
+    /// complete serve-path validation chain (header, checksum, options
+    /// signature, payload decode, embedded-fingerprint check) without
+    /// quarantining or touching recency.  Returns one `(fingerprint,
+    /// result)` row per file, sorted by fingerprint; `Ok` carries the
+    /// payload size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors listing the store directory (per-file read
+    /// failures are reported in the rows instead).
+    pub fn verify(&self, analyzer: &Analyzer) -> std::io::Result<Vec<(u64, Result<u64, String>)>> {
+        let mut out = Vec::new();
+        for entry in self.store.entries()? {
+            let verdict = match std::fs::read(&entry.path) {
+                Err(err) => Err(format!("cannot read: {err}")),
+                Ok(bytes) => match spec_store::store::parse_artifact(
+                    &bytes,
+                    Some(entry.fingerprint),
+                    Some(self.signature),
+                ) {
+                    Err(reason) => Err(reason.to_string()),
+                    Ok((_, payload)) => match decode_prepared(payload, analyzer) {
+                        Ok(prepared) if prepared.fingerprint().0 == entry.fingerprint => {
+                            Ok(payload.len() as u64)
+                        }
+                        Ok(_) => Err("embedded fingerprint mismatch".to_string()),
+                        Err(err) => Err(format!("payload does not decode: {err}")),
+                    },
+                },
+            };
+            out.push((entry.fingerprint, verdict));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use spec_cache::CacheConfig;
+    use spec_ir::builder::ProgramBuilder;
+    use spec_ir::{BranchSemantics, IndexExpr, MemRef};
+
+    use super::*;
+    use crate::session::comparison_configs;
+    use crate::AnalysisOptions;
+
+    fn sample_program(name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let table = b.region("table", 4 * 64, false);
+        let key = b.secret_region("key", 64);
+        let entry = b.entry_block("entry");
+        let hot = b.block("hot");
+        let done = b.block("done");
+        b.load(entry, table, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(key, 0)],
+            BranchSemantics::SecretBit { bit: 0 },
+            hot,
+            done,
+        );
+        b.load(hot, table, IndexExpr::secret(64));
+        b.jump(hot, done);
+        b.load(done, table, IndexExpr::Const(0));
+        b.ret(done);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn empty_session_round_trips() {
+        let program = sample_program("empty");
+        let analyzer = Analyzer::new();
+        let prepared = analyzer.prepare(&program);
+        let bytes = encode_prepared(&prepared);
+        let restored = decode_prepared(&bytes, &analyzer).unwrap();
+        assert_eq!(restored.fingerprint(), prepared.fingerprint());
+        assert_eq!(restored.program(), prepared.program());
+    }
+
+    #[test]
+    fn populated_session_round_trips_with_equal_reports() {
+        let program = sample_program("populated");
+        let analyzer = Analyzer::new();
+        let prepared = analyzer.prepare(&program);
+        let cache = CacheConfig::fully_associative(8, 64);
+        let configs = comparison_configs(cache);
+        let first = prepared.run_suite(&configs).report().without_timing();
+
+        let bytes = encode_prepared(&prepared);
+        let restored = decode_prepared(&bytes, &analyzer).unwrap();
+        // Restored sessions start with zeroed counters...
+        assert_eq!(restored.cache_stats().total_misses(), 0);
+        // ...but serve byte-identical reports without rebuilding artifacts:
+        // everything is replayed from the restored memo tables.
+        let second = restored.run_suite(&configs).report().without_timing();
+        assert_eq!(first.to_json(), second.to_json());
+        let stats = restored.cache_stats();
+        assert_eq!(stats.core_misses, 0, "cores came from disk");
+        assert_eq!(stats.amap_misses, 0, "amaps came from disk");
+        assert_eq!(stats.vcfg_misses, 0, "vcfgs came from disk");
+        assert_eq!(stats.round_misses, 0, "rounds came from disk");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let program = sample_program("deterministic");
+        let analyzer = Analyzer::new();
+        let cache = CacheConfig::fully_associative(8, 64);
+        let make = || {
+            let prepared = analyzer.prepare(&program);
+            prepared.run_suite(&comparison_configs(cache));
+            encode_prepared(&prepared)
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let program = sample_program("fp");
+        let analyzer = Analyzer::new();
+        let prepared = analyzer.prepare(&program);
+        let mut bytes = encode_prepared(&prepared);
+        bytes[0] ^= 0x01; // flip a fingerprint bit
+        assert!(decode_prepared(&bytes, &analyzer).is_err());
+    }
+
+    #[test]
+    fn corrupt_payloads_never_panic() {
+        let program = sample_program("fuzz");
+        let analyzer = Analyzer::new();
+        let prepared = analyzer.prepare(&program);
+        prepared.run(
+            &AnalysisOptions::builder()
+                .cache(CacheConfig::fully_associative(8, 64))
+                .build()
+                .unwrap(),
+        );
+        let bytes = encode_prepared(&prepared);
+        for cut in (0..bytes.len()).step_by(7) {
+            let _ = decode_prepared(&bytes[..cut], &analyzer);
+        }
+        for i in (0..bytes.len()).step_by(3) {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xff;
+            let _ = decode_prepared(&mutated, &analyzer);
+        }
+    }
+
+    #[test]
+    fn prepared_store_round_trips_and_quarantines() {
+        let dir =
+            std::env::temp_dir().join(format!("spec-core-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let analyzer = Analyzer::new();
+        let store = PreparedStore::open(&dir);
+        let program = sample_program("stored");
+        let prepared = analyzer.prepare(&program);
+        let cache = CacheConfig::fully_associative(8, 64);
+        let baseline = prepared
+            .run_suite(&comparison_configs(cache))
+            .report()
+            .without_timing();
+        store.save(&prepared).unwrap();
+
+        let (restored, bytes) = store.load(&analyzer, prepared.fingerprint()).unwrap();
+        assert!(bytes > 0);
+        let report = restored
+            .run_suite(&comparison_configs(cache))
+            .report()
+            .without_timing();
+        assert_eq!(report.to_json(), baseline.to_json());
+
+        // Unknown fingerprint: miss.
+        assert!(store
+            .load(&analyzer, Fingerprint(prepared.fingerprint().0 ^ 1))
+            .is_none());
+
+        // A different options signature rejects (and quarantines) the file.
+        let mut stale = store.clone();
+        stale.signature ^= 0xdead;
+        assert!(stale.load(&analyzer, prepared.fingerprint()).is_none());
+        assert!(store.load(&analyzer, prepared.fingerprint()).is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

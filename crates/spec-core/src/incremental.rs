@@ -80,6 +80,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use spec_ir::fingerprint::{program_fingerprint, regions_fingerprint, Fingerprint, ProgramDiff};
@@ -87,12 +88,16 @@ use spec_ir::heap::HeapSize;
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 
+use crate::artifact::PreparedStore;
 use crate::batch::{
     panel_checksum, run_bundle, BatchError, BatchReport, BundleStamp, ExecMode, PanelSpec,
     ProgramVerdict,
 };
 use crate::json::{self, JsonValue};
 use crate::session::{Analyzer, CacheStats, PreparedProgram};
+
+/// Sentinel for "never measured/persisted at any stamp".
+const STAMP_NEVER: u64 = u64::MAX;
 
 /// One program's slot in a [`SessionCache`].
 struct SessionEntry {
@@ -104,17 +109,73 @@ struct SessionEntry {
     /// byte budget evicts the least recently *used* program first.
     tick: u64,
     prepared: Arc<PreparedProgram>,
+    /// Memoized [`SessionEntry::resident_bytes`] result, valid while the
+    /// prepared session's growth stamp equals `size_stamp`.  Atomics (not a
+    /// plain field) because measurement happens behind `&self` on the
+    /// status/stats read path.
+    size_bytes: AtomicU64,
+    /// The [`PreparedProgram::growth_stamp`] at which `size_bytes` was
+    /// measured ([`STAMP_NEVER`] = not yet measured).
+    size_stamp: AtomicU64,
+    /// The growth stamp at which this entry was last written to the
+    /// artifact store; `None` means never persisted by this process.
+    /// Dirty tracking for [`SessionCache::persist_dirty`].
+    persisted: Option<u64>,
 }
 
 impl SessionEntry {
+    fn new(
+        fingerprint: Fingerprint,
+        regions: Fingerprint,
+        tick: u64,
+        prepared: Arc<PreparedProgram>,
+        persisted: Option<u64>,
+    ) -> Self {
+        Self {
+            fingerprint,
+            regions,
+            tick,
+            prepared,
+            size_bytes: AtomicU64::new(0),
+            size_stamp: AtomicU64::new(STAMP_NEVER),
+            persisted,
+        }
+    }
+
     /// The deterministic [`HeapSize`] estimate of everything this slot
     /// keeps alive: the slot itself, its key string, and the prepared
-    /// session with every memoized artifact.  Re-measured at every
-    /// enforcement point because runs grow the artifact caches *after*
-    /// install.
+    /// session with every memoized artifact.
+    ///
+    /// The walk over the memo tables is the expensive part, and a resident
+    /// entry only grows when a run populates an artifact cache — which is
+    /// exactly when its [`PreparedProgram::growth_stamp`] moves.  So the
+    /// measurement is memoized per stamp: entries whose caches did not grow
+    /// since the last enforcement point answer from the memo, entries that
+    /// did are re-walked.  The measurement function itself is unchanged, so
+    /// the `session: N bytes` accounting is identical to an unmemoized
+    /// re-measure.
     fn resident_bytes(&self, name: &str) -> u64 {
-        (std::mem::size_of::<Self>() + name.len() + self.prepared.heap_size()) as u64
+        let stamp = self.prepared.growth_stamp();
+        if self.size_stamp.load(Ordering::Acquire) == stamp {
+            return self.size_bytes.load(Ordering::Relaxed);
+        }
+        let bytes = (std::mem::size_of::<Self>() + name.len() + self.prepared.heap_size()) as u64;
+        // Benign race: the measurement is a pure function of the stamp, so
+        // concurrent writers store identical values.  Release/Acquire on
+        // the stamp orders it after its bytes.
+        self.size_bytes.store(bytes, Ordering::Relaxed);
+        self.size_stamp.store(stamp, Ordering::Release);
+        bytes
     }
+}
+
+/// Which tier served a [`SessionCache::lookup_tiered`] hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionTier {
+    /// The in-memory entry table (a warm reuse).
+    Memory,
+    /// The on-disk artifact store (deserialized, now resident in memory).
+    Store,
 }
 
 /// Lifetime counters of a [`SessionCache`] — the evidence that an edit to
@@ -142,6 +203,15 @@ pub struct SessionStats {
     /// of every held entry.  After an enforcement point this never exceeds
     /// the configured budget.
     pub session_bytes: u64,
+    /// Cache misses answered by deserializing a prepared session from the
+    /// on-disk artifact store instead of a cold preparation.
+    pub store_hits: u64,
+    /// Store lookups that found no usable artifact (missing file, rejected
+    /// file, or a fingerprint collision under different names) and fell
+    /// through to a cold preparation.  Zero when no store is configured.
+    pub store_misses: u64,
+    /// Total payload bytes deserialized across every store hit.
+    pub store_loaded_bytes: u64,
 }
 
 /// What [`SessionCache::update`] did for one program.
@@ -169,6 +239,11 @@ pub struct SessionCache {
     max_bytes: Option<u64>,
     /// Monotonic source of the entries' use ticks.
     tick: u64,
+    /// Optional on-disk tier below the in-memory entries: misses try a
+    /// fingerprint-keyed artifact load before falling back to a cold
+    /// preparation, installs write through, and evictions persist dirty
+    /// entries first.
+    store: Option<PreparedStore>,
 }
 
 impl SessionCache {
@@ -186,7 +261,31 @@ impl SessionCache {
             stats: SessionStats::default(),
             max_bytes: None,
             tick: 0,
+            store: None,
         }
+    }
+
+    /// Attaches an on-disk artifact store as a second tier below memory.
+    /// Misses consult the store before a cold preparation
+    /// ([`SessionCache::lookup_tiered`], [`SessionCache::update`]),
+    /// installs write through, and budget evictions persist dirty entries
+    /// before dropping them.  The store never changes results: a load is
+    /// accepted only when the decoded program compares equal to the
+    /// requested one, and every rejected or missing artifact falls back to
+    /// the cold path.
+    pub fn artifact_store(mut self, store: PreparedStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// `true` iff an on-disk artifact tier is configured.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&PreparedStore> {
+        self.store.as_ref()
     }
 
     /// Bounds the session to at most `bytes` resident bytes (the
@@ -255,6 +354,16 @@ impl SessionCache {
             if resident <= budget {
                 break;
             }
+            // An evicted entry's memoized artifacts are about to leave
+            // memory; flush them to the store tier first (when one is
+            // configured and the entry grew since its last write) so the
+            // next sighting loads instead of re-preparing.  A failed write
+            // is not an error — the cold path reproduces everything.
+            if let (Some(store), Some(entry)) = (self.store.as_ref(), self.entries.get(name)) {
+                if entry.persisted != Some(entry.prepared.growth_stamp()) {
+                    let _ = store.save(&entry.prepared);
+                }
+            }
             self.entries.remove(name);
             resident -= bytes;
             evicted += 1;
@@ -294,6 +403,86 @@ impl SessionCache {
         }
     }
 
+    /// Two-tier resolve: the in-memory warm session first (exactly
+    /// [`SessionCache::lookup_warm`]), then — when an artifact store is
+    /// configured — a fingerprint-keyed disk load, deserialized, verified
+    /// against the requested program and installed as a resident entry.
+    /// Returns which tier answered; `None` means the caller must prepare
+    /// cold and [`SessionCache::install`] the result.
+    ///
+    /// The store is keyed by the name-free structural fingerprint while a
+    /// prepared session embeds names, so a load is accepted only when the
+    /// decoded program compares equal to `program` — a rename falls
+    /// through to the cold path instead of serving stale names.
+    pub fn lookup_tiered(
+        &mut self,
+        program: &Program,
+    ) -> Option<(Arc<PreparedProgram>, SessionTier)> {
+        if let Some(prepared) = self.lookup_warm(program) {
+            return Some((prepared, SessionTier::Memory));
+        }
+        self.store.as_ref()?;
+        let (prepared, stamp) = self.load_from_store(program)?;
+        let prepared = self.install_with(prepared, Some(stamp));
+        Some((prepared, SessionTier::Store))
+    }
+
+    /// Attempts a store load for `program`, counting hits/misses and
+    /// loaded bytes.  Returns the deserialized session plus its growth
+    /// stamp (its "already persisted at" mark — the on-disk bytes are what
+    /// we just read).  Does not install.
+    fn load_from_store(&mut self, program: &Program) -> Option<(Arc<PreparedProgram>, u64)> {
+        let store = self.store.as_ref()?;
+        let fingerprint = program_fingerprint(program);
+        match store.load(&self.analyzer, fingerprint) {
+            Some((prepared, bytes)) if prepared.program() == program => {
+                self.stats.store_hits += 1;
+                self.stats.store_loaded_bytes += bytes;
+                let stamp = prepared.growth_stamp();
+                Some((Arc::new(prepared), stamp))
+            }
+            _ => {
+                self.stats.store_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes `prepared` to the store tier now, returning the growth stamp
+    /// the write captured (`None` when no store is configured or the write
+    /// failed — the entry then stays dirty for a later attempt).
+    fn persist_now(&self, prepared: &PreparedProgram) -> Option<u64> {
+        let store = self.store.as_ref()?;
+        let stamp = prepared.growth_stamp();
+        store.save(prepared).ok()?;
+        Some(stamp)
+    }
+
+    /// Writes every resident entry whose memoized artifacts grew since its
+    /// last store write back to the artifact store.  Long-running holders
+    /// call this at request boundaries (next to
+    /// [`SessionCache::enforce_budget`]) so a restart finds warm artifacts
+    /// on disk.  Returns the number of entries written; a no-op without a
+    /// configured store.
+    pub fn persist_dirty(&mut self) -> u64 {
+        let SessionCache { store, entries, .. } = self;
+        let Some(store) = store.as_ref() else {
+            return 0;
+        };
+        let mut wrote = 0;
+        for entry in entries.values_mut() {
+            let stamp = entry.prepared.growth_stamp();
+            if entry.persisted == Some(stamp) {
+                continue;
+            }
+            if store.save(&entry.prepared).is_ok() {
+                entry.persisted = Some(stamp);
+                wrote += 1;
+            }
+        }
+        wrote
+    }
+
     /// Second half of the two-phase resolve: installs an externally
     /// prepared session, replacing whatever the name currently maps to
     /// (adopting the predecessor's address maps when the region table is
@@ -305,7 +494,19 @@ impl SessionCache {
     /// one program produce interchangeable sessions, and the
     /// name-sensitive service path relies on replacement to retire a
     /// rebound entry whose *names* went stale.
+    ///
+    /// With an artifact store configured the installed session is written
+    /// through to disk, so a later restart loads it instead of preparing.
     pub fn install(&mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
+        let persisted = self.persist_now(&prepared);
+        self.install_with(prepared, persisted)
+    }
+
+    fn install_with(
+        &mut self,
+        prepared: Arc<PreparedProgram>,
+        persisted: Option<u64>,
+    ) -> Arc<PreparedProgram> {
         let fingerprint = prepared.fingerprint();
         let regions = regions_fingerprint(prepared.program().regions());
         let name = prepared.program().name().to_string();
@@ -316,23 +517,13 @@ impl SessionCache {
                 if entry.regions == regions {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
                 }
-                *entry = SessionEntry {
-                    fingerprint,
-                    regions,
-                    tick,
-                    prepared: prepared.clone(),
-                };
+                *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
             }
             None => {
                 self.stats.inserted += 1;
                 self.entries.insert(
                     name,
-                    SessionEntry {
-                        fingerprint,
-                        regions,
-                        tick,
-                        prepared: prepared.clone(),
-                    },
+                    SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted),
                 );
             }
         }
@@ -345,59 +536,59 @@ impl SessionCache {
         let regions = regions_fingerprint(program.regions());
         let name = program.name().to_string();
         let tick = self.next_tick();
-        let diff_against = |previous: &PreparedProgram| {
-            want_diff.then(|| ProgramDiff::between(previous.program(), program))
-        };
-        let update = match self.entries.get_mut(&name) {
-            Some(entry) if entry.fingerprint == fingerprint => {
+        if let Some(entry) = self.entries.get_mut(&name) {
+            if entry.fingerprint == fingerprint {
                 self.stats.reused += 1;
                 entry.tick = tick;
+                let prepared = entry.prepared.clone();
+                let diff = want_diff.then(|| ProgramDiff::between(prepared.program(), program));
                 return SessionUpdate {
-                    prepared: entry.prepared.clone(),
+                    prepared,
                     reused: true,
-                    diff: diff_against(&entry.prepared),
+                    diff,
                 };
             }
+        }
+        // Structural miss: diff against the predecessor (if any) first,
+        // then resolve the new session — from the store tier when it has a
+        // matching artifact, by cold preparation otherwise (written
+        // through to the store so the next miss loads).
+        let diff = match self.entries.get(&name) {
+            Some(entry) => {
+                want_diff.then(|| ProgramDiff::between(entry.prepared.program(), program))
+            }
+            None => None,
+        };
+        let (prepared, persisted) = match self.load_from_store(program) {
+            Some((prepared, stamp)) => (prepared, Some(stamp)),
+            None => {
+                let prepared = Arc::new(self.analyzer.prepare(program));
+                let persisted = self.persist_now(&prepared);
+                (prepared, persisted)
+            }
+        };
+        match self.entries.get_mut(&name) {
             Some(entry) => {
                 self.stats.invalidated += 1;
-                let diff = diff_against(&entry.prepared);
-                let prepared = Arc::new(self.analyzer.prepare(program));
                 if entry.regions == regions {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
                 }
-                *entry = SessionEntry {
-                    fingerprint,
-                    regions,
-                    tick,
-                    prepared: prepared.clone(),
-                };
-                SessionUpdate {
-                    prepared,
-                    reused: false,
-                    diff,
-                }
+                *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
             }
             None => {
                 self.stats.inserted += 1;
-                let prepared = Arc::new(self.analyzer.prepare(program));
                 self.entries.insert(
                     name,
-                    SessionEntry {
-                        fingerprint,
-                        regions,
-                        tick,
-                        prepared: prepared.clone(),
-                    },
+                    SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted),
                 );
-                SessionUpdate {
-                    prepared,
-                    reused: false,
-                    diff: None,
-                }
             }
-        };
+        }
         self.enforce_budget();
-        update
+        SessionUpdate {
+            prepared,
+            reused: false,
+            diff,
+        }
     }
 
     /// The prepared session of a program, if it is cached.
@@ -448,6 +639,9 @@ impl SessionCache {
         }
         total.session_evictions = self.stats.session_evictions;
         total.session_bytes = self.resident_bytes();
+        total.store_hits = self.stats.store_hits;
+        total.store_misses = self.stats.store_misses;
+        total.store_loaded_bytes = self.stats.store_loaded_bytes;
         total
     }
 }
@@ -1014,6 +1208,131 @@ mod tests {
             back.diff.is_none(),
             "the session kept nothing to diff against"
         );
+    }
+
+    #[test]
+    fn store_tier_restores_sessions_across_cache_instances() {
+        let scratch = Scratch::new();
+        let store_dir = scratch.0.join("artifacts");
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+        let p = program("a", 0);
+
+        // First life: cold prepare (the store has nothing), run, persist.
+        let mut first = SessionCache::new().artifact_store(PreparedStore::open(&store_dir));
+        assert!(first.lookup_tiered(&p).is_none(), "empty store misses");
+        let installed = first.install(Arc::new(Analyzer::new().prepare(&p)));
+        let baseline = installed.run_suite(&configs).report().without_timing();
+        assert_eq!(first.stats().store_misses, 1);
+        assert_eq!(first.stats().store_hits, 0);
+        assert!(first.persist_dirty() >= 1, "grown entry is flushed");
+        assert_eq!(first.persist_dirty(), 0, "second flush finds nothing dirty");
+
+        // Second life: a fresh cache over the same directory answers from
+        // disk — no preparation, warm fixpoint rounds, identical report.
+        let mut second = SessionCache::new().artifact_store(PreparedStore::open(&store_dir));
+        let (restored, tier) = second.lookup_tiered(&p).expect("store tier hit");
+        assert_eq!(tier, SessionTier::Store);
+        let stats = second.stats();
+        assert_eq!((stats.store_hits, stats.store_misses), (1, 0));
+        assert!(stats.store_loaded_bytes > 0);
+        let report = restored.run_suite(&configs).report().without_timing();
+        assert_eq!(report.to_json(), baseline.to_json());
+        assert_eq!(
+            restored.cache_stats().round_misses,
+            0,
+            "every fixpoint round replayed from the restored memo tables"
+        );
+        // The disk load is now a resident memory entry.
+        assert_eq!(
+            second.lookup_tiered(&p).unwrap().1,
+            SessionTier::Memory,
+            "second resolve is a warm rebind"
+        );
+        assert_eq!(
+            second.cache_stats().store_hits,
+            1,
+            "cache_stats carries store counters"
+        );
+
+        // A rename-only variant shares the fingerprint but not the names:
+        // the store must not serve it.
+        let mut renamed = ProgramBuilder::new("a");
+        let t = renamed.region("t_renamed", 256, false);
+        let k = renamed.secret_region("k_renamed", 8);
+        let entry = renamed.entry_block("entry");
+        renamed.load(entry, t, IndexExpr::Const(0));
+        renamed.load(entry, k, IndexExpr::Const(0));
+        renamed.ret(entry);
+        let renamed = renamed.finish().unwrap();
+        assert_eq!(program_fingerprint(&renamed), program_fingerprint(&p));
+        let mut third = SessionCache::new().artifact_store(PreparedStore::open(&store_dir));
+        assert!(
+            third.lookup_tiered(&renamed).is_none(),
+            "a rename falls through to the cold path"
+        );
+        assert_eq!(third.stats().store_misses, 1);
+    }
+
+    #[test]
+    fn budget_eviction_flushes_dirty_entries_to_the_store() {
+        let scratch = Scratch::new();
+        let store_dir = scratch.0.join("artifacts");
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+
+        // Probe one run entry's footprint so the budget holds exactly one.
+        let mut probe = SessionCache::new();
+        probe.update(&program("a", 0)).prepared.run_suite(&configs);
+        let one = probe.resident_bytes();
+
+        let mut session = SessionCache::new()
+            .max_session_bytes(one + one / 2)
+            .artifact_store(PreparedStore::open(&store_dir));
+        session
+            .update(&program("a", 0))
+            .prepared
+            .run_suite(&configs);
+        // `a` has grown since its install-time write; growing `b` to the
+        // same footprint pushes the session over budget, so the next
+        // enforcement point evicts `a` (the LRU entry) — which must flush
+        // its grown artifacts first.
+        session
+            .update(&program("b", 0))
+            .prepared
+            .run_suite(&configs);
+        session.enforce_budget();
+        assert!(session.get("a").is_none(), "`a` was evicted");
+        assert_eq!(session.stats().session_evictions, 1);
+
+        // Its next sighting loads the *grown* session from disk: the
+        // memoized rounds replay instead of being re-solved.
+        let (restored, tier) = session.lookup_tiered(&program("a", 0)).expect("store hit");
+        assert_eq!(tier, SessionTier::Store);
+        restored.run_suite(&configs);
+        assert_eq!(
+            restored.cache_stats().round_misses,
+            0,
+            "the eviction-time flush captured the memoized rounds"
+        );
+    }
+
+    #[test]
+    fn memoized_byte_accounting_tracks_growth() {
+        let mut session = SessionCache::new();
+        let configs = comparison_configs(CacheConfig::fully_associative(4, 64));
+        let update = session.update(&program("a", 0));
+        let before = session.resident_bytes();
+        assert_eq!(
+            session.resident_bytes(),
+            before,
+            "memoized answer is stable"
+        );
+        update.prepared.run_suite(&configs);
+        let after = session.resident_bytes();
+        assert!(
+            after > before,
+            "a grown round cache invalidates the per-entry size memo"
+        );
+        assert_eq!(session.stats().session_bytes, after);
     }
 
     static SCRATCH_ID: AtomicUsize = AtomicUsize::new(0);

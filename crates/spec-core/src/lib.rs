@@ -74,6 +74,7 @@
 //! [`session::PreparedProgram::run_suite`]).
 
 pub mod analysis;
+pub mod artifact;
 pub mod batch;
 pub mod classify;
 mod engine;
@@ -85,9 +86,12 @@ pub mod session;
 pub mod state;
 
 pub use analysis::CacheAnalysis;
+pub use artifact::{options_signature, PreparedStore};
 pub use batch::{BatchError, BatchReport, BundleStamp, ExecMode, PanelKind, PanelSpec, ShardSpec};
 pub use classify::{AccessInfo, AnalysisResult};
-pub use incremental::{ScanOutcome, ScanSession, SessionCache, SessionStats, SessionUpdate};
+pub use incremental::{
+    ScanOutcome, ScanSession, SessionCache, SessionStats, SessionTier, SessionUpdate,
+};
 pub use options::{AnalysisOptions, AnalysisOptionsBuilder, OptionsError};
 pub use session::{
     Analyzer, CacheStats, MergeError, PreparedProgram, Report, ReportRow, Suite, SuiteRun,

@@ -70,6 +70,7 @@
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
@@ -79,9 +80,10 @@ use spec_ir::text::parse_program;
 use spec_ir::Program;
 use spec_vcfg::MergeStrategy;
 
+use crate::artifact::PreparedStore;
 use crate::batch::{panel_checksum, BatchReport, BundleStamp, PanelSpec, ProgramVerdict};
 use crate::classify::AnalysisResult;
-use crate::incremental::SessionCache;
+use crate::incremental::{SessionCache, SessionTier};
 use crate::json::{self, JsonValue, ParseLimits};
 use crate::options::AnalysisOptions;
 use crate::session::{comparison_configs, Analyzer, PreparedProgram, Report};
@@ -604,7 +606,7 @@ impl Response {
 }
 
 /// Server tuning.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Fixed worker-pool size (the request-level parallelism).
     pub jobs: NonZeroUsize,
@@ -622,17 +624,28 @@ pub struct ServiceConfig {
     /// fine for a trusted workload, unbounded for a public endpoint fed a
     /// stream of distinct programs.  Eviction never changes responses.
     pub max_session_bytes: Option<u64>,
+    /// Artifact-store directory (`--artifact-dir`): when set, prepared
+    /// sessions persist across restarts — installs write through, dirty
+    /// entries flush at request boundaries, and a cache miss tries a disk
+    /// load before a cold preparation.  `None` (the default) keeps the
+    /// service purely in-memory.  The store never changes responses.
+    pub artifact_dir: Option<PathBuf>,
+    /// Byte budget over the on-disk store (`--max-store-bytes`), enforced
+    /// by recency-based GC after every write.  `None` is unbounded.
+    pub max_store_bytes: Option<u64>,
 }
 
 impl ServiceConfig {
     /// A config with `jobs` workers and default caps (8 MiB requests,
-    /// 256-round caches, no session byte budget).
+    /// 256-round caches, no session byte budget, no artifact store).
     pub fn new(jobs: NonZeroUsize) -> Self {
         Self {
             jobs,
             max_request_bytes: 8 << 20,
             round_cache_capacity: NonZeroUsize::new(256).expect("nonzero"),
             max_session_bytes: None,
+            artifact_dir: None,
+            max_store_bytes: None,
         }
     }
 }
@@ -685,6 +698,13 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
     let mut cache = SessionCache::with_analyzer(analyzer.clone());
     if let Some(bytes) = config.max_session_bytes {
         cache = cache.max_session_bytes(bytes);
+    }
+    if let Some(dir) = &config.artifact_dir {
+        let mut store = PreparedStore::open(dir);
+        if let Some(bytes) = config.max_store_bytes {
+            store = store.max_store_bytes(bytes);
+        }
+        cache = cache.artifact_store(store);
     }
     let state = ServerState {
         cache: Mutex::new(cache),
@@ -781,15 +801,29 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
 /// eviction gate watch.
 fn session_accounting(state: &ServerState) -> String {
     let mut cache = state.cache.lock().expect("session cache poisoned");
+    let mut tail = String::new();
+    if cache.has_store() {
+        // Flush entries whose memoized artifacts grew during this request,
+        // so a crash or restart at any request boundary finds them on
+        // disk.  The store line is the restart gate's evidence that a warm
+        // answer came from a disk load, not a re-preparation.
+        cache.persist_dirty();
+        let stats = cache.stats();
+        tail.push_str(&format!(
+            " store: {} hits, {} misses, {} bytes loaded",
+            stats.store_hits, stats.store_misses, stats.store_loaded_bytes
+        ));
+    }
     if cache.budget().is_none() {
-        return String::new();
+        return tail;
     }
     cache.enforce_budget();
     let stats = cache.stats();
-    format!(
+    tail.push_str(&format!(
         " session: {} bytes resident, {} evicted",
         stats.session_bytes, stats.session_evictions
-    )
+    ));
+    tail
 }
 
 /// Executes one queued request and returns `(exit code, output)`.
@@ -906,34 +940,43 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
 }
 
 /// Parses `source` and brings the shared session up to date, returning the
-/// session to run against plus the accounting tag (`warm`, `prepared`,
-/// `renamed`).
+/// session to run against plus the accounting tag (`warm`, `store`,
+/// `prepared`, `renamed`).
 ///
 /// The cache lock is held only for the lookup and the install — the
 /// expensive [`Analyzer::prepare`] of a cold or edited program runs
 /// outside it, so one cold request never serializes the whole pool.
-/// Racing preparations of the same program are benign (the sessions are
-/// interchangeable; last writer wins).
+/// (A store-tier load *is* under the lock: deserializing is orders of
+/// magnitude cheaper than preparing, and serializing concurrent loads of
+/// one artifact is the desired behaviour anyway.)  Racing preparations of
+/// the same program are benign (the sessions are interchangeable; last
+/// writer wins).
 ///
 /// With `name_sensitive`, a warm hit additionally requires the canonical
 /// program text to match: `analyze` output embeds region and block names,
 /// which the structural fingerprint deliberately ignores, so a
 /// rename-only edit must swap the entry instead of replaying the previous
 /// names (the same rule `AnalyzeSession` keys its on-disk replays on).
-/// The text comparison itself happens outside the lock.
+/// The text comparison itself happens outside the lock.  A store-tier hit
+/// is name-exact by construction — the load was accepted only because the
+/// decoded program compared equal, names included.
 fn resolve_session(
     source: &str,
     state: &ServerState,
     name_sensitive: bool,
 ) -> Result<(Arc<PreparedProgram>, &'static str), String> {
     let program = parse_program(source).map_err(|err| format!("cannot parse program: {err}"))?;
-    let warm = {
+    let hit = {
         let mut cache = state.cache.lock().expect("session cache poisoned");
-        cache.lookup_warm(&program)
+        cache.lookup_tiered(&program)
     };
-    if let Some(prepared) = warm {
+    if let Some((prepared, tier)) = hit {
+        let how = match tier {
+            SessionTier::Memory => "warm",
+            SessionTier::Store => "store",
+        };
         if !name_sensitive || prepared.program().to_string() == program.to_string() {
-            return Ok((prepared, "warm"));
+            return Ok((prepared, how));
         }
         let prepared = Arc::new(state.analyzer.prepare(&program));
         let mut cache = state.cache.lock().expect("session cache poisoned");
@@ -953,7 +996,8 @@ fn status_output(state: &ServerState) -> String {
         "{{\"protocol\": {PROTOCOL_VERSION}, \"jobs\": {}, \"programs\": {}, \
          \"requests\": {}, \"errors\": {}, \"session\": {{\"inserted\": {}, \
          \"reused\": {}, \"invalidated\": {}, \"session_bytes\": {}, \
-         \"session_evictions\": {}}}}}",
+         \"session_evictions\": {}, \"store_hits\": {}, \"store_misses\": {}, \
+         \"store_loaded_bytes\": {}}}}}",
         state.jobs,
         programs,
         state.requests.load(Ordering::Relaxed),
@@ -962,7 +1006,10 @@ fn status_output(state: &ServerState) -> String {
         stats.reused,
         stats.invalidated,
         stats.session_bytes,
-        stats.session_evictions
+        stats.session_evictions,
+        stats.store_hits,
+        stats.store_misses,
+        stats.store_loaded_bytes
     )
 }
 

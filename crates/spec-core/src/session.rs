@@ -114,6 +114,13 @@ impl Analyzer {
         self
     }
 
+    /// The configured settings, applied to deserialized sessions as well:
+    /// suite-thread and round-cache bounds are per-process policy, not part
+    /// of a program's serialized artifact state.
+    pub(crate) fn settings(&self) -> (Option<NonZeroUsize>, Option<NonZeroUsize>) {
+        (self.max_suite_threads, self.round_cache_capacity)
+    }
+
     /// Wraps `program` into a session that computes unrolled programs,
     /// address maps, CFG/loop information and VCFGs at most once each and
     /// shares them across every subsequent run.
@@ -139,7 +146,7 @@ impl Analyzer {
 /// build.  Racing computations are benign: every artifact is a pure
 /// function of its key, so the copies are interchangeable and the first
 /// insert wins (both count as misses — two recomputations happened).
-struct Memo<K, V> {
+pub(crate) struct Memo<K, V> {
     inner: Mutex<MemoInner<K, V>>,
 }
 
@@ -154,6 +161,21 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         Self {
             inner: Mutex::new(MemoInner {
                 map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Rebuilds a table from deserialized entries with zeroed counters.
+    ///
+    /// Counters describe *this process's* executions — a restored session
+    /// starts counting from zero, exactly like a fresh prepare, so warm and
+    /// cold sessions remain byte-identical after the timing strip.
+    pub(crate) fn from_entries(entries: Vec<(K, Arc<V>)>) -> Self {
+        Self {
+            inner: Mutex::new(MemoInner {
+                map: entries.into_iter().collect(),
                 hits: 0,
                 misses: 0,
             }),
@@ -202,8 +224,9 @@ impl<K: Eq + Hash, V> Memo<K, V> {
         self.inner.lock().expect("memo table poisoned").map.len()
     }
 
-    /// Snapshot of the cached values (for aggregation and adoption).
-    fn entries(&self) -> Vec<(K, Arc<V>)>
+    /// Snapshot of the cached values (for aggregation, adoption and
+    /// serialization).
+    pub(crate) fn entries(&self) -> Vec<(K, Arc<V>)>
     where
         K: Clone,
     {
@@ -233,7 +256,7 @@ impl<K: Eq + Hash, V> Memo<K, V> {
 
 /// Key of one unrolled-program variant: whether unrolling runs at all, and
 /// under which budget.
-type UnrollKey = (bool, UnrollOptions);
+pub(crate) type UnrollKey = (bool, UnrollOptions);
 
 /// The parts of a [`SpeculationConfig`] that shape the virtual control flow.
 ///
@@ -242,7 +265,7 @@ type UnrollKey = (bool, UnrollOptions);
 /// commit points); `depth_on_hit` and dynamic depth bounding only steer the
 /// solver.  Memoizing on this projection lets e.g. a dynamic-bounding
 /// ablation share the VCFG of the full configuration.
-type VcfgKey = (u32, MergeStrategy);
+pub(crate) type VcfgKey = (u32, MergeStrategy);
 
 /// The states and statistics of one fixpoint round.  The states are
 /// `Arc`-shared so cached replays hand them to results without copying.
@@ -358,6 +381,53 @@ impl RoundCache {
         cached
     }
 
+    /// Rebuilds a cache from deserialized entries, preserving their
+    /// least-to-most-recently-used order under fresh ticks and zeroed
+    /// counters (counters describe this process's executions only).  When
+    /// the restoring session's capacity is smaller than the entry count, the
+    /// oldest entries are dropped immediately — same policy as a live cache.
+    pub(crate) fn from_entries(
+        capacity: Option<NonZeroUsize>,
+        entries: Vec<(RoundKey, Arc<RoundResult>)>,
+    ) -> Self {
+        let mut inner = RoundCacheInner {
+            map: HashMap::with_capacity(entries.len()),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        for (key, value) in entries {
+            let tick = inner.next_tick();
+            inner.map.insert(key, (value, tick));
+        }
+        inner.evict_to(capacity);
+        inner.evictions = 0;
+        Self {
+            inner: Mutex::new(inner),
+            capacity,
+        }
+    }
+
+    /// The cached rounds from least to most recently used, for
+    /// serialization: restoring in this order reproduces the recency
+    /// ordering (and therefore future eviction behaviour) of the saved
+    /// session.
+    pub(crate) fn lru_entries(&self) -> Vec<(RoundKey, Arc<RoundResult>)> {
+        let inner = self.inner.lock().expect("round cache poisoned");
+        let mut entries: Vec<(u64, RoundKey, Arc<RoundResult>)> = inner
+            .map
+            .iter()
+            .map(|(key, (value, tick))| (*tick, key.clone(), value.clone()))
+            .collect();
+        // Ticks are unique per entry, so they are a total order already.
+        entries.sort_by_key(|(tick, _, _)| *tick);
+        entries
+            .into_iter()
+            .map(|(_, key, value)| (key, value))
+            .collect()
+    }
+
     /// `(hits, misses, evictions)` so far.
     fn counts(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock().expect("round cache poisoned");
@@ -404,17 +474,17 @@ impl RoundCache {
 }
 
 /// Artifacts derived from one unrolled variant of the program.
-struct PreparedCore {
+pub(crate) struct PreparedCore {
     /// The program the analysis actually runs on (after unrolling).
-    analyzed: Arc<Program>,
+    pub(crate) analyzed: Arc<Program>,
     /// Loop-unrolling statistics.
-    unroll: UnrollReport,
+    pub(crate) unroll: UnrollReport,
     /// Headers of the loops that survived unrolling — the widening points.
-    widen_headers: Vec<BlockId>,
+    pub(crate) widen_headers: Vec<BlockId>,
     /// Virtual CFGs, memoized per speculation structure.
-    vcfgs: Memo<VcfgKey, Vcfg>,
+    pub(crate) vcfgs: Memo<VcfgKey, Vcfg>,
     /// Fixpoint rounds, memoized per solver input.
-    rounds: RoundCache,
+    pub(crate) rounds: RoundCache,
 }
 
 impl PreparedCore {
@@ -498,6 +568,15 @@ pub struct CacheStats {
     /// Resident bytes of the owning session cache at snapshot time (the
     /// [`spec_ir::heap::HeapSize`] estimate).  Zero for per-program stats.
     pub session_bytes: u64,
+    /// Prepared programs loaded from the on-disk artifact store
+    /// ([`crate::artifact::PreparedStore`]) instead of cold-prepared.  Zero
+    /// for sessions without a store tier.
+    pub store_hits: u64,
+    /// Artifact-store lookups that fell through to a cold prepare (missing,
+    /// stale or rejected artifact).  Zero for sessions without a store tier.
+    pub store_misses: u64,
+    /// Total payload bytes deserialized from the artifact store.
+    pub store_loaded_bytes: u64,
 }
 
 impl CacheStats {
@@ -535,6 +614,13 @@ impl fmt::Display for CacheStats {
                 self.session_bytes, self.session_evictions
             )?;
         }
+        if self.store_hits > 0 || self.store_misses > 0 {
+            write!(
+                f,
+                ", store {}h/{}m ({} bytes loaded)",
+                self.store_hits, self.store_misses, self.store_loaded_bytes
+            )?;
+        }
         Ok(())
     }
 }
@@ -546,18 +632,18 @@ impl fmt::Display for CacheStats {
 /// memoization is internally synchronized, so a prepared program can be
 /// shared freely across scoped threads.
 pub struct PreparedProgram {
-    program: Program,
-    fingerprint: Fingerprint,
-    max_suite_threads: Option<NonZeroUsize>,
-    round_cache_capacity: Option<NonZeroUsize>,
-    cores: Memo<UnrollKey, PreparedCore>,
+    pub(crate) program: Program,
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) max_suite_threads: Option<NonZeroUsize>,
+    pub(crate) round_cache_capacity: Option<NonZeroUsize>,
+    pub(crate) cores: Memo<UnrollKey, PreparedCore>,
     /// Address maps, memoized per cache geometry.  These live on the
     /// program (not the unrolled core) because the memory layout reads only
     /// the region table, which unrolling preserves verbatim — so every
     /// unroll variant shares one map per geometry, and the incremental
     /// layer can rebind them across edits that leave the regions untouched.
-    amaps: Memo<CacheConfig, AddressMap>,
-    amaps_adopted: AtomicU64,
+    pub(crate) amaps: Memo<CacheConfig, AddressMap>,
+    pub(crate) amaps_adopted: AtomicU64,
 }
 
 impl PreparedProgram {
@@ -616,6 +702,26 @@ impl PreparedProgram {
             stats.round_evictions += re;
         }
         stats
+    }
+
+    /// A cheap, monotone change detector over the session's artifact
+    /// contents: the sum of every *miss*, *adoption* and *eviction* counter.
+    ///
+    /// Hits leave the memo tables untouched, so two equal stamps mean no
+    /// artifact was built, adopted or dropped in between — exactly the
+    /// condition under which both the [`HeapSize`] measurement and the
+    /// serialized form of this session are unchanged.  Budget accounting
+    /// and the artifact-store dirty tracking both key off this instead of
+    /// re-walking the tables.  (Eviction lowers the footprint but still
+    /// changes the stamp; a spurious re-measure/re-persist is harmless.)
+    pub fn growth_stamp(&self) -> u64 {
+        let stats = self.cache_stats();
+        stats.core_misses
+            + stats.amap_misses
+            + stats.amap_adopted
+            + stats.vcfg_misses
+            + stats.round_misses
+            + stats.round_evictions
     }
 
     /// Runs one configuration, reusing every prepared artifact.
@@ -888,7 +994,9 @@ impl Report {
                  \"amap_hits\": {}, \"amap_misses\": {}, \"amap_adopted\": {}, \
                  \"vcfg_hits\": {}, \"vcfg_misses\": {}, \"round_hits\": {}, \
                  \"round_misses\": {}, \"round_evictions\": {}, \
-                 \"session_evictions\": {}, \"session_bytes\": {}}},\n",
+                 \"session_evictions\": {}, \"session_bytes\": {}, \
+                 \"store_hits\": {}, \"store_misses\": {}, \
+                 \"store_loaded_bytes\": {}}},\n",
                 cache.core_hits,
                 cache.core_misses,
                 cache.amap_hits,
@@ -900,7 +1008,10 @@ impl Report {
                 cache.round_misses,
                 cache.round_evictions,
                 cache.session_evictions,
-                cache.session_bytes
+                cache.session_bytes,
+                cache.store_hits,
+                cache.store_misses,
+                cache.store_loaded_bytes
             ));
         }
         out.push_str("  \"runs\": [\n");

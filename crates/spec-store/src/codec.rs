@@ -1,0 +1,476 @@
+//! The binary codec: explicit, deterministic, corruption-tolerant.
+//!
+//! Wire conventions (all fixed regardless of host):
+//!
+//! * integers are little-endian; `usize` travels as `u64`;
+//! * `bool` is one byte (0/1), any other value is a decode error;
+//! * enums are a one-byte tag followed by the payload of that variant;
+//! * `Option<T>` is a one-byte tag (0 = `None`, 1 = `Some`) + payload;
+//! * sequences are a `u64` element count followed by the elements; maps are
+//!   emitted in ascending key order so encoding is a pure function of the
+//!   value;
+//! * every sequence length is validated against the number of bytes left in
+//!   the input before any allocation, so truncated or bit-flipped files fail
+//!   with a [`DecodeError`] instead of panicking or over-allocating.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced when decoding malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// An enum/option tag byte had no corresponding variant.
+    Tag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A structurally invalid value (bad length, failed validation, ...).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::Tag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes values into a growable byte buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a little-endian `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A cursor over encoded bytes; all reads are bounds-checked.
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Returns an error if any input is left over (trailing garbage).
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Invalid("trailing bytes after value"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` encoded as a little-endian `u64`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::Invalid("usize overflow"))
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is an error.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::Tag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a sequence length and validates it against the remaining input.
+    ///
+    /// Every element of every sequence type encodes to at least one byte, so
+    /// a claimed length larger than the bytes left is necessarily corrupt;
+    /// rejecting it here bounds allocations before they happen.
+    pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(DecodeError::Invalid("sequence length exceeds input"));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.seq_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid("invalid utf-8"))
+    }
+}
+
+/// A value with a deterministic binary encoding.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `e`.
+    fn encode(&self, e: &mut Encoder);
+    /// Decodes a value from `d`, consuming exactly its encoding.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a single value into a fresh byte vector.
+pub fn encode_to_vec<T: Codec>(value: &T) -> Vec<u8> {
+    let mut e = Encoder::new();
+    value.encode(&mut e);
+    e.into_bytes()
+}
+
+/// Decodes a single value that must span the whole input.
+pub fn decode_all<T: Codec>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    let value = T::decode(&mut d)?;
+    d.finish()?;
+    Ok(value)
+}
+
+impl Codec for u8 {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.usize()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, e: &mut Encoder) {
+        e.bool(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.bool()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.str()
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                v.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            tag => Err(DecodeError::Tag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.len());
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.seq_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Arc<T> {
+    fn encode(&self, e: &mut Encoder) {
+        (**self).encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Arc::new(T::decode(d)?))
+    }
+}
+
+macro_rules! tuple_codec {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Codec),+> Codec for ($($name,)+) {
+            fn encode(&self, e: &mut Encoder) {
+                $(self.$idx.encode(e);)+
+            }
+            fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                Ok(($($name::decode(d)?,)+))
+            }
+        }
+    };
+}
+
+tuple_codec!(A: 0, B: 1);
+tuple_codec!(A: 0, B: 1, C: 2);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.len());
+        for (k, v) in self {
+            k.encode(e);
+            v.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.seq_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(d)?;
+            let v = V::decode(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K, V> Codec for HashMap<K, V>
+where
+    K: Codec + Ord + Clone + std::hash::Hash + Eq,
+    V: Codec,
+{
+    fn encode(&self, e: &mut Encoder) {
+        // Hash maps have no intrinsic order; emit entries sorted by key so
+        // the encoding is deterministic.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        e.usize(self.len());
+        for k in keys {
+            k.encode(e);
+            self[k].encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.seq_len()?;
+        let mut out = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = K::decode(d)?;
+            let v = V::decode(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Encoder::new();
+        7u8.encode(&mut e);
+        0xdead_beefu32.encode(&mut e);
+        0x0123_4567_89ab_cdefu64.encode(&mut e);
+        true.encode(&mut e);
+        "hé".to_string().encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(u8::decode(&mut d).unwrap(), 7);
+        assert_eq!(u32::decode(&mut d).unwrap(), 0xdead_beef);
+        assert_eq!(u64::decode(&mut d).unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(bool::decode(&mut d).unwrap());
+        assert_eq!(String::decode(&mut d).unwrap(), "hé");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let value: (Vec<u32>, Option<String>, BTreeMap<u64, bool>) = (
+            vec![1, 2, 3],
+            Some("x".to_string()),
+            [(9u64, true), (2, false)].into_iter().collect(),
+        );
+        let bytes = encode_to_vec(&value);
+        let back: (Vec<u32>, Option<String>, BTreeMap<u64, bool>) = decode_all(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn hashmap_encoding_is_sorted_and_deterministic() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for k in 0..64u64 {
+            a.insert(k, k * 3);
+        }
+        for k in (0..64u64).rev() {
+            b.insert(k, k * 3);
+        }
+        assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+        let back: HashMap<u64, u64> = decode_all(&encode_to_vec(&a)).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = decode_all::<Vec<u64>>(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut e = Encoder::new();
+        e.u64(u64::MAX); // claimed length far beyond input
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(Vec::<u8>::decode(&mut d).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&42u64);
+        bytes.push(0);
+        assert!(decode_all::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(
+            decode_all::<bool>(&[2]),
+            Err(DecodeError::Tag {
+                what: "bool",
+                tag: 2
+            })
+        );
+        assert!(decode_all::<Option<u8>>(&[7, 0]).is_err());
+    }
+}

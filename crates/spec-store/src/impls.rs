@@ -1,0 +1,710 @@
+//! [`Codec`] implementations for the IR and analysis types that make up a
+//! prepared artifact.
+//!
+//! Each impl is an explicit field-by-field traversal in declaration order,
+//! mirroring the `HeapSize` walk of the same types.  Types with private
+//! fields are rebuilt through their public reconstruction hooks
+//! (`Program::new`, `AddressMap::from_parts`, `AbstractCacheState::from_parts`,
+//! `InstGraph::from_parts`, `Vcfg::from_parts`), so decoding revalidates the
+//! same structural invariants construction enforces — a corrupt payload can
+//! only become a [`DecodeError`], never an inconsistent value.
+
+use std::collections::BTreeMap;
+
+use spec_absint::solver::SolveStats;
+use spec_cache::{AbstractCacheState, AddressMap, Age, CacheConfig, MemBlock};
+use spec_ir::transform::{UnrollOptions, UnrollReport};
+use spec_ir::{
+    BasicBlock, BlockId, BranchSemantics, Condition, Fingerprint, IndexExpr, Inst, MemRef,
+    MemoryRegion, Program, RegionId, Terminator,
+};
+use spec_vcfg::{
+    Color, InstGraph, MergeStrategy, NodeId, NodeKind, SpeculationConfig, SpeculationSite, Vcfg,
+};
+
+use crate::codec::{Codec, DecodeError, Decoder, Encoder};
+
+fn id_u32(index: usize) -> u32 {
+    // Ids originate from `u32` raw values, so this cannot truncate.
+    index as u32
+}
+
+impl Codec for RegionId {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(id_u32(self.index()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(RegionId::from_raw(d.u32()?))
+    }
+}
+
+impl Codec for BlockId {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(id_u32(self.index()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockId::from_raw(d.u32()?))
+    }
+}
+
+impl Codec for Fingerprint {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Fingerprint(d.u64()?))
+    }
+}
+
+impl Codec for MemoryRegion {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(&self.name);
+        e.u64(self.size_bytes);
+        e.bool(self.secret);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MemoryRegion {
+            name: d.str()?,
+            size_bytes: d.u64()?,
+            secret: d.bool()?,
+        })
+    }
+}
+
+impl Codec for IndexExpr {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            IndexExpr::Const(offset) => {
+                e.u8(0);
+                e.u64(*offset);
+            }
+            IndexExpr::LoopIndexed { stride } => {
+                e.u8(1);
+                e.u64(*stride);
+            }
+            IndexExpr::Input { stride } => {
+                e.u8(2);
+                e.u64(*stride);
+            }
+            IndexExpr::Secret { stride } => {
+                e.u8(3);
+                e.u64(*stride);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let tag = d.u8()?;
+        let value = d.u64()?;
+        match tag {
+            0 => Ok(IndexExpr::Const(value)),
+            1 => Ok(IndexExpr::LoopIndexed { stride: value }),
+            2 => Ok(IndexExpr::Input { stride: value }),
+            3 => Ok(IndexExpr::Secret { stride: value }),
+            tag => Err(DecodeError::Tag {
+                what: "IndexExpr",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for MemRef {
+    fn encode(&self, e: &mut Encoder) {
+        self.region.encode(e);
+        self.index.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MemRef {
+            region: RegionId::decode(d)?,
+            index: IndexExpr::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Inst {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Inst::Load(m) => {
+                e.u8(0);
+                m.encode(e);
+            }
+            Inst::Store(m) => {
+                e.u8(1);
+                m.encode(e);
+            }
+            Inst::Compute { latency } => {
+                e.u8(2);
+                e.u32(*latency);
+            }
+            Inst::Nop => e.u8(3),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Inst::Load(MemRef::decode(d)?)),
+            1 => Ok(Inst::Store(MemRef::decode(d)?)),
+            2 => Ok(Inst::Compute { latency: d.u32()? }),
+            3 => Ok(Inst::Nop),
+            tag => Err(DecodeError::Tag { what: "Inst", tag }),
+        }
+    }
+}
+
+impl Codec for BranchSemantics {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            BranchSemantics::Loop { trip_count } => {
+                e.u8(0);
+                e.u64(*trip_count);
+            }
+            BranchSemantics::InputBit { bit } => {
+                e.u8(1);
+                e.u32(*bit);
+            }
+            BranchSemantics::SecretBit { bit } => {
+                e.u8(2);
+                e.u32(*bit);
+            }
+            BranchSemantics::Const(value) => {
+                e.u8(3);
+                e.bool(*value);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(BranchSemantics::Loop {
+                trip_count: d.u64()?,
+            }),
+            1 => Ok(BranchSemantics::InputBit { bit: d.u32()? }),
+            2 => Ok(BranchSemantics::SecretBit { bit: d.u32()? }),
+            3 => Ok(BranchSemantics::Const(d.bool()?)),
+            tag => Err(DecodeError::Tag {
+                what: "BranchSemantics",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Condition {
+    fn encode(&self, e: &mut Encoder) {
+        self.depends_on.encode(e);
+        self.semantics.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Condition {
+            depends_on: Vec::decode(d)?,
+            semantics: BranchSemantics::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Terminator {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Terminator::Jump(target) => {
+                e.u8(0);
+                target.encode(e);
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                e.u8(1);
+                cond.encode(e);
+                then_bb.encode(e);
+                else_bb.encode(e);
+            }
+            Terminator::Return => e.u8(2),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Terminator::Jump(BlockId::decode(d)?)),
+            1 => Ok(Terminator::Branch {
+                cond: Condition::decode(d)?,
+                then_bb: BlockId::decode(d)?,
+                else_bb: BlockId::decode(d)?,
+            }),
+            2 => Ok(Terminator::Return),
+            tag => Err(DecodeError::Tag {
+                what: "Terminator",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for BasicBlock {
+    fn encode(&self, e: &mut Encoder) {
+        self.id.encode(e);
+        self.name.encode(e);
+        self.insts.encode(e);
+        self.term.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BasicBlock {
+            id: BlockId::decode(d)?,
+            name: Option::decode(d)?,
+            insts: Vec::decode(d)?,
+            term: Terminator::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Program {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(self.name());
+        e.usize(self.regions().len());
+        for region in self.regions() {
+            region.encode(e);
+        }
+        e.usize(self.blocks().len());
+        for block in self.blocks() {
+            block.encode(e);
+        }
+        self.entry().encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let name = d.str()?;
+        let regions = Vec::decode(d)?;
+        let blocks: Vec<BasicBlock> = Vec::decode(d)?;
+        let entry = BlockId::decode(d)?;
+        // Dense, in-order block ids are a construction invariant that
+        // `Program::new` only debug-asserts; corrupt input must not reach it.
+        if blocks
+            .iter()
+            .enumerate()
+            .any(|(i, block)| block.id.index() != i)
+        {
+            return Err(DecodeError::Invalid("block ids not dense and in order"));
+        }
+        // Re-validating through the public constructor makes decoded
+        // programs satisfy exactly the invariants built ones do.
+        Program::new(name, regions, blocks, entry)
+            .map_err(|_| DecodeError::Invalid("program failed validation"))
+    }
+}
+
+impl Codec for UnrollOptions {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.max_program_insts);
+        e.u64(self.max_trip_count);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(UnrollOptions {
+            max_program_insts: d.usize()?,
+            max_trip_count: d.u64()?,
+        })
+    }
+}
+
+impl Codec for UnrollReport {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.unrolled_loops);
+        e.usize(self.skipped_loops);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(UnrollReport {
+            unrolled_loops: d.usize()?,
+            skipped_loops: d.usize()?,
+        })
+    }
+}
+
+impl Codec for CacheConfig {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.line_size);
+        e.usize(self.num_sets);
+        e.usize(self.associativity);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let config = CacheConfig {
+            line_size: d.u64()?,
+            num_sets: d.usize()?,
+            associativity: d.usize()?,
+        };
+        if config.line_size == 0 || config.num_sets == 0 || config.associativity == 0 {
+            return Err(DecodeError::Invalid("degenerate cache config"));
+        }
+        Ok(config)
+    }
+}
+
+impl Codec for MemBlock {
+    fn encode(&self, e: &mut Encoder) {
+        self.region.encode(e);
+        e.u64(self.block_index);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MemBlock {
+            region: RegionId::decode(d)?,
+            block_index: d.u64()?,
+        })
+    }
+}
+
+impl Codec for AddressMap {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.line_size());
+        e.usize(self.num_sets());
+        e.usize(self.base_blocks().len());
+        for base in self.base_blocks() {
+            e.u64(*base);
+        }
+        e.usize(self.block_counts().len());
+        for count in self.block_counts() {
+            e.u64(*count);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let line_size = d.u64()?;
+        let num_sets = d.usize()?;
+        let base_block: Vec<u64> = Vec::decode(d)?;
+        let blocks: Vec<u64> = Vec::decode(d)?;
+        if line_size == 0 || num_sets == 0 || base_block.len() != blocks.len() {
+            return Err(DecodeError::Invalid("inconsistent address map"));
+        }
+        Ok(AddressMap::from_parts(
+            line_size, num_sets, base_block, blocks,
+        ))
+    }
+}
+
+impl Codec for AbstractCacheState {
+    fn encode(&self, e: &mut Encoder) {
+        let (track_shadow, inner) = self.to_parts();
+        e.bool(track_shadow);
+        match inner {
+            None => e.u8(0),
+            Some((must, may)) => {
+                e.u8(1);
+                must.encode(e);
+                may.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let track_shadow = d.bool()?;
+        let inner = match d.u8()? {
+            0 => None,
+            1 => {
+                let must: BTreeMap<MemBlock, Age> = BTreeMap::decode(d)?;
+                let may: BTreeMap<MemBlock, Age> = BTreeMap::decode(d)?;
+                Some((must, may))
+            }
+            tag => {
+                return Err(DecodeError::Tag {
+                    what: "AbstractCacheState",
+                    tag,
+                })
+            }
+        };
+        Ok(AbstractCacheState::from_parts(track_shadow, inner))
+    }
+}
+
+impl Codec for NodeId {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(id_u32(self.index()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId::from_raw(d.u32()?))
+    }
+}
+
+impl Codec for NodeKind {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            NodeKind::Inst { block, index } => {
+                e.u8(0);
+                block.encode(e);
+                e.usize(*index);
+            }
+            NodeKind::Terminator { block } => {
+                e.u8(1);
+                block.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(NodeKind::Inst {
+                block: BlockId::decode(d)?,
+                index: d.usize()?,
+            }),
+            1 => Ok(NodeKind::Terminator {
+                block: BlockId::decode(d)?,
+            }),
+            tag => Err(DecodeError::Tag {
+                what: "NodeKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Color {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(id_u32(self.index()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Color::from_raw(d.u32()?))
+    }
+}
+
+impl Codec for MergeStrategy {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            MergeStrategy::JustInTime => e.u8(0),
+            MergeStrategy::MergeAtRollback => e.u8(1),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(MergeStrategy::JustInTime),
+            1 => Ok(MergeStrategy::MergeAtRollback),
+            tag => Err(DecodeError::Tag {
+                what: "MergeStrategy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for SpeculationConfig {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.depth_on_hit);
+        e.u32(self.depth_on_miss);
+        self.merge_strategy.encode(e);
+        e.bool(self.dynamic_depth_bounding);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SpeculationConfig {
+            depth_on_hit: d.u32()?,
+            depth_on_miss: d.u32()?,
+            merge_strategy: MergeStrategy::decode(d)?,
+            dynamic_depth_bounding: d.bool()?,
+        })
+    }
+}
+
+impl Codec for SpeculationSite {
+    fn encode(&self, e: &mut Encoder) {
+        self.color.encode(e);
+        self.branch_node.encode(e);
+        self.speculated_block.encode(e);
+        self.speculated_entry.encode(e);
+        self.resume_block.encode(e);
+        self.resume_entry.encode(e);
+        self.commit_node.encode(e);
+        self.condition_refs.encode(e);
+        self.spec_distance.encode(e);
+        self.resume_region.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SpeculationSite {
+            color: Color::decode(d)?,
+            branch_node: NodeId::decode(d)?,
+            speculated_block: BlockId::decode(d)?,
+            speculated_entry: NodeId::decode(d)?,
+            resume_block: BlockId::decode(d)?,
+            resume_entry: NodeId::decode(d)?,
+            commit_node: Option::decode(d)?,
+            condition_refs: Vec::decode(d)?,
+            spec_distance: std::collections::HashMap::decode(d)?,
+            resume_region: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for InstGraph {
+    fn encode(&self, e: &mut Encoder) {
+        e.usize(self.len());
+        for index in 0..self.len() {
+            self.kind(NodeId::from_raw(index as u32)).encode(e);
+        }
+        for index in 0..self.len() {
+            let succs = self.successors(NodeId::from_raw(index as u32));
+            e.usize(succs.len());
+            for s in succs {
+                s.encode(e);
+            }
+        }
+        self.entry().encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.seq_len()?;
+        let mut kinds = Vec::with_capacity(len);
+        for _ in 0..len {
+            kinds.push(NodeKind::decode(d)?);
+        }
+        let mut successors = Vec::with_capacity(len);
+        for _ in 0..len {
+            successors.push(Vec::decode(d)?);
+        }
+        let entry = NodeId::decode(d)?;
+        InstGraph::from_parts(kinds, successors, entry)
+            .ok_or(DecodeError::Invalid("inconsistent instruction graph"))
+    }
+}
+
+impl Codec for Vcfg {
+    fn encode(&self, e: &mut Encoder) {
+        self.graph().encode(e);
+        e.usize(self.sites().len());
+        for site in self.sites() {
+            site.encode(e);
+        }
+        self.config().encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let graph = InstGraph::decode(d)?;
+        let len = d.seq_len()?;
+        let mut sites = Vec::with_capacity(len);
+        for _ in 0..len {
+            sites.push(SpeculationSite::decode(d)?);
+        }
+        let config = SpeculationConfig::decode(d)?;
+        Vcfg::from_parts(graph, sites, config).ok_or(DecodeError::Invalid("inconsistent vcfg"))
+    }
+}
+
+impl Codec for SolveStats {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.node_visits);
+        e.u64(self.state_updates);
+        e.usize(self.max_worklist_len);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SolveStats {
+            node_visits: d.u64()?,
+            state_updates: d.u64()?,
+            max_worklist_len: d.usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use spec_ir::builder::ProgramBuilder;
+    use spec_vcfg::SpeculationConfig;
+
+    use super::*;
+    use crate::codec::{decode_all, encode_to_vec};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let table = b.region("table", 1024, false);
+        let key = b.secret_region("key", 64);
+        let entry = b.entry_block("entry");
+        let hot = b.block("hot");
+        let done = b.block("done");
+        b.load(entry, table, IndexExpr::Const(0));
+        b.data_branch(
+            entry,
+            vec![MemRef::at(key, 0)],
+            BranchSemantics::SecretBit { bit: 0 },
+            hot,
+            done,
+        );
+        b.load(hot, table, IndexExpr::secret(64));
+        b.jump(hot, done);
+        b.ret(done);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn program_round_trips_and_preserves_text() {
+        let program = sample_program();
+        let bytes = encode_to_vec(&program);
+        let back: Program = decode_all(&bytes).unwrap();
+        assert_eq!(back, program);
+        assert_eq!(back.to_string(), program.to_string());
+        assert_eq!(
+            spec_ir::fingerprint::program_fingerprint(&back),
+            spec_ir::fingerprint::program_fingerprint(&program)
+        );
+    }
+
+    #[test]
+    fn address_map_round_trips() {
+        let program = sample_program();
+        let config = CacheConfig::fully_associative(16, 64);
+        let map = AddressMap::new(&program, &config);
+        let back: AddressMap = decode_all(&encode_to_vec(&map)).unwrap();
+        assert_eq!(back.line_size(), map.line_size());
+        assert_eq!(back.num_sets(), map.num_sets());
+        assert_eq!(back.base_blocks(), map.base_blocks());
+        assert_eq!(back.block_counts(), map.block_counts());
+    }
+
+    #[test]
+    fn abstract_state_round_trips_including_bottom() {
+        let config = CacheConfig::fully_associative(8, 64);
+        for state in [
+            AbstractCacheState::bottom(true),
+            AbstractCacheState::bottom(false),
+            AbstractCacheState::empty_cache(&config, true),
+            {
+                let mut s = AbstractCacheState::empty_cache(&config, true);
+                s.access(
+                    &config,
+                    &spec_cache::CacheAccess::Precise(MemBlock::new(RegionId::from_raw(0), 1)),
+                    |_| 0,
+                );
+                s
+            },
+        ] {
+            let back: AbstractCacheState = decode_all(&encode_to_vec(&state)).unwrap();
+            assert_eq!(back, state);
+        }
+    }
+
+    #[test]
+    fn vcfg_round_trip_reproduces_derived_tables() {
+        let program = sample_program();
+        let vcfg = Vcfg::build(&program, SpeculationConfig::paper_default());
+        let back: Vcfg = decode_all(&encode_to_vec(&vcfg)).unwrap();
+        assert_eq!(back.num_colors(), vcfg.num_colors());
+        assert_eq!(
+            back.num_speculated_branches(),
+            vcfg.num_speculated_branches()
+        );
+        assert_eq!(back.graph().len(), vcfg.graph().len());
+        assert_eq!(back.graph().entry(), vcfg.graph().entry());
+        for index in 0..vcfg.graph().len() {
+            let node = NodeId::from_raw(index as u32);
+            assert_eq!(back.graph().successors(node), vcfg.graph().successors(node));
+            assert_eq!(
+                back.graph().predecessors(node),
+                vcfg.graph().predecessors(node)
+            );
+            assert_eq!(back.commits_at(node), vcfg.commits_at(node));
+            assert_eq!(back.colors_at_branch(node), vcfg.colors_at_branch(node));
+        }
+        for (a, b) in back.sites().iter().zip(vcfg.sites()) {
+            assert_eq!(a.color, b.color);
+            assert_eq!(a.spec_distance, b.spec_distance);
+            assert_eq!(a.resume_region, b.resume_region);
+        }
+    }
+
+    #[test]
+    fn corrupt_program_bytes_never_panic() {
+        let program = sample_program();
+        let bytes = encode_to_vec(&program);
+        // Truncations.
+        for cut in 0..bytes.len() {
+            let _ = decode_all::<Program>(&bytes[..cut]);
+        }
+        // Single-byte flips.
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xff;
+            let _ = decode_all::<Program>(&mutated);
+        }
+    }
+}

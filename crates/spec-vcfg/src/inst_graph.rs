@@ -127,6 +127,49 @@ impl InstGraph {
         }
     }
 
+    /// Rebuilds a graph from its serialized parts.
+    ///
+    /// `kinds`, `successors` and `entry` fully determine the graph: the
+    /// predecessor lists and the first-node-of-block table are derived from
+    /// them exactly as [`InstGraph::new`] derives them (predecessors in
+    /// ascending source-node order; a block's first node is its first
+    /// allocated node).  Returns `None` if the parts are structurally
+    /// inconsistent — mismatched lengths, an empty graph, or out-of-range
+    /// node ids — so corrupt serialized input degrades to a decode error
+    /// rather than a panic.
+    pub fn from_parts(
+        kinds: Vec<NodeKind>,
+        successors: Vec<Vec<NodeId>>,
+        entry: NodeId,
+    ) -> Option<Self> {
+        let len = kinds.len();
+        if len == 0 || len > u32::MAX as usize || successors.len() != len {
+            return None;
+        }
+        if entry.index() >= len || successors.iter().flatten().any(|n| n.index() >= len) {
+            return None;
+        }
+        let mut predecessors = vec![Vec::new(); len];
+        for (from, succs) in successors.iter().enumerate() {
+            for to in succs {
+                predecessors[to.index()].push(NodeId(from as u32));
+            }
+        }
+        let mut first_node_of_block = HashMap::new();
+        for (index, kind) in kinds.iter().enumerate() {
+            first_node_of_block
+                .entry(kind.block())
+                .or_insert(NodeId(index as u32));
+        }
+        Some(Self {
+            kinds,
+            successors,
+            predecessors,
+            entry,
+            first_node_of_block,
+        })
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.kinds.len()

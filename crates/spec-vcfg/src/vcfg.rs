@@ -93,6 +93,53 @@ impl Vcfg {
         }
     }
 
+    /// Rebuilds a VCFG from its serialized parts.
+    ///
+    /// The `commits_at` and `sites_at_branch` indices are derived tables:
+    /// [`Vcfg::build`] populates them while pushing sites in color order, so
+    /// replaying the same iteration over `sites` reproduces them exactly.
+    /// Returns `None` if the site list is inconsistent (colors not dense and
+    /// in order, or node ids out of range for `graph`).
+    pub fn from_parts(
+        graph: InstGraph,
+        sites: Vec<SpeculationSite>,
+        config: SpeculationConfig,
+    ) -> Option<Self> {
+        let len = graph.len();
+        let mut commits_at: HashMap<NodeId, Vec<Color>> = HashMap::new();
+        let mut sites_at_branch: HashMap<NodeId, Vec<Color>> = HashMap::new();
+        for (index, site) in sites.iter().enumerate() {
+            if site.color.index() != index {
+                return None;
+            }
+            let nodes_in_range = site.branch_node.index() < len
+                && site.speculated_entry.index() < len
+                && site.resume_entry.index() < len
+                && site.commit_node.is_none_or(|n| n.index() < len)
+                && site.resume_region.iter().all(|n| n.index() < len)
+                && site.spec_distance.keys().all(|n| n.index() < len);
+            if !nodes_in_range {
+                return None;
+            }
+            if config.merge_strategy == MergeStrategy::JustInTime {
+                if let Some(commit) = site.commit_node {
+                    commits_at.entry(commit).or_default().push(site.color);
+                }
+            }
+            sites_at_branch
+                .entry(site.branch_node)
+                .or_default()
+                .push(site.color);
+        }
+        Some(Self {
+            graph,
+            sites,
+            config,
+            commits_at,
+            sites_at_branch,
+        })
+    }
+
     /// The underlying instruction-level graph.
     pub fn graph(&self) -> &InstGraph {
         &self.graph

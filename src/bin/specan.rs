@@ -8,8 +8,12 @@
 //! specan merge   <reports.json...> [options]   verified fan-in of sharded scan artifacts
 //! specan serve   [--addr H:P] [--jobs N]       persistent analysis service (NDJSON over TCP)
 //!                [--max-session-bytes B]       ... with a byte-bounded session cache
+//!                [--artifact-dir DIR]          ... persisting prepared sessions across
+//!                [--max-store-bytes B]             restarts (byte-bounded, GC by recency)
 //! specan submit  [--addr H:P] <cmd> <args...>  script a running server; prints what the
 //!                                              one-shot command would print
+//! specan artifacts <list|verify|gc>            inspect/validate/collect an artifact store
+//!                --artifact-dir DIR [--json] [--max-store-bytes B]
 //! specan worker  --shard-json <spec>           internal: run one shard, print its report
 //! ```
 //!
@@ -51,7 +55,8 @@ use spec_core::batch::{
 };
 use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession};
 use spec_core::service::{self, AnalyzeConfig, Request, ServiceClient, ServiceConfig};
-use spec_core::{AnalysisOptions, Analyzer, BatchReport};
+use spec_core::{AnalysisOptions, Analyzer, BatchReport, PreparedStore};
+use spec_ir::fingerprint::program_fingerprint;
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 
@@ -82,6 +87,7 @@ enum Command {
     Scan,
     Merge,
     Serve,
+    Artifacts,
     Worker,
 }
 
@@ -110,6 +116,12 @@ struct Cli {
     /// warm in-memory sessions for `serve`, the on-disk replay store for
     /// `analyze`.  Evictions trade recomputation for memory, never output.
     max_session_bytes: Option<u64>,
+    /// `serve`/`analyze --incremental`/`artifacts`: where the persistent
+    /// prepared-artifact store lives.
+    artifact_dir: Option<PathBuf>,
+    /// `serve`/`artifacts`: byte budget on the artifact store, enforced by
+    /// recency-based GC.
+    max_store_bytes: Option<u64>,
     // `analyze`-only configuration knobs.
     baseline: bool,
     shadow: bool,
@@ -118,13 +130,13 @@ struct Cli {
 }
 
 fn usage() -> String {
-    "usage: specan <analyze|compare|leaks|scan|merge|serve|submit> <inputs...> \n\
+    "usage: specan <analyze|compare|leaks|scan|merge|serve|submit|artifacts> <inputs...> \n\
      \x20      [--cache-lines N] [--json]\n\
      \n\
      analyze   run one configuration and print the per-access classification\n\
      \x20         [--baseline] [--no-shadow] [--merge-at-rollback] [--no-unroll]\n\
      \x20         [--jobs N] [--shard K/N] [--incremental [--session-dir DIR]\n\
-     \x20         [--max-session-bytes N]];\n\
+     \x20         [--max-session-bytes N] [--artifact-dir DIR]];\n\
      \x20         several files allowed (JSON output becomes an array);\n\
      \x20         --incremental replays byte-identical output for programs\n\
      \x20         unchanged since the last run against the session directory\n\
@@ -152,10 +164,19 @@ fn usage() -> String {
      \x20         kept warm in a shared fingerprint-keyed session cache;\n\
      \x20         --max-session-bytes N bounds that cache (least recently\n\
      \x20         used programs are evicted and re-prepared on their next\n\
-     \x20         submission — responses never change)\n\
+     \x20         submission — responses never change);\n\
+     \x20         --artifact-dir DIR persists prepared sessions on disk so\n\
+     \x20         a restarted server answers from warm artifacts instead of\n\
+     \x20         re-preparing (--max-store-bytes N bounds the store, GC by\n\
+     \x20         recency — responses never change either way)\n\
      submit    send <analyze|compare|scan|status|shutdown> to a running\n\
      \x20         server ([--addr H:P]); prints exactly what the one-shot\n\
      \x20         command would print and exits with its code\n\
+     artifacts inspect a persistent artifact store: `list` prints one line\n\
+     \x20         per artifact, `verify` fully validates every file (exit 0\n\
+     \x20         iff all pass), `gc` removes quarantined/temp leftovers and\n\
+     \x20         enforces --max-store-bytes.  Requires --artifact-dir DIR;\n\
+     \x20         list/verify accept --json\n\
      worker    internal: --shard-json <spec|-> runs one scan shard and\n\
      \x20         prints its report as JSON (`-` reads the spec from stdin)"
         .to_string()
@@ -181,6 +202,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("scan") => Command::Scan,
         Some("merge") => Command::Merge,
         Some("serve") => Command::Serve,
+        Some("artifacts") => Command::Artifacts,
         Some("worker") => Command::Worker,
         Some("--help" | "-h" | "help") | None => return Err(usage()),
         Some(other) => {
@@ -201,6 +223,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         session_dir: None,
         incremental: false,
         max_session_bytes: None,
+        artifact_dir: None,
+        max_store_bytes: None,
         baseline: false,
         shadow: true,
         merge_at_rollback: false,
@@ -213,7 +237,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 .cloned()
         };
         match arg.as_str() {
-            "--cache-lines" if matches!(cli.command, Command::Merge | Command::Serve) => {
+            "--cache-lines"
+                if matches!(
+                    cli.command,
+                    Command::Merge | Command::Serve | Command::Artifacts
+                ) =>
+            {
                 return Err(format!("`--cache-lines` does not apply here\n{}", usage()));
             }
             "--cache-lines" => {
@@ -236,7 +265,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--jobs"
                 if matches!(
                     cli.command,
-                    Command::Leaks | Command::Worker | Command::Merge
+                    Command::Leaks | Command::Worker | Command::Merge | Command::Artifacts
                 ) =>
             {
                 return Err(format!("`--jobs` does not apply here\n{}", usage()));
@@ -319,6 +348,35 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| format!("`{value}` is not a byte count"))?,
                 );
             }
+            "--artifact-dir"
+                if !matches!(
+                    cli.command,
+                    Command::Serve | Command::Analyze | Command::Artifacts
+                ) =>
+            {
+                return Err(format!(
+                    "`--artifact-dir` only applies to `serve`, `analyze \
+                     --incremental` and `artifacts`\n{}",
+                    usage()
+                ));
+            }
+            "--artifact-dir" => {
+                cli.artifact_dir = Some(PathBuf::from(value_of("--artifact-dir")?));
+            }
+            "--max-store-bytes" if !matches!(cli.command, Command::Serve | Command::Artifacts) => {
+                return Err(format!(
+                    "`--max-store-bytes` only applies to `serve` and `artifacts gc`\n{}",
+                    usage()
+                ));
+            }
+            "--max-store-bytes" => {
+                let value = value_of("--max-store-bytes")?;
+                cli.max_store_bytes = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a byte count"))?,
+                );
+            }
             flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
                 if !matches!(cli.command, Command::Analyze) =>
             {
@@ -357,9 +415,37 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 return Err(format!("missing <report.json...>\n{}", usage()));
             }
         }
+        Command::Artifacts => {
+            let sub = cli.paths.first().map(String::as_str);
+            if cli.paths.len() != 1 || !matches!(sub, Some("list" | "verify" | "gc")) {
+                return Err(format!(
+                    "`artifacts` takes exactly one of <list|verify|gc>\n{}",
+                    usage()
+                ));
+            }
+            if cli.artifact_dir.is_none() {
+                return Err(format!(
+                    "`artifacts` needs `--artifact-dir DIR`\n{}",
+                    usage()
+                ));
+            }
+            if cli.max_store_bytes.is_some() && sub != Some("gc") {
+                return Err(format!(
+                    "`artifacts --max-store-bytes` only applies to `gc`\n{}",
+                    usage()
+                ));
+            }
+        }
         Command::Analyze if cli.session_dir.is_some() && !cli.incremental => {
             return Err(format!(
                 "`analyze --session-dir` needs `--incremental`\n{}",
+                usage()
+            ));
+        }
+        Command::Analyze if cli.artifact_dir.is_some() && !cli.incremental => {
+            return Err(format!(
+                "`analyze --artifact-dir` needs `--incremental` (it persists \
+                 prepared sessions between runs)\n{}",
                 usage()
             ));
         }
@@ -488,6 +574,7 @@ fn analyze_one(
     cli: &Cli,
     path: &std::path::Path,
     session: Option<&AnalyzeSession>,
+    store: Option<&PreparedStore>,
 ) -> Result<String, String> {
     let config = analyze_config(cli);
     config.options()?; // surface configuration errors before any analysis
@@ -504,8 +591,38 @@ fn analyze_one(
             return Ok(stored);
         }
     }
-    let prepared = Analyzer::new().prepare(&program);
+    // The output replay missed (new program, or a flag change).  With an
+    // artifact store, the *prepared session* — which is flag-independent —
+    // may still be warm on disk; a load replays its memoized artifacts
+    // instead of re-preparing.  Loads are name-exact (the store key ignores
+    // names, the stored program does not), so a renamed program prepares
+    // cold and overwrites the artifact.
+    let analyzer = Analyzer::new();
+    let prepared = match store {
+        Some(store) => match store.load(&analyzer, program_fingerprint(&program)) {
+            Some((prepared, bytes)) if prepared.program() == &program => {
+                eprintln!(
+                    "artifacts: loaded `{}` from the store ({bytes} bytes)",
+                    path.display()
+                );
+                prepared
+            }
+            _ => analyzer.prepare(&program),
+        },
+        None => analyzer.prepare(&program),
+    };
     let output = service::analyze_output(&prepared, &config)?;
+    if let Some(store) = store {
+        // Persist *after* the run so the artifact carries the memoized
+        // fixpoint rounds this configuration populated — the next run (any
+        // flags) replays them from disk.  A failed write only costs warmth.
+        if let Err(err) = store.save(&prepared) {
+            eprintln!(
+                "artifacts: warning: cannot store `{}`: {err}",
+                path.display()
+            );
+        }
+    }
     if let Some((session, key)) = key {
         eprintln!("session: analysed `{}`", path.display());
         if let Err(err) = session.store(key, &output) {
@@ -591,7 +708,13 @@ fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
             None => session,
         }
     });
-    let outputs = map_files(cli, &files, |path| analyze_one(cli, path, session.as_ref()))?;
+    let store = cli
+        .artifact_dir
+        .as_ref()
+        .map(|dir| PreparedStore::open(dir.clone()));
+    let outputs = map_files(cli, &files, |path| {
+        analyze_one(cli, path, session.as_ref(), store.as_ref())
+    })?;
     print_analyze_outputs(cli, &outputs);
     Ok(0)
 }
@@ -814,7 +937,7 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
     // of an `--addr 127.0.0.1:0` ephemeral bind from it) and doubles as
     // the resolved-`--jobs` accounting for `serve`.
     eprintln!(
-        "serve: listening on {local} (jobs = {jobs}{}{})",
+        "serve: listening on {local} (jobs = {jobs}{}{}{})",
         if cli.jobs.is_some() {
             ""
         } else {
@@ -823,10 +946,16 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
         match cli.max_session_bytes {
             Some(bytes) => format!(", max-session-bytes = {bytes}"),
             None => String::new(),
+        },
+        match &cli.artifact_dir {
+            Some(dir) => format!(", artifact-dir = {}", dir.display()),
+            None => String::new(),
         }
     );
     let config = ServiceConfig {
         max_session_bytes: cli.max_session_bytes,
+        artifact_dir: cli.artifact_dir.clone(),
+        max_store_bytes: cli.max_store_bytes,
         ..ServiceConfig::new(jobs)
     };
     let report =
@@ -836,6 +965,102 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
         report.requests, report.errors
     );
     Ok(0)
+}
+
+/// `specan artifacts <list|verify|gc> --artifact-dir DIR`: offline
+/// inspection of a persistent artifact store.  `verify` runs every file
+/// through the complete serve-path validation chain (header, checksum,
+/// options signature, full payload decode) without mutating the store, and
+/// exits 0 iff every artifact passes — the restart gate's proof that what
+/// is on disk is what a restarted server will load.
+fn cmd_artifacts(cli: &Cli) -> Result<u8, String> {
+    let dir = cli.artifact_dir.as_ref().expect("validated by parse_args");
+    let mut store = PreparedStore::open(dir.clone());
+    if let Some(bytes) = cli.max_store_bytes {
+        store = store.max_store_bytes(bytes);
+    }
+    match cli.paths[0].as_str() {
+        "list" => {
+            let entries = store
+                .store()
+                .entries()
+                .map_err(|err| format!("cannot list `{}`: {err}", dir.display()))?;
+            if cli.json {
+                let mut out = String::from("[");
+                for (i, entry) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"fingerprint\": \"{:016x}\", \"file_bytes\": {}}}",
+                        entry.fingerprint, entry.file_bytes
+                    ));
+                }
+                out.push(']');
+                outln!("{out}");
+            } else {
+                for entry in &entries {
+                    outln!("{:016x}  {:>12} bytes", entry.fingerprint, entry.file_bytes);
+                }
+                outln!(
+                    "{} artifact(s), {} bytes",
+                    entries.len(),
+                    entries.iter().map(|e| e.file_bytes).sum::<u64>()
+                );
+            }
+            Ok(0)
+        }
+        "verify" => {
+            let rows = store
+                .verify(&Analyzer::new())
+                .map_err(|err| format!("cannot verify `{}`: {err}", dir.display()))?;
+            let failed = rows.iter().filter(|(_, r)| r.is_err()).count();
+            if cli.json {
+                let mut out = String::from("[");
+                for (i, (fingerprint, result)) in rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&match result {
+                        Ok(bytes) => format!(
+                            "{{\"fingerprint\": \"{fingerprint:016x}\", \"ok\": true, \
+                             \"payload_bytes\": {bytes}}}"
+                        ),
+                        Err(reason) => format!(
+                            "{{\"fingerprint\": \"{fingerprint:016x}\", \"ok\": false, \
+                             \"error\": {}}}",
+                            spec_core::json::string(reason)
+                        ),
+                    });
+                }
+                out.push(']');
+                outln!("{out}");
+            } else {
+                for (fingerprint, result) in &rows {
+                    match result {
+                        Ok(bytes) => outln!("{fingerprint:016x}  ok ({bytes} payload bytes)"),
+                        Err(reason) => outln!("{fingerprint:016x}  FAILED: {reason}"),
+                    }
+                }
+                outln!("{} artifact(s) verified, {} failed", rows.len(), failed);
+            }
+            Ok(if failed > 0 { EXIT_ERROR } else { 0 })
+        }
+        "gc" => {
+            let stats = store
+                .store()
+                .gc()
+                .map_err(|err| format!("cannot gc `{}`: {err}", dir.display()))?;
+            outln!(
+                "gc: {} artifact(s) evicted, {} leftover(s) removed, {} bytes remain",
+                stats.evicted,
+                stats.junk_removed,
+                stats.remaining_bytes
+            );
+            Ok(0)
+        }
+        _ => unreachable!("validated by parse_args"),
+    }
 }
 
 /// `specan submit [--addr H:P] <analyze|compare|scan|status|shutdown> ...`:
@@ -1029,6 +1254,7 @@ fn main() -> ExitCode {
         Command::Scan => cmd_scan(&cli),
         Command::Merge => cmd_merge(&cli),
         Command::Serve => cmd_serve(&cli),
+        Command::Artifacts => cmd_artifacts(&cli),
         Command::Worker => cmd_worker(&cli),
     };
     match outcome {
