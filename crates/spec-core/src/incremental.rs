@@ -90,9 +90,9 @@ use spec_ir::Program;
 
 use crate::artifact::PreparedStore;
 use crate::batch::{
-    panel_checksum, run_bundle, BatchError, BatchReport, BundleStamp, ExecMode, PanelSpec,
-    ProgramVerdict,
+    panel_checksum, BatchError, BatchReport, BundleStamp, PanelSpec, ProgramVerdict,
 };
+use crate::cache_session::{CacheOutcome, CacheSession};
 use crate::json::{self, JsonValue};
 use crate::session::{Analyzer, CacheStats, PreparedProgram};
 
@@ -212,6 +212,19 @@ pub struct SessionStats {
     pub store_misses: u64,
     /// Total payload bytes deserialized across every store hit.
     pub store_loaded_bytes: u64,
+    /// Acquires served from a worker's thread-local L0 tier without taking
+    /// the session lock (see [`crate::cache_session::CacheSession`]).  Zero
+    /// for sessions driven directly, without a `CacheSession` front.
+    pub l0_hits: u64,
+    /// Acquires served by the shared in-memory L1 tier (a warm rebind under
+    /// the lock) through a `CacheSession`.  Zero for directly driven
+    /// sessions, whose warm rebinds count as [`SessionStats::reused`] only.
+    pub l1_hits: u64,
+    /// The session's invalidation generation at snapshot time: bumped on
+    /// every entry replacement (edit-driven re-prepare or rename install),
+    /// budget eviction and removal, so lock-free L0 tiers can detect that
+    /// their pinned handles may be stale without cross-thread coordination.
+    pub generation: u64,
 }
 
 /// What [`SessionCache::update`] did for one program.
@@ -239,6 +252,19 @@ pub struct SessionCache {
     max_bytes: Option<u64>,
     /// Monotonic source of the entries' use ticks.
     tick: u64,
+    /// Invalidation generation, shared (via `Arc`) with any lock-free L0
+    /// tier fronting this cache.  Bumped on every entry replacement,
+    /// eviction and removal — the events after which an L0-pinned handle
+    /// may no longer match what this cache would serve.  Fresh-name inserts
+    /// do *not* bump: they cannot make any existing handle stale.
+    generation: Arc<AtomicU64>,
+    /// Coarse tick of the last [`SessionCache::enforce_budget`] pass that
+    /// left the session within budget: `(entry count, summed growth
+    /// stamps)`.  Growth stamps are monotone and resident sizes are pure
+    /// functions of them, so an unchanged tick over an unchanged entry set
+    /// proves the sizes did not move — the enforcement pass (sort plus
+    /// re-measure) is skipped.  Cleared by every entry-set mutation.
+    budget_mark: Option<(usize, u64)>,
     /// Optional on-disk tier below the in-memory entries: misses try a
     /// fingerprint-keyed artifact load before falling back to a cold
     /// preparation, installs write through, and evictions persist dirty
@@ -261,8 +287,40 @@ impl SessionCache {
             stats: SessionStats::default(),
             max_bytes: None,
             tick: 0,
+            generation: Arc::new(AtomicU64::new(0)),
+            budget_mark: None,
             store: None,
         }
+    }
+
+    /// The analyzer this cache prepares programs with.
+    pub(crate) fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// A shared handle on the invalidation generation, for lock-free L0
+    /// tiers: reading it never takes the session lock, and a changed value
+    /// means some entry was replaced, evicted or removed since the reader
+    /// last synchronized.
+    pub(crate) fn generation_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.generation)
+    }
+
+    /// The current invalidation generation.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Records an event after which a previously handed-out `Arc` handle
+    /// may disagree with what this cache would serve for the same name.
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Forgets the coarse budget tick: the entry set is about to change, so
+    /// the next [`SessionCache::enforce_budget`] must run a full pass.
+    fn touch_entries(&mut self) {
+        self.budget_mark = None;
     }
 
     /// Attaches an on-disk artifact store as a second tier below memory.
@@ -335,10 +393,26 @@ impl SessionCache {
     /// VCFGs and fixpoint rounds; budget holders therefore call this after
     /// every request, and the resident-bytes invariant holds at every
     /// request boundary.
-    pub fn enforce_budget(&mut self) -> u64 {
+    ///
+    /// The full pass (sort every entry, re-measure the grown ones) is
+    /// skipped when a coarse tick proves nothing could have changed: the
+    /// entry set is untouched since the last in-budget pass and no entry's
+    /// growth stamp moved, so every resident size — a pure function of the
+    /// stamp — is exactly what the last pass already verified fits.
+    pub(crate) fn enforce_budget(&mut self) -> u64 {
         let Some(budget) = self.max_bytes else {
             return 0;
         };
+        let coarse_tick = |entries: &HashMap<String, SessionEntry>| {
+            let stamps: u64 = entries
+                .values()
+                .map(|entry| entry.prepared.growth_stamp())
+                .sum();
+            (entries.len(), stamps)
+        };
+        if self.budget_mark == Some(coarse_tick(&self.entries)) {
+            return 0;
+        }
         let mut sizes: Vec<(u64, u64, String)> = self
             .entries
             .iter()
@@ -368,7 +442,15 @@ impl SessionCache {
             resident -= bytes;
             evicted += 1;
         }
+        if evicted > 0 {
+            // Evicted handles may still be pinned by an L0 tier; bumping
+            // lets those workers drop them (a memory bound, not a
+            // correctness one — an evicted-but-identical handle still
+            // answers byte-identically).
+            self.bump_generation();
+        }
         self.stats.session_evictions += evicted;
+        self.budget_mark = Some(coarse_tick(&self.entries));
         evicted
     }
 
@@ -391,7 +473,11 @@ impl SessionCache {
     /// the result back through [`SessionCache::install`] — the analysis
     /// service's worker pool must not serialize every request behind one
     /// cold preparation.
-    pub fn lookup_warm(&mut self, program: &Program) -> Option<Arc<PreparedProgram>> {
+    ///
+    /// Crate-internal since the `CacheSession` redesign: external callers
+    /// sequence the two-phase resolve through
+    /// [`crate::cache_session::CacheSession::acquire`] instead.
+    pub(crate) fn lookup_warm(&mut self, program: &Program) -> Option<Arc<PreparedProgram>> {
         let tick = self.next_tick();
         match self.entries.get_mut(program.name()) {
             Some(entry) if entry.fingerprint == program_fingerprint(program) => {
@@ -414,7 +500,10 @@ impl SessionCache {
     /// prepared session embeds names, so a load is accepted only when the
     /// decoded program compares equal to `program` — a rename falls
     /// through to the cold path instead of serving stale names.
-    pub fn lookup_tiered(
+    ///
+    /// Crate-internal since the `CacheSession` redesign (see
+    /// [`SessionCache::lookup_warm`]).
+    pub(crate) fn lookup_tiered(
         &mut self,
         program: &Program,
     ) -> Option<(Arc<PreparedProgram>, SessionTier)> {
@@ -463,8 +552,9 @@ impl SessionCache {
     /// call this at request boundaries (next to
     /// [`SessionCache::enforce_budget`]) so a restart finds warm artifacts
     /// on disk.  Returns the number of entries written; a no-op without a
-    /// configured store.
-    pub fn persist_dirty(&mut self) -> u64 {
+    /// configured store.  External holders reach it through
+    /// `CacheSession::checkpoint`.
+    pub(crate) fn persist_dirty(&mut self) -> u64 {
         let SessionCache { store, entries, .. } = self;
         let Some(store) = store.as_ref() else {
             return 0;
@@ -497,7 +587,11 @@ impl SessionCache {
     ///
     /// With an artifact store configured the installed session is written
     /// through to disk, so a later restart loads it instead of preparing.
-    pub fn install(&mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
+    ///
+    /// Crate-internal since the `CacheSession` redesign: external callers
+    /// commit cold preparations through `PrepareGuard::commit` (see
+    /// [`SessionCache::lookup_warm`]).
+    pub(crate) fn install(&mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
         let persisted = self.persist_now(&prepared);
         self.install_with(prepared, persisted)
     }
@@ -511,6 +605,7 @@ impl SessionCache {
         let regions = regions_fingerprint(prepared.program().regions());
         let name = prepared.program().name().to_string();
         let tick = self.next_tick();
+        self.touch_entries();
         match self.entries.get_mut(&name) {
             Some(entry) => {
                 self.stats.invalidated += 1;
@@ -518,6 +613,11 @@ impl SessionCache {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
                 }
                 *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
+                // The replaced handle may still be pinned by an L0 tier —
+                // and, names being part of a prepared session, may now
+                // serve stale names for this key.  Fresh-name inserts skip
+                // the bump: no existing handle can go stale.
+                self.bump_generation();
             }
             None => {
                 self.stats.inserted += 1;
@@ -567,6 +667,7 @@ impl SessionCache {
                 (prepared, persisted)
             }
         };
+        self.touch_entries();
         match self.entries.get_mut(&name) {
             Some(entry) => {
                 self.stats.invalidated += 1;
@@ -574,6 +675,9 @@ impl SessionCache {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
                 }
                 *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
+                // Edit-driven re-prepare: see the same bump in
+                // `install_with`.
+                self.bump_generation();
             }
             None => {
                 self.stats.inserted += 1;
@@ -596,11 +700,6 @@ impl SessionCache {
         self.entries.get(name).map(|entry| &entry.prepared)
     }
 
-    /// Drops one program from the session.  Returns whether it was present.
-    pub fn remove(&mut self, name: &str) -> bool {
-        self.entries.remove(name).is_some()
-    }
-
     /// Number of programs currently held.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -616,6 +715,7 @@ impl SessionCache {
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             session_bytes: self.resident_bytes(),
+            generation: self.generation(),
             ..self.stats
         }
     }
@@ -642,6 +742,10 @@ impl SessionCache {
         total.store_hits = self.stats.store_hits;
         total.store_misses = self.stats.store_misses;
         total.store_loaded_bytes = self.stats.store_loaded_bytes;
+        // `l0_hits`/`l1_hits` stay zero here: those tiers live in front of
+        // this cache (inside `CacheSession`), which overlays its own
+        // counters on this snapshot.
+        total.generation = self.generation();
         total
     }
 }
@@ -779,40 +883,44 @@ pub struct ScanOutcome {
 /// Runs a bundle scan against a persisted [`ScanSession`]: programs whose
 /// structural fingerprints match the stored snapshot reuse their stored
 /// verdicts wholesale; only the changed (or new) programs are analysed —
-/// sharded `jobs` ways per `mode`, exactly like [`run_bundle`] — and the
-/// refreshed session is written back.
+/// fanned `jobs` ways over one shared [`CacheSession`] front, whose
+/// acquire/commit protocol runs every cold preparation outside the session
+/// lock — and the refreshed session is written back.
 ///
-/// The returned report is **bit-identical** to a fresh [`run_bundle`] over
-/// the same files: stored verdicts are timing-free pure functions of
-/// (program structure, panel), and renames — which the fingerprint ignores —
-/// cannot appear in a [`BatchReport`], whose only name, the program name,
-/// is the session key itself.
+/// The returned report is **bit-identical** to a fresh
+/// [`crate::batch::run_bundle`] over the same files: stored verdicts are
+/// timing-free pure functions of (program structure, panel), fresh ones run
+/// the exact per-program pipeline of a fresh shard, and renames — which the
+/// fingerprint ignores — cannot appear in a [`BatchReport`], whose only
+/// name, the program name, is the session key itself.
 ///
-/// Files saved *while the scan runs* cannot poison the session: analysed
-/// files are re-fingerprinted after the analysis read, and any whose
-/// fingerprint moved are left out of the persisted snapshot, so the next
-/// scan re-analyses them instead of trusting a stale pairing.
+/// Files saved *while the scan runs* cannot poison the session: the
+/// programs parsed by the fingerprint pass are the programs analysed — the
+/// file is never read twice — so a persisted fingerprint always keys the
+/// verdict of exactly that content.
 ///
 /// # Errors
 ///
-/// Everything [`run_bundle`] raises.  Session defects are never errors:
-/// a missing or corrupt session degrades to a cold scan, and a session
-/// that cannot be written back (read-only cache volume, full disk) is
-/// reported through [`ScanOutcome::store_error`] while the completed
-/// report — and with it the CI leak verdict — is still returned.
+/// [`BatchError::Io`]/[`BatchError::Parse`] for unreadable or invalid
+/// files, [`BatchError::DuplicateProgram`] for a repeated program name and
+/// [`BatchError::InvalidPanel`] for a degenerate panel.  Session defects
+/// are never errors: a missing or corrupt session degrades to a cold scan,
+/// and a session that cannot be written back (read-only cache volume, full
+/// disk) is reported through [`ScanOutcome::store_error`] while the
+/// completed report — and with it the CI leak verdict — is still returned.
 pub fn scan_bundle_incremental(
     files: &[PathBuf],
     panel: PanelSpec,
     jobs: usize,
-    mode: &ExecMode,
     session: &ScanSession,
 ) -> Result<ScanOutcome, BatchError> {
     if files.is_empty() {
         return Err(BatchError::NoPrograms);
     }
-    // Fingerprint the bundle.  Parsing is cheap next to analysis, and doing
-    // it here surfaces parse errors with the same shape a fresh scan would.
-    let mut bundle: Vec<(PathBuf, String, Fingerprint)> = Vec::with_capacity(files.len());
+    // Parse and fingerprint the bundle once.  The parsed programs feed the
+    // analysis below directly, so a file saved mid-scan can never pair this
+    // pass's fingerprint with a verdict of newer content.
+    let mut bundle: Vec<(String, Program, Fingerprint)> = Vec::with_capacity(files.len());
     for path in files {
         let source = std::fs::read_to_string(path).map_err(|error| BatchError::Io {
             path: path.clone(),
@@ -823,58 +931,73 @@ pub fn scan_bundle_incremental(
             message: err.to_string(),
         })?;
         let name = program.name().to_string();
-        if bundle.iter().any(|(_, n, _)| *n == name) {
+        if bundle.iter().any(|(n, _, _)| *n == name) {
             return Err(BatchError::DuplicateProgram { name });
         }
-        bundle.push((path.clone(), name, program_fingerprint(&program)));
+        let fingerprint = program_fingerprint(&program);
+        bundle.push((name, program, fingerprint));
     }
 
     let stored = session.load(panel).unwrap_or_default();
-    let misses: Vec<PathBuf> = bundle
-        .iter()
-        .filter(|(_, name, fp)| stored.get(name).map(|(old, _)| old) != Some(fp))
-        .map(|(path, _, _)| path.clone())
+    let misses: Vec<usize> = (0..bundle.len())
+        .filter(|&i| {
+            let (name, _, fp) = &bundle[i];
+            stored.get(name).map(|(old, _)| old) != Some(fp)
+        })
         .collect();
-    let fresh = if misses.is_empty() {
-        Vec::new()
-    } else {
-        run_bundle(&misses, panel, jobs, mode)?.programs
-    };
-    // `run_bundle` yields exactly one verdict per miss file, in input
-    // order; pairing by *position* (not by program name) keeps the splice
-    // total even if a file saved mid-scan changed its program name between
-    // the fingerprint pass and the analysis read.
-    debug_assert_eq!(fresh.len(), misses.len());
-    let mut fresh_by_path: HashMap<&Path, ProgramVerdict> =
-        misses.iter().map(PathBuf::as_path).zip(fresh).collect();
 
-    // Splice stored and fresh verdicts back into bundle order.  The
-    // analysis read each miss file *again* after the fingerprint pass, so a
-    // file saved in between would pair the old fingerprint with a verdict
-    // of newer content; persist only the entries whose on-disk content
-    // still matches the fingerprint the scan was keyed under (the verdict
-    // is reported either way — the next scan simply re-analyses the file).
+    // Analyse the misses through one shared cache front, mirroring a fresh
+    // shard's per-program pipeline exactly (same analyzer construction,
+    // same suite, same timing strip).  Workers pull whole chunks; the only
+    // shared state is the front itself, and its cold prepares run lock-free.
+    let mut fresh: Vec<Option<ProgramVerdict>> = (0..misses.len()).map(|_| None).collect();
+    if !misses.is_empty() {
+        let configs = panel.configs()?;
+        let front = CacheSession::new(SessionCache::with_analyzer(
+            Analyzer::new().max_suite_threads(std::num::NonZeroUsize::MIN),
+        ));
+        let verdict_for = |program: &Program| {
+            let prepared = match front.acquire_structural(program) {
+                CacheOutcome::L0Hit(prepared)
+                | CacheOutcome::WarmHit(prepared)
+                | CacheOutcome::StoreHit(prepared) => prepared,
+                CacheOutcome::NeedsPrepare(guard) => guard.prepare(program),
+            };
+            let report = prepared.run_suite(&configs).report().without_timing();
+            ProgramVerdict::from_report(report, prepared.fingerprint())
+        };
+        let per_worker = misses.len().div_ceil(jobs.clamp(1, misses.len()));
+        std::thread::scope(|scope| {
+            for (slots, indices) in fresh.chunks_mut(per_worker).zip(misses.chunks(per_worker)) {
+                let (bundle, verdict_for) = (&bundle, &verdict_for);
+                scope.spawn(move || {
+                    for (slot, &i) in slots.iter_mut().zip(indices) {
+                        *slot = Some(verdict_for(&bundle[i].1));
+                    }
+                });
+            }
+        });
+    }
+
+    // Splice stored and fresh verdicts back into bundle order.  Every
+    // persisted pairing is sound by construction: a fresh verdict came from
+    // the very program its fingerprint hashes, and a reused one re-matched
+    // the stored fingerprint this scan.
     let mut programs = Vec::with_capacity(bundle.len());
     let mut persist: Vec<(String, Fingerprint)> = Vec::with_capacity(bundle.len());
     let mut reused = 0;
-    for (path, name, fp) in &bundle {
-        match fresh_by_path.remove(path.as_path()) {
-            Some(verdict) => {
-                let unchanged_on_disk = std::fs::read_to_string(path)
-                    .ok()
-                    .and_then(|source| parse_program(&source).ok())
-                    .is_some_and(|program| {
-                        program.name() == name && program_fingerprint(&program) == *fp
-                    });
-                if unchanged_on_disk
-                    && verdict.report.program == *name
-                    && verdict.fingerprint == *fp
-                {
-                    persist.push((name.clone(), *fp));
-                }
+    let mut fresh = misses.iter().copied().zip(fresh).peekable();
+    for (i, (name, _, fp)) in bundle.iter().enumerate() {
+        match fresh.peek() {
+            Some(&(miss, _)) if miss == i => {
+                let verdict = fresh
+                    .next()
+                    .and_then(|(_, v)| v)
+                    .expect("every miss chunk filled its slots");
+                persist.push((name.clone(), *fp));
                 programs.push(verdict);
             }
-            None => {
+            _ => {
                 // Not a miss, so the stored fingerprint matched this scan's
                 // own read — the lookup cannot fail.
                 let (_, verdict) = stored
@@ -1050,7 +1173,7 @@ impl AnalyzeSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::PanelKind;
+    use crate::batch::{run_bundle, ExecMode, PanelKind};
     use crate::session::comparison_configs;
     use spec_cache::CacheConfig;
     use spec_ir::builder::ProgramBuilder;
@@ -1386,14 +1509,12 @@ mod tests {
         let files = vec![a.clone(), b.clone()];
         let session = ScanSession::new(scratch.0.join("session"));
 
-        let cold = scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
-            .unwrap();
+        let cold = scan_bundle_incremental(&files, leak_panel(), 1, &session).unwrap();
         assert_eq!((cold.reused, cold.analyzed), (0, 2));
 
         // No edits: everything replays, and the report is byte-identical to
         // a fresh bundle run.
-        let warm = scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
-            .unwrap();
+        let warm = scan_bundle_incremental(&files, leak_panel(), 1, &session).unwrap();
         assert_eq!((warm.reused, warm.analyzed), (2, 0));
         let fresh = run_bundle(&files, leak_panel(), 1, &ExecMode::InProcess).unwrap();
         assert_eq!(warm.report, fresh);
@@ -1401,9 +1522,7 @@ mod tests {
 
         // Edit one file in place: only it re-analyses; bundle order holds.
         scratch.write("a.spec", &spec_source("alpha", 32));
-        let edited =
-            scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session)
-                .unwrap();
+        let edited = scan_bundle_incremental(&files, leak_panel(), 1, &session).unwrap();
         assert_eq!((edited.reused, edited.analyzed), (1, 1));
         let fresh = run_bundle(&files, leak_panel(), 1, &ExecMode::InProcess).unwrap();
         assert_eq!(edited.report.to_json(), fresh.to_json());
@@ -1422,25 +1541,22 @@ mod tests {
         let a = scratch.write("a.spec", &spec_source("alpha", 0));
         let files = vec![a];
         let session = ScanSession::new(scratch.0.join("session"));
-        scan_bundle_incremental(&files, leak_panel(), 1, &ExecMode::InProcess, &session).unwrap();
+        scan_bundle_incremental(&files, leak_panel(), 1, &session).unwrap();
 
         // A different panel must not reuse leak-check verdicts.
         let other = PanelSpec {
             kind: PanelKind::Comparison,
             cache_lines: 8,
         };
-        let outcome =
-            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        let outcome = scan_bundle_incremental(&files, other, 1, &session).unwrap();
         assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
 
         // Corrupt the stored session: the next scan degrades to cold.
         std::fs::write(session.dir().join(SCAN_SESSION_FILE), "not json").unwrap();
-        let outcome =
-            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        let outcome = scan_bundle_incremental(&files, other, 1, &session).unwrap();
         assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
         // ...and the rewritten session is healthy again.
-        let outcome =
-            scan_bundle_incremental(&files, other, 1, &ExecMode::InProcess, &session).unwrap();
+        let outcome = scan_bundle_incremental(&files, other, 1, &session).unwrap();
         assert_eq!((outcome.reused, outcome.analyzed), (1, 0));
     }
 
@@ -1452,14 +1568,8 @@ mod tests {
         // fails, so the write-back cannot succeed — but the scan must.
         let blocked = scratch.write("blocked", "not a directory");
         let session = ScanSession::new(&blocked);
-        let outcome = scan_bundle_incremental(
-            std::slice::from_ref(&a),
-            leak_panel(),
-            1,
-            &ExecMode::InProcess,
-            &session,
-        )
-        .unwrap();
+        let outcome =
+            scan_bundle_incremental(std::slice::from_ref(&a), leak_panel(), 1, &session).unwrap();
         assert!(outcome.store_error.is_some(), "the store failure surfaces");
         assert_eq!((outcome.reused, outcome.analyzed), (0, 1));
         let fresh = run_bundle(&[a], leak_panel(), 1, &ExecMode::InProcess).unwrap();

@@ -76,6 +76,7 @@
 pub mod analysis;
 pub mod artifact;
 pub mod batch;
+pub mod cache_session;
 pub mod classify;
 mod engine;
 pub mod incremental;
@@ -88,6 +89,7 @@ pub mod state;
 pub use analysis::CacheAnalysis;
 pub use artifact::{options_signature, PreparedStore};
 pub use batch::{BatchError, BatchReport, BundleStamp, ExecMode, PanelKind, PanelSpec, ShardSpec};
+pub use cache_session::{AcquireStats, CacheOutcome, CacheSession, PrepareGuard};
 pub use classify::{AccessInfo, AnalysisResult};
 pub use incremental::{
     ScanOutcome, ScanSession, SessionCache, SessionStats, SessionTier, SessionUpdate,

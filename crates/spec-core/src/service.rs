@@ -46,19 +46,23 @@
 //!
 //! Requests from every connection are queued onto one fixed pool of
 //! `jobs` workers (scoped threads).  Each worker resolves programs through
-//! a shared [`SessionCache`], so a re-submitted program — identified by
-//! name, invalidated by structural fingerprint — reuses its warm
-//! [`PreparedProgram`] exactly as `--incremental` reuses on-disk sessions:
-//! every memoized unroll variant, address map, VCFG and fixpoint round
+//! one shared [`CacheSession`] front over the [`SessionCache`]: a
+//! re-submitted program — identified by name, invalidated by structural
+//! fingerprint — reuses its warm [`PreparedProgram`] exactly as
+//! `--incremental` reuses on-disk sessions, and a worker's steady-state
+//! hits come from its own thread-local L0 tier without taking the session
+//! lock at all (logged as `(l0)`; cross-worker warm hits stay `(warm)`).
+//! Every memoized unroll variant, address map, VCFG and fixpoint round
 //! survives across requests, and an edit re-prepares only the program it
 //! touched.  `status` and `shutdown` are answered inline by the connection
 //! reader (they must stay responsive while the pool is busy).
 //!
 //! With [`ServiceConfig::max_session_bytes`] set (`specan serve
-//! --max-session-bytes`), the cache is re-measured after every request and
+//! --max-session-bytes`), the budget is enforced after every request —
 //! whole sessions are evicted least recently used first until the resident
-//! bytes fit the budget — so a server fed a stream of distinct programs
-//! stays memory-bounded.  An evicted program is re-prepared on its next
+//! bytes fit, and a cheap coarse growth tick skips the re-measure whenever
+//! no resident artifact changed — so a server fed a stream of distinct
+//! programs stays memory-bounded.  An evicted program is re-prepared on its next
 //! submission; the `eviction_equivalence` suite and the CI `eviction-gate`
 //! prove responses are byte-identical (post timing-strip) either way.
 //!
@@ -82,8 +86,9 @@ use spec_vcfg::MergeStrategy;
 
 use crate::artifact::PreparedStore;
 use crate::batch::{panel_checksum, BatchReport, BundleStamp, PanelSpec, ProgramVerdict};
+use crate::cache_session::{relock, CacheOutcome, CacheSession};
 use crate::classify::AnalysisResult;
-use crate::incremental::{SessionCache, SessionTier};
+use crate::incremental::SessionCache;
 use crate::json::{self, JsonValue, ParseLimits};
 use crate::options::AnalysisOptions;
 use crate::session::{comparison_configs, Analyzer, PreparedProgram, Report};
@@ -648,6 +653,96 @@ impl ServiceConfig {
             max_store_bytes: None,
         }
     }
+
+    /// A validating builder seeded with [`ServiceConfig::new`]'s defaults,
+    /// mirroring [`AnalysisOptions::builder`]: setters accumulate, and
+    /// [`ServiceConfigBuilder::build`] rejects incoherent combinations
+    /// instead of letting them reach a running server.
+    pub fn builder(jobs: NonZeroUsize) -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: Self::new(jobs),
+        }
+    }
+}
+
+/// Why a [`ServiceConfigBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceConfigError {
+    /// The request line cap is zero, which would reject every request.
+    ZeroRequestCap,
+    /// A store byte budget was set without an artifact directory: there is
+    /// no store to bound.
+    StoreBudgetWithoutStore,
+}
+
+impl std::fmt::Display for ServiceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroRequestCap => {
+                write!(f, "max request bytes must be non-zero")
+            }
+            Self::StoreBudgetWithoutStore => {
+                write!(f, "--max-store-bytes requires --artifact-dir")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceConfigError {}
+
+/// Builder for [`ServiceConfig`] — see [`ServiceConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Per-request line cap in bytes (default 8 MiB).
+    pub fn max_request_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_request_bytes = bytes;
+        self
+    }
+
+    /// LRU bound on each prepared variant's fixpoint-round cache.
+    pub fn round_cache_capacity(mut self, capacity: NonZeroUsize) -> Self {
+        self.config.round_cache_capacity = capacity;
+        self
+    }
+
+    /// Byte budget over the whole session cache (`--max-session-bytes`).
+    pub fn max_session_bytes(mut self, bytes: u64) -> Self {
+        self.config.max_session_bytes = Some(bytes);
+        self
+    }
+
+    /// Artifact-store directory (`--artifact-dir`).
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Byte budget over the on-disk store (`--max-store-bytes`).  Only
+    /// meaningful together with [`ServiceConfigBuilder::artifact_dir`].
+    pub fn max_store_bytes(mut self, bytes: u64) -> Self {
+        self.config.max_store_bytes = Some(bytes);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceConfigError`] for a zero request cap or a store budget
+    /// without a store.
+    pub fn build(self) -> Result<ServiceConfig, ServiceConfigError> {
+        if self.config.max_request_bytes == 0 {
+            return Err(ServiceConfigError::ZeroRequestCap);
+        }
+        if self.config.max_store_bytes.is_some() && self.config.artifact_dir.is_none() {
+            return Err(ServiceConfigError::StoreBudgetWithoutStore);
+        }
+        Ok(self.config)
+    }
 }
 
 /// Lifetime counters of one [`serve`] run.
@@ -660,10 +755,10 @@ pub struct ServiceReport {
 }
 
 struct ServerState {
-    cache: Mutex<SessionCache>,
-    /// The analyzer cold preparations run under — outside the cache lock,
-    /// so one expensive prepare never serializes the whole worker pool.
-    analyzer: Analyzer,
+    /// The tiered session front every worker resolves programs through:
+    /// L0 hits stay on the worker's own thread, cold prepares run outside
+    /// the shared lock by construction of the acquire/commit protocol.
+    sessions: CacheSession,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -695,7 +790,7 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
     let analyzer = Analyzer::new()
         .max_suite_threads(NonZeroUsize::MIN)
         .round_cache_capacity(config.round_cache_capacity);
-    let mut cache = SessionCache::with_analyzer(analyzer.clone());
+    let mut cache = SessionCache::with_analyzer(analyzer);
     if let Some(bytes) = config.max_session_bytes {
         cache = cache.max_session_bytes(bytes);
     }
@@ -707,8 +802,7 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
         cache = cache.artifact_store(store);
     }
     let state = ServerState {
-        cache: Mutex::new(cache),
-        analyzer,
+        sessions: CacheSession::new(cache),
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
@@ -766,7 +860,7 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
 fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
     loop {
         let job = {
-            let rx = rx.lock().expect("job queue poisoned");
+            let rx = relock(rx);
             match rx.recv() {
                 Ok(job) => job,
                 Err(_) => return, // every sender is gone: drained
@@ -800,29 +894,33 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
 /// invariant at every request boundary, which the soak test and the CI
 /// eviction gate watch.
 fn session_accounting(state: &ServerState) -> String {
-    let mut cache = state.cache.lock().expect("session cache poisoned");
+    let sessions = &state.sessions;
+    // An unbounded, store-free server has nothing to flush, enforce or
+    // log — and this check reads cached configuration, no lock taken.
+    if !sessions.has_store() && sessions.budget().is_none() {
+        return String::new();
+    }
+    // One checkpoint does the whole boundary pass in the right order:
+    // flush entries whose memoized artifacts grew during this request (so
+    // a crash or restart at any request boundary finds them on disk), then
+    // enforce the byte budget — which skips its re-measure entirely when
+    // the coarse growth tick proves nothing changed.
+    let stats = sessions.checkpoint();
     let mut tail = String::new();
-    if cache.has_store() {
-        // Flush entries whose memoized artifacts grew during this request,
-        // so a crash or restart at any request boundary finds them on
-        // disk.  The store line is the restart gate's evidence that a warm
-        // answer came from a disk load, not a re-preparation.
-        cache.persist_dirty();
-        let stats = cache.stats();
+    if sessions.has_store() {
+        // The store line is the restart gate's evidence that a warm answer
+        // came from a disk load, not a re-preparation.
         tail.push_str(&format!(
             " store: {} hits, {} misses, {} bytes loaded",
             stats.store_hits, stats.store_misses, stats.store_loaded_bytes
         ));
     }
-    if cache.budget().is_none() {
-        return tail;
+    if sessions.budget().is_some() {
+        tail.push_str(&format!(
+            " session: {} bytes resident, {} evicted",
+            stats.session_bytes, stats.session_evictions
+        ));
     }
-    cache.enforce_budget();
-    let stats = cache.stats();
-    tail.push_str(&format!(
-        " session: {} bytes resident, {} evicted",
-        stats.session_bytes, stats.session_evictions
-    ));
     tail
 }
 
@@ -888,7 +986,7 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                         prepared.program().name()
                     ));
                 }
-                warm += usize::from(how == "warm");
+                warm += usize::from(matches!(how, "warm" | "l0"));
                 sessions.push(prepared);
             }
             let threads = state.jobs.min(sessions.len()).max(1);
@@ -904,13 +1002,13 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                         };
                         let report = prepared.run_suite(&configs).report().without_timing();
                         let verdict = ProgramVerdict::from_report(report, prepared.fingerprint());
-                        slots.lock().expect("scan slots poisoned")[index] = Some(verdict);
+                        relock(&slots)[index] = Some(verdict);
                     });
                 }
             });
             let programs: Vec<ProgramVerdict> = slots
                 .into_inner()
-                .expect("scan slots poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .into_iter()
                 .map(|slot| slot.expect("every program was scanned"))
                 .collect();
@@ -939,65 +1037,49 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
     }
 }
 
-/// Parses `source` and brings the shared session up to date, returning the
-/// session to run against plus the accounting tag (`warm`, `store`,
-/// `prepared`, `renamed`).
+/// Parses `source` and resolves it through the tiered session front,
+/// returning the session to run against plus the accounting tag (`l0`,
+/// `warm`, `store`, `prepared`, `renamed`).
 ///
-/// The cache lock is held only for the lookup and the install — the
-/// expensive [`Analyzer::prepare`] of a cold or edited program runs
-/// outside it, so one cold request never serializes the whole pool.
-/// (A store-tier load *is* under the lock: deserializing is orders of
-/// magnitude cheaper than preparing, and serializing concurrent loads of
-/// one artifact is the desired behaviour anyway.)  Racing preparations of
-/// the same program are benign (the sessions are interchangeable; last
-/// writer wins).
-///
-/// With `name_sensitive`, a warm hit additionally requires the canonical
-/// program text to match: `analyze` output embeds region and block names,
-/// which the structural fingerprint deliberately ignores, so a
-/// rename-only edit must swap the entry instead of replaying the previous
-/// names (the same rule `AnalyzeSession` keys its on-disk replays on).
-/// The text comparison itself happens outside the lock.  A store-tier hit
-/// is name-exact by construction — the load was accepted only because the
-/// decoded program compared equal, names included.
+/// This is one [`CacheSession::acquire`] (name-exact, for `analyze`-shaped
+/// output that embeds region and block names) or
+/// [`CacheSession::acquire_structural`] (for rename-insensitive outputs):
+/// a steady-state hit never takes the session lock at all, and a miss
+/// hands back a guard whose expensive [`Analyzer::prepare`] provably runs
+/// outside it — one cold request never serializes the whole pool.  Racing
+/// preparations of the same program are benign (the sessions are
+/// interchangeable; last writer wins).
 fn resolve_session(
     source: &str,
     state: &ServerState,
     name_sensitive: bool,
 ) -> Result<(Arc<PreparedProgram>, &'static str), String> {
     let program = parse_program(source).map_err(|err| format!("cannot parse program: {err}"))?;
-    let hit = {
-        let mut cache = state.cache.lock().expect("session cache poisoned");
-        cache.lookup_tiered(&program)
+    let outcome = if name_sensitive {
+        state.sessions.acquire(&program)
+    } else {
+        state.sessions.acquire_structural(&program)
     };
-    if let Some((prepared, tier)) = hit {
-        let how = match tier {
-            SessionTier::Memory => "warm",
-            SessionTier::Store => "store",
-        };
-        if !name_sensitive || prepared.program().to_string() == program.to_string() {
-            return Ok((prepared, how));
-        }
-        let prepared = Arc::new(state.analyzer.prepare(&program));
-        let mut cache = state.cache.lock().expect("session cache poisoned");
-        return Ok((cache.install(prepared), "renamed"));
-    }
-    let prepared = Arc::new(state.analyzer.prepare(&program));
-    let mut cache = state.cache.lock().expect("session cache poisoned");
-    Ok((cache.install(prepared), "prepared"))
+    let how = outcome.tag();
+    let prepared = match outcome {
+        CacheOutcome::L0Hit(prepared)
+        | CacheOutcome::WarmHit(prepared)
+        | CacheOutcome::StoreHit(prepared) => prepared,
+        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&program),
+    };
+    Ok((prepared, how))
 }
 
 fn status_output(state: &ServerState) -> String {
-    let (programs, stats) = {
-        let cache = state.cache.lock().expect("session cache poisoned");
-        (cache.len(), cache.stats())
-    };
+    let programs = state.sessions.len();
+    let stats = state.sessions.stats();
     format!(
         "{{\"protocol\": {PROTOCOL_VERSION}, \"jobs\": {}, \"programs\": {}, \
          \"requests\": {}, \"errors\": {}, \"session\": {{\"inserted\": {}, \
          \"reused\": {}, \"invalidated\": {}, \"session_bytes\": {}, \
          \"session_evictions\": {}, \"store_hits\": {}, \"store_misses\": {}, \
-         \"store_loaded_bytes\": {}}}}}",
+         \"store_loaded_bytes\": {}, \"l0_hits\": {}, \"l1_hits\": {}, \
+         \"generation\": {}}}}}",
         state.jobs,
         programs,
         state.requests.load(Ordering::Relaxed),
@@ -1009,14 +1091,17 @@ fn status_output(state: &ServerState) -> String {
         stats.session_evictions,
         stats.store_hits,
         stats.store_misses,
-        stats.store_loaded_bytes
+        stats.store_loaded_bytes,
+        stats.l0_hits,
+        stats.l1_hits,
+        stats.generation
     )
 }
 
 fn write_response(out: &Mutex<TcpStream>, response: &Response) {
     let mut line = response.to_json();
     line.push('\n');
-    let mut stream = out.lock().expect("response stream poisoned");
+    let mut stream = relock(out);
     // A client that hung up forfeits its response; the server carries on.
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.flush();
@@ -1288,6 +1373,39 @@ mod tests {
     }
 
     #[test]
+    fn config_builder_validates() {
+        let jobs = NonZeroUsize::new(2).unwrap();
+        let config = ServiceConfig::builder(jobs)
+            .max_request_bytes(1 << 20)
+            .max_session_bytes(64 << 20)
+            .artifact_dir("/tmp/store")
+            .max_store_bytes(256 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(config.jobs, jobs);
+        assert_eq!(config.max_request_bytes, 1 << 20);
+        assert_eq!(config.max_session_bytes, Some(64 << 20));
+        assert_eq!(config.max_store_bytes, Some(256 << 20));
+
+        assert_eq!(
+            ServiceConfig::builder(jobs)
+                .max_request_bytes(0)
+                .build()
+                .unwrap_err(),
+            ServiceConfigError::ZeroRequestCap
+        );
+        assert_eq!(
+            ServiceConfig::builder(jobs)
+                .max_store_bytes(1)
+                .build()
+                .unwrap_err(),
+            ServiceConfigError::StoreBudgetWithoutStore
+        );
+        // The defaults themselves always validate.
+        ServiceConfig::builder(jobs).build().unwrap();
+    }
+
+    #[test]
     fn serve_loopback_warms_sessions_and_shuts_down() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -1313,7 +1431,10 @@ mod tests {
         let status = client.call(&Request::Status).unwrap();
         assert!(status.ok);
         assert!(
-            status.output.contains("\"reused\": 1"),
+            // Which tier answered depends on which pool worker drew the
+            // re-run: the same worker hits its thread-local L0, a sibling
+            // rebinds warm from the shared L1.  Either proves reuse.
+            status.output.contains("\"reused\": 1") || status.output.contains("\"l0_hits\": 1"),
             "the warm re-run must reuse the session: {}",
             status.output
         );

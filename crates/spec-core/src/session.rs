@@ -577,6 +577,17 @@ pub struct CacheStats {
     pub store_misses: u64,
     /// Total payload bytes deserialized from the artifact store.
     pub store_loaded_bytes: u64,
+    /// Acquires served by a worker's thread-local L0 tier without taking
+    /// the session lock.  Non-zero only when the owning session is fronted
+    /// by a [`crate::cache_session::CacheSession`].
+    pub l0_hits: u64,
+    /// Acquires served warm by the shared in-memory L1 tier through a
+    /// `CacheSession` front (the lock-taking sibling of `l0_hits`).
+    pub l1_hits: u64,
+    /// The owning session's invalidation generation at snapshot time —
+    /// bumped on every entry replacement, budget eviction and removal, and
+    /// the signal that clears the L0 tiers.  Zero for per-program stats.
+    pub generation: u64,
 }
 
 impl CacheStats {
@@ -619,6 +630,13 @@ impl fmt::Display for CacheStats {
                 f,
                 ", store {}h/{}m ({} bytes loaded)",
                 self.store_hits, self.store_misses, self.store_loaded_bytes
+            )?;
+        }
+        if self.l0_hits > 0 || self.l1_hits > 0 {
+            write!(
+                f,
+                ", tiers {} l0 / {} l1 (generation {})",
+                self.l0_hits, self.l1_hits, self.generation
             )?;
         }
         Ok(())
@@ -996,7 +1014,8 @@ impl Report {
                  \"round_misses\": {}, \"round_evictions\": {}, \
                  \"session_evictions\": {}, \"session_bytes\": {}, \
                  \"store_hits\": {}, \"store_misses\": {}, \
-                 \"store_loaded_bytes\": {}}},\n",
+                 \"store_loaded_bytes\": {}, \"l0_hits\": {}, \
+                 \"l1_hits\": {}, \"generation\": {}}},\n",
                 cache.core_hits,
                 cache.core_misses,
                 cache.amap_hits,
@@ -1011,7 +1030,10 @@ impl Report {
                 cache.session_bytes,
                 cache.store_hits,
                 cache.store_misses,
-                cache.store_loaded_bytes
+                cache.store_loaded_bytes,
+                cache.l0_hits,
+                cache.l1_hits,
+                cache.generation
             ));
         }
         out.push_str("  \"runs\": [\n");

@@ -53,10 +53,11 @@ use spec_cache::CacheConfig;
 use spec_core::batch::{
     self, discover_programs, run_bundle_slice, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
 };
-use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession};
+use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession, SessionCache};
 use spec_core::service::{self, AnalyzeConfig, Request, ServiceClient, ServiceConfig};
-use spec_core::{AnalysisOptions, Analyzer, BatchReport, PreparedStore};
-use spec_ir::fingerprint::program_fingerprint;
+use spec_core::{
+    AnalysisOptions, Analyzer, BatchReport, CacheOutcome, CacheSession, PreparedStore,
+};
 use spec_ir::text::parse_program;
 use spec_ir::Program;
 
@@ -574,7 +575,7 @@ fn analyze_one(
     cli: &Cli,
     path: &std::path::Path,
     session: Option<&AnalyzeSession>,
-    store: Option<&PreparedStore>,
+    sessions: &CacheSession,
 ) -> Result<String, String> {
     let config = analyze_config(cli);
     config.options()?; // surface configuration errors before any analysis
@@ -591,38 +592,26 @@ fn analyze_one(
             return Ok(stored);
         }
     }
-    // The output replay missed (new program, or a flag change).  With an
-    // artifact store, the *prepared session* — which is flag-independent —
-    // may still be warm on disk; a load replays its memoized artifacts
-    // instead of re-preparing.  Loads are name-exact (the store key ignores
-    // names, the stored program does not), so a renamed program prepares
-    // cold and overwrites the artifact.
-    let analyzer = Analyzer::new();
-    let prepared = match store {
-        Some(store) => match store.load(&analyzer, program_fingerprint(&program)) {
-            Some((prepared, bytes)) if prepared.program() == &program => {
-                eprintln!(
-                    "artifacts: loaded `{}` from the store ({bytes} bytes)",
-                    path.display()
-                );
-                prepared
-            }
-            _ => analyzer.prepare(&program),
-        },
-        None => analyzer.prepare(&program),
+    // The output replay missed (new program, or a flag change).  The
+    // *prepared session* — which is flag-independent — may still be warm
+    // in this run's shared front or, with `--artifact-dir`, on disk; an
+    // acquire resolves the tiers in that order.  Acquires are name-exact
+    // (`analyze` output embeds region and block names), so a renamed
+    // program prepares cold and overwrites the artifact.
+    let prepared = match sessions.acquire(&program) {
+        CacheOutcome::L0Hit(prepared) | CacheOutcome::WarmHit(prepared) => prepared,
+        CacheOutcome::StoreHit(prepared) => {
+            eprintln!("artifacts: loaded `{}` from the store", path.display());
+            prepared
+        }
+        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&program),
     };
     let output = service::analyze_output(&prepared, &config)?;
-    if let Some(store) = store {
-        // Persist *after* the run so the artifact carries the memoized
-        // fixpoint rounds this configuration populated — the next run (any
-        // flags) replays them from disk.  A failed write only costs warmth.
-        if let Err(err) = store.save(&prepared) {
-            eprintln!(
-                "artifacts: warning: cannot store `{}`: {err}",
-                path.display()
-            );
-        }
-    }
+    // Flush dirty entries *after* the run so a stored artifact carries the
+    // memoized fixpoint rounds this configuration populated — the next run
+    // (any flags) replays them from disk.  Writes are best-effort: a
+    // failure only costs warmth, never the output.
+    sessions.checkpoint();
     if let Some((session, key)) = key {
         eprintln!("session: analysed `{}`", path.display());
         if let Err(err) = session.store(key, &output) {
@@ -708,12 +697,15 @@ fn cmd_analyze(cli: &Cli) -> Result<u8, String> {
             None => session,
         }
     });
-    let store = cli
-        .artifact_dir
-        .as_ref()
-        .map(|dir| PreparedStore::open(dir.clone()));
+    // One shared tier front for the whole bundle: a re-listed program is
+    // served warm, and `--artifact-dir` attaches the on-disk tier below it.
+    let mut cache = SessionCache::with_analyzer(Analyzer::new());
+    if let Some(dir) = &cli.artifact_dir {
+        cache = cache.artifact_store(PreparedStore::open(dir.clone()));
+    }
+    let sessions = CacheSession::new(cache);
     let outputs = map_files(cli, &files, |path| {
-        analyze_one(cli, path, session.as_ref(), store.as_ref())
+        analyze_one(cli, path, session.as_ref(), &sessions)
     })?;
     print_analyze_outputs(cli, &outputs);
     Ok(0)
@@ -840,19 +832,15 @@ fn cmd_scan(cli: &Cli) -> Result<u8, String> {
     panel.configs().map_err(|err| err.to_string())?;
     let jobs = effective_jobs(cli);
     echo_jobs(cli, jobs);
-    let mode = if cli.in_process {
-        ExecMode::InProcess
-    } else {
-        let worker_exe = std::env::current_exe()
-            .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
-        ExecMode::Subprocess { worker_exe }
-    };
     let report = match &cli.session_dir {
         Some(dir) => {
             // `--shard` is rejected with `--session-dir` at parse time, so
-            // the slice is always the whole bundle here.
+            // the slice is always the whole bundle here.  Incremental scans
+            // always analyse in-process, through one shared session front:
+            // misses are the exception, and worker subprocesses could not
+            // share its warm tiers anyway.
             let session = ScanSession::new(dir);
-            let outcome = scan_bundle_incremental(&bundle, panel, jobs, &mode, &session)
+            let outcome = scan_bundle_incremental(&bundle, panel, jobs, &session)
                 .map_err(|err| err.to_string())?;
             eprintln!(
                 "session: {} program(s) reused, {} analysed ({})",
@@ -870,6 +858,13 @@ fn cmd_scan(cli: &Cli) -> Result<u8, String> {
             outcome.report
         }
         None => {
+            let mode = if cli.in_process {
+                ExecMode::InProcess
+            } else {
+                let worker_exe = std::env::current_exe()
+                    .map_err(|err| format!("cannot locate the specan executable: {err}"))?;
+                ExecMode::Subprocess { worker_exe }
+            };
             run_bundle_slice(&bundle, range, panel, jobs, &mode).map_err(|err| err.to_string())?
         }
     };
@@ -952,12 +947,17 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
             None => String::new(),
         }
     );
-    let config = ServiceConfig {
-        max_session_bytes: cli.max_session_bytes,
-        artifact_dir: cli.artifact_dir.clone(),
-        max_store_bytes: cli.max_store_bytes,
-        ..ServiceConfig::new(jobs)
-    };
+    let mut builder = ServiceConfig::builder(jobs);
+    if let Some(bytes) = cli.max_session_bytes {
+        builder = builder.max_session_bytes(bytes);
+    }
+    if let Some(dir) = &cli.artifact_dir {
+        builder = builder.artifact_dir(dir.clone());
+    }
+    if let Some(bytes) = cli.max_store_bytes {
+        builder = builder.max_store_bytes(bytes);
+    }
+    let config = builder.build().map_err(|err| err.to_string())?;
     let report =
         service::serve(listener, &config).map_err(|err| format!("service failed: {err}"))?;
     eprintln!(

@@ -25,7 +25,8 @@ use spec_bench::service_harness::{
     random_program_text, strip_analyze_timing, Rng, Scratch, ServeProcess,
 };
 use speculative_absint::cache::CacheConfig;
-use speculative_absint::core::incremental::{SessionCache, SessionTier};
+use speculative_absint::core::cache_session::{CacheOutcome, CacheSession};
+use speculative_absint::core::incremental::SessionCache;
 use speculative_absint::core::session::{comparison_configs, Analyzer};
 use speculative_absint::core::PreparedStore;
 use speculative_absint::ir::fingerprint::program_fingerprint;
@@ -189,16 +190,21 @@ fn corrupted_artifacts_fall_back_to_cold_prepare_and_quarantine() {
             .collect();
         assert_eq!(rejected.len(), 1, "{label}: exactly one quarantined file");
 
-        // A session over the damaged store falls back to a cold prepare —
-        // same report as ever — and the write-through heals the store.
-        let mut session = SessionCache::new().artifact_store(PreparedStore::open(&dir));
-        assert!(
-            session.lookup_tiered(&program).is_none(),
-            "{label}: nothing loadable remains after quarantine"
-        );
-        let update = session.update(&program);
+        // A session front over the damaged store falls back to a cold
+        // prepare — same report as ever — and the commit's write-through
+        // heals the store.
+        let session =
+            CacheSession::new(SessionCache::new().artifact_store(PreparedStore::open(&dir)));
+        let guard = match session.acquire(&program) {
+            CacheOutcome::NeedsPrepare(guard) => guard,
+            other => panic!(
+                "{label}: nothing loadable remains after quarantine, got `{}`",
+                other.tag()
+            ),
+        };
+        let prepared = guard.prepare(&program);
         assert_eq!(
-            panel_report(&update.prepared),
+            panel_report(&prepared),
             expected,
             "{label}: the cold fallback must reproduce the reference report"
         );
@@ -206,13 +212,14 @@ fn corrupted_artifacts_fall_back_to_cold_prepare_and_quarantine() {
         assert_eq!(stats.store_hits, 0, "{label}: no hit came from the store");
         assert!(stats.store_misses >= 1, "{label}: the miss was counted");
 
-        // The cold prepare was written back at install time: a fresh
-        // session now restores from disk again.
-        let mut healed = SessionCache::new().artifact_store(PreparedStore::open(&dir));
-        let (_, tier) = healed
-            .lookup_tiered(&program)
-            .expect("the healed store serves the session again");
-        assert_eq!(tier, SessionTier::Store, "{label}: healed via the store");
+        // The cold prepare was written back when the guard committed: a
+        // fresh session now restores from disk again.
+        let healed =
+            CacheSession::new(SessionCache::new().artifact_store(PreparedStore::open(&dir)));
+        match healed.acquire(&program) {
+            CacheOutcome::StoreHit(_) => {}
+            other => panic!("{label}: healed via the store, got `{}`", other.tag()),
+        };
     }
 }
 

@@ -4,11 +4,13 @@
 //! Random program sets × random byte budgets — including budgets that
 //! force a thrash (every request evicts) — are driven through two layers:
 //!
-//! * [`SessionCache`] directly: every suite report from a budgeted session
-//!   must serialize to exactly the bytes of a fresh, session-free run once
-//!   the timing fields are stripped, the resident-bytes invariant must
-//!   hold after every enforcement point, and the counters must reconcile
-//!   (`inserted - session_evictions = resident entries`);
+//! * a [`CacheSession`] front over a budgeted [`SessionCache`]: every suite
+//!   report acquired through a budgeted session must serialize to exactly
+//!   the bytes of a fresh, session-free run once the timing fields are
+//!   stripped, the resident-bytes invariant must hold after every
+//!   checkpoint, and the counters must reconcile — both the cache's
+//!   (`inserted - session_evictions = resident entries`) and the front's
+//!   (every acquire lands in exactly one tier counter);
 //! * a live `specan serve --max-session-bytes` process (via the shared
 //!   `spec_bench::service_harness`): responses from a thrashing server
 //!   must be byte-identical, post timing-strip, to an unbounded server's.
@@ -23,8 +25,9 @@ use spec_bench::service_harness::{
     random_program_text, strip_analyze_timing, Rng, Scratch, ServeProcess,
 };
 use speculative_absint::cache::CacheConfig;
+use speculative_absint::core::cache_session::{CacheOutcome, CacheSession};
 use speculative_absint::core::incremental::SessionCache;
-use speculative_absint::core::session::{comparison_configs, Analyzer};
+use speculative_absint::core::session::{comparison_configs, Analyzer, PreparedProgram};
 use speculative_absint::ir::text::parse_program;
 
 const CASES: u64 = 4;
@@ -42,29 +45,43 @@ fn fresh_report(source: &str, cache: CacheConfig) -> String {
         .to_json()
 }
 
-/// One pass of a program sequence through a session, mirroring the
-/// service's request loop: update, run the panel, enforce the budget.
-/// Returns the stripped reports in sequence order.
-fn drive_session(session: &mut SessionCache, sources: &[&str], cache: CacheConfig) -> Vec<String> {
+/// Resolves one program through the session front's acquire/commit
+/// protocol, whichever tier answers.
+fn acquire_any(sessions: &CacheSession, source: &str) -> std::sync::Arc<PreparedProgram> {
+    let program = parse_program(source).expect("generated programs parse");
+    match sessions.acquire(&program) {
+        CacheOutcome::L0Hit(prepared)
+        | CacheOutcome::WarmHit(prepared)
+        | CacheOutcome::StoreHit(prepared) => prepared,
+        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&program),
+    }
+}
+
+/// One pass of a program sequence through a session front, mirroring the
+/// service's request loop: acquire, run the panel, checkpoint (which
+/// enforces the budget).  Returns the stripped reports in sequence order.
+fn drive_session(sessions: &CacheSession, sources: &[&str], cache: CacheConfig) -> Vec<String> {
     sources
         .iter()
         .map(|source| {
-            let program = parse_program(source).expect("generated programs parse");
-            let update = session.update(&program);
-            let report = update
-                .prepared
+            let prepared = acquire_any(sessions, source);
+            let report = prepared
                 .run_suite(&comparison_configs(cache))
                 .report()
                 .without_timing()
                 .to_json();
-            session.enforce_budget();
-            if let Some(budget) = session.budget() {
+            sessions.checkpoint();
+            if let Some(budget) = sessions.budget() {
                 assert!(
-                    session.resident_bytes() <= budget,
+                    sessions.resident_bytes() <= budget,
                     "resident {} bytes > budget {budget} after enforcement",
-                    session.resident_bytes()
+                    sessions.resident_bytes()
                 );
             }
+            assert!(
+                sessions.acquire_stats().reconciles(),
+                "every acquire lands in exactly one tier counter"
+            );
             report
         })
         .collect()
@@ -99,8 +116,8 @@ fn budgeted_sessions_reproduce_fresh_reports_bit_for_bit() {
         let entry_bytes: Vec<u64> = texts
             .iter()
             .map(|text| {
-                let mut probe = SessionCache::new();
-                drive_session(&mut probe, &[text.as_str()], cache);
+                let probe = CacheSession::new(SessionCache::new());
+                drive_session(&probe, &[text.as_str()], cache);
                 probe.resident_bytes()
             })
             .collect();
@@ -115,11 +132,11 @@ fn budgeted_sessions_reproduce_fresh_reports_bit_for_bit() {
             None,                 // unbounded reference
         ];
         for budget in budgets {
-            let mut session = match budget {
+            let session = CacheSession::new(match budget {
                 Some(bytes) => SessionCache::new().max_session_bytes(bytes),
                 None => SessionCache::new(),
-            };
-            let got = drive_session(&mut session, &order, cache);
+            });
+            let got = drive_session(&session, &order, cache);
             assert_eq!(
                 got, expected,
                 "case {case}, budget {budget:?}: budgeted reports must be \
@@ -133,27 +150,38 @@ fn budgeted_sessions_reproduce_fresh_reports_bit_for_bit() {
                  must equal the resident entries"
             );
             assert_eq!(stats.session_bytes, session.resident_bytes());
+            let acquired = session.acquire_stats();
             match budget {
                 // A sub-entry budget keeps nothing resident and evicts on
-                // every sighting (each insert is followed by its eviction).
+                // every sighting (each insert is followed by its eviction,
+                // whose generation bump unseats the worker's L0 handle).
                 Some(bytes) if bytes < min_entry => {
                     assert_eq!(session.len(), 0, "case {case}: nothing fits");
                     assert_eq!(stats.session_evictions, stats.inserted);
-                    assert_eq!(stats.reused, 0, "nothing survives to be reused");
+                    assert_eq!(
+                        acquired.l0_hits + acquired.l1_hits,
+                        0,
+                        "nothing survives to be served warm"
+                    );
                 }
                 Some(_) => {}
                 None => {
                     assert_eq!(stats.session_evictions, 0, "unbounded never evicts");
-                    assert!(stats.reused > 0, "second visits rebind warm sessions");
+                    assert!(
+                        acquired.l0_hits + acquired.l1_hits > 0,
+                        "second visits are served from a warm tier"
+                    );
                 }
             }
         }
     }
 }
 
-/// The two-phase resolve (`lookup_warm` / `install`) the service pool uses
-/// keeps its contract under a byte budget: a miss after eviction is a miss,
-/// an install over budget evicts, and results never change.
+/// The acquire/commit protocol the service pool uses keeps its contract
+/// under a byte budget: an eviction's generation bump turns the next
+/// acquire into a miss (never a stale hit — not even from the worker's own
+/// lock-free L0 handle), a commit over budget evicts at the checkpoint,
+/// and results never change.
 #[test]
 fn two_phase_resolve_stays_correct_under_eviction() {
     let cache = CacheConfig::fully_associative(8, 64);
@@ -165,33 +193,52 @@ fn two_phase_resolve_stays_correct_under_eviction() {
     // Budget sized to hold either program alone but never both: at least
     // the bigger ran-in entry, strictly below their sum.
     let probe_bytes = |text: &str| {
-        let mut probe = SessionCache::new();
-        drive_session(&mut probe, &[text], cache);
+        let probe = CacheSession::new(SessionCache::new());
+        drive_session(&probe, &[text], cache);
         probe.resident_bytes()
     };
     let (a_bytes, b_bytes) = (probe_bytes(&a), probe_bytes(&b));
     let budget = a_bytes.max(b_bytes) + a_bytes.min(b_bytes) / 2;
-    let mut session = SessionCache::new().max_session_bytes(budget);
+    let session = CacheSession::new(SessionCache::new().max_session_bytes(budget));
 
-    let pa = session.install(std::sync::Arc::new(Analyzer::new().prepare(&parse(&a))));
+    // Cold alpha: resolved through the guard, ran in, checkpointed.
+    let pa = match session.acquire(&parse(&a)) {
+        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&parse(&a)),
+        other => panic!("cold acquire must miss, got `{}`", other.tag()),
+    };
     pa.run_suite(&comparison_configs(cache));
-    session.enforce_budget();
-    assert!(session.lookup_warm(&parse(&a)).is_some(), "alpha resident");
+    session.checkpoint();
+    match session.acquire(&parse(&a)) {
+        CacheOutcome::L0Hit(_) | CacheOutcome::WarmHit(_) => {}
+        other => panic!("alpha resident, got `{}`", other.tag()),
+    };
 
-    // Installing (and running) beta pushes the session over budget; alpha
-    // is the LRU victim.
-    let pb = session.install(std::sync::Arc::new(Analyzer::new().prepare(&parse(&b))));
+    // Preparing (and running) beta pushes the session over budget; alpha
+    // is the LRU victim at the checkpoint.
+    let pb = match session.acquire(&parse(&b)) {
+        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&parse(&b)),
+        other => panic!("cold acquire must miss, got `{}`", other.tag()),
+    };
     pb.run_suite(&comparison_configs(cache));
-    session.enforce_budget();
-    assert!(session.lookup_warm(&parse(&b)).is_some(), "beta resident");
-    assert!(
-        session.lookup_warm(&parse(&a)).is_none(),
-        "alpha was evicted, a warm lookup must miss"
-    );
+    session.checkpoint();
+    match session.acquire(&parse(&b)) {
+        CacheOutcome::L0Hit(_) | CacheOutcome::WarmHit(_) => {}
+        other => panic!("beta resident, got `{}`", other.tag()),
+    };
+    // The eviction's generation bump unseats alpha's L0 handle too: the
+    // acquire walks every tier and misses instead of replaying a handle
+    // the session no longer owns.
+    let guard = match session.acquire(&parse(&a)) {
+        CacheOutcome::NeedsPrepare(guard) => guard,
+        other => panic!(
+            "alpha was evicted, acquire must miss, got `{}`",
+            other.tag()
+        ),
+    };
     assert!(session.stats().session_evictions >= 1);
 
     // Re-preparing alpha after its eviction reproduces the fresh report.
-    let re = session.install(std::sync::Arc::new(Analyzer::new().prepare(&parse(&a))));
+    let re = guard.prepare(&parse(&a));
     let report = re
         .run_suite(&comparison_configs(cache))
         .report()
@@ -203,6 +250,7 @@ fn two_phase_resolve_stays_correct_under_eviction() {
         stats.inserted - stats.session_evictions,
         session.len() as u64
     );
+    assert!(session.acquire_stats().reconciles());
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use spec_bench::service_harness::{
     random_program_text, strip_analyze_timing, Rng, Scratch, ServeProcess,
 };
+use speculative_absint::core::cache_session::{CacheOutcome, CacheSession};
 use speculative_absint::core::incremental::SessionCache;
 use speculative_absint::core::service::{analyze_output, AnalyzeConfig};
 use speculative_absint::core::session::Analyzer;
@@ -85,8 +86,13 @@ fn bounded_server_soak_holds_the_byte_budget_without_changing_results() {
             let program = parse_program(text).expect("generated programs parse");
             let prepared = Arc::new(Analyzer::new().prepare(&program));
             analyze_output(&prepared, &config).expect("probe analyzes");
-            let mut probe = SessionCache::new();
-            probe.install(prepared);
+            let probe = CacheSession::new(SessionCache::new());
+            match probe.acquire(&program) {
+                CacheOutcome::NeedsPrepare(guard) => {
+                    guard.commit(prepared);
+                }
+                other => panic!("a fresh probe must miss, got `{}`", other.tag()),
+            };
             probe.resident_bytes()
         })
         .sum();
