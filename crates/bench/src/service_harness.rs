@@ -103,6 +103,83 @@ impl Drop for ServeProcess {
     }
 }
 
+/// A spawned `specan gateway` child on an ephemeral port, fronting a fleet
+/// of already-running backends.  Same banner-scrape and log-drain contract
+/// as [`ServeProcess`]; the gateway's `shutdown` stops only the gateway —
+/// each backend keeps its own lifecycle.
+pub struct GatewayProcess {
+    child: Child,
+    addr: String,
+}
+
+impl GatewayProcess {
+    /// Spawns `<specan> gateway --addr 127.0.0.1:0 --jobs <jobs>` with one
+    /// `--backend <addr>` per entry of `backends`, plus `extra` flags
+    /// (e.g. `["--probe-interval-ms", "100"]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the binary cannot be spawned or the banner line does
+    /// not arrive — both setup failures a harness should fail loudly on.
+    pub fn start(specan: &Path, jobs: usize, backends: &[&str], extra: &[&str]) -> GatewayProcess {
+        let mut command = Command::new(specan);
+        command.args([
+            "gateway",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            &jobs.to_string(),
+        ]);
+        for backend in backends {
+            command.args(["--backend", backend]);
+        }
+        let mut child = command
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("specan gateway spawns");
+        let stderr = child.stderr.take().expect("stderr is piped");
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .expect("gateway prints its address");
+        let addr = line
+            .strip_prefix("gateway: listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected gateway banner: {line:?}"))
+            .to_string();
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                sink.clear();
+            }
+        });
+        GatewayProcess { child, addr }
+    }
+
+    /// The `host:port` the gateway actually bound.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Requests a graceful shutdown and reaps the child.  Best-effort and
+    /// idempotent: a gateway that already died is simply reaped.
+    pub fn shutdown(&mut self) {
+        if let Ok(mut client) = ServiceClient::connect(&self.addr) {
+            let _ = client.call(&Request::Shutdown);
+        }
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for GatewayProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Deterministic xorshift64* generator: the seed-reproducible randomness
 /// behind every service property suite.
 pub struct Rng(u64);

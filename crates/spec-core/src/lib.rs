@@ -79,6 +79,7 @@ pub mod batch;
 pub mod cache_session;
 pub mod classify;
 mod engine;
+pub mod gateway;
 pub mod incremental;
 pub mod json;
 pub mod options;

@@ -72,7 +72,7 @@
 //! validation).
 
 use std::io::{self, BufRead as _, BufReader, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -541,7 +541,7 @@ pub struct Response {
 }
 
 impl Response {
-    fn success(id: Option<u64>, exit: u8, output: String) -> Self {
+    pub(crate) fn success(id: Option<u64>, exit: u8, output: String) -> Self {
         Self {
             id,
             ok: true,
@@ -551,7 +551,7 @@ impl Response {
         }
     }
 
-    fn failure(id: Option<u64>, message: String) -> Self {
+    pub(crate) fn failure(id: Option<u64>, message: String) -> Self {
         Self {
             id,
             ok: false,
@@ -866,7 +866,21 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
                 Err(_) => return, // every sender is gone: drained
             }
         };
-        let response = match execute(&job.request, state) {
+        // The backstop of the per-program containment in [`execute`]: a
+        // panic anywhere in a request's execution must cost that request an
+        // error response, never the whole server — unwinding out of a
+        // scoped pool worker would tear down `serve` itself.  Shared state
+        // stays coherent because every lock is taken through [`relock`].
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&job.request, state)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(format!(
+                "internal: request panicked: {}",
+                panic_message(payload.as_ref())
+            ))
+        });
+        let response = match executed {
             Ok((exit, output)) => Response::success(job.id, exit, output),
             Err(message) => {
                 // A failed request may still have grown resident artifacts
@@ -990,28 +1004,28 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 sessions.push(prepared);
             }
             let threads = state.jobs.min(sessions.len()).max(1);
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots: Mutex<Vec<Option<ProgramVerdict>>> =
-                Mutex::new(sessions.iter().map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(prepared) = sessions.get(index) else {
-                            break;
-                        };
-                        let report = prepared.run_suite(&configs).report().without_timing();
-                        let verdict = ProgramVerdict::from_report(report, prepared.fingerprint());
-                        relock(&slots)[index] = Some(verdict);
-                    });
-                }
+            let verdicts = fan_out_catching(&sessions, threads, |prepared| {
+                let report = prepared.run_suite(&configs).report().without_timing();
+                ProgramVerdict::from_report(report, prepared.fingerprint())
             });
-            let programs: Vec<ProgramVerdict> = slots
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .into_iter()
-                .map(|slot| slot.expect("every program was scanned"))
-                .collect();
+            let mut programs: Vec<ProgramVerdict> = Vec::with_capacity(sessions.len());
+            for (slot, prepared) in verdicts.into_iter().zip(&sessions) {
+                let name = prepared.program().name();
+                match slot {
+                    Some(Ok(verdict)) => programs.push(verdict),
+                    // A poisoned slot — the worker's suite run panicked —
+                    // fails this request with a verdict-shaped message and
+                    // leaves the server (and the rest of the pool) alive.
+                    Some(Err(panic)) => {
+                        return Err(format!("internal: analysis of `{name}` panicked: {panic}"))
+                    }
+                    None => {
+                        return Err(format!(
+                            "internal: analysis of `{name}` produced no verdict"
+                        ))
+                    }
+                }
+            }
             eprintln!(
                 "serve: scan {} program(s) ({} warm){}",
                 sessions.len(),
@@ -1035,6 +1049,58 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
         // scheduling bug.
         Request::Status | Request::Shutdown => Err("internal: unqueued request".to_string()),
     }
+}
+
+/// Renders a `catch_unwind` payload as the panic's message (the common
+/// `&str`/`String` payloads verbatim, a placeholder otherwise).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Fans `work` out over `items` across at most `threads` scoped workers,
+/// catching per-item panics: a poisoned item lands in its slot as
+/// `Some(Err(message))` instead of unwinding the pool — which, inside
+/// `serve`'s scoped worker threads, would kill the entire server.  Slots of
+/// completed items are `Some(Ok(_))` in input order; `None` only if a
+/// worker died outside the guarded region (which the guard makes
+/// unreachable, but the type keeps the caller honest).
+pub(crate) fn fan_out_catching<T, R, F>(
+    items: &[T],
+    threads: usize,
+    work: F,
+) -> Vec<Option<Result<R, String>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<R, String>>>> =
+        Mutex::new(items.iter().map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                // AssertUnwindSafe: a panicking `work` may leave `item`'s
+                // interior caches half-updated, but every shared structure
+                // it can reach is lock-protected and re-acquired through
+                // `relock`, and the item's result is discarded as an error.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(item)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                relock(&slots)[index] = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Parses `source` and resolves it through the tiered session front,
@@ -1098,7 +1164,7 @@ fn status_output(state: &ServerState) -> String {
     )
 }
 
-fn write_response(out: &Mutex<TcpStream>, response: &Response) {
+pub(crate) fn write_response(out: &Mutex<TcpStream>, response: &Response) {
     let mut line = response.to_json();
     line.push('\n');
     let mut stream = relock(out);
@@ -1167,7 +1233,7 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<Job>, state: &ServerState
 /// double as shutdown polls) and enforcing the byte cap as data arrives —
 /// a hostile peer cannot buffer unbounded garbage.  `Ok(None)` means EOF
 /// (an unterminated trailing fragment is dropped) or shutdown.
-fn read_line_capped(
+pub(crate) fn read_line_capped(
     reader: &mut BufReader<TcpStream>,
     cap: usize,
     shutdown: &AtomicBool,
@@ -1221,6 +1287,23 @@ fn read_line_capped(
     }
 }
 
+/// Timeouts of one [`ServiceClient`] connection.
+///
+/// The default (`None`/`None`) blocks indefinitely, which is right for a
+/// trusted local server but wrong for anything production-shaped: a hung
+/// (or SIGSTOPped) backend would wedge the caller forever.  `specan submit
+/// --connect-timeout-ms/--read-timeout-ms` and the gateway's probe and
+/// forwarding paths all connect through [`ServiceClient::connect_with`]
+/// with explicit deadlines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Deadline on establishing the TCP connection (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Deadline on each read while waiting for a response line (`None` =
+    /// block until the server answers or the connection dies).
+    pub read_timeout: Option<Duration>,
+}
+
 /// A minimal blocking client for the service protocol — the guts of
 /// `specan submit`, also used directly by the bench harness.
 pub struct ServiceClient {
@@ -1236,7 +1319,46 @@ impl ServiceClient {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit connect/read deadlines — the hardened path
+    /// of `specan submit` and the gateway (a dead-but-routable or hung
+    /// backend must cost a bounded wait, not a wedged caller).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and connection failures; a connect that
+    /// exceeds `options.connect_timeout` surfaces as `TimedOut`.
+    pub fn connect_with(addr: &str, options: ClientOptions) -> io::Result<Self> {
+        let writer = match options.connect_timeout {
+            Some(timeout) => {
+                // `TcpStream::connect` has no deadline variant that also
+                // resolves, so resolve first and race the candidates
+                // sequentially, keeping the most recent failure.
+                let mut last_err = None;
+                let mut stream = None;
+                for sockaddr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sockaddr, timeout) {
+                        Ok(connected) => {
+                            stream = Some(connected);
+                            break;
+                        }
+                        Err(err) => last_err = Some(err),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("`{addr}` resolved to no addresses"),
+                        )
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        writer.set_read_timeout(options.read_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self {
             reader,
@@ -1403,6 +1525,73 @@ mod tests {
         );
         // The defaults themselves always validate.
         ServiceConfig::builder(jobs).build().unwrap();
+    }
+
+    #[test]
+    fn fan_out_contains_a_poisoned_slot() {
+        // One poisoned item (its work panics) must land as that slot's
+        // error while every other item completes — before the catch, the
+        // panic unwound the scoped pool and would have killed `serve`.
+        let items: Vec<u32> = (0..8).collect();
+        let slots = fan_out_catching(&items, 3, |&n| {
+            assert!(n != 5, "slot 5 is poisoned");
+            n * 2
+        });
+        assert_eq!(slots.len(), items.len());
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Some(Ok(doubled)) => {
+                    assert_ne!(i, 5);
+                    assert_eq!(*doubled, items[i] * 2);
+                }
+                Some(Err(message)) => {
+                    assert_eq!(i, 5, "only the poisoned slot errors");
+                    assert!(message.contains("slot 5 is poisoned"), "{message}");
+                }
+                None => panic!("slot {i} was never filled"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payloads_render_as_messages() {
+        let caught = std::panic::catch_unwind(|| panic!("a formatted {}", "payload")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "a formatted payload");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17_u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn client_read_timeout_bounds_a_hung_server() {
+        // A server that accepts but never answers — the SIGSTOPped-backend
+        // shape.  Without a read timeout `recv` blocks forever (the bug);
+        // with one it must fail within the deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept());
+        let mut client = ServiceClient::connect_with(
+            &addr,
+            ClientOptions {
+                connect_timeout: Some(Duration::from_secs(5)),
+                read_timeout: Some(Duration::from_millis(100)),
+            },
+        )
+        .unwrap();
+        client.send(&Request::Status).unwrap();
+        let started = std::time::Instant::now();
+        let err = client.recv().expect_err("a silent server must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the read deadline did not bound the wait"
+        );
+        drop(hold.join());
     }
 
     #[test]

@@ -10,8 +10,15 @@
 //!                [--max-session-bytes B]       ... with a byte-bounded session cache
 //!                [--artifact-dir DIR]          ... persisting prepared sessions across
 //!                [--max-store-bytes B]             restarts (byte-bounded, GC by recency)
+//! specan gateway --backend H:P...              federate several servers behind one
+//!                [--addr H:P] [--jobs N]       endpoint: fingerprint-affinity routing,
+//!                [--probe-interval-ms N]       health-checked ejection/readmission and
+//!                [--eject-after N]             transparent retry with re-route
+//!                [--connect-timeout-ms N]
+//!                [--request-timeout-ms N]
 //! specan submit  [--addr H:P] <cmd> <args...>  script a running server; prints what the
-//!                                              one-shot command would print
+//!                [--connect-timeout-ms N]      one-shot command would print
+//!                [--read-timeout-ms N]
 //! specan artifacts <list|verify|gc>            inspect/validate/collect an artifact store
 //!                --artifact-dir DIR [--json] [--max-store-bytes B]
 //! specan worker  --shard-json <spec>           internal: run one shard, print its report
@@ -53,8 +60,11 @@ use spec_cache::CacheConfig;
 use spec_core::batch::{
     self, discover_programs, run_bundle_slice, run_shard, ExecMode, PanelKind, PanelSpec, ShardSpec,
 };
+use spec_core::gateway::{self, GatewayConfig};
 use spec_core::incremental::{scan_bundle_incremental, AnalyzeSession, ScanSession, SessionCache};
-use spec_core::service::{self, AnalyzeConfig, Request, ServiceClient, ServiceConfig};
+use spec_core::service::{
+    self, AnalyzeConfig, ClientOptions, Request, ServiceClient, ServiceConfig,
+};
 use spec_core::{
     AnalysisOptions, Analyzer, BatchReport, CacheOutcome, CacheSession, PreparedStore,
 };
@@ -88,6 +98,7 @@ enum Command {
     Scan,
     Merge,
     Serve,
+    Gateway,
     Artifacts,
     Worker,
 }
@@ -107,8 +118,18 @@ struct Cli {
     panel: PanelKind,
     /// `worker`: the serialized [`ShardSpec`].
     shard_json: Option<String>,
-    /// `serve`: the `host:port` to listen on.
+    /// `serve`/`gateway`: the `host:port` to listen on.
     addr: Option<String>,
+    /// `gateway`: the backend fleet (`--backend H:P`, repeatable).
+    backends: Vec<String>,
+    /// `gateway`: milliseconds between health-probe sweeps.
+    probe_interval_ms: Option<u64>,
+    /// `gateway`: consecutive-failure ejection threshold.
+    eject_after: Option<u32>,
+    /// `gateway`: backend connect deadline in milliseconds.
+    connect_timeout_ms: Option<u64>,
+    /// `gateway`: read deadline on forwarded requests in milliseconds.
+    request_timeout_ms: Option<u64>,
     /// `analyze`/`scan`: where incremental session state lives.
     session_dir: Option<PathBuf>,
     /// `analyze`: replay unchanged programs from the session directory.
@@ -131,7 +152,7 @@ struct Cli {
 }
 
 fn usage() -> String {
-    "usage: specan <analyze|compare|leaks|scan|merge|serve|submit|artifacts> <inputs...> \n\
+    "usage: specan <analyze|compare|leaks|scan|merge|serve|gateway|submit|artifacts> <inputs...> \n\
      \x20      [--cache-lines N] [--json]\n\
      \n\
      analyze   run one configuration and print the per-access classification\n\
@@ -170,9 +191,25 @@ fn usage() -> String {
      \x20         a restarted server answers from warm artifacts instead of\n\
      \x20         re-preparing (--max-store-bytes N bounds the store, GC by\n\
      \x20         recency — responses never change either way)\n\
+     gateway   federate several running servers behind one endpoint: listens\n\
+     \x20         on --addr (default 127.0.0.1:4871) and forwards every\n\
+     \x20         request to one of the --backend H:P servers (repeatable,\n\
+     \x20         at least one).  The same program routes to the same warm\n\
+     \x20         backend (structural-fingerprint rendezvous hashing);\n\
+     \x20         backends failing --eject-after consecutive probes/requests\n\
+     \x20         (default 3) are ejected and readmitted on a healthy probe\n\
+     \x20         (every --probe-interval-ms, default 500); a request that\n\
+     \x20         dies in transport is transparently retried on the next\n\
+     \x20         ring candidate (responses never change).  --jobs N bounds\n\
+     \x20         concurrent forwards; --connect-timeout-ms (default 1000)\n\
+     \x20         and --request-timeout-ms (default 120000) bound each hop\n\
      submit    send <analyze|compare|scan|status|shutdown> to a running\n\
-     \x20         server ([--addr H:P]); prints exactly what the one-shot\n\
-     \x20         command would print and exits with its code\n\
+     \x20         server or gateway ([--addr H:P]); prints exactly what the\n\
+     \x20         one-shot command would print and exits with its code.\n\
+     \x20         [--connect-timeout-ms N] [--read-timeout-ms N] bound the\n\
+     \x20         connection and each response wait (default: no deadline);\n\
+     \x20         if the connection dies mid-pipeline, the ids of the lost\n\
+     \x20         in-flight requests are reported and the exit code is 2\n\
      artifacts inspect a persistent artifact store: `list` prints one line\n\
      \x20         per artifact, `verify` fully validates every file (exit 0\n\
      \x20         iff all pass), `gc` removes quarantined/temp leftovers and\n\
@@ -203,6 +240,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("scan") => Command::Scan,
         Some("merge") => Command::Merge,
         Some("serve") => Command::Serve,
+        Some("gateway") => Command::Gateway,
         Some("artifacts") => Command::Artifacts,
         Some("worker") => Command::Worker,
         Some("--help" | "-h" | "help") | None => return Err(usage()),
@@ -221,6 +259,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         panel: PanelKind::Comparison,
         shard_json: None,
         addr: None,
+        backends: Vec::new(),
+        probe_interval_ms: None,
+        eject_after: None,
+        connect_timeout_ms: None,
+        request_timeout_ms: None,
         session_dir: None,
         incremental: false,
         max_session_bytes: None,
@@ -241,7 +284,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--cache-lines"
                 if matches!(
                     cli.command,
-                    Command::Merge | Command::Serve | Command::Artifacts
+                    Command::Merge | Command::Serve | Command::Gateway | Command::Artifacts
                 ) =>
             {
                 return Err(format!("`--cache-lines` does not apply here\n{}", usage()));
@@ -252,17 +295,59 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| format!("`{value}` is not a number"))?;
             }
-            "--json" if matches!(cli.command, Command::Serve) => {
-                return Err(format!("`--json` does not apply to `serve`\n{}", usage()));
+            "--json" if matches!(cli.command, Command::Serve | Command::Gateway) => {
+                return Err(format!("`--json` does not apply here\n{}", usage()));
             }
             "--json" => cli.json = true,
-            "--addr" if !matches!(cli.command, Command::Serve) => {
+            "--addr" if !matches!(cli.command, Command::Serve | Command::Gateway) => {
                 return Err(format!(
-                    "`--addr` only applies to `serve` (and `submit`)\n{}",
+                    "`--addr` only applies to `serve` and `gateway` (and `submit`)\n{}",
                     usage()
                 ));
             }
             "--addr" => cli.addr = Some(value_of("--addr")?),
+            flag @ ("--backend"
+            | "--probe-interval-ms"
+            | "--eject-after"
+            | "--connect-timeout-ms"
+            | "--request-timeout-ms")
+                if !matches!(cli.command, Command::Gateway) =>
+            {
+                return Err(format!("`{flag}` only applies to `gateway`\n{}", usage()));
+            }
+            "--backend" => cli.backends.push(value_of("--backend")?),
+            "--probe-interval-ms" => {
+                let value = value_of("--probe-interval-ms")?;
+                cli.probe_interval_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a millisecond count"))?,
+                );
+            }
+            "--eject-after" => {
+                let value = value_of("--eject-after")?;
+                cli.eject_after = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a failure count"))?,
+                );
+            }
+            "--connect-timeout-ms" => {
+                let value = value_of("--connect-timeout-ms")?;
+                cli.connect_timeout_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a millisecond count"))?,
+                );
+            }
+            "--request-timeout-ms" => {
+                let value = value_of("--request-timeout-ms")?;
+                cli.request_timeout_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`{value}` is not a millisecond count"))?,
+                );
+            }
             "--jobs"
                 if matches!(
                     cli.command,
@@ -409,6 +494,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Command::Serve => {
             if !cli.paths.is_empty() {
                 return Err(format!("`serve` takes no input files\n{}", usage()));
+            }
+        }
+        Command::Gateway => {
+            if !cli.paths.is_empty() {
+                return Err(format!("`gateway` takes no input files\n{}", usage()));
+            }
+            if cli.backends.is_empty() {
+                return Err(format!(
+                    "`gateway` needs at least one `--backend H:P`\n{}",
+                    usage()
+                ));
             }
         }
         Command::Merge => {
@@ -967,6 +1063,54 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
     Ok(0)
 }
 
+/// `specan gateway --backend H:P...`: the federation front — one endpoint
+/// speaking the serve protocol, fanning requests out over a fleet of
+/// backends with fingerprint-affinity routing and health-checked failover.
+fn cmd_gateway(cli: &Cli) -> Result<u8, String> {
+    let addr = cli.addr.as_deref().unwrap_or(gateway::DEFAULT_GATEWAY_ADDR);
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|err| format!("cannot bind `{addr}`: {err}"))?;
+    let jobs = NonZeroUsize::new(effective_jobs(cli)).unwrap_or(NonZeroUsize::MIN);
+    let local = listener
+        .local_addr()
+        .map_err(|err| format!("cannot resolve the bound address: {err}"))?;
+    // First stderr line, scrapeable like `serve`'s: ephemeral-port scripts
+    // read the bound address from it.
+    eprintln!(
+        "gateway: listening on {local} (backends = {}, jobs = {jobs}{})",
+        cli.backends.len(),
+        if cli.jobs.is_some() {
+            ""
+        } else {
+            ", auto-detected"
+        }
+    );
+    for backend in &cli.backends {
+        eprintln!("gateway: backend {backend}");
+    }
+    let mut builder = GatewayConfig::builder(cli.backends.clone(), jobs);
+    if let Some(ms) = cli.probe_interval_ms {
+        builder = builder.probe_interval(std::time::Duration::from_millis(ms));
+    }
+    if let Some(failures) = cli.eject_after {
+        builder = builder.eject_after(failures);
+    }
+    if let Some(ms) = cli.connect_timeout_ms {
+        builder = builder.connect_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = cli.request_timeout_ms {
+        builder = builder.request_read_timeout(Some(std::time::Duration::from_millis(ms)));
+    }
+    let config = builder.build().map_err(|err| err.to_string())?;
+    let report =
+        gateway::gateway(listener, &config).map_err(|err| format!("gateway failed: {err}"))?;
+    eprintln!(
+        "gateway: stopped after {} request(s), {} error(s)",
+        report.requests, report.errors
+    );
+    Ok(0)
+}
+
 /// `specan artifacts <list|verify|gc> --artifact-dir DIR`: offline
 /// inspection of a persistent artifact store.  `verify` runs every file
 /// through the complete serve-path validation chain (header, checksum,
@@ -1067,23 +1211,40 @@ fn cmd_artifacts(cli: &Cli) -> Result<u8, String> {
 /// run a command against a running server, printing exactly what the
 /// one-shot invocation would print and exiting with its code.
 fn cmd_submit(args: &[String]) -> Result<u8, String> {
-    // Peel off `--addr` wherever it appears; everything else re-parses
-    // through the normal grammar, so submit accepts the same flags.
+    // Peel off `--addr` and the connection deadlines wherever they appear;
+    // everything else re-parses through the normal grammar, so submit
+    // accepts the same flags.
     let mut addr = service::DEFAULT_ADDR.to_string();
+    let mut options = ClientOptions::default();
     let mut rest: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--addr" {
-            addr = iter
-                .next()
-                .ok_or_else(|| "--addr needs a value".to_string())?
-                .clone();
-        } else {
-            rest.push(arg.clone());
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        let millis = |flag: &str, value: String| {
+            value
+                .parse()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| format!("`{value}` is not a millisecond count ({flag})"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value_of("--addr")?,
+            "--connect-timeout-ms" => {
+                let value = value_of("--connect-timeout-ms")?;
+                options.connect_timeout = Some(millis("--connect-timeout-ms", value)?);
+            }
+            "--read-timeout-ms" => {
+                let value = value_of("--read-timeout-ms")?;
+                options.read_timeout = Some(millis("--read-timeout-ms", value)?);
+            }
+            _ => rest.push(arg.clone()),
         }
     }
     let connect = || {
-        ServiceClient::connect(&addr)
+        ServiceClient::connect_with(&addr, options)
             .map_err(|err| format!("cannot connect to a specan server at `{addr}`: {err}"))
     };
     // status/shutdown have no flags or files of their own.
@@ -1162,7 +1323,35 @@ fn cmd_submit(args: &[String]) -> Result<u8, String> {
             }
             let mut by_id = std::collections::HashMap::new();
             for _ in &ids {
-                let response = client.recv().map_err(|err| err.to_string())?;
+                let response = match client.recv() {
+                    Ok(response) => response,
+                    Err(err) => {
+                        // The connection died mid-pipeline.  Name exactly
+                        // which in-flight requests never got an answer —
+                        // "backend died" must be distinguishable from any
+                        // analysis verdict, and the caller needs to know
+                        // what to resubmit.
+                        let lost: Vec<(u64, &PathBuf)> = ids
+                            .iter()
+                            .zip(&files)
+                            .filter(|(id, _)| !by_id.contains_key(&Some(**id)))
+                            .map(|(id, path)| (*id, path))
+                            .collect();
+                        for (id, path) in &lost {
+                            eprintln!("submit: lost request {id} (`{}`)", path.display());
+                        }
+                        return Err(format!(
+                            "connection to `{addr}` died mid-pipeline ({err}): {} of {} \
+                             response(s) never arrived (lost request id(s): {})",
+                            lost.len(),
+                            ids.len(),
+                            lost.iter()
+                                .map(|(id, _)| id.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                };
                 by_id.insert(response.id, response);
             }
             let mut outputs = Vec::with_capacity(ids.len());
@@ -1254,6 +1443,7 @@ fn main() -> ExitCode {
         Command::Scan => cmd_scan(&cli),
         Command::Merge => cmd_merge(&cli),
         Command::Serve => cmd_serve(&cli),
+        Command::Gateway => cmd_gateway(&cli),
         Command::Artifacts => cmd_artifacts(&cli),
         Command::Worker => cmd_worker(&cli),
     };

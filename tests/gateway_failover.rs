@@ -1,0 +1,198 @@
+//! Property suite for the federation gateway: responses through a fleet of
+//! three backends are byte-identical to a direct single-server run — even
+//! when the backend holding the warm program is SIGKILLed mid-stream — and
+//! fingerprint affinity pins each program to exactly one backend while its
+//! backend is healthy.
+//!
+//! Scan responses are timing-free, so every comparison here is exact
+//! (no strip needed); the determinism contract this enforces is the same
+//! one the CI `gateway-gate` job checks from the shell.
+
+use std::path::Path;
+
+use spec_bench::service_harness::{random_program_text, GatewayProcess, Rng, ServeProcess};
+use spec_core::batch::{PanelKind, PanelSpec};
+use spec_core::service::{Request, ServiceClient};
+
+const PROGRAMS: usize = 6;
+
+fn specan() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_specan"))
+}
+
+fn scan_request(source: &str) -> Request {
+    Request::Scan {
+        sources: vec![source.to_string()],
+        panel: PanelSpec {
+            kind: PanelKind::LeakCheck,
+            cache_lines: 8,
+        },
+        json: true,
+    }
+}
+
+/// The `"programs"` count of a backend's own status document — how many
+/// warm sessions it holds.
+fn programs_on(addr: &str) -> u64 {
+    let mut client = ServiceClient::connect(addr).expect("backend answers status");
+    let status = client.call(&Request::Status).expect("status round-trips");
+    assert!(status.ok);
+    status
+        .output
+        .split("\"programs\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("status reports a program count")
+}
+
+/// A named gateway counter out of the fleet status document.
+fn gateway_counter(status: &str, name: &str) -> u64 {
+    status
+        .split(&format!("\"{name}\": "))
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("status reports `{name}`: {status}"))
+}
+
+/// Fast-failover gateway flags: 100 ms probes, one strike ejects, tight
+/// connect deadline — a killed backend must cost milliseconds, not the
+/// test's patience.
+const GATEWAY_FLAGS: &[&str] = &[
+    "--probe-interval-ms",
+    "100",
+    "--eject-after",
+    "1",
+    "--connect-timeout-ms",
+    "500",
+    "--request-timeout-ms",
+    "30000",
+];
+
+#[test]
+fn killing_a_backend_mid_stream_keeps_responses_byte_identical() {
+    let mut rng = Rng::new(0xfed_e8a7e);
+    let sources: Vec<String> = (0..PROGRAMS)
+        .map(|i| random_program_text(&mut rng, &format!("fed{i:02}")))
+        .collect();
+
+    // The reference truth: one direct single-server run per program.
+    let reference: Vec<String> = {
+        let server = ServeProcess::start(specan(), 2);
+        let mut client = ServiceClient::connect(server.addr()).expect("reference connects");
+        sources
+            .iter()
+            .map(|source| {
+                let response = client.call(&scan_request(source)).expect("reference scan");
+                assert!(response.ok, "{:?}", response.error);
+                response.output
+            })
+            .collect()
+    };
+
+    // The fleet: three backends behind one gateway.
+    let mut backends: Vec<ServeProcess> =
+        (0..3).map(|_| ServeProcess::start(specan(), 2)).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    let addr_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
+    let gateway = GatewayProcess::start(specan(), 2, &addr_refs, GATEWAY_FLAGS);
+    let mut client = ServiceClient::connect(gateway.addr()).expect("gateway connects");
+
+    // Round 0 warms the fleet; every response matches the reference.
+    for (source, expected) in sources.iter().zip(&reference) {
+        let response = client.call(&scan_request(source)).expect("warm round scan");
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(&response.output, expected, "a routed response diverged");
+    }
+
+    // SIGKILL a backend that actually owns warm programs — the failover
+    // must re-route (and re-prepare) its share, not just the easy case of
+    // killing an idle backend.
+    let victim = (0..backends.len())
+        .max_by_key(|&i| programs_on(backends[i].addr()))
+        .expect("three backends");
+    assert!(
+        programs_on(backends[victim].addr()) > 0,
+        "affinity spread {PROGRAMS} programs over 3 backends; the fullest \
+         backend cannot be empty"
+    );
+    backends[victim].kill();
+
+    // Mid-stream rounds: every program again, twice, against a fleet that
+    // just lost a member.  Byte-identity must hold throughout.
+    for round in 1..3 {
+        for (source, expected) in sources.iter().zip(&reference) {
+            let response = client.call(&scan_request(source)).expect("failover scan");
+            assert!(response.ok, "round {round}: {:?}", response.error);
+            assert_eq!(
+                &response.output, expected,
+                "round {round}: a failover response diverged from the \
+                 single-server reference"
+            );
+        }
+    }
+
+    // The gateway saw the failure: something was rerouted away from its
+    // affinity primary, and the dead backend was ejected.
+    let status = client.call(&Request::Status).expect("fleet status");
+    assert!(status.ok);
+    let doc = status.output;
+    assert!(
+        gateway_counter(&doc, "rerouted") > 0,
+        "killing a warm backend must reroute: {doc}"
+    );
+    assert!(
+        gateway_counter(&doc, "ejected") > 0,
+        "the dead backend must be ejected: {doc}"
+    );
+    assert_eq!(
+        gateway_counter(&doc, "healthy"),
+        2,
+        "two backends survive: {doc}"
+    );
+}
+
+#[test]
+fn affinity_pins_a_program_to_one_backend_while_healthy() {
+    let mut rng = Rng::new(0xaff_1217);
+    let source = random_program_text(&mut rng, "pinned");
+
+    let backends: Vec<ServeProcess> = (0..3).map(|_| ServeProcess::start(specan(), 2)).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    let addr_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
+    let gateway = GatewayProcess::start(specan(), 2, &addr_refs, GATEWAY_FLAGS);
+    let mut client = ServiceClient::connect(gateway.addr()).expect("gateway connects");
+
+    // The same program four times: every response identical, and exactly
+    // one backend ends up holding the warm session — resubmissions landed
+    // where the warmth lives instead of scattering over the fleet.
+    let mut outputs = Vec::new();
+    for _ in 0..4 {
+        let response = client.call(&scan_request(&source)).expect("pinned scan");
+        assert!(response.ok, "{:?}", response.error);
+        outputs.push(response.output);
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "repeat responses must be identical"
+    );
+    let warm: Vec<u64> = backends.iter().map(|b| programs_on(b.addr())).collect();
+    assert_eq!(
+        warm.iter().sum::<u64>(),
+        1,
+        "one program, one warm session fleet-wide: {warm:?}"
+    );
+    assert_eq!(
+        warm.iter().filter(|&&w| w > 0).count(),
+        1,
+        "affinity pins the program to exactly one backend: {warm:?}"
+    );
+
+    // While the fleet is healthy nothing is rerouted or retried.
+    let status = client.call(&Request::Status).expect("fleet status");
+    assert!(status.ok);
+    assert_eq!(gateway_counter(&status.output, "routed"), 4);
+    assert_eq!(gateway_counter(&status.output, "rerouted"), 0);
+    assert_eq!(gateway_counter(&status.output, "retried"), 0);
+}
