@@ -37,9 +37,12 @@ use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
+use std::time::Instant;
+
 use spec_ir::fingerprint::{program_fingerprint, Fingerprint};
 use spec_ir::Program;
 use spec_store::{fnv64, ArtifactStore, Codec, DecodeError, Decoder, Encoder, LoadOutcome};
+use spec_telemetry::{Counter, Histogram, Registry};
 
 use crate::session::{Analyzer, Memo, PreparedCore, PreparedProgram, RoundCache};
 use crate::state::SpecState;
@@ -208,6 +211,46 @@ fn decode_core(
     })
 }
 
+/// Store I/O telemetry: operation latencies and payload byte counters,
+/// optional on a [`PreparedStore`] (one-shot CLI runs carry none).
+#[derive(Clone, Debug)]
+pub struct StoreTelemetry {
+    load_seconds: Histogram,
+    persist_seconds: Histogram,
+    gc_seconds: Histogram,
+    loaded_bytes: Counter,
+    persisted_bytes: Counter,
+}
+
+impl StoreTelemetry {
+    /// Registers the `spec_store_io_seconds{op}` and
+    /// `spec_store_io_bytes_total{op}` families on `registry` and returns
+    /// the recording handles.
+    pub fn registered(registry: &Registry) -> Self {
+        let op_seconds = |op: &'static str| {
+            registry.histogram(
+                "spec_store_io_seconds",
+                "Artifact-store operation latency: load, persist, gc.",
+                &[("op", op)],
+            )
+        };
+        let op_bytes = |op: &'static str| {
+            registry.counter(
+                "spec_store_io_bytes_total",
+                "Artifact payload bytes moved, by operation.",
+                &[("op", op)],
+            )
+        };
+        Self {
+            load_seconds: op_seconds("load"),
+            persist_seconds: op_seconds("persist"),
+            gc_seconds: op_seconds("gc"),
+            loaded_bytes: op_bytes("load"),
+            persisted_bytes: op_bytes("persist"),
+        }
+    }
+}
+
 /// An [`ArtifactStore`] specialised to prepared-program payloads: the
 /// second cache tier below [`crate::incremental::SessionCache`]'s in-memory
 /// entries.
@@ -215,6 +258,7 @@ fn decode_core(
 pub struct PreparedStore {
     store: ArtifactStore,
     signature: u64,
+    telemetry: Option<StoreTelemetry>,
 }
 
 impl PreparedStore {
@@ -223,6 +267,7 @@ impl PreparedStore {
         Self {
             store: ArtifactStore::new(dir),
             signature: options_signature(),
+            telemetry: None,
         }
     }
 
@@ -231,6 +276,13 @@ impl PreparedStore {
     /// [`crate::incremental::SessionCache::max_session_bytes`]).
     pub fn max_store_bytes(mut self, bytes: u64) -> Self {
         self.store = self.store.with_max_bytes(Some(bytes));
+        self
+    }
+
+    /// Attaches store I/O telemetry (builder-style, like
+    /// [`PreparedStore::max_store_bytes`]).
+    pub fn telemetry(mut self, telemetry: StoreTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -250,10 +302,17 @@ impl PreparedStore {
         analyzer: &Analyzer,
         fingerprint: Fingerprint,
     ) -> Option<(PreparedProgram, u64)> {
+        let started = Instant::now();
         match self.store.load(fingerprint.0, self.signature) {
             LoadOutcome::Loaded(payload) => {
                 match decode_prepared(&payload, analyzer) {
-                    Ok(prepared) => Some((prepared, payload.len() as u64)),
+                    Ok(prepared) => {
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.load_seconds.record(started.elapsed());
+                            telemetry.loaded_bytes.add(payload.len() as u64);
+                        }
+                        Some((prepared, payload.len() as u64))
+                    }
                     Err(_) => {
                         // The checksum matched but the payload did not
                         // decode: a schema drift the signature failed to
@@ -268,11 +327,24 @@ impl PreparedStore {
     }
 
     /// Serializes and atomically writes `prepared`, returning the bytes
-    /// written.
+    /// written.  GC runs (and is timed) separately from the write itself,
+    /// so the persist and gc series stay distinguishable.
     pub fn save(&self, prepared: &PreparedProgram) -> std::io::Result<u64> {
         let payload = encode_prepared(prepared);
-        self.store
-            .save(prepared.fingerprint().0, self.signature, &payload)
+        let started = Instant::now();
+        let written =
+            self.store
+                .save_without_gc(prepared.fingerprint().0, self.signature, &payload)?;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.persist_seconds.record(started.elapsed());
+            telemetry.persisted_bytes.add(written);
+        }
+        let gc_started = Instant::now();
+        let _ = self.store.gc();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.gc_seconds.record(gc_started.elapsed());
+        }
+        Ok(written)
     }
 
     /// Read-only full verification of every artifact in the store — the

@@ -53,10 +53,12 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 use spec_ir::fingerprint::{program_fingerprint, Fingerprint};
 use spec_ir::Program;
+use spec_telemetry::{Histogram, Registry};
 
 use crate::incremental::{SessionCache, SessionStats, SessionTier};
 use crate::session::{Analyzer, CacheStats, PreparedProgram};
@@ -159,6 +161,42 @@ impl CacheOutcome<'_> {
     }
 }
 
+/// Per-tier acquire latency histograms, one series per answering tier.
+/// Optional on a [`CacheSession`] — fronts without telemetry (one-shot
+/// CLI runs, tests) record nothing and pay one relaxed pointer read.
+///
+/// `l0`/`l1`/`store` time the acquire probe itself; `cold` spans the whole
+/// miss obligation — acquire through [`PrepareGuard::commit`] — so it
+/// includes the preparation, which is the cost a cold request actually
+/// pays.  Abandoned guards record nothing (there is no latency to a
+/// request that failed before preparing).
+pub struct TierTelemetry {
+    l0: Histogram,
+    l1: Histogram,
+    store: Histogram,
+    cold: Histogram,
+}
+
+impl TierTelemetry {
+    /// Registers the `spec_cache_acquire_seconds{tier}` family on
+    /// `registry` and returns the recording handles.
+    pub fn registered(registry: &Registry) -> Self {
+        let tier = |name: &'static str| {
+            registry.histogram(
+                "spec_cache_acquire_seconds",
+                "Session acquire latency by answering tier (cold spans acquire through commit).",
+                &[("tier", name)],
+            )
+        };
+        Self {
+            l0: tier("l0"),
+            l1: tier("l1"),
+            store: tier("store"),
+            cold: tier("cold"),
+        }
+    }
+}
+
 /// The obligation half of a [`CacheOutcome::NeedsPrepare`]: proof that the
 /// caller is *outside* every session lock, with [`PrepareGuard::commit`]
 /// as the only way back in.  Dropping the guard without committing is
@@ -168,6 +206,9 @@ pub struct PrepareGuard<'a> {
     session: &'a CacheSession,
     renamed: bool,
     committed: bool,
+    /// When the acquire that produced this guard started — the cold-tier
+    /// latency measures from here to the commit.
+    started: Instant,
 }
 
 impl PrepareGuard<'_> {
@@ -195,7 +236,11 @@ impl PrepareGuard<'_> {
     pub fn commit(mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
         self.committed = true;
         self.session.inner.prepares.fetch_add(1, Ordering::Relaxed);
-        self.session.commit_prepared(prepared)
+        let installed = self.session.commit_prepared(prepared);
+        if let Some(telemetry) = self.session.inner.telemetry.get() {
+            telemetry.cold.record(self.started.elapsed());
+        }
+        installed
     }
 }
 
@@ -220,6 +265,10 @@ struct SessionFront {
     /// accounting fast path never locks.
     has_store: bool,
     budget: Option<u64>,
+    /// Per-tier acquire latency histograms, installed once by telemetry-
+    /// carrying holders (the service); `get()` on the hot path is one
+    /// relaxed load.
+    telemetry: OnceLock<TierTelemetry>,
     acquires: AtomicU64,
     l0_hits: AtomicU64,
     l1_hits: AtomicU64,
@@ -253,6 +302,7 @@ impl CacheSession {
                 generation,
                 has_store,
                 budget,
+                telemetry: OnceLock::new(),
                 acquires: AtomicU64::new(0),
                 l0_hits: AtomicU64::new(0),
                 l1_hits: AtomicU64::new(0),
@@ -261,6 +311,13 @@ impl CacheSession {
                 abandoned: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Installs per-tier latency histograms on this front (idempotent:
+    /// the first install wins, later calls are ignored).  Fronts without
+    /// telemetry record nothing.
+    pub fn set_tier_telemetry(&self, telemetry: TierTelemetry) {
+        let _ = self.inner.telemetry.set(telemetry);
     }
 
     /// Resolves `program` name-exactly: a hit requires the cached session's
@@ -282,11 +339,15 @@ impl CacheSession {
     }
 
     fn acquire_inner(&self, program: &Program, name_exact: bool) -> CacheOutcome<'_> {
+        let started = Instant::now();
         self.inner.acquires.fetch_add(1, Ordering::Relaxed);
         let fingerprint = program_fingerprint(program);
         let generation = self.inner.generation.load(Ordering::Acquire);
         if let Some(prepared) = self.l0_lookup(fingerprint, program, name_exact, generation) {
             self.inner.l0_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(telemetry) = self.inner.telemetry.get() {
+                telemetry.l0.record(started.elapsed());
+            }
             return CacheOutcome::L0Hit(prepared);
         }
         // L1, then the store, under the one lock.  The generation is read
@@ -303,16 +364,23 @@ impl CacheSession {
                         session: self,
                         renamed: true,
                         committed: false,
+                        started,
                     });
                 }
                 self.l0_seed(fingerprint, prepared.clone(), stamped);
                 match tier {
                     SessionTier::Memory => {
                         self.inner.l1_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(telemetry) = self.inner.telemetry.get() {
+                            telemetry.l1.record(started.elapsed());
+                        }
                         CacheOutcome::WarmHit(prepared)
                     }
                     SessionTier::Store => {
                         self.inner.store_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(telemetry) = self.inner.telemetry.get() {
+                            telemetry.store.record(started.elapsed());
+                        }
                         CacheOutcome::StoreHit(prepared)
                     }
                 }
@@ -321,6 +389,7 @@ impl CacheSession {
                 session: self,
                 renamed: false,
                 committed: false,
+                started,
             }),
         }
     }

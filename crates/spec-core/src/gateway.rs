@@ -51,17 +51,19 @@
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use spec_ir::fingerprint::{combined_fingerprint, program_fingerprint, Fingerprint};
 use spec_ir::text::parse_program;
+use spec_telemetry::{escape_label, Counter, Gauge, Histogram, Registry, TraceLog, TraceSender};
 
 use crate::json::ParseLimits;
 use crate::service::{
-    panic_message, read_line_capped, write_response, ClientOptions, Request, Response,
-    ServiceClient, PROTOCOL_VERSION,
+    log_line, panic_message, read_line_capped, request_kind, write_response, ClientOptions,
+    Request, RequestTelemetry, Response, ServiceClient, PROTOCOL_VERSION,
 };
 
 /// Default `host:port` of `specan gateway` (one above the serve default,
@@ -101,6 +103,11 @@ pub struct GatewayConfig {
     /// Cap on forwarding attempts per request; `None` tries every backend
     /// once (in rendezvous order) before giving up.
     pub max_attempts: Option<NonZeroUsize>,
+    /// Trace-log path (`--trace-log`): one NDJSON event per routed request
+    /// (id, kind, backend, attempts, outcome, duration), written by a
+    /// dedicated thread exactly as in
+    /// [`crate::service::ServiceConfig::trace_log`].
+    pub trace_log: Option<PathBuf>,
 }
 
 impl GatewayConfig {
@@ -120,6 +127,7 @@ impl GatewayConfig {
             request_read_timeout: Some(Duration::from_secs(120)),
             retry_backoff: Duration::from_millis(25),
             max_attempts: None,
+            trace_log: None,
         }
     }
 
@@ -212,6 +220,12 @@ impl GatewayConfigBuilder {
         self
     }
 
+    /// NDJSON trace-log path (`--trace-log`).
+    pub fn trace_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace_log = Some(path.into());
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -249,14 +263,44 @@ struct Backend {
     healthy: AtomicBool,
     /// Consecutive failures (probe or forward); reset on any success.
     failures: AtomicU32,
+    /// `spec_gateway_backend_healthy{backend}`: 1 routable, 0 ejected.
+    health: Gauge,
+    /// `spec_gateway_probe_rtt_seconds{backend}`: last successful probe's
+    /// round trip; keeps its final value while the backend is down.
+    probe_rtt: Gauge,
+    /// `spec_gateway_forward_seconds{backend}`: successful forwards only,
+    /// so the buckets measure the backend and not the retry machinery.
+    forward: Histogram,
 }
 
 impl Backend {
-    fn new(addr: String) -> Self {
+    /// Registers the per-backend series up front, so every backend's
+    /// labels appear in the exposition before any traffic reaches it.
+    fn new(addr: String, registry: &Registry) -> Self {
+        let labels = [("backend", addr.as_str())];
+        let health = registry.gauge(
+            "spec_gateway_backend_healthy",
+            "1 while the backend is routable, 0 while ejected.",
+            &labels,
+        );
+        health.set(1.0);
+        let probe_rtt = registry.gauge(
+            "spec_gateway_probe_rtt_seconds",
+            "Round trip of the most recent successful health probe.",
+            &labels,
+        );
+        let forward = registry.histogram(
+            "spec_gateway_forward_seconds",
+            "Latency of successful request forwards, per backend.",
+            &labels,
+        );
         Self {
             addr,
             healthy: AtomicBool::new(true),
             failures: AtomicU32::new(0),
+            health,
+            probe_rtt,
+            forward,
         }
     }
 
@@ -264,9 +308,10 @@ impl Backend {
     /// and readmits an ejected backend.
     fn record_success(&self, counters: &Counters) {
         self.failures.store(0, Ordering::SeqCst);
+        self.health.set(1.0);
         if !self.healthy.swap(true, Ordering::SeqCst) {
-            counters.readmitted.fetch_add(1, Ordering::Relaxed);
-            eprintln!("gateway: readmitted {}", self.addr);
+            counters.readmitted.inc();
+            log_line(&format!("gateway: readmitted {}", self.addr));
         }
     }
 
@@ -276,23 +321,59 @@ impl Backend {
             .failures
             .fetch_add(1, Ordering::SeqCst)
             .saturating_add(1);
-        if streak >= eject_after && self.healthy.swap(false, Ordering::SeqCst) {
-            counters.ejected.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "gateway: ejected {} after {streak} consecutive failure(s)",
-                self.addr
-            );
+        if streak >= eject_after {
+            self.health.set(0.0);
+            if self.healthy.swap(false, Ordering::SeqCst) {
+                counters.ejected.inc();
+                log_line(&format!(
+                    "gateway: ejected {} after {streak} consecutive failure(s)",
+                    self.addr
+                ));
+            }
         }
     }
 }
 
-#[derive(Default)]
+/// The routing counters, registered so they render in the exposition and
+/// still read individually for the `status` document.
 struct Counters {
-    routed: AtomicU64,
-    retried: AtomicU64,
-    rerouted: AtomicU64,
-    ejected: AtomicU64,
-    readmitted: AtomicU64,
+    routed: Counter,
+    retried: Counter,
+    rerouted: Counter,
+    ejected: Counter,
+    readmitted: Counter,
+}
+
+impl Counters {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            routed: registry.counter(
+                "spec_gateway_routed_total",
+                "Work requests entering the routing loop.",
+                &[],
+            ),
+            retried: registry.counter(
+                "spec_gateway_retried_total",
+                "Forwarding retries after a transport failure.",
+                &[],
+            ),
+            rerouted: registry.counter(
+                "spec_gateway_rerouted_total",
+                "Responses served away from the affinity primary.",
+                &[],
+            ),
+            ejected: registry.counter(
+                "spec_gateway_ejected_total",
+                "Backends ejected after consecutive failures.",
+                &[],
+            ),
+            readmitted: registry.counter(
+                "spec_gateway_readmitted_total",
+                "Ejected backends readmitted by a successful probe or forward.",
+                &[],
+            ),
+        }
+    }
 }
 
 struct GatewayState {
@@ -300,8 +381,12 @@ struct GatewayState {
     backends: Vec<Backend>,
     counters: Counters,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    errors: AtomicU64,
+    /// Every gateway series lives here: the request ledger, the routing
+    /// counters, and the per-backend gauges and histograms.  `metrics`
+    /// renders it and then folds in the backends' own expositions.
+    registry: Registry,
+    requests: RequestTelemetry,
+    trace: Option<TraceSender>,
     /// Spreads fingerprint-free requests uniformly.
     round_robin: AtomicUsize,
     limits: ParseLimits,
@@ -312,6 +397,32 @@ struct GatewayJob {
     id: Option<u64>,
     request: Request,
     out: Arc<Mutex<TcpStream>>,
+    enqueued: Instant,
+}
+
+/// Per-request trace-log fields filled by [`GatewayState::route`].
+#[derive(Default)]
+struct RouteTrace {
+    backend: Option<String>,
+    attempts: usize,
+    rerouted: bool,
+}
+
+impl RouteTrace {
+    fn render(&self, id: Option<u64>, kind: &str, ok: bool, total: Duration) -> String {
+        let id = id.map_or_else(|| "null".to_string(), |value| value.to_string());
+        let backend = self.backend.as_deref().map_or_else(
+            || "null".to_string(),
+            |addr| format!("\"{}\"", spec_telemetry::json_escape(addr)),
+        );
+        format!(
+            "{{\"id\": {id}, \"kind\": \"{kind}\", \"ok\": {ok}, \"backend\": {backend}, \
+             \"attempts\": {}, \"rerouted\": {}, \"total_secs\": {}}}",
+            self.attempts,
+            self.rerouted,
+            total.as_secs_f64(),
+        )
+    }
 }
 
 /// The structural fingerprint a request routes on: the program's for
@@ -328,7 +439,7 @@ fn routing_fingerprint(request: &Request) -> Option<Fingerprint> {
             .map(|source| parse_program(source).ok().map(|p| program_fingerprint(&p)))
             .collect::<Option<Vec<_>>>()
             .map(|fps| combined_fingerprint("gateway-scan", fps)),
-        Request::Status | Request::Shutdown => None,
+        Request::Status | Request::Metrics | Request::Shutdown => None,
     }
 }
 
@@ -342,6 +453,37 @@ fn affinity_score(fingerprint: Fingerprint, addr: &str) -> u64 {
 }
 
 impl GatewayState {
+    fn new(config: GatewayConfig, addr: SocketAddr) -> Self {
+        let registry = Registry::new();
+        let requests = RequestTelemetry::new(
+            &registry,
+            "spec_gateway_requests_total",
+            "spec_gateway_request_seconds",
+        );
+        let counters = Counters::registered(&registry);
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| Backend::new(addr.clone(), &registry))
+            .collect();
+        let limits = ParseLimits {
+            max_bytes: config.max_request_bytes,
+            ..ParseLimits::default()
+        };
+        Self {
+            backends,
+            counters,
+            shutdown: AtomicBool::new(false),
+            registry,
+            requests,
+            trace: None,
+            round_robin: AtomicUsize::new(0),
+            limits,
+            addr,
+            config,
+        }
+    }
+
     /// Backend indices in routing order for one request: rendezvous rank
     /// for fingerprinted requests, round-robin rotation otherwise.  The
     /// first element is the request's *affinity primary* — where it lands
@@ -404,43 +546,48 @@ impl GatewayState {
     /// retries with linear backoff, transparent re-route on transport
     /// failure.  Returns the backend's response (its `id` still unmapped)
     /// or the last transport error once every attempt is spent.
-    fn route(&self, request: &Request) -> Result<Response, String> {
-        let cmd = request_name(request);
+    fn route(&self, request: &Request, trace: &mut RouteTrace) -> Result<Response, String> {
+        let cmd = request_kind(request);
         let ranked = self.ranked(routing_fingerprint(request));
         let primary = ranked[0];
         let order = self.attempt_order(&ranked);
         let attempts = self.config.effective_attempts().min(order.len()).max(1);
-        self.counters.routed.fetch_add(1, Ordering::Relaxed);
+        self.counters.routed.inc();
         let mut last_err = String::new();
         for (attempt, &index) in order.iter().take(attempts).enumerate() {
             if attempt > 0 {
-                self.counters.retried.fetch_add(1, Ordering::Relaxed);
+                self.counters.retried.inc();
                 std::thread::sleep(self.config.retry_backoff * attempt as u32);
             }
+            trace.attempts = attempt + 1;
             let backend = &self.backends[index];
+            let forwarded = Instant::now();
             match self.forward_once(backend, request) {
                 Ok(response) => {
+                    backend.forward.record(forwarded.elapsed());
                     backend.record_success(&self.counters);
                     // Served away from the affinity primary — whether the
                     // primary failed just now or was already ejected.
                     let rerouted = index != primary;
                     if rerouted {
-                        self.counters.rerouted.fetch_add(1, Ordering::Relaxed);
+                        self.counters.rerouted.inc();
                     }
-                    eprintln!(
+                    trace.backend = Some(backend.addr.clone());
+                    trace.rerouted = rerouted;
+                    log_line(&format!(
                         "gateway: {cmd} -> {}{}",
                         backend.addr,
                         if rerouted { " (rerouted)" } else { "" }
-                    );
+                    ));
                     return Ok(response);
                 }
                 Err(err) => {
                     backend.record_failure(self.config.eject_after, &self.counters);
-                    eprintln!(
+                    log_line(&format!(
                         "gateway: {cmd} -> {} failed (attempt {}): {err}",
                         backend.addr,
                         attempt + 1
-                    );
+                    ));
                     last_err = err.to_string();
                 }
             }
@@ -484,6 +631,9 @@ impl GatewayState {
             ));
         }
         fleet.push(']');
+        // One registry snapshot, so `requests`/`errors` and the routing
+        // counters cohere the same way a `metrics` scrape does.
+        let snapshot = self.registry.snapshot();
         format!(
             "{{\"protocol\": {PROTOCOL_VERSION}, \"role\": \"gateway\", \"jobs\": {}, \
              \"backends\": {}, \"healthy\": {healthy}, \"requests\": {}, \"errors\": {}, \
@@ -491,14 +641,69 @@ impl GatewayState {
              \"ejected\": {}, \"readmitted\": {}}}, \"fleet\": {fleet}}}",
             self.config.jobs,
             self.backends.len(),
-            self.requests.load(Ordering::Relaxed),
-            self.errors.load(Ordering::Relaxed),
-            self.counters.routed.load(Ordering::Relaxed),
-            self.counters.retried.load(Ordering::Relaxed),
-            self.counters.rerouted.load(Ordering::Relaxed),
-            self.counters.ejected.load(Ordering::Relaxed),
-            self.counters.readmitted.load(Ordering::Relaxed),
+            snapshot.counter_sum("spec_gateway_requests_total"),
+            snapshot.counter_sum_where("spec_gateway_requests_total", |labels| {
+                labels.iter().any(|(k, v)| k == "outcome" && v == "error")
+            }),
+            self.counters.routed.get(),
+            self.counters.retried.get(),
+            self.counters.rerouted.get(),
+            self.counters.ejected.get(),
+            self.counters.readmitted.get(),
         )
+    }
+
+    /// The gateway `metrics` exposition: the gateway's own registry, then
+    /// every reachable backend's exposition with a `backend="addr"` label
+    /// spliced into each series so one scrape covers the whole fleet.
+    /// `# HELP`/`# TYPE` lines dedupe per family across backends.
+    fn metrics_output(&self) -> String {
+        let mut out = self.registry.render();
+        let mut seen_families = std::collections::BTreeSet::new();
+        for backend in &self.backends {
+            let scraped = ServiceClient::connect_with(
+                &backend.addr,
+                ClientOptions {
+                    connect_timeout: Some(self.config.connect_timeout),
+                    read_timeout: Some(self.config.probe_read_timeout),
+                },
+            )
+            .and_then(|mut client| client.call(&Request::Metrics))
+            .ok()
+            .filter(|response| response.ok)
+            .map(|response| response.output);
+            let Some(scraped) = scraped else {
+                continue; // unreachable backends contribute nothing
+            };
+            let label = format!("backend=\"{}\"", escape_label(&backend.addr));
+            for line in scraped.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(comment) = line.strip_prefix("# ") {
+                    // "# HELP <name> ..." / "# TYPE <name> <kind>".
+                    let family = comment.split_whitespace().nth(1).unwrap_or("");
+                    if seen_families.insert((line.starts_with("# HELP"), family.to_string())) {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    continue;
+                }
+                // A series line: `name{labels} value` or `name value`.
+                let spliced = match line.find('{') {
+                    Some(brace) => {
+                        format!("{}{{{label},{}", &line[..brace], &line[brace + 1..])
+                    }
+                    None => match line.find(' ') {
+                        Some(space) => format!("{}{{{label}}}{}", &line[..space], &line[space..]),
+                        None => line.to_string(),
+                    },
+                };
+                out.push_str(&spliced);
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// One probe sweep: `status` to every backend, feeding the ejection /
@@ -506,6 +711,7 @@ impl GatewayState {
     /// the half-open path that readmits them.
     fn probe_sweep(&self) {
         for backend in &self.backends {
+            let started = Instant::now();
             let alive = ServiceClient::connect_with(
                 &backend.addr,
                 ClientOptions {
@@ -517,22 +723,14 @@ impl GatewayState {
             .map(|response| response.ok)
             .unwrap_or(false);
             if alive {
+                // Only successful probes move the RTT gauge: a dead
+                // backend keeps its last observed round trip.
+                backend.probe_rtt.set(started.elapsed().as_secs_f64());
                 backend.record_success(&self.counters);
             } else {
                 backend.record_failure(self.config.eject_after, &self.counters);
             }
         }
-    }
-}
-
-/// The log name of a request.
-fn request_name(request: &Request) -> &'static str {
-    match request {
-        Request::Analyze { .. } => "analyze",
-        Request::Compare { .. } => "compare",
-        Request::Scan { .. } => "scan",
-        Request::Status => "status",
-        Request::Shutdown => "shutdown",
     }
 }
 
@@ -547,20 +745,15 @@ fn request_name(request: &Request) -> &'static str {
 /// failures are handled by the retry and ejection machinery.
 pub fn gateway(listener: TcpListener, config: &GatewayConfig) -> io::Result<GatewayReport> {
     let addr = listener.local_addr()?;
-    let state = GatewayState {
-        backends: config.backends.iter().cloned().map(Backend::new).collect(),
-        counters: Counters::default(),
-        shutdown: AtomicBool::new(false),
-        requests: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
-        round_robin: AtomicUsize::new(0),
-        limits: ParseLimits {
-            max_bytes: config.max_request_bytes,
-            ..ParseLimits::default()
-        },
-        addr,
-        config: config.clone(),
-    };
+    // Declared before `state` so it drops after `state`'s sender clone,
+    // letting the writer thread observe disconnect and drain the queue.
+    let trace_log = config
+        .trace_log
+        .as_deref()
+        .map(TraceLog::create)
+        .transpose()?;
+    let mut state = GatewayState::new(config.clone(), addr);
+    state.trace = trace_log.as_ref().map(TraceLog::sender);
     let (tx, rx) = mpsc::channel::<GatewayJob>();
     let rx = Mutex::new(rx);
     std::thread::scope(|scope| {
@@ -580,7 +773,7 @@ pub fn gateway(listener: TcpListener, config: &GatewayConfig) -> io::Result<Gate
                     // Same transient-error stance as `serve`: outlive
                     // ECONNABORTED/EMFILE storms, re-check shutdown.
                     if err.kind() != io::ErrorKind::Interrupted {
-                        eprintln!("gateway: accept error (retrying): {err}");
+                        log_line(&format!("gateway: accept error (retrying): {err}"));
                         std::thread::sleep(Duration::from_millis(100));
                     }
                     continue;
@@ -594,9 +787,12 @@ pub fn gateway(listener: TcpListener, config: &GatewayConfig) -> io::Result<Gate
         }
         drop(tx);
     });
+    let snapshot = state.registry.snapshot();
     Ok(GatewayReport {
-        requests: state.requests.load(Ordering::Relaxed),
-        errors: state.errors.load(Ordering::Relaxed),
+        requests: snapshot.counter_sum("spec_gateway_requests_total"),
+        errors: snapshot.counter_sum_where("spec_gateway_requests_total", |labels| {
+            labels.iter().any(|(k, v)| k == "outcome" && v == "error")
+        }),
     })
 }
 
@@ -629,16 +825,19 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<GatewayJob>>, state: &GatewayState) {
                 Err(_) => return, // every sender is gone: drained
             }
         };
+        let kind = request_kind(&job.request);
+        let mut trace = RouteTrace::default();
         // The same containment stance as `serve`'s workers: a panic in the
         // routing path costs one error response, never the gateway.
-        let routed =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.route(&job.request)))
-                .unwrap_or_else(|payload| {
-                    Err(format!(
-                        "internal: request panicked: {}",
-                        panic_message(payload.as_ref())
-                    ))
-                });
+        let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.route(&job.request, &mut trace)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(format!(
+                "internal: request panicked: {}",
+                panic_message(payload.as_ref())
+            ))
+        });
         let response = match routed {
             Ok(mut response) => {
                 // The backend answered under its own (per-connection)
@@ -646,12 +845,16 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<GatewayJob>>, state: &GatewayState) {
                 response.id = job.id;
                 response
             }
-            Err(message) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                Response::failure(job.id, message)
-            }
+            Err(message) => Response::failure(job.id, message),
         };
+        // Counted before the bytes leave, so a scrape racing the response
+        // still sees the request.
+        let elapsed = job.enqueued.elapsed();
+        state.requests.complete(kind, response.ok, Some(elapsed));
         write_response(&job.out, &response);
+        if let Some(sender) = &state.trace {
+            sender.emit(trace.render(job.id, kind, response.ok, elapsed));
+        }
     }
 }
 
@@ -668,7 +871,7 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<GatewayJob>, state: &Gate
             Ok(Some(line)) => line,
             Ok(None) => return, // EOF or shutdown
             Err(err) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                state.requests.complete("invalid", false, None);
                 write_response(&out, &Response::failure(None, err.to_string()));
                 return;
             }
@@ -676,13 +879,20 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<GatewayJob>, state: &Gate
         if line.trim().is_empty() {
             continue;
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
         match Request::from_json(&line, &state.limits) {
             Ok((id, Request::Status)) => {
+                // Counted before rendering, so the document includes the
+                // request that asked for it.
+                state.requests.complete("status", true, None);
                 write_response(&out, &Response::success(id, 0, state.fleet_status()));
             }
+            Ok((id, Request::Metrics)) => {
+                state.requests.complete("metrics", true, None);
+                write_response(&out, &Response::success(id, 0, state.metrics_output()));
+            }
             Ok((id, Request::Shutdown)) => {
-                eprintln!("gateway: shutdown requested");
+                state.requests.complete("shutdown", true, None);
+                log_line("gateway: shutdown requested");
                 write_response(&out, &Response::success(id, 0, "shutting down".to_string()));
                 state.shutdown.store(true, Ordering::SeqCst);
                 let _ = TcpStream::connect(state.addr);
@@ -693,13 +903,14 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<GatewayJob>, state: &Gate
                     id,
                     request,
                     out: Arc::clone(&out),
+                    enqueued: Instant::now(),
                 };
                 if tx.send(job).is_err() {
                     return; // the pool is gone: shutting down
                 }
             }
             Err(message) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                state.requests.complete("invalid", false, None);
                 write_response(&out, &Response::failure(None, message));
             }
         }
@@ -721,17 +932,7 @@ mod tests {
             .retry_backoff(Duration::from_millis(1))
             .build()
             .unwrap();
-        GatewayState {
-            backends: config.backends.iter().cloned().map(Backend::new).collect(),
-            counters: Counters::default(),
-            shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            round_robin: AtomicUsize::new(0),
-            limits: ParseLimits::default(),
-            addr: "127.0.0.1:0".parse().unwrap(),
-            config,
-        }
+        GatewayState::new(config, "127.0.0.1:0".parse().unwrap())
     }
 
     #[test]
@@ -822,14 +1023,16 @@ mod tests {
         // backend, the primary trailing as the last resort.
         state.backends[primary].record_failure(1, &state.counters);
         assert!(!state.backends[primary].healthy.load(Ordering::SeqCst));
-        assert_eq!(state.counters.ejected.load(Ordering::Relaxed), 1);
+        assert_eq!(state.counters.ejected.get(), 1);
+        assert_eq!(state.backends[primary].health.get(), 0.0);
         let order = state.attempt_order(&ranked);
         assert_eq!(order.last(), Some(&primary));
         assert_eq!(order.len(), 2);
         // A successful probe readmits (the half-open path).
         state.backends[primary].record_success(&state.counters);
         assert!(state.backends[primary].healthy.load(Ordering::SeqCst));
-        assert_eq!(state.counters.readmitted.load(Ordering::Relaxed), 1);
+        assert_eq!(state.counters.readmitted.get(), 1);
+        assert_eq!(state.backends[primary].health.get(), 1.0);
         assert_eq!(state.attempt_order(&ranked), ranked);
     }
 
@@ -939,6 +1142,34 @@ mod tests {
             "the live backend's session counters embed: {doc}"
         );
         assert!(doc.contains(&cold_addr), "{doc}");
+
+        // The gateway `metrics` exposition carries its own series plus the
+        // live backend's, relabeled; the dead backend reads as gauge 0.
+        let metrics = client.call(&Request::Metrics).unwrap();
+        assert!(metrics.ok);
+        let exposition = metrics.output;
+        assert!(
+            exposition.contains("# TYPE spec_gateway_requests_total counter"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!(
+                "spec_gateway_backend_healthy{{backend=\"{cold_addr}\"}} 1.0"
+            )),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!(
+                "spec_gateway_backend_healthy{{backend=\"{warm_addr}\"}} 0.0"
+            )),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!(
+                "spec_requests_total{{backend=\"{cold_addr}\",kind=\"scan\",outcome=\"ok\"}}"
+            )),
+            "the live backend's own series fold in under its label: {exposition}"
+        );
 
         // Requests with no fingerprint still answer (round-robin spread,
         // and the backend renders the parse error deterministically).

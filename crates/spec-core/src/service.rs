@@ -26,7 +26,8 @@
 //! → {"v": 1, "id": 2, "cmd": "scan", "panel": {"kind": "leak-check",
 //!    "cache_lines": 8}, "json": true, "programs": ["<src>", "<src>"]}
 //! → {"v": 1, "id": 3, "cmd": "status"}
-//! → {"v": 1, "id": 4, "cmd": "shutdown"}
+//! → {"v": 1, "id": 4, "cmd": "metrics"}
+//! → {"v": 1, "id": 5, "cmd": "shutdown"}
 //! ← {"id": 0, "ok": true, "exit": 0, "output": "<rendered output>"}
 //! ← {"id": 9, "ok": false, "exit": 2, "error": "<message>"}
 //! ```
@@ -70,23 +71,37 @@
 //! ([`ServiceConfig::max_request_bytes`]) while being read, and documents
 //! go through the hardened [`crate::json`] parser (size, depth, escape
 //! validation).
+//!
+//! # Telemetry
+//!
+//! Every server carries a [`spec_telemetry::Registry`]: per-kind request
+//! counters and latency histograms, queue-wait and per-phase
+//! (acquire/prepare/run/persist) histograms, cache-tier acquire latencies
+//! and store I/O timings.  The `metrics` request renders it in Prometheus
+//! text-exposition format (`specan metrics <addr>` is the scrape client),
+//! and [`ServiceConfig::trace_log`] streams one NDJSON event per request
+//! through a bounded channel to a dedicated writer thread.  Telemetry is a
+//! side channel by construction: response bytes are untouched, and the
+//! equivalence suites keep passing with it enabled.
 
 use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use spec_cache::CacheConfig;
+use spec_ir::fingerprint::Fingerprint;
 use spec_ir::text::parse_program;
 use spec_ir::Program;
+use spec_telemetry::{Gauge, Histogram, Registry, TraceLog, TraceSender};
 use spec_vcfg::MergeStrategy;
 
-use crate::artifact::PreparedStore;
+use crate::artifact::{PreparedStore, StoreTelemetry};
 use crate::batch::{panel_checksum, BatchReport, BundleStamp, PanelSpec, ProgramVerdict};
-use crate::cache_session::{relock, CacheOutcome, CacheSession};
+use crate::cache_session::{relock, CacheOutcome, CacheSession, TierTelemetry};
 use crate::classify::AnalysisResult;
 use crate::incremental::SessionCache;
 use crate::json::{self, JsonValue, ParseLimits};
@@ -381,6 +396,9 @@ pub enum Request {
     },
     /// Service introspection: counters and session warmth.
     Status,
+    /// Telemetry scrape: the server's metrics registry rendered in
+    /// Prometheus text-exposition format.
+    Metrics,
     /// Stop accepting connections and drain the worker pool.
     Shutdown,
 }
@@ -431,6 +449,7 @@ impl Request {
                 out
             }
             Request::Status => format!("{head}, \"cmd\": \"status\"}}"),
+            Request::Metrics => format!("{head}, \"cmd\": \"metrics\"}}"),
             Request::Shutdown => format!("{head}, \"cmd\": \"shutdown\"}}"),
         }
     }
@@ -516,6 +535,7 @@ impl Request {
                 }
             }
             "status" => Request::Status,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown command `{other}`")),
         };
@@ -638,6 +658,13 @@ pub struct ServiceConfig {
     /// Byte budget over the on-disk store (`--max-store-bytes`), enforced
     /// by recency-based GC after every write.  `None` is unbounded.
     pub max_store_bytes: Option<u64>,
+    /// Trace-log path (`--trace-log`): when set, every completed request
+    /// appends one NDJSON event (id, kind, fingerprint, tier, per-phase
+    /// durations, worker) through a bounded channel to a dedicated writer
+    /// thread.  A full channel drops events instead of blocking workers;
+    /// the drop count is itself a metric.  `None` (the default) traces
+    /// nothing.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -651,6 +678,7 @@ impl ServiceConfig {
             max_session_bytes: None,
             artifact_dir: None,
             max_store_bytes: None,
+            trace_log: None,
         }
     }
 
@@ -728,6 +756,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// NDJSON trace-log path (`--trace-log`).
+    pub fn trace_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace_log = Some(path.into());
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -754,14 +788,203 @@ pub struct ServiceReport {
     pub errors: u64,
 }
 
+/// The protocol commands a request ledger tracks, plus `invalid` for
+/// lines that never parsed into a command at all.
+pub(crate) const REQUEST_KINDS: [&str; 7] = [
+    "analyze", "compare", "scan", "status", "metrics", "shutdown", "invalid",
+];
+
+/// The accounting kind of a parsed request — one of [`REQUEST_KINDS`].
+pub(crate) fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Analyze { .. } => "analyze",
+        Request::Compare { .. } => "compare",
+        Request::Scan { .. } => "scan",
+        Request::Status => "status",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Emits one complete stderr line with a single `write_all` so per-request
+/// accounting lines from concurrent workers never interleave mid-line (an
+/// `eprintln!` with a formatted body may take the stderr lock per fragment
+/// on some platforms; one pre-rendered buffer never does).
+pub(crate) fn log_line(line: &str) {
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let _ = io::stderr().write_all(buf.as_bytes());
+}
+
+/// The request-ledger half of a server's telemetry: one ok/error counter
+/// pair per protocol command and one end-to-end latency histogram per
+/// *queued* command, pre-registered so the hot path records without ever
+/// touching the registry lock.  Counting happens once, at completion —
+/// which makes `requests == ok + errors` hold in every snapshot by
+/// construction (the consistency the old free-running `AtomicU64` pair
+/// could not promise a scraper).
+pub(crate) struct RequestTelemetry {
+    kinds: Vec<KindCell>,
+}
+
+struct KindCell {
+    kind: &'static str,
+    ok: spec_telemetry::Counter,
+    error: spec_telemetry::Counter,
+    /// Only the queued commands (`analyze`/`compare`/`scan`) get a latency
+    /// series; inline commands answer from the reader thread in
+    /// microseconds and would only pad the exposition.
+    latency: Option<Histogram>,
+}
+
+impl RequestTelemetry {
+    pub(crate) fn new(registry: &Registry, total_name: &str, seconds_name: &str) -> Self {
+        let kinds = REQUEST_KINDS
+            .iter()
+            .map(|&kind| KindCell {
+                kind,
+                ok: registry.counter(
+                    total_name,
+                    "Requests completed, by protocol command and outcome.",
+                    &[("kind", kind), ("outcome", "ok")],
+                ),
+                error: registry.counter(
+                    total_name,
+                    "Requests completed, by protocol command and outcome.",
+                    &[("kind", kind), ("outcome", "error")],
+                ),
+                latency: matches!(kind, "analyze" | "compare" | "scan").then(|| {
+                    registry.histogram(
+                        seconds_name,
+                        "End-to-end request latency (queue wait included), by command.",
+                        &[("kind", kind)],
+                    )
+                }),
+            })
+            .collect();
+        Self { kinds }
+    }
+
+    /// Records one finished request: outcome counter always, latency only
+    /// for kinds that carry a histogram and calls that supply a duration.
+    pub(crate) fn complete(&self, kind: &str, ok: bool, elapsed: Option<Duration>) {
+        let cell = self
+            .kinds
+            .iter()
+            .find(|cell| cell.kind == kind)
+            .expect("kind is one of REQUEST_KINDS");
+        if ok {
+            cell.ok.inc();
+        } else {
+            cell.error.inc();
+        }
+        if let (Some(histogram), Some(elapsed)) = (&cell.latency, elapsed) {
+            histogram.record(elapsed);
+        }
+    }
+}
+
+/// Everything `serve` measures, pre-registered on one [`Registry`] so the
+/// record path is lock-free and a `metrics` scrape is one coherent
+/// snapshot.
+struct ServeTelemetry {
+    registry: Registry,
+    requests: RequestTelemetry,
+    queue_wait: Histogram,
+    phase_acquire: Histogram,
+    phase_prepare: Histogram,
+    phase_run: Histogram,
+    phase_persist: Histogram,
+    programs: Gauge,
+    resident_bytes: Gauge,
+}
+
+impl ServeTelemetry {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let requests =
+            RequestTelemetry::new(&registry, "spec_requests_total", "spec_request_seconds");
+        let phase = |name: &'static str| {
+            registry.histogram(
+                "spec_phase_seconds",
+                "Per-phase request latency: acquire, prepare, run, persist.",
+                &[("phase", name)],
+            )
+        };
+        Self {
+            requests,
+            queue_wait: registry.histogram(
+                "spec_queue_wait_seconds",
+                "Time a queued request waited for a pool worker.",
+                &[],
+            ),
+            phase_acquire: phase("acquire"),
+            phase_prepare: phase("prepare"),
+            phase_run: phase("run"),
+            phase_persist: phase("persist"),
+            programs: registry.gauge(
+                "spec_sessions_programs",
+                "Programs resident in the session cache.",
+                &[],
+            ),
+            resident_bytes: registry.gauge(
+                "spec_session_resident_bytes",
+                "Estimated bytes of resident prepared sessions.",
+                &[],
+            ),
+            registry,
+        }
+    }
+}
+
+/// Per-request trace context, filled in along the execution path and
+/// rendered as one NDJSON line when a `--trace-log` is configured.
+#[derive(Default)]
+struct RequestTrace {
+    fingerprint: Option<Fingerprint>,
+    tier: Option<&'static str>,
+    acquire: Duration,
+    prepare: Duration,
+    run: Duration,
+    persist: Duration,
+}
+
+impl RequestTrace {
+    fn render(
+        &self,
+        id: Option<u64>,
+        kind: &str,
+        worker: usize,
+        ok: bool,
+        total: Duration,
+    ) -> String {
+        format!(
+            "{{\"id\": {}, \"kind\": \"{kind}\", \"ok\": {ok}, \"worker\": {worker}, \
+             \"fingerprint\": {}, \"tier\": {}, \"acquire_secs\": {}, \"prepare_secs\": {}, \
+             \"run_secs\": {}, \"persist_secs\": {}, \"total_secs\": {}}}",
+            id.map_or_else(|| "null".to_string(), |id| id.to_string()),
+            self.fingerprint
+                .map_or_else(|| "null".to_string(), |fp| format!("\"{}\"", fp.to_hex())),
+            self.tier
+                .map_or_else(|| "null".to_string(), |tier| format!("\"{tier}\"")),
+            self.acquire.as_secs_f64(),
+            self.prepare.as_secs_f64(),
+            self.run.as_secs_f64(),
+            self.persist.as_secs_f64(),
+            total.as_secs_f64(),
+        )
+    }
+}
+
 struct ServerState {
     /// The tiered session front every worker resolves programs through:
     /// L0 hits stay on the worker's own thread, cold prepares run outside
     /// the shared lock by construction of the acquire/commit protocol.
     sessions: CacheSession,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    errors: AtomicU64,
+    telemetry: ServeTelemetry,
+    trace: Option<TraceSender>,
     jobs: usize,
     limits: ParseLimits,
     addr: SocketAddr,
@@ -771,6 +994,9 @@ struct Job {
     id: Option<u64>,
     request: Request,
     out: Arc<Mutex<TcpStream>>,
+    /// When the reader queued the job — queue wait and end-to-end latency
+    /// both measure from here.
+    enqueued: Instant,
 }
 
 /// Runs the analysis service on `listener` until a `shutdown` request
@@ -794,18 +1020,29 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
     if let Some(bytes) = config.max_session_bytes {
         cache = cache.max_session_bytes(bytes);
     }
+    let telemetry = ServeTelemetry::new();
     if let Some(dir) = &config.artifact_dir {
-        let mut store = PreparedStore::open(dir);
+        let mut store =
+            PreparedStore::open(dir).telemetry(StoreTelemetry::registered(&telemetry.registry));
         if let Some(bytes) = config.max_store_bytes {
             store = store.max_store_bytes(bytes);
         }
         cache = cache.artifact_store(store);
     }
+    // Declared before `state` so its drop (which drains and joins the
+    // writer thread) runs *after* the state's `TraceSender` clone is gone.
+    let trace_log = config
+        .trace_log
+        .as_deref()
+        .map(TraceLog::create)
+        .transpose()?;
+    let sessions = CacheSession::new(cache);
+    sessions.set_tier_telemetry(TierTelemetry::registered(&telemetry.registry));
     let state = ServerState {
-        sessions: CacheSession::new(cache),
+        sessions,
         shutdown: AtomicBool::new(false),
-        requests: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
+        trace: trace_log.as_ref().map(TraceLog::sender),
+        telemetry,
         jobs: config.jobs.get(),
         limits: ParseLimits {
             max_bytes: config.max_request_bytes,
@@ -818,8 +1055,8 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
     std::thread::scope(|scope| {
         let rx = &rx;
         let state = &state;
-        for _ in 0..state.jobs {
-            scope.spawn(move || worker_loop(rx, state));
+        for worker in 0..state.jobs {
+            scope.spawn(move || worker_loop(rx, state, worker));
         }
         loop {
             if state.shutdown.load(Ordering::SeqCst) {
@@ -851,13 +1088,16 @@ pub fn serve(listener: TcpListener, config: &ServiceConfig) -> io::Result<Servic
         // once the connection readers (each holding a clone) finish.
         drop(tx);
     });
+    let snapshot = state.telemetry.registry.snapshot();
     Ok(ServiceReport {
-        requests: state.requests.load(Ordering::Relaxed),
-        errors: state.errors.load(Ordering::Relaxed),
+        requests: snapshot.counter_sum("spec_requests_total"),
+        errors: snapshot.counter_sum_where("spec_requests_total", |labels| {
+            labels.iter().any(|(k, v)| k == "outcome" && v == "error")
+        }),
     })
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState, worker: usize) {
     loop {
         let job = {
             let rx = relock(rx);
@@ -866,13 +1106,16 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
                 Err(_) => return, // every sender is gone: drained
             }
         };
+        state.telemetry.queue_wait.record(job.enqueued.elapsed());
+        let kind = request_kind(&job.request);
+        let mut trace = RequestTrace::default();
         // The backstop of the per-program containment in [`execute`]: a
         // panic anywhere in a request's execution must cost that request an
         // error response, never the whole server — unwinding out of a
         // scoped pool worker would tear down `serve` itself.  Shared state
         // stays coherent because every lock is taken through [`relock`].
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(&job.request, state)
+            execute(&job.request, state, &mut trace)
         }))
         .unwrap_or_else(|payload| {
             Err(format!(
@@ -887,12 +1130,22 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
                 // (e.g. a render error after the analysis ran); re-enforce
                 // so the byte bound holds at *every* request boundary, not
                 // just successful ones.
-                session_accounting(state);
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                session_accounting(state, &mut trace);
                 Response::failure(job.id, message)
             }
         };
+        // Counted before the response bytes leave: a client that scrapes
+        // `metrics` right after reading its response must see this request
+        // in the ledger.
+        let elapsed = job.enqueued.elapsed();
+        state
+            .telemetry
+            .requests
+            .complete(kind, response.ok, Some(elapsed));
         write_response(&job.out, &response);
+        if let Some(sender) = &state.trace {
+            sender.emit(trace.render(job.id, kind, worker, response.ok, elapsed));
+        }
     }
 }
 
@@ -907,7 +1160,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, state: &ServerState) {
 /// in [`worker_loop`], its placement makes `session_bytes` ≤ budget an
 /// invariant at every request boundary, which the soak test and the CI
 /// eviction gate watch.
-fn session_accounting(state: &ServerState) -> String {
+fn session_accounting(state: &ServerState, trace: &mut RequestTrace) -> String {
     let sessions = &state.sessions;
     // An unbounded, store-free server has nothing to flush, enforce or
     // log — and this check reads cached configuration, no lock taken.
@@ -919,7 +1172,11 @@ fn session_accounting(state: &ServerState) -> String {
     // a crash or restart at any request boundary finds them on disk), then
     // enforce the byte budget — which skips its re-measure entirely when
     // the coarse growth tick proves nothing changed.
+    let persist = Instant::now();
     let stats = sessions.checkpoint();
+    let persist_elapsed = persist.elapsed();
+    state.telemetry.phase_persist.record(persist_elapsed);
+    trace.persist += persist_elapsed;
     let mut tail = String::new();
     if sessions.has_store() {
         // The store line is the restart gate's evidence that a warm answer
@@ -939,19 +1196,28 @@ fn session_accounting(state: &ServerState) -> String {
 }
 
 /// Executes one queued request and returns `(exit code, output)`.
-fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), String> {
+fn execute(
+    request: &Request,
+    state: &ServerState,
+    trace: &mut RequestTrace,
+) -> Result<(u8, String), String> {
     match request {
         Request::Analyze { source, config } => {
             // Validate the configuration before the program enters the
             // cache: a bad request must not leave side effects.
             config.options()?;
-            let (prepared, how) = resolve_session(source, state, true)?;
-            let output = analyze_output(&prepared, config)?;
-            eprintln!(
+            let (prepared, how) = resolve_session(source, state, true, trace)?;
+            let run = Instant::now();
+            let output = analyze_output(&prepared, config);
+            let run_elapsed = run.elapsed();
+            state.telemetry.phase_run.record(run_elapsed);
+            trace.run += run_elapsed;
+            let output = output?;
+            log_line(&format!(
                 "serve: analyze `{}` ({how}){}",
                 prepared.program().name(),
-                session_accounting(state)
-            );
+                session_accounting(state, trace)
+            ));
             Ok((0, output))
         }
         Request::Compare {
@@ -963,13 +1229,18 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 .cache(CacheConfig::fully_associative(*cache_lines, 64))
                 .build()
                 .map_err(|err| format!("invalid configuration: {err}"))?;
-            let (prepared, how) = resolve_session(source, state, false)?;
-            let output = compare_output(&prepared, *cache_lines, *render_json)?;
-            eprintln!(
+            let (prepared, how) = resolve_session(source, state, false, trace)?;
+            let run = Instant::now();
+            let output = compare_output(&prepared, *cache_lines, *render_json);
+            let run_elapsed = run.elapsed();
+            state.telemetry.phase_run.record(run_elapsed);
+            trace.run += run_elapsed;
+            let output = output?;
+            log_line(&format!(
                 "serve: compare `{}` ({how}){}",
                 prepared.program().name(),
-                session_accounting(state)
-            );
+                session_accounting(state, trace)
+            ));
             Ok((0, output))
         }
         Request::Scan {
@@ -991,7 +1262,7 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
             let mut sessions = Vec::with_capacity(sources.len());
             let mut warm = 0usize;
             for source in sources {
-                let (prepared, how) = resolve_session(source, state, false)?;
+                let (prepared, how) = resolve_session(source, state, false, trace)?;
                 if sessions.iter().any(|other: &Arc<PreparedProgram>| {
                     other.program().name() == prepared.program().name()
                 }) {
@@ -1004,10 +1275,14 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                 sessions.push(prepared);
             }
             let threads = state.jobs.min(sessions.len()).max(1);
+            let run = Instant::now();
             let verdicts = fan_out_catching(&sessions, threads, |prepared| {
                 let report = prepared.run_suite(&configs).report().without_timing();
                 ProgramVerdict::from_report(report, prepared.fingerprint())
             });
+            let run_elapsed = run.elapsed();
+            state.telemetry.phase_run.record(run_elapsed);
+            trace.run += run_elapsed;
             let mut programs: Vec<ProgramVerdict> = Vec::with_capacity(sessions.len());
             for (slot, prepared) in verdicts.into_iter().zip(&sessions) {
                 let name = prepared.program().name();
@@ -1026,12 +1301,12 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
                     }
                 }
             }
-            eprintln!(
+            log_line(&format!(
                 "serve: scan {} program(s) ({} warm){}",
                 sessions.len(),
                 warm,
-                session_accounting(state)
-            );
+                session_accounting(state, trace)
+            ));
             let stamp = BundleStamp {
                 checksum: panel_checksum(*panel, programs.iter().map(|p| p.fingerprint)),
                 total: programs.len(),
@@ -1047,7 +1322,9 @@ fn execute(request: &Request, state: &ServerState) -> Result<(u8, String), Strin
         }
         // Handled inline by the connection reader; reaching a worker is a
         // scheduling bug.
-        Request::Status | Request::Shutdown => Err("internal: unqueued request".to_string()),
+        Request::Status | Request::Metrics | Request::Shutdown => {
+            Err("internal: unqueued request".to_string())
+        }
     }
 }
 
@@ -1119,26 +1396,48 @@ fn resolve_session(
     source: &str,
     state: &ServerState,
     name_sensitive: bool,
+    trace: &mut RequestTrace,
 ) -> Result<(Arc<PreparedProgram>, &'static str), String> {
+    let acquire = Instant::now();
     let program = parse_program(source).map_err(|err| format!("cannot parse program: {err}"))?;
     let outcome = if name_sensitive {
         state.sessions.acquire(&program)
     } else {
         state.sessions.acquire_structural(&program)
     };
+    let acquire_elapsed = acquire.elapsed();
+    state.telemetry.phase_acquire.record(acquire_elapsed);
+    trace.acquire += acquire_elapsed;
     let how = outcome.tag();
+    trace.tier = Some(how);
     let prepared = match outcome {
         CacheOutcome::L0Hit(prepared)
         | CacheOutcome::WarmHit(prepared)
         | CacheOutcome::StoreHit(prepared) => prepared,
-        CacheOutcome::NeedsPrepare(guard) => guard.prepare(&program),
+        CacheOutcome::NeedsPrepare(guard) => {
+            let prepare = Instant::now();
+            let prepared = guard.prepare(&program);
+            let prepare_elapsed = prepare.elapsed();
+            state.telemetry.phase_prepare.record(prepare_elapsed);
+            trace.prepare += prepare_elapsed;
+            prepared
+        }
     };
+    trace.fingerprint = Some(prepared.fingerprint());
     Ok((prepared, how))
 }
 
 fn status_output(state: &ServerState) -> String {
     let programs = state.sessions.len();
     let stats = state.sessions.stats();
+    // Both counters come from one registry snapshot, so a scraper can never
+    // observe `errors > requests` or a request counted in one field but not
+    // the other — the old pair of free-running atomics could tear.
+    let snapshot = state.telemetry.registry.snapshot();
+    let requests = snapshot.counter_sum("spec_requests_total");
+    let errors = snapshot.counter_sum_where("spec_requests_total", |labels| {
+        labels.iter().any(|(k, v)| k == "outcome" && v == "error")
+    });
     format!(
         "{{\"protocol\": {PROTOCOL_VERSION}, \"jobs\": {}, \"programs\": {}, \
          \"requests\": {}, \"errors\": {}, \"session\": {{\"inserted\": {}, \
@@ -1148,8 +1447,8 @@ fn status_output(state: &ServerState) -> String {
          \"generation\": {}}}}}",
         state.jobs,
         programs,
-        state.requests.load(Ordering::Relaxed),
-        state.errors.load(Ordering::Relaxed),
+        requests,
+        errors,
         stats.inserted,
         stats.reused,
         stats.invalidated,
@@ -1162,6 +1461,18 @@ fn status_output(state: &ServerState) -> String {
         stats.l1_hits,
         stats.generation
     )
+}
+
+/// Renders the telemetry registry in Prometheus text-exposition format —
+/// the body of a `metrics` response.  The session gauges are sampled here
+/// (scrape time) rather than maintained on the hot path.
+fn metrics_output(state: &ServerState) -> String {
+    state.telemetry.programs.set(state.sessions.len() as f64);
+    state
+        .telemetry
+        .resident_bytes
+        .set(state.sessions.resident_bytes() as f64);
+    state.telemetry.registry.render()
 }
 
 pub(crate) fn write_response(out: &Mutex<TcpStream>, response: &Response) {
@@ -1190,7 +1501,7 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<Job>, state: &ServerState
             Err(err) => {
                 // Oversized or undecodable input desynchronizes the line
                 // protocol: answer once, then close the connection.
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                state.telemetry.requests.complete("invalid", false, None);
                 write_response(&out, &Response::failure(None, err.to_string()));
                 return;
             }
@@ -1198,13 +1509,20 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<Job>, state: &ServerState
         if line.trim().is_empty() {
             continue;
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
         match Request::from_json(&line, &state.limits) {
             Ok((id, Request::Status)) => {
+                // Counted before rendering so the status body's own
+                // `requests` field includes this very request.
+                state.telemetry.requests.complete("status", true, None);
                 write_response(&out, &Response::success(id, 0, status_output(state)));
             }
+            Ok((id, Request::Metrics)) => {
+                state.telemetry.requests.complete("metrics", true, None);
+                write_response(&out, &Response::success(id, 0, metrics_output(state)));
+            }
             Ok((id, Request::Shutdown)) => {
-                eprintln!("serve: shutdown requested");
+                log_line("serve: shutdown requested");
+                state.telemetry.requests.complete("shutdown", true, None);
                 write_response(&out, &Response::success(id, 0, "shutting down".to_string()));
                 state.shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so `serve` can wind down.
@@ -1216,13 +1534,14 @@ fn connection_loop(stream: TcpStream, tx: mpsc::Sender<Job>, state: &ServerState
                     id,
                     request,
                     out: Arc::clone(&out),
+                    enqueued: Instant::now(),
                 };
                 if tx.send(job).is_err() {
                     return; // the pool is gone: shutting down
                 }
             }
             Err(message) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                state.telemetry.requests.complete("invalid", false, None);
                 write_response(&out, &Response::failure(None, message));
             }
         }
@@ -1451,6 +1770,7 @@ mod tests {
                 json: true,
             },
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for (i, request) in requests.into_iter().enumerate() {
@@ -1628,6 +1948,24 @@ mod tests {
             status.output
         );
         assert!(status.output.contains("\"programs\": 1"));
+
+        // The metrics surface speaks Prometheus text exposition and has
+        // already ledgered the scans.
+        let metrics = client.call(&Request::Metrics).unwrap();
+        assert!(metrics.ok);
+        assert!(
+            metrics
+                .output
+                .contains("# TYPE spec_requests_total counter"),
+            "missing request ledger: {}",
+            metrics.output
+        );
+        assert!(metrics
+            .output
+            .contains("spec_requests_total{kind=\"scan\",outcome=\"ok\"} 2"));
+        assert!(metrics
+            .output
+            .contains("# TYPE spec_phase_seconds histogram"));
 
         // Malformed lines answer with an error and keep counting.
         let mut raw = ServiceClient::connect(&addr.to_string()).unwrap();

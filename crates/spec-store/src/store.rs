@@ -198,6 +198,22 @@ impl ArtifactStore {
     ///
     /// Returns the total number of bytes written (header + payload).
     pub fn save(&self, fingerprint: u64, signature: u64, payload: &[u8]) -> io::Result<u64> {
+        let written = self.save_without_gc(fingerprint, signature, payload)?;
+        let _ = self.gc();
+        Ok(written)
+    }
+
+    /// The write half of [`ArtifactStore::save`], without the budget pass —
+    /// for callers that account the write and the GC separately (the
+    /// telemetry layer times them as distinct operations).  Callers that
+    /// skip [`ArtifactStore::gc`] afterwards may leave the store over
+    /// budget until the next save.
+    pub fn save_without_gc(
+        &self,
+        fingerprint: u64,
+        signature: u64,
+        payload: &[u8],
+    ) -> io::Result<u64> {
         fs::create_dir_all(&self.dir)?;
         let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
         file.extend_from_slice(ARTIFACT_MAGIC);
@@ -219,7 +235,6 @@ impl ArtifactStore {
             let _ = fs::remove_file(&tmp);
             return Err(err);
         }
-        let _ = self.gc();
         Ok(file.len() as u64)
     }
 

@@ -1,0 +1,811 @@
+//! Std-only telemetry for the serving stack.
+//!
+//! The crate provides four small pieces that together give a running fleet
+//! real observability without touching the bytes of any response:
+//!
+//! - a [`Registry`] of named metric families — atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-boundary log₂-bucket latency [`Histogram`]s —
+//!   rendered on demand in Prometheus text-exposition format;
+//! - a lock-free record path: handles are `Arc`-shared atomics, so the hot
+//!   path never takes a lock (the registry mutex guards only registration
+//!   and snapshotting);
+//! - a [`Span`] RAII timer that records an elapsed phase duration into a
+//!   histogram when dropped (or explicitly via [`Span::finish`], which also
+//!   hands the duration back for trace logging);
+//! - a [`TraceLog`] — a bounded channel feeding a dedicated writer thread,
+//!   so emitting one NDJSON event per request never blocks a worker on
+//!   disk.  When the channel is full the event is dropped and counted, not
+//!   queued: telemetry sheds load before the service does.
+//!
+//! Histogram buckets are powers of two starting at 1µs, so a recorded
+//! quantile estimate is never more than 2× the true value — good enough to
+//! tell "the p99 lives in prepare, not run", which is what phase timing is
+//! for.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Number of finite histogram buckets: upper bounds 1µs << k for
+/// k in 0..28, i.e. 1µs up to ~134s; anything slower lands in +Inf.
+pub const FINITE_BUCKETS: usize = 28;
+
+/// Upper bound of finite bucket `k`, in nanoseconds.
+fn bound_nanos(k: usize) -> u64 {
+    1000u64 << k
+}
+
+/// Upper bound of finite bucket `k`, in seconds (the `le` label value).
+///
+/// Divides rather than multiplying by `1e-9`: the quotient rounds to the
+/// canonical double for the decimal value, so `le` labels render as
+/// `0.000001` instead of `0.0000010000000000000002`.
+fn bound_secs(k: usize) -> f64 {
+    bound_nanos(k) as f64 / 1e9
+}
+
+/// The finite bucket a duration of `nanos` falls into, or `FINITE_BUCKETS`
+/// for the overflow (+Inf) bucket.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos <= 1000 {
+        return 0;
+    }
+    let k = 64 - ((nanos - 1) / 1000).leading_zeros() as usize;
+    k.min(FINITE_BUCKETS)
+}
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A settable gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+struct HistogramCore {
+    /// `FINITE_BUCKETS` finite buckets plus the +Inf overflow slot.
+    buckets: [AtomicU64; FINITE_BUCKETS + 1],
+    sum_nanos: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-boundary log₂-bucket latency histogram.
+///
+/// Recording is two relaxed `fetch_add`s — no locks, no allocation.  Reads
+/// go through [`Histogram::snapshot`], which loads every bucket once and
+/// derives the count from the bucket sums, so one snapshot is internally
+/// consistent by construction.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.0.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Start an RAII phase timer that records into this histogram.
+    pub fn span(&self) -> Span {
+        Span {
+            histogram: Some(self.clone()),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            buckets,
+            sum_nanos: self.0.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts; the last entry is
+    /// the +Inf overflow bucket.
+    pub buckets: Vec<u64>,
+    pub sum_nanos: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound, in seconds, of finite bucket `k`.
+    pub fn bound_secs(k: usize) -> f64 {
+        bound_secs(k)
+    }
+
+    /// Estimate the `q`-quantile (0 < q ≤ 1) in seconds: the upper bound
+    /// of the first bucket whose cumulative count reaches `q * count`.
+    /// Log₂ buckets bound the overestimate at 2× the true value; the +Inf
+    /// bucket reports the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bound_secs(k.min(FINITE_BUCKETS - 1));
+            }
+        }
+        bound_secs(FINITE_BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum_nanos", &snap.sum_nanos)
+            .finish()
+    }
+}
+
+/// An RAII phase timer: created by [`Histogram::span`], records the
+/// elapsed wall time into its histogram when dropped.
+pub struct Span {
+    histogram: Option<Histogram>,
+    started: Instant,
+}
+
+impl Span {
+    /// Stop the timer now, record the duration, and hand it back (for a
+    /// trace-log event that wants the same number the histogram saw).
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.started.elapsed();
+        if let Some(histogram) = self.histogram.take() {
+            histogram.record(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(histogram) = self.histogram.take() {
+            histogram.record(self.started.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type LabelSet = Vec<(String, String)>;
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    series: BTreeMap<LabelSet, Handle>,
+}
+
+/// A registry of named metric families.
+///
+/// Registration is idempotent: asking for the same `(name, labels)` twice
+/// returns a handle to the same underlying atomics, so call sites may
+/// pre-register hot handles at startup and look up cold ones lazily.
+/// Registering a name under two different kinds is a programming error and
+/// panics.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family<'a>(
+        guard: &'a mut MutexGuard<'_, BTreeMap<String, Family>>,
+        name: &str,
+        kind: MetricKind,
+        help: &str,
+    ) -> &'a mut Family {
+        let family = guard.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {:?} and {kind:?}",
+            family.kind
+        );
+        family
+    }
+
+    fn labels(labels: &[(&str, &str)]) -> LabelSet {
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut guard = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = Self::family(&mut guard, name, MetricKind::Counter, help);
+        let handle = family
+            .series
+            .entry(Self::labels(labels))
+            .or_insert_with(|| Handle::Counter(Counter::default()));
+        match handle {
+            Handle::Counter(counter) => counter.clone(),
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut guard = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = Self::family(&mut guard, name, MetricKind::Gauge, help);
+        let handle = family
+            .series
+            .entry(Self::labels(labels))
+            .or_insert_with(|| Handle::Gauge(Gauge::default()));
+        match handle {
+            Handle::Gauge(gauge) => gauge.clone(),
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut guard = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = Self::family(&mut guard, name, MetricKind::Histogram, help);
+        let handle = family
+            .series
+            .entry(Self::labels(labels))
+            .or_insert_with(|| Handle::Histogram(Histogram::default()));
+        match handle {
+            Handle::Histogram(histogram) => histogram.clone(),
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// One consistent point-in-time copy of every registered series.
+    pub fn snapshot(&self) -> Snapshot {
+        let guard = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut series = Vec::new();
+        for (name, family) in guard.iter() {
+            for (labels, handle) in &family.series {
+                let value = match handle {
+                    Handle::Counter(c) => Value::Counter(c.get()),
+                    Handle::Gauge(g) => Value::Gauge(g.get()),
+                    Handle::Histogram(h) => Value::Histogram(h.snapshot()),
+                };
+                series.push(SeriesSnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        Snapshot { series }
+    }
+
+    /// Render every registered series in Prometheus text-exposition
+    /// format.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// One series out of a [`Snapshot`].
+#[derive(Clone)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    pub help: String,
+    pub labels: Vec<(String, String)>,
+    pub value: Value,
+}
+
+/// The value of one snapshotted series.
+#[derive(Clone)]
+pub enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole registry.
+pub struct Snapshot {
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl Snapshot {
+    /// Sum of every counter series under `name`.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counter_sum_where(name, |_| true)
+    }
+
+    /// Sum of the counter series under `name` whose label set satisfies
+    /// the predicate.
+    pub fn counter_sum_where(&self, name: &str, pred: impl Fn(&[(String, String)]) -> bool) -> u64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name && pred(&s.labels))
+            .map(|s| match &s.value {
+                Value::Counter(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Render the snapshot in Prometheus text-exposition format:
+    /// `# HELP`/`# TYPE` headers per family, `_bucket`/`_sum`/`_count`
+    /// series per histogram, label values escaped per the spec.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for series in &self.series {
+            if last_family != Some(series.name.as_str()) {
+                let kind = match &series.value {
+                    Value::Counter(_) => MetricKind::Counter,
+                    Value::Gauge(_) => MetricKind::Gauge,
+                    Value::Histogram(_) => MetricKind::Histogram,
+                };
+                let _ = writeln!(out, "# HELP {} {}", series.name, escape_help(&series.help));
+                let _ = writeln!(out, "# TYPE {} {}", series.name, kind.exposition_name());
+                last_family = Some(series.name.as_str());
+            }
+            match &series.value {
+                Value::Counter(n) => {
+                    let _ = writeln!(out, "{}{} {n}", series.name, render_labels(&series.labels));
+                }
+                Value::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        series.name,
+                        render_labels(&series.labels),
+                        format_float(*v)
+                    );
+                }
+                Value::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (k, &n) in h.buckets.iter().enumerate() {
+                        cumulative += n;
+                        let le = if k == FINITE_BUCKETS {
+                            "+Inf".to_string()
+                        } else {
+                            format_float(bound_secs(k))
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            series.name,
+                            render_labels_with(&series.labels, ("le", &le)),
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        series.name,
+                        render_labels(&series.labels),
+                        format_float(h.sum_secs())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        series.name,
+                        render_labels(&series.labels),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a label value per the Prometheus text-exposition rules
+/// (backslash, double quote, newline).  Public so aggregators that splice
+/// extra labels into scraped exposition text (the gateway) escape the same
+/// way the renderer does.
+pub fn escape_label(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+fn escape_help(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn render_labels_with(labels: &[(String, String)], extra: (&str, &str)) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("{}=\"{}\"", extra.0, escape_label(extra.1)));
+    format!("{{{}}}", body.join(","))
+}
+
+/// Render an `f64` the way Prometheus expects: plain decimal for finite
+/// values (Rust's shortest-roundtrip `Display`), `+Inf`/`-Inf`/`NaN`
+/// otherwise.
+fn format_float(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        let mut text = format!("{value}");
+        if !text.contains('.') && !text.contains('e') {
+            text.push_str(".0");
+        }
+        text
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace log
+// ---------------------------------------------------------------------------
+
+/// How many trace events may queue between the workers and the writer
+/// thread before new events are shed.
+const TRACE_CHANNEL_CAPACITY: usize = 1024;
+
+enum TraceMessage {
+    Line(String),
+}
+
+/// A cheap cloneable handle for emitting trace events.
+///
+/// `emit` never blocks: when the writer falls behind and the channel is
+/// full, the event is dropped and counted in `dropped` instead.
+#[derive(Clone)]
+pub struct TraceSender {
+    tx: SyncSender<TraceMessage>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl TraceSender {
+    /// Queue one NDJSON line (without trailing newline) for the writer
+    /// thread.  Returns `false` if the event was shed.
+    pub fn emit(&self, line: String) -> bool {
+        match self.tx.try_send(TraceMessage::Line(line)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Events shed so far because the writer could not keep up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// An NDJSON event log written by a dedicated thread fed from a bounded
+/// channel.  Dropping the `TraceLog` closes the channel, drains whatever
+/// is queued, flushes, and joins the writer.
+pub struct TraceLog {
+    sender: TraceSender,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl TraceLog {
+    /// Open (append/create) `path` and start the writer thread.
+    pub fn create(path: &Path) -> io::Result<TraceLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let (tx, rx) = sync_channel(TRACE_CHANNEL_CAPACITY);
+        let writer = std::thread::Builder::new()
+            .name("trace-log".to_string())
+            .spawn(move || Self::writer_loop(rx, BufWriter::new(file)))?;
+        Ok(TraceLog {
+            sender: TraceSender {
+                tx,
+                dropped: Arc::new(AtomicU64::new(0)),
+            },
+            writer: Some(writer),
+        })
+    }
+
+    fn writer_loop(rx: Receiver<TraceMessage>, mut out: BufWriter<std::fs::File>) {
+        // Block for the next event; when the queue momentarily runs dry,
+        // flush so a tailing reader sees complete lines.
+        while let Ok(TraceMessage::Line(line)) = rx.recv() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+            while let Ok(TraceMessage::Line(line)) = rx.try_recv() {
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.write_all(b"\n");
+            }
+            let _ = out.flush();
+        }
+        let _ = out.flush();
+    }
+
+    /// A cloneable emit handle for worker threads.
+    pub fn sender(&self) -> TraceSender {
+        self.sender.clone()
+    }
+}
+
+impl Drop for TraceLog {
+    fn drop(&mut self) {
+        // Close our send side so the writer's recv() unblocks once every
+        // worker clone is gone, then wait for the drain.
+        let (orphan_tx, _orphan_rx) = sync_channel(1);
+        drop(std::mem::replace(&mut self.sender.tx, orphan_tx));
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal (the subset the
+/// trace log needs: control characters, quotes, backslashes).
+pub fn json_escape(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(escaped, "\\u{:04x}", c as u32);
+            }
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1000), 0);
+        assert_eq!(bucket_index(1001), 1);
+        assert_eq!(bucket_index(2000), 1);
+        assert_eq!(bucket_index(2001), 2);
+        assert_eq!(
+            bucket_index(bound_nanos(FINITE_BUCKETS - 1)),
+            FINITE_BUCKETS - 1
+        );
+        assert_eq!(
+            bucket_index(bound_nanos(FINITE_BUCKETS - 1) + 1),
+            FINITE_BUCKETS
+        );
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_records_and_estimates_quantiles() {
+        let h = Histogram::default();
+        for micros in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        let true_p50 = 100e-6;
+        let estimate = snap.p50();
+        assert!(
+            estimate >= true_p50 && estimate <= 2.0 * true_p50,
+            "{estimate}"
+        );
+    }
+
+    #[test]
+    fn span_records_on_drop_and_finish() {
+        let h = Histogram::default();
+        {
+            let _span = h.span();
+        }
+        let elapsed = h.span().finish();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!(snap.sum_nanos >= elapsed.as_nanos() as u64);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_renders_exposition() {
+        let registry = Registry::new();
+        let c1 = registry.counter("t_total", "total things", &[("kind", "a")]);
+        let c2 = registry.counter("t_total", "total things", &[("kind", "a")]);
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        registry.gauge("t_gauge", "a gauge", &[]).set(1.5);
+        registry
+            .histogram("t_seconds", "latency", &[("phase", "run")])
+            .record(Duration::from_micros(3));
+        let text = registry.render();
+        assert!(text.contains("# TYPE t_total counter"));
+        assert!(text.contains("t_total{kind=\"a\"} 3"));
+        assert!(text.contains("t_gauge 1.5"));
+        assert!(text.contains("# TYPE t_seconds histogram"));
+        assert!(text.contains("t_seconds_bucket{phase=\"run\",le=\"+Inf\"} 1"));
+        assert!(text.contains("t_seconds_count{phase=\"run\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter("esc_total", "escape test", &[("v", "a\"b\\c\nd")])
+            .inc();
+        let text = registry.render();
+        assert!(text.contains("esc_total{v=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn trace_log_writes_lines_and_drains_on_drop() {
+        let dir = std::env::temp_dir().join(format!("spec-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.ndjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = TraceLog::create(&path).unwrap();
+            let sender = log.sender();
+            for i in 0..10 {
+                assert!(sender.emit(format!("{{\"i\": {i}}}")));
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

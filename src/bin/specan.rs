@@ -19,6 +19,9 @@
 //! specan submit  [--addr H:P] <cmd> <args...>  script a running server; prints what the
 //!                [--connect-timeout-ms N]      one-shot command would print
 //!                [--read-timeout-ms N]
+//! specan metrics [<addr>]                      scrape a server or gateway: prints its
+//!                [--connect-timeout-ms N]      Prometheus text exposition
+//!                [--read-timeout-ms N]
 //! specan artifacts <list|verify|gc>            inspect/validate/collect an artifact store
 //!                --artifact-dir DIR [--json] [--max-store-bytes B]
 //! specan worker  --shard-json <spec>           internal: run one shard, print its report
@@ -144,6 +147,9 @@ struct Cli {
     /// `serve`/`artifacts`: byte budget on the artifact store, enforced by
     /// recency-based GC.
     max_store_bytes: Option<u64>,
+    /// `serve`/`gateway`: append one NDJSON telemetry event per request
+    /// to this file.
+    trace_log: Option<PathBuf>,
     // `analyze`-only configuration knobs.
     baseline: bool,
     shadow: bool,
@@ -152,7 +158,7 @@ struct Cli {
 }
 
 fn usage() -> String {
-    "usage: specan <analyze|compare|leaks|scan|merge|serve|gateway|submit|artifacts> <inputs...> \n\
+    "usage: specan <analyze|compare|leaks|scan|merge|serve|gateway|submit|metrics|artifacts> <inputs...> \n\
      \x20      [--cache-lines N] [--json]\n\
      \n\
      analyze   run one configuration and print the per-access classification\n\
@@ -190,7 +196,9 @@ fn usage() -> String {
      \x20         --artifact-dir DIR persists prepared sessions on disk so\n\
      \x20         a restarted server answers from warm artifacts instead of\n\
      \x20         re-preparing (--max-store-bytes N bounds the store, GC by\n\
-     \x20         recency — responses never change either way)\n\
+     \x20         recency — responses never change either way);\n\
+     \x20         --trace-log FILE appends one NDJSON telemetry event per\n\
+     \x20         request (phase timings, cache tier, fingerprint)\n\
      gateway   federate several running servers behind one endpoint: listens\n\
      \x20         on --addr (default 127.0.0.1:4871) and forwards every\n\
      \x20         request to one of the --backend H:P servers (repeatable,\n\
@@ -202,14 +210,22 @@ fn usage() -> String {
      \x20         dies in transport is transparently retried on the next\n\
      \x20         ring candidate (responses never change).  --jobs N bounds\n\
      \x20         concurrent forwards; --connect-timeout-ms (default 1000)\n\
-     \x20         and --request-timeout-ms (default 120000) bound each hop\n\
-     submit    send <analyze|compare|scan|status|shutdown> to a running\n\
+     \x20         and --request-timeout-ms (default 120000) bound each hop;\n\
+     \x20         --trace-log FILE appends one NDJSON routing event per\n\
+     \x20         request (backend, attempts, reroutes)\n\
+     submit    send <analyze|compare|scan|status|metrics|shutdown> to a running\n\
      \x20         server or gateway ([--addr H:P]); prints exactly what the\n\
      \x20         one-shot command would print and exits with its code.\n\
      \x20         [--connect-timeout-ms N] [--read-timeout-ms N] bound the\n\
      \x20         connection and each response wait (default: no deadline);\n\
      \x20         if the connection dies mid-pipeline, the ids of the lost\n\
      \x20         in-flight requests are reported and the exit code is 2\n\
+     metrics   scrape a running server or gateway ([<addr>], default\n\
+     \x20         127.0.0.1:4870): prints the Prometheus text exposition —\n\
+     \x20         request/phase/cache-tier latency histograms for `serve`,\n\
+     \x20         plus per-backend health and forwarding series (the fleet's\n\
+     \x20         expositions relabeled under backend=\"H:P\") for `gateway`.\n\
+     \x20         [--connect-timeout-ms N] [--read-timeout-ms N]\n\
      artifacts inspect a persistent artifact store: `list` prints one line\n\
      \x20         per artifact, `verify` fully validates every file (exit 0\n\
      \x20         iff all pass), `gc` removes quarantined/temp leftovers and\n\
@@ -269,6 +285,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         max_session_bytes: None,
         artifact_dir: None,
         max_store_bytes: None,
+        trace_log: None,
         baseline: false,
         shadow: true,
         merge_at_rollback: false,
@@ -462,6 +479,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .parse()
                         .map_err(|_| format!("`{value}` is not a byte count"))?,
                 );
+            }
+            "--trace-log" if !matches!(cli.command, Command::Serve | Command::Gateway) => {
+                return Err(format!(
+                    "`--trace-log` only applies to `serve` and `gateway`\n{}",
+                    usage()
+                ));
+            }
+            "--trace-log" => {
+                cli.trace_log = Some(PathBuf::from(value_of("--trace-log")?));
             }
             flag @ ("--baseline" | "--no-shadow" | "--merge-at-rollback" | "--no-unroll")
                 if !matches!(cli.command, Command::Analyze) =>
@@ -1053,6 +1079,9 @@ fn cmd_serve(cli: &Cli) -> Result<u8, String> {
     if let Some(bytes) = cli.max_store_bytes {
         builder = builder.max_store_bytes(bytes);
     }
+    if let Some(path) = &cli.trace_log {
+        builder = builder.trace_log(path.clone());
+    }
     let config = builder.build().map_err(|err| err.to_string())?;
     let report =
         service::serve(listener, &config).map_err(|err| format!("service failed: {err}"))?;
@@ -1100,6 +1129,9 @@ fn cmd_gateway(cli: &Cli) -> Result<u8, String> {
     }
     if let Some(ms) = cli.request_timeout_ms {
         builder = builder.request_read_timeout(Some(std::time::Duration::from_millis(ms)));
+    }
+    if let Some(path) = &cli.trace_log {
+        builder = builder.trace_log(path.clone());
     }
     let config = builder.build().map_err(|err| err.to_string())?;
     let report =
@@ -1247,15 +1279,15 @@ fn cmd_submit(args: &[String]) -> Result<u8, String> {
         ServiceClient::connect_with(&addr, options)
             .map_err(|err| format!("cannot connect to a specan server at `{addr}`: {err}"))
     };
-    // status/shutdown have no flags or files of their own.
-    if let Some(cmd @ ("status" | "shutdown")) = rest.first().map(String::as_str) {
+    // status/metrics/shutdown have no flags or files of their own.
+    if let Some(cmd @ ("status" | "metrics" | "shutdown")) = rest.first().map(String::as_str) {
         if rest.len() != 1 {
             return Err(format!("`submit {cmd}` takes no further arguments"));
         }
-        let request = if cmd == "status" {
-            Request::Status
-        } else {
-            Request::Shutdown
+        let request = match cmd {
+            "status" => Request::Status,
+            "metrics" => Request::Metrics,
+            _ => Request::Shutdown,
         };
         let response = connect()?
             .call(&request)
@@ -1274,7 +1306,7 @@ fn cmd_submit(args: &[String]) -> Result<u8, String> {
         Command::Analyze | Command::Compare | Command::Scan
     ) {
         return Err(format!(
-            "`submit` supports analyze, compare, scan, status and shutdown\n{}",
+            "`submit` supports analyze, compare, scan, status, metrics and shutdown\n{}",
             usage()
         ));
     }
@@ -1417,11 +1449,69 @@ fn cmd_submit(args: &[String]) -> Result<u8, String> {
     }
 }
 
+/// `specan metrics [<addr>]`: scrape the Prometheus text exposition of a
+/// running server or gateway and print it verbatim.
+fn cmd_metrics(args: &[String]) -> Result<u8, String> {
+    let mut addr: Option<String> = None;
+    let mut options = ClientOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        let millis = |flag: &str, value: String| {
+            value
+                .parse()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| format!("`{value}` is not a millisecond count ({flag})"))
+        };
+        match arg.as_str() {
+            "--connect-timeout-ms" => {
+                let value = value_of("--connect-timeout-ms")?;
+                options.connect_timeout = Some(millis("--connect-timeout-ms", value)?);
+            }
+            "--read-timeout-ms" => {
+                let value = value_of("--read-timeout-ms")?;
+                options.read_timeout = Some(millis("--read-timeout-ms", value)?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') && addr.is_none() => {
+                addr = Some(other.to_string());
+            }
+            other => return Err(format!("unrecognised argument `{other}`\n{}", usage())),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| service::DEFAULT_ADDR.to_string());
+    let response = ServiceClient::connect_with(&addr, options)
+        .map_err(|err| format!("cannot connect to a specan server at `{addr}`: {err}"))?
+        .call(&Request::Metrics)
+        .map_err(|err| format!("request failed: {err}"))?;
+    match response.error {
+        None => {
+            outln!("{}", response.output);
+            Ok(response.exit)
+        }
+        Some(message) => Err(format!("server error: {message}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `submit` wraps another command, so it owns its own argument handling.
     if args.first().map(String::as_str) == Some("submit") {
         return match cmd_submit(&args[1..]) {
+            Ok(code) => ExitCode::from(code),
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(EXIT_ERROR)
+            }
+        };
+    }
+    // `metrics` takes a positional address, not input files.
+    if args.first().map(String::as_str) == Some("metrics") {
+        return match cmd_metrics(&args[1..]) {
             Ok(code) => ExitCode::from(code),
             Err(message) => {
                 eprintln!("{message}");

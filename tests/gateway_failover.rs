@@ -153,6 +153,128 @@ fn killing_a_backend_mid_stream_keeps_responses_byte_identical() {
     );
 }
 
+/// Scrapes the gateway's Prometheus exposition.
+fn scrape(client: &mut ServiceClient) -> String {
+    let response = client.call(&Request::Metrics).expect("metrics answers");
+    assert!(response.ok, "{:?}", response.error);
+    response.output
+}
+
+/// Polls the gateway until its exposition contains `needle` (the probe
+/// loop flips health gauges asynchronously).
+fn await_series(client: &mut ServiceClient, needle: &str) -> String {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let exposition = scrape(client);
+        if exposition.contains(needle) {
+            return exposition;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gateway never exposed `{needle}`:\n{exposition}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// Restarts a backend on a fixed address, retrying while the kernel still
+/// holds the port from the previous incarnation.
+fn restart_backend_on(addr: &str) -> ServeProcess {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match std::panic::catch_unwind(|| {
+            ServeProcess::start_with_args(specan(), 2, &["--addr", addr])
+        }) {
+            Ok(server) => return server,
+            Err(payload) => {
+                if std::time::Instant::now() >= deadline {
+                    std::panic::resume_unwind(payload);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+#[test]
+fn gateway_metrics_label_backends_and_track_health_transitions() {
+    let mut rng = Rng::new(0x3e7_0b5);
+    let source = random_program_text(&mut rng, "telemetry");
+    let mut backends: Vec<ServeProcess> =
+        (0..2).map(|_| ServeProcess::start(specan(), 2)).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    let addr_refs: Vec<&str> = addrs.iter().map(String::as_str).collect();
+    let gateway = GatewayProcess::start(specan(), 2, &addr_refs, GATEWAY_FLAGS);
+    let mut client = ServiceClient::connect(gateway.addr()).expect("gateway connects");
+
+    let response = client.call(&scan_request(&source)).expect("scan routes");
+    assert!(response.ok, "{:?}", response.error);
+
+    // One scrape covers the fleet: the gateway's own ledger, a health
+    // gauge per backend, and every backend's series relabeled under
+    // `backend="H:P"`.
+    let exposition = scrape(&mut client);
+    assert!(
+        exposition.contains("spec_gateway_requests_total{kind=\"scan\",outcome=\"ok\"} 1"),
+        "{exposition}"
+    );
+    for addr in &addrs {
+        assert!(
+            exposition.contains(&format!(
+                "spec_gateway_backend_healthy{{backend=\"{addr}\"}} 1.0"
+            )),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!(
+                "spec_requests_total{{backend=\"{addr}\",kind=\"scan\",outcome=\"ok\"}}"
+            )),
+            "backend series must fold in under its label: {exposition}"
+        );
+    }
+    // Exactly one backend served the scan (affinity), and the relabeled
+    // family keeps a single HELP/TYPE pair across both backends.
+    let served: u64 = addrs
+        .iter()
+        .map(|addr| {
+            let series =
+                format!("spec_requests_total{{backend=\"{addr}\",kind=\"scan\",outcome=\"ok\"}} ");
+            exposition
+                .lines()
+                .find_map(|line| line.strip_prefix(series.as_str()))
+                .and_then(|value| value.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("missing series for {addr}: {exposition}"))
+        })
+        .sum();
+    assert_eq!(served, 1, "{exposition}");
+    assert_eq!(
+        exposition
+            .lines()
+            .filter(|l| l.starts_with("# TYPE spec_requests_total "))
+            .count(),
+        1,
+        "HELP/TYPE dedupe across backends: {exposition}"
+    );
+
+    // Ejection flips the victim's health gauge 1 -> 0 ...
+    let victim = addrs[0].clone();
+    backends[0].kill();
+    await_series(
+        &mut client,
+        &format!("spec_gateway_backend_healthy{{backend=\"{victim}\"}} 0.0"),
+    );
+
+    // ... and a restart on the same address readmits it, 0 -> 1.  The new
+    // process gets its own binding: assigning over `backends[0]` would
+    // drop the old handle, whose shutdown handshake targets the shared
+    // address and would kill the fresh server.
+    let _restarted = restart_backend_on(&victim);
+    await_series(
+        &mut client,
+        &format!("spec_gateway_backend_healthy{{backend=\"{victim}\"}} 1.0"),
+    );
+}
+
 #[test]
 fn affinity_pins_a_program_to_one_backend_while_healthy() {
     let mut rng = Rng::new(0xaff_1217);
