@@ -1,0 +1,211 @@
+//! Compositional fixpoint: whole-program re-prepare vs summary-seeded.
+//!
+//! When one block of an analysed program changes, the session cache
+//! invalidates only that block's forward closure and seeds every other
+//! block's fixpoint summary from the previous generation, so the solver
+//! re-solves a fraction of the program.  This harness measures that trade
+//! per ETE workload: it analyses the program once to populate a donor
+//! session, makes a one-block edit, then times (a) a cold re-prepare of
+//! the edited program with a fresh analyzer against (b) the same update
+//! routed through the [`SessionCache`], which transplants the unchanged
+//! summaries.  Both paths must produce byte-identical reports after the
+//! timing strip — the same determinism contract the
+//! `compositional_equivalence` property suite enforces.
+//!
+//! Knobs (environment):
+//!
+//! * `SPEC_BENCH_CACHE_LINES` — cache/workload scale (default 128).
+//!
+//! Pass `--json` to emit a machine-readable report (the CI bench-smoke
+//! job uploads it as an artifact, feeding the BENCH trajectory).
+
+use std::time::{Duration, Instant};
+
+use spec_bench::{bench_cache, bench_cache_lines, fmt_secs, print_table};
+use spec_core::session::comparison_configs;
+use spec_core::{Analyzer, SessionCache};
+use spec_ir::Program;
+use spec_workloads::ete_suite;
+
+struct Row {
+    name: &'static str,
+    blocks: usize,
+    reprepare_cold: Duration,
+    reprepare_seeded: Duration,
+    summary_hits: u64,
+    summary_misses: u64,
+    summaries_invalidated: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reprepare_cold.as_secs_f64() / self.reprepare_seeded.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Duplicates the last load of the last memory-touching block: a surgical
+/// single-block edit that leaves the region table (and therefore the
+/// donor-adoption gate) untouched.  Editing a late block keeps the forward
+/// invalidation closure small, which is the favourable — and typical —
+/// case for an in-place patch.
+fn edit_one_block(program: &Program) -> Program {
+    let mut blocks = program.blocks().to_vec();
+    let victim = blocks
+        .iter()
+        .rposition(|b| b.insts.iter().any(|i| i.accesses_memory()))
+        .expect("every ETE workload touches memory");
+    let dup = blocks[victim]
+        .insts
+        .iter()
+        .rev()
+        .find(|i| i.accesses_memory())
+        .copied()
+        .expect("victim block has a memory access");
+    blocks[victim].insts.push(dup);
+    Program::new(
+        program.name(),
+        program.regions().to_vec(),
+        blocks,
+        program.entry(),
+    )
+    .expect("edited program stays valid")
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cache_lines = bench_cache_lines();
+    let configs = comparison_configs(bench_cache());
+
+    let mut rows = Vec::new();
+    for workload in ete_suite(cache_lines) {
+        // Donor generation: analyse the pristine program through a session
+        // so its summaries are on record for the edit that follows.
+        let mut session = SessionCache::new();
+        let donor = session.update(&workload.program);
+        donor.prepared.run_suite(&configs);
+
+        let edited = edit_one_block(&workload.program);
+
+        // Baseline: a fresh analyzer knows nothing — whole-program solve.
+        let analyzer = Analyzer::new();
+        let start = Instant::now();
+        let cold = analyzer.prepare(&edited);
+        let cold_suite = cold.run_suite(&configs);
+        let reprepare_cold = start.elapsed();
+        let cold_report = cold_suite.report().without_timing().to_json();
+
+        // Seeded: the session diffs the edit, invalidates the changed
+        // block's closure and transplants every other summary.
+        let start = Instant::now();
+        let update = session.update(&edited);
+        let seeded_suite = update.prepared.run_suite(&configs);
+        let reprepare_seeded = start.elapsed();
+        assert_eq!(
+            cold_report,
+            seeded_suite.report().without_timing().to_json(),
+            "summary-seeded report diverged from the cold one for `{}`",
+            workload.name()
+        );
+
+        let stats = update.prepared.cache_stats();
+        rows.push(Row {
+            name: workload.info.name,
+            blocks: workload.program.blocks().len(),
+            reprepare_cold,
+            reprepare_seeded,
+            summary_hits: stats.summary_hits,
+            summary_misses: stats.summary_misses,
+            summaries_invalidated: stats.summaries_invalidated,
+        });
+    }
+
+    let total_hits = rows.iter().map(|r| r.summary_hits).sum::<u64>();
+    assert!(
+        total_hits > 0,
+        "no workload reused a single summary — seeding is not engaging"
+    );
+    let cold_total = rows.iter().map(|r| r.reprepare_cold).sum::<Duration>();
+    let seeded_total = rows.iter().map(|r| r.reprepare_seeded).sum::<Duration>();
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cache_lines\": {cache_lines},\n"));
+        out.push_str(&format!("  \"configs\": {},\n", configs.len()));
+        out.push_str("  \"workloads\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"blocks\": {}, \"reprepare_cold_secs\": {:.6}, \
+                 \"reprepare_seeded_secs\": {:.6}, \"summary_hits\": {}, \
+                 \"summary_misses\": {}, \"summaries_invalidated\": {}, \
+                 \"seeded_speedup\": {:.3}}}{}\n",
+                row.name,
+                row.blocks,
+                row.reprepare_cold.as_secs_f64(),
+                row.reprepare_seeded.as_secs_f64(),
+                row.summary_hits,
+                row.summary_misses,
+                row.summaries_invalidated,
+                row.speedup(),
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"reprepare_cold_total_secs\": {:.6},\n",
+            cold_total.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"reprepare_seeded_total_secs\": {:.6},\n",
+            seeded_total.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"seeded_speedup\": {:.3},\n",
+            cold_total.as_secs_f64() / seeded_total.as_secs_f64().max(1e-9)
+        ));
+        out.push_str(&format!("  \"summary_hits_total\": {total_hits},\n"));
+        out.push_str("  \"reports_identical\": true\n}");
+        println!("{out}");
+    } else {
+        let table = rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.name.to_string(),
+                    format!("{}", row.blocks),
+                    fmt_secs(row.reprepare_cold),
+                    fmt_secs(row.reprepare_seeded),
+                    format!("{:.2}x", row.speedup()),
+                    format!(
+                        "{}h/{}m ({} inv)",
+                        row.summary_hits, row.summary_misses, row.summaries_invalidated
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>();
+        print_table(
+            &format!(
+                "One-block edit: cold re-prepare vs summary-seeded ({} configs, \
+                 {cache_lines}-line cache)",
+                configs.len()
+            ),
+            &[
+                "Workload",
+                "Blocks",
+                "Cold (s)",
+                "Seeded (s)",
+                "Speedup",
+                "Summaries",
+            ],
+            &table,
+        );
+        println!(
+            "\nTotal re-prepare after a one-block edit: cold {} s vs seeded {} s \
+             ({:.2}x); {total_hits} summaries transplanted across the suite.  All \
+             seeded reports were byte-identical to their cold counterparts (post \
+             timing-strip).",
+            fmt_secs(cold_total),
+            fmt_secs(seeded_total),
+            cold_total.as_secs_f64() / seeded_total.as_secs_f64().max(1e-9)
+        );
+    }
+}

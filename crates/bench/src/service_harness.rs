@@ -282,20 +282,36 @@ impl Drop for Scratch {
     }
 }
 
-/// Zeroes the `"time_secs"` wall clocks of `analyze`/`compare` JSON output
-/// — the execution-describing bytes the byte-identity contracts strip on
-/// both sides (the CI gates' `sed` is the shell twin of this function).
+/// Zeroes the execution-describing fields of `analyze`/`compare` JSON
+/// output — `"time_secs"` wall clocks and `"iterations"` worklist-pop
+/// counts (summary seeding legitimately shrinks the latter) — the bytes
+/// the byte-identity contracts strip on both sides (the CI gates' `sed`
+/// is the shell twin of this function).
 pub fn strip_analyze_timing(output: &str) -> String {
     let mut out = String::with_capacity(output.len());
     for line in output.lines() {
+        let line = zero_numeric_field(line, "\"iterations\": ");
         if let Some(at) = line.find("\"time_secs\": ") {
             out.push_str(&line[..at]);
             out.push_str("\"time_secs\": 0");
             out.push_str(line[at..].find('}').map_or("", |_| "}"));
         } else {
-            out.push_str(line);
+            out.push_str(&line);
         }
         out.push('\n');
     }
     out
+}
+
+/// Replaces the integer following `prefix` with `0`, leaving the rest of
+/// the line untouched.  No-op when the prefix is absent.
+fn zero_numeric_field(line: &str, prefix: &str) -> String {
+    let Some(at) = line.find(prefix) else {
+        return line.to_string();
+    };
+    let start = at + prefix.len();
+    let end = line[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(line.len(), |offset| start + offset);
+    format!("{}{prefix}0{}", &line[..at], &line[end..])
 }

@@ -21,6 +21,8 @@ use crate::classify::{classify_accesses, AnalysisResult};
 use crate::engine::SpecProblem;
 use crate::options::AnalysisOptions;
 use crate::session::{Analyzer, RoundCache, RoundResult};
+use crate::state::SpecState;
+use crate::summary::SummaryCtx;
 
 /// A configured must-hit cache analysis.
 ///
@@ -99,6 +101,7 @@ pub(crate) fn solve_prepared(
     amap: &Arc<AddressMap>,
     widen_nodes: &HashSet<usize>,
     round_cache: &RoundCache,
+    summary: SummaryCtx<'_>,
     start: Instant,
 ) -> AnalysisResult {
     let solver = WorklistSolver {
@@ -114,6 +117,14 @@ pub(crate) fn solve_prepared(
     /// statistics exactly as a fresh solve would.  The returned problem is
     /// freshly constructed either way — classification and the dynamic
     /// depth-bounding checks need its topology.
+    ///
+    /// An actually-solved round consults the summary context: when the
+    /// session adopted a donor whose seeding plan passed the gates *and*
+    /// the donor solved this very round, the frozen blocks transplant the
+    /// donor's converged states and only the invalidated region iterates.
+    /// The converged states are identical either way (the plan's gates
+    /// guarantee it); only the per-block hit/miss accounting and the
+    /// worklist-pop statistics differ.
     #[allow(clippy::too_many_arguments)]
     fn run_round<'a>(
         solver: &WorklistSolver,
@@ -124,6 +135,7 @@ pub(crate) fn solve_prepared(
         widen_nodes: &HashSet<usize>,
         bounds: Vec<u32>,
         round_cache: &RoundCache,
+        summary: &SummaryCtx<'_>,
         total: &mut SolveStats,
         rounds: &mut u32,
     ) -> (SpecProblem<'a>, Arc<RoundResult>) {
@@ -145,7 +157,28 @@ pub(crate) fn solve_prepared(
             bounds,
             widen_nodes.clone(),
         );
+        let donor_round = summary
+            .seed
+            .as_ref()
+            .and_then(|(_, summaries)| summaries.donor_round(&key));
         let round = round_cache.get_or_compute(key, || {
+            let blocks = analyzed.blocks().len() as u64;
+            if let (Some((plan, _)), Some(donor)) = (&summary.seed, &donor_round) {
+                let seeds: Vec<Option<SpecState>> = plan
+                    .frozen
+                    .iter()
+                    .enumerate()
+                    .map(|(node, &frozen)| {
+                        frozen.then(|| donor.0[plan.donor_node[node] as usize].clone())
+                    })
+                    .collect();
+                let (states, stats) = solver.solve_seeded(&mut problem, seeds);
+                summary
+                    .store
+                    .record_round(plan.frozen_blocks, blocks - plan.frozen_blocks);
+                return (Arc::new(states), stats);
+            }
+            summary.store.record_round(0, blocks);
             let (states, stats) = solver.solve(&mut problem);
             (Arc::new(states), stats)
         });
@@ -172,6 +205,7 @@ pub(crate) fn solve_prepared(
             widen_nodes,
             vec![0; num_colors],
             round_cache,
+            &summary,
             &mut total_stats,
             &mut rounds,
         )
@@ -185,6 +219,7 @@ pub(crate) fn solve_prepared(
             widen_nodes,
             vec![options.speculation.depth_on_miss; num_colors],
             round_cache,
+            &summary,
             &mut total_stats,
             &mut rounds,
         )
@@ -202,6 +237,7 @@ pub(crate) fn solve_prepared(
             widen_nodes,
             vec![0; num_colors],
             round_cache,
+            &summary,
             &mut total_stats,
             &mut rounds,
         );
@@ -230,6 +266,7 @@ pub(crate) fn solve_prepared(
                 widen_nodes,
                 bounds.clone(),
                 round_cache,
+                &summary,
                 &mut total_stats,
                 &mut rounds,
             );

@@ -46,6 +46,7 @@ use spec_telemetry::{Counter, Histogram, Registry};
 
 use crate::session::{Analyzer, Memo, PreparedCore, PreparedProgram, RoundCache};
 use crate::state::SpecState;
+use crate::summary::{summary_keys, SummaryStore};
 
 /// Canonical description of the serialized traversal.
 ///
@@ -55,11 +56,12 @@ use crate::state::SpecState;
 /// memo key, a new field in a serialized struct, a reordered traversal —
 /// edit this descriptor (or bump `spec_store::ARTIFACT_FORMAT_VERSION`), and
 /// every stale artifact turns into a clean store miss.
-const PREPARED_SCHEMA: &str = "prepared-v1;\
+const PREPARED_SCHEMA: &str = "prepared-v2;\
  program{name,regions{name,size_bytes,secret},blocks{id,name?,insts,term},entry};\
  amaps[(line_size,num_sets,assoc)->{line_size,num_sets,base_blocks,block_counts}];\
  cores[(unroll_loops,{max_program_insts,max_trip_count})->{analyzed,\
  unroll{unrolled_loops,skipped_loops},widen_headers,\
+ block_keys[per-block summary fingerprints],\
  vcfgs[(depth_on_miss,merge)->{graph{kinds,successors,entry},sites,config}],\
  rounds[(cache,shadow,widening_delay,depth_on_hit,merge,bounds)->\
  (states{normal,spec[color->{shadow,must,may}]},solve_stats)] in lru order]}";
@@ -114,6 +116,7 @@ pub fn encode_prepared(prepared: &PreparedProgram) -> Vec<u8> {
         core.analyzed.encode(&mut e);
         core.unroll.encode(&mut e);
         core.widen_headers.encode(&mut e);
+        core.block_keys.encode(&mut e);
 
         let mut vcfgs = core.vcfgs.entries();
         vcfgs.sort_by_key(|((depth, merge), _)| (*depth, *merge as u8));
@@ -176,6 +179,10 @@ fn decode_prepared_inner(
         cores: Memo::from_entries(cores),
         amaps: Memo::from_entries(amaps),
         amaps_adopted: AtomicU64::new(0),
+        // Donor adoption is a live-session act; a restored artifact starts
+        // with no pending donors and zeroed summary counters, exactly like
+        // a fresh prepare.
+        summaries: SummaryStore::new(),
     })
 }
 
@@ -193,6 +200,13 @@ fn decode_core(
         return Err(DecodeError::Invalid("widen header out of range"));
     }
 
+    let block_keys: Vec<u64> = Codec::decode(d)?;
+    if block_keys != summary_keys(&analyzed) {
+        return Err(DecodeError::Invalid(
+            "summary keys do not match the analyzed program",
+        ));
+    }
+
     let vcfg_count = d.seq_len()?;
     let mut vcfgs = Vec::with_capacity(vcfg_count);
     for _ in 0..vcfg_count {
@@ -206,6 +220,10 @@ fn decode_core(
         analyzed,
         unroll,
         widen_headers,
+        block_keys,
+        // A restored core has no donor: summaries come into play only when
+        // the incremental layer adopts across an edit.
+        summaries: None,
         vcfgs: Memo::from_entries(vcfgs),
         rounds: RoundCache::from_entries(round_cache_capacity, rounds),
     })
@@ -339,12 +357,61 @@ impl PreparedStore {
             telemetry.persist_seconds.record(started.elapsed());
             telemetry.persisted_bytes.add(written);
         }
+        self.note_latest(prepared.program().name(), prepared.fingerprint());
         let gc_started = Instant::now();
         let _ = self.store.gc();
         if let Some(telemetry) = &self.telemetry {
             telemetry.gc_seconds.record(gc_started.elapsed());
         }
         Ok(written)
+    }
+
+    /// Path of the name-index sidecar for `name`.  Artifacts are keyed by
+    /// the name-free structural fingerprint, so after an edit nothing would
+    /// connect the new program to its predecessor's artifact; the sidecar
+    /// remembers, per program name, the fingerprint last persisted under
+    /// it.  It is purely advisory — a stale or colliding index costs a
+    /// failed donor load, never correctness.
+    fn named_index_path(&self, name: &str) -> PathBuf {
+        self.store
+            .dir()
+            .join(format!("name-{:016x}.latest", fnv64(name.as_bytes())))
+    }
+
+    /// Best-effort atomic update of the name index after a save.  The temp
+    /// name carries `.tmp.` so a crashed leftover is swept by the store GC.
+    fn note_latest(&self, name: &str, fingerprint: Fingerprint) {
+        let path = self.named_index_path(name);
+        let temp = self.store.dir().join(format!(
+            "name-{:016x}.tmp.{}",
+            fnv64(name.as_bytes()),
+            std::process::id()
+        ));
+        if std::fs::write(&temp, format!("{:016x}", fingerprint.0)).is_ok()
+            && std::fs::rename(&temp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&temp);
+        }
+    }
+
+    /// The *predecessor* artifact last persisted under `name`, if it is
+    /// still loadable and is not the `exclude` fingerprint itself — the
+    /// cross-restart donor for compositional summary reuse.  The decoded
+    /// program's name must match: the index is a 64-bit hash, so a
+    /// collision must read as a miss, not a donor.
+    pub(crate) fn donor(
+        &self,
+        analyzer: &Analyzer,
+        name: &str,
+        exclude: Fingerprint,
+    ) -> Option<PreparedProgram> {
+        let hex = std::fs::read_to_string(self.named_index_path(name)).ok()?;
+        let fingerprint = u64::from_str_radix(hex.trim(), 16).ok()?;
+        if fingerprint == exclude.0 {
+            return None;
+        }
+        let (prepared, _) = self.load(analyzer, Fingerprint(fingerprint))?;
+        (prepared.program().name() == name).then_some(prepared)
     }
 
     /// Read-only full verification of every artifact in the store — the
@@ -495,6 +562,90 @@ mod tests {
             mutated[i] ^= 0xff;
             let _ = decode_prepared(&mutated, &analyzer);
         }
+    }
+
+    /// Populates a session whose round-cache LRU order differs from
+    /// insertion order: the whole comparison panel runs, then the first
+    /// configuration replays (pure hits), moving its rounds to the
+    /// most-recent end.
+    fn populated_with_skewed_recency(
+        analyzer: &Analyzer,
+    ) -> (PreparedProgram, Vec<(String, AnalysisOptions)>) {
+        let program = sample_program("recency");
+        let prepared = analyzer.prepare(&program);
+        let configs = comparison_configs(CacheConfig::fully_associative(8, 64));
+        prepared.run_suite(&configs);
+        prepared.run(&configs[0].1);
+        (prepared, configs)
+    }
+
+    #[test]
+    fn round_cache_recency_survives_a_round_trip() {
+        let analyzer = Analyzer::new();
+        let (prepared, _) = populated_with_skewed_recency(&analyzer);
+        let bytes = encode_prepared(&prepared);
+        let restored = decode_prepared(&bytes, &analyzer).unwrap();
+
+        let saved: std::collections::HashMap<_, _> = prepared
+            .cores
+            .entries()
+            .into_iter()
+            .map(|(key, core)| (key, core.rounds.lru_order()))
+            .collect();
+        assert!(
+            saved.values().any(|order| order.len() > 1),
+            "the contract needs a multi-entry round cache to be meaningful"
+        );
+        for (key, core) in restored.cores.entries() {
+            assert_eq!(
+                core.rounds.lru_order(),
+                saved[&key],
+                "restoring must reproduce the saved least-to-most-recent order \
+                 under fresh ticks"
+            );
+            // Counters describe this process's executions only: the restore
+            // itself is not an execution event.
+            assert_eq!(core.rounds.counts(), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn bounded_restore_drops_oldest_rounds_and_reconciles_counters() {
+        let analyzer = Analyzer::new();
+        let (prepared, configs) = populated_with_skewed_recency(&analyzer);
+        let baseline = prepared.run_suite(&configs).report().without_timing();
+        let saved: std::collections::HashMap<_, _> = prepared
+            .cores
+            .entries()
+            .into_iter()
+            .map(|(key, core)| (key, core.rounds.lru_order()))
+            .collect();
+        let bytes = encode_prepared(&prepared);
+
+        let tight = Analyzer::new().round_cache_capacity(NonZeroUsize::new(1).unwrap());
+        let restored = decode_prepared(&bytes, &tight).unwrap();
+        for (key, core) in restored.cores.entries() {
+            let order = core.rounds.lru_order();
+            assert!(order.len() <= 1, "capacity 1 must hold at the restore");
+            assert_eq!(
+                order.last(),
+                saved[&key].last(),
+                "the survivor is the most recently used saved round"
+            );
+        }
+        // The drop-to-capacity is part of the restore, not an execution:
+        // counters start zeroed and the growth stamp sits at its origin, so
+        // store dirty-tracking cannot misread the restore as growth.
+        assert_eq!(restored.cache_stats().round_evictions, 0);
+        assert_eq!(restored.growth_stamp(), 0);
+
+        // The bounded restore still answers byte-identically — dropped
+        // rounds are re-solved, which the ledger now shows as misses and a
+        // moved growth stamp.
+        let report = restored.run_suite(&configs).report().without_timing();
+        assert_eq!(report.to_json(), baseline.to_json());
+        assert!(restored.cache_stats().round_misses > 0);
+        assert!(restored.growth_stamp() > 0);
     }
 
     #[test]

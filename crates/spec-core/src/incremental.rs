@@ -457,11 +457,16 @@ impl SessionCache {
     /// Brings the session up to date with (a freshly parsed version of)
     /// `program` and returns the prepared session to run against.
     ///
-    /// Programs are identified by name.  If the structural fingerprint
-    /// matches the previous snapshot, the existing [`PreparedProgram`] —
+    /// Programs are identified by name.  If the program is identical to
+    /// the previous snapshot (fingerprint filter plus full comparison —
+    /// the fingerprint alone is name-free and would rebind across a pure
+    /// rename, serving stale names), the existing [`PreparedProgram`] —
     /// with every memoized artifact — is rebound; otherwise the program is
-    /// re-prepared, and its address maps are adopted from the previous
-    /// session when the region table is structurally unchanged.
+    /// re-prepared, and when the region table is structurally unchanged
+    /// the previous session's address maps are adopted wholesale and its
+    /// fixpoint summaries are offered as per-block seeds (unchanged blocks
+    /// transplant their converged states; edited blocks and their
+    /// transitive dependents re-solve — see `spec_core::summary`).
     pub fn update(&mut self, program: &Program) -> SessionUpdate {
         self.update_inner(program, true)
     }
@@ -480,6 +485,15 @@ impl SessionCache {
     pub(crate) fn lookup_warm(&mut self, program: &Program) -> Option<Arc<PreparedProgram>> {
         let tick = self.next_tick();
         match self.entries.get_mut(program.name()) {
+            // Matched by the name-free structural fingerprint: a pure
+            // rename (same structure, different region or block names)
+            // still answers warm here.  Callers that need name-exact
+            // resolution compare the returned session's program themselves
+            // — `CacheSession::acquire` classifies a mismatch as a
+            // `renamed` miss, and [`SessionCache::update`] rebinds the
+            // entry to the renamed program (adopting its artifacts) — so
+            // the structural tier keeps serving rename-insensitive outputs
+            // without leaking stale names into name-exact ones.
             Some(entry) if entry.fingerprint == program_fingerprint(program) => {
                 self.stats.reused += 1;
                 entry.tick = tick;
@@ -592,8 +606,40 @@ impl SessionCache {
     /// commit cold preparations through `PrepareGuard::commit` (see
     /// [`SessionCache::lookup_warm`]).
     pub(crate) fn install(&mut self, prepared: Arc<PreparedProgram>) -> Arc<PreparedProgram> {
+        // The donor lookup must precede the write-through: persisting
+        // repoints the store's name index at the incoming session itself.
+        if !self.entries.contains_key(prepared.program().name()) {
+            self.adopt_store_donor(&prepared);
+        }
         let persisted = self.persist_now(&prepared);
         self.install_with(prepared, persisted)
+    }
+
+    /// Cross-restart compositional reuse: a fresh-name install may still
+    /// have a *predecessor* on the store tier — the artifact last persisted
+    /// under this program's name, found through the store's name index
+    /// (fingerprints alone are name-free, so after an edit nothing else
+    /// connects the new program to its donor).  A region-table-preserving
+    /// predecessor donates address maps and fixpoint summaries exactly like
+    /// an in-memory one; the per-block structural gates at seeding time
+    /// keep a stale or colliding index harmless.
+    fn adopt_store_donor(&mut self, prepared: &Arc<PreparedProgram>) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let Some(donor) = store.donor(
+            &self.analyzer,
+            prepared.program().name(),
+            prepared.fingerprint(),
+        ) else {
+            return;
+        };
+        if regions_fingerprint(donor.program().regions())
+            == regions_fingerprint(prepared.program().regions())
+        {
+            self.stats.amaps_adopted += prepared.adopt_address_maps(&donor);
+            prepared.adopt_summaries(&donor);
+        }
     }
 
     fn install_with(
@@ -611,6 +657,12 @@ impl SessionCache {
                 self.stats.invalidated += 1;
                 if entry.regions == regions {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
+                    // Same gate for the fixpoint summaries: the donor's
+                    // converged states embed its memory layout, so only a
+                    // region-table-preserving replacement may seed from
+                    // them.  Block-level invalidation happens later, when
+                    // the matching unroll variant is built.
+                    prepared.adopt_summaries(&entry.prepared);
                 }
                 *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
                 // The replaced handle may still be pinned by an L0 tier —
@@ -638,10 +690,35 @@ impl SessionCache {
         let tick = self.next_tick();
         if let Some(entry) = self.entries.get_mut(&name) {
             if entry.fingerprint == fingerprint {
-                self.stats.reused += 1;
                 entry.tick = tick;
+                let diff = want_diff.then(|| ProgramDiff::between(entry.prepared.program(), program));
+                // The fingerprint is name-free, so an equal print does not
+                // mean an equal program: serving the cached handle across a
+                // pure rename would leak the pre-edit region and block
+                // names into classification output.  Rebind a fresh session
+                // to the renamed program instead and transplant the
+                // artifacts — address maps verbatim (the region table is
+                // structurally identical) and every block summary as a
+                // fixpoint seed — so the next run re-derives *names*, not
+                // fixpoints.
+                let renamed = entry.prepared.program() != program;
+                let adopted = if renamed {
+                    let rebound = Arc::new(entry.prepared.rebound(program));
+                    let adopted = rebound.adopt_address_maps(&entry.prepared);
+                    rebound.adopt_summaries(&entry.prepared);
+                    entry.prepared = rebound;
+                    adopted
+                } else {
+                    0
+                };
                 let prepared = entry.prepared.clone();
-                let diff = want_diff.then(|| ProgramDiff::between(prepared.program(), program));
+                self.stats.reused += 1;
+                self.stats.amaps_adopted += adopted;
+                if renamed {
+                    // The entry was replaced: unseat stale L0 seeds, like
+                    // every other rebind (see `install_with`).
+                    self.bump_generation();
+                }
                 return SessionUpdate {
                     prepared,
                     reused: true,
@@ -663,6 +740,13 @@ impl SessionCache {
             Some((prepared, stamp)) => (prepared, Some(stamp)),
             None => {
                 let prepared = Arc::new(self.analyzer.prepare(program));
+                // No previous snapshot in memory: the store tier may still
+                // hold this name's predecessor as a summary donor (and the
+                // lookup must precede the write-through below, which
+                // repoints the name index at the fresh session).
+                if !self.entries.contains_key(&name) {
+                    self.adopt_store_donor(&prepared);
+                }
                 let persisted = self.persist_now(&prepared);
                 (prepared, persisted)
             }
@@ -673,6 +757,13 @@ impl SessionCache {
                 self.stats.invalidated += 1;
                 if entry.regions == regions {
                     self.stats.amaps_adopted += prepared.adopt_address_maps(&entry.prepared);
+                    // The compositional-reuse handoff (see the same call in
+                    // `install_with`): the re-prepared session seeds the
+                    // unchanged blocks' fixpoint states from the replaced
+                    // snapshot, localised per block by the same structural
+                    // identity `ProgramDiff` reports — only edited blocks
+                    // and their transitive dependents re-solve.
+                    prepared.adopt_summaries(&entry.prepared);
                 }
                 *entry = SessionEntry::new(fingerprint, regions, tick, prepared.clone(), persisted);
                 // Edit-driven re-prepare: see the same bump in
@@ -736,6 +827,9 @@ impl SessionCache {
             total.round_hits += s.round_hits;
             total.round_misses += s.round_misses;
             total.round_evictions += s.round_evictions;
+            total.summary_hits += s.summary_hits;
+            total.summary_misses += s.summary_misses;
+            total.summaries_invalidated += s.summaries_invalidated;
         }
         total.session_evictions = self.stats.session_evictions;
         total.session_bytes = self.resident_bytes();

@@ -86,6 +86,7 @@ pub mod options;
 pub mod service;
 pub mod session;
 pub mod state;
+mod summary;
 
 pub use analysis::CacheAnalysis;
 pub use artifact::{options_signature, PreparedStore};

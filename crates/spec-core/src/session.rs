@@ -75,6 +75,7 @@ use crate::classify::AnalysisResult;
 use crate::json;
 use crate::options::AnalysisOptions;
 use crate::state::SpecState;
+use crate::summary::{summary_keys, CoreSummaries, DonorSnapshot, SummaryCtx, SummaryStore};
 
 /// Entry point of the session API: a factory for [`PreparedProgram`]s.
 ///
@@ -133,6 +134,7 @@ impl Analyzer {
             cores: Memo::new(),
             amaps: Memo::new(),
             amaps_adopted: AtomicU64::new(0),
+            summaries: SummaryStore::new(),
         }
     }
 }
@@ -429,7 +431,7 @@ impl RoundCache {
     }
 
     /// `(hits, misses, evictions)` so far.
-    fn counts(&self) -> (u64, u64, u64) {
+    pub(crate) fn counts(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock().expect("round cache poisoned");
         (inner.hits, inner.misses, inner.evictions)
     }
@@ -454,14 +456,14 @@ impl RoundCache {
     }
 
     #[cfg(test)]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()
     }
 
     /// The cached keys from least to most recently used (test introspection
     /// for the eviction-order contract).
     #[cfg(test)]
-    fn lru_order(&self) -> Vec<RoundKey> {
+    pub(crate) fn lru_order(&self) -> Vec<RoundKey> {
         let inner = self.inner.lock().unwrap();
         let mut entries: Vec<(u64, RoundKey)> = inner
             .map
@@ -481,6 +483,14 @@ pub(crate) struct PreparedCore {
     pub(crate) unroll: UnrollReport,
     /// Headers of the loops that survived unrolling — the widening points.
     pub(crate) widen_headers: Vec<BlockId>,
+    /// Per-block summary keys of `analyzed` (structural block
+    /// fingerprints): what the compositional-reuse matcher compares, and
+    /// what the artifact tier persists alongside the rounds.
+    pub(crate) block_keys: Vec<u64>,
+    /// The donor adopted at construction time, when the incremental layer
+    /// offered one for this unroll variant: per-block matching plus the
+    /// memoized per-VCFG seeding plans.  `None` for cold cores.
+    pub(crate) summaries: Option<CoreSummaries>,
     /// Virtual CFGs, memoized per speculation structure.
     pub(crate) vcfgs: Memo<VcfgKey, Vcfg>,
     /// Fixpoint rounds, memoized per solver input.
@@ -488,7 +498,13 @@ pub(crate) struct PreparedCore {
 }
 
 impl PreparedCore {
-    fn new(program: &Program, key: UnrollKey, round_capacity: Option<NonZeroUsize>) -> Self {
+    fn new(
+        program: &Program,
+        key: UnrollKey,
+        round_capacity: Option<NonZeroUsize>,
+        donor: Option<DonorSnapshot>,
+        store: &SummaryStore,
+    ) -> Self {
         let (analyzed, unroll) = if key.0 {
             unroll_counted_loops(program, key.1)
         } else {
@@ -497,10 +513,14 @@ impl PreparedCore {
         let cfg = Cfg::new(&analyzed);
         let forest = LoopForest::find(&analyzed, &cfg);
         let widen_headers = forest.loops().iter().map(|l| l.header).collect();
+        let block_keys = summary_keys(&analyzed);
+        let summaries = donor.map(|d| CoreSummaries::build(&analyzed, &block_keys, d, store));
         Self {
             analyzed: Arc::new(analyzed),
             unroll,
             widen_headers,
+            block_keys,
+            summaries,
             vcfgs: Memo::new(),
             rounds: RoundCache::new(round_capacity),
         }
@@ -517,6 +537,8 @@ impl HeapSize for PreparedCore {
     fn heap_size(&self) -> usize {
         self.analyzed.heap_size()
             + self.widen_headers.heap_size()
+            + self.block_keys.heap_size()
+            + self.summaries.as_ref().map_or(0, HeapSize::heap_size)
             + self.vcfgs.heap_bytes()
             + self.rounds.heap_bytes()
     }
@@ -532,7 +554,12 @@ impl HeapSize for PreparedCore {
 ///   function of the region table, which the edit left untouched);
 /// * *vcfgs* — virtual CFGs (one per speculation structure);
 /// * *rounds* — memoized fixpoint rounds, with the evictions performed by
-///   the LRU bound of [`Analyzer::round_cache_capacity`].
+///   the LRU bound of [`Analyzer::round_cache_capacity`];
+/// * *summaries* — per-block fixpoint summaries (see `spec_core::summary`):
+///   a hit is a block whose converged states were transplanted from an
+///   adopted pre-edit session, a miss a block solved by iteration, and
+///   *invalidated* counts the blocks an adoption discarded (edited blocks
+///   plus transitive dependents).
 ///
 /// For every row `hits + misses` equals the number of times the artifact
 /// was requested; a miss is a recomputation.  The counters describe *how* a
@@ -561,6 +588,18 @@ pub struct CacheStats {
     pub round_misses: u64,
     /// Fixpoint rounds evicted by the LRU bound.
     pub round_evictions: u64,
+    /// Per-block summaries transplanted from an adopted donor session
+    /// instead of re-solved, accumulated over every actually-solved round.
+    /// Zero unless the incremental layer adopted a prior session.
+    pub summary_hits: u64,
+    /// Per-block summaries solved by fixpoint iteration, accumulated over
+    /// every actually-solved round (a cold solve counts all its blocks
+    /// here, so `summary_hits + summary_misses` is the total number of
+    /// block summaries the session established).
+    pub summary_misses: u64,
+    /// Block summaries invalidated at donor-adoption time: the edited
+    /// blocks plus their transitive dependents over the block CFG.
+    pub summaries_invalidated: u64,
     /// Whole [`PreparedProgram`]s evicted by a session byte budget
     /// ([`crate::incremental::SessionCache::max_session_bytes`]).  Zero for
     /// plain (budget-free) sessions.
@@ -618,6 +657,13 @@ impl fmt::Display for CacheStats {
             self.round_misses,
             self.round_evictions
         )?;
+        if self.summary_hits > 0 || self.summaries_invalidated > 0 {
+            write!(
+                f,
+                ", summaries {}h/{}m ({} invalidated)",
+                self.summary_hits, self.summary_misses, self.summaries_invalidated
+            )?;
+        }
         if self.session_bytes > 0 || self.session_evictions > 0 {
             write!(
                 f,
@@ -662,6 +708,11 @@ pub struct PreparedProgram {
     /// layer can rebind them across edits that leave the regions untouched.
     pub(crate) amaps: Memo<CacheConfig, AddressMap>,
     pub(crate) amaps_adopted: AtomicU64,
+    /// The compositional-summary tier: donor snapshots pending adoption
+    /// (stashed by [`PreparedProgram::adopt_summaries`], consumed when the
+    /// matching unroll variant's core is built) and the session's summary
+    /// hit/miss/invalidation accounting.
+    pub(crate) summaries: SummaryStore,
 }
 
 impl PreparedProgram {
@@ -676,10 +727,39 @@ impl PreparedProgram {
         self.fingerprint
     }
 
+    /// A fresh session bound to `program`, carrying this session's
+    /// analyzer settings but none of its artifacts — the caller
+    /// transplants those via [`PreparedProgram::adopt_address_maps`] and
+    /// [`PreparedProgram::adopt_summaries`].  Only sound when `program` is
+    /// a pure rename of this session's program (equal name-free
+    /// fingerprint): the adopted artifacts embed the analysed structure.
+    /// Classification output re-derives names from the *new* program, so
+    /// rebinding never leaks pre-rename labels.
+    pub(crate) fn rebound(&self, program: &Program) -> PreparedProgram {
+        debug_assert_eq!(program_fingerprint(program), self.fingerprint);
+        PreparedProgram {
+            fingerprint: self.fingerprint,
+            program: program.clone(),
+            max_suite_threads: self.max_suite_threads,
+            round_cache_capacity: self.round_cache_capacity,
+            cores: Memo::new(),
+            amaps: Memo::new(),
+            amaps_adopted: AtomicU64::new(0),
+            summaries: SummaryStore::new(),
+        }
+    }
+
     fn core(&self, options: &AnalysisOptions) -> Arc<PreparedCore> {
         let key: UnrollKey = (options.unroll_loops, options.unroll);
         self.cores.get_or_insert_with(key, || {
-            PreparedCore::new(&self.program, key, self.round_cache_capacity)
+            let donor = self.summaries.take(&key);
+            PreparedCore::new(
+                &self.program,
+                key,
+                self.round_cache_capacity,
+                donor,
+                &self.summaries,
+            )
         })
     }
 
@@ -704,12 +784,39 @@ impl PreparedProgram {
         adopted
     }
 
+    /// Snapshots every unroll variant of `donor` as a pending summary
+    /// source for this session (see `spec_core::summary`): when this
+    /// session builds the matching variant, unchanged blocks seed their
+    /// fixpoint states from the snapshot instead of re-solving.
+    ///
+    /// Like [`PreparedProgram::adopt_address_maps`], the *caller* gates the
+    /// call — [`crate::incremental::SessionCache`] only adopts across edits
+    /// that preserve the region table (`regions_fingerprint`), because the
+    /// donor's converged states embed the donor's memory layout.  Within
+    /// that gate, reuse is further validated structurally per block and per
+    /// VCFG at seeding time, so adoption never changes results — only how
+    /// much of the fixpoint is recomputed.  Returns the number of variants
+    /// stashed.
+    pub(crate) fn adopt_summaries(&self, donor: &PreparedProgram) -> u64 {
+        let mut stashed = 0;
+        for (key, core) in donor.cores.entries() {
+            self.summaries.stash(key, DonorSnapshot::of(&core));
+            stashed += 1;
+        }
+        stashed
+    }
+
     /// The cumulative [`CacheStats`] of this session.
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = CacheStats::default();
         (stats.core_hits, stats.core_misses) = self.cores.counts();
         (stats.amap_hits, stats.amap_misses) = self.amaps.counts();
         stats.amap_adopted = self.amaps_adopted.load(Ordering::Relaxed);
+        (
+            stats.summary_hits,
+            stats.summary_misses,
+            stats.summaries_invalidated,
+        ) = self.summaries.counts();
         for (_, core) in self.cores.entries() {
             let (vh, vm) = core.vcfgs.counts();
             stats.vcfg_hits += vh;
@@ -752,12 +859,22 @@ impl PreparedProgram {
         let start = Instant::now();
         let core = self.core(options);
         let amap = self.amap(options.cache);
-        let vcfg = core.vcfg(options.effective_speculation());
+        let spec = options.effective_speculation();
+        let vcfg = core.vcfg(spec);
         let widen_nodes = core
             .widen_headers
             .iter()
             .map(|header| vcfg.graph().first_node_of_block(*header).index())
             .collect();
+        let vcfg_key: VcfgKey = (spec.depth_on_miss, spec.merge_strategy);
+        let summary = SummaryCtx {
+            seed: core.summaries.as_ref().and_then(|summaries| {
+                summaries
+                    .seed_for(vcfg_key, &core.analyzed, &vcfg, &widen_nodes)
+                    .map(|plan| (plan, summaries))
+            }),
+            store: &self.summaries,
+        };
         solve_prepared(
             options,
             &core.analyzed,
@@ -766,6 +883,7 @@ impl PreparedProgram {
             &amap,
             &widen_nodes,
             &core.rounds,
+            summary,
             start,
         )
     }
@@ -984,11 +1102,16 @@ impl Report {
     /// same panel — threaded, sharded, sequential, or replayed from an
     /// incremental session — agree bit-for-bit on the result, which is what
     /// makes [`crate::batch`] reports mergeable and diffable in CI.
+    ///
+    /// Per-row `iterations` (worklist pops) are stripped too: they describe
+    /// how much of the fixpoint was *recomputed*, which compositional
+    /// summary seeding legitimately shrinks without changing any result.
     pub fn without_timing(mut self) -> Report {
         self.elapsed = None;
         self.cache = None;
         for row in &mut self.rows {
             row.time = Duration::ZERO;
+            row.iterations = 0;
         }
         self
     }
@@ -1012,6 +1135,8 @@ impl Report {
                  \"amap_hits\": {}, \"amap_misses\": {}, \"amap_adopted\": {}, \
                  \"vcfg_hits\": {}, \"vcfg_misses\": {}, \"round_hits\": {}, \
                  \"round_misses\": {}, \"round_evictions\": {}, \
+                 \"summary_hits\": {}, \"summary_misses\": {}, \
+                 \"summaries_invalidated\": {}, \
                  \"session_evictions\": {}, \"session_bytes\": {}, \
                  \"store_hits\": {}, \"store_misses\": {}, \
                  \"store_loaded_bytes\": {}, \"l0_hits\": {}, \
@@ -1026,6 +1151,9 @@ impl Report {
                 cache.round_hits,
                 cache.round_misses,
                 cache.round_evictions,
+                cache.summary_hits,
+                cache.summary_misses,
+                cache.summaries_invalidated,
                 cache.session_evictions,
                 cache.session_bytes,
                 cache.store_hits,
@@ -1169,7 +1297,9 @@ pub struct ReportRow {
     pub unsafe_secret_accesses: usize,
     /// Conditional branches that may speculate.
     pub speculated_branches: usize,
-    /// Fixpoint iterations (worklist pops) across all rounds.
+    /// Fixpoint iterations (worklist pops) across all rounds.  Execution
+    /// detail, not a result: summary seeding shrinks it without changing
+    /// any classification, so [`Report::without_timing`] zeroes it.
     pub iterations: u64,
     /// Fixpoint rounds (1 unless dynamic depth bounding refined).
     pub rounds: u32,
@@ -1433,6 +1563,10 @@ mod tests {
         assert_eq!(stripped.elapsed, None);
         assert_eq!(stripped.cache, None, "cache counters are execution detail");
         assert!(stripped.rows.iter().all(|r| r.time == Duration::ZERO));
+        assert!(
+            stripped.rows.iter().all(|r| r.iterations == 0),
+            "worklist pops describe the recomputation, not the result"
+        );
         // Everything else is untouched.
         assert_eq!(stripped.rows.len(), 2);
         assert_eq!(stripped.rows[0].accesses, 1);

@@ -307,21 +307,88 @@ pub fn combined_fingerprint(
     Fingerprint(h.finish())
 }
 
+/// The content hash of one block with successor *indices* excluded: what a
+/// block looks like independent of where it (and its targets) sit in the
+/// block table.  Two blocks with equal local signatures are candidates for
+/// an identity match across a reordering.
+fn block_local_sig(block: &BasicBlock) -> u64 {
+    let mut h = Fnv::new();
+    h.tag(TAG_BLOCK);
+    h.u32(block.insts.len() as u32);
+    for inst in &block.insts {
+        encode_inst(&mut h, inst);
+    }
+    match &block.term {
+        Terminator::Jump(_) => h.tag(TAG_TERM_JUMP),
+        Terminator::Branch { cond, .. } => {
+            h.tag(TAG_TERM_BRANCH);
+            encode_condition(&mut h, cond);
+        }
+        Terminator::Return => h.tag(TAG_TERM_RETURN),
+    }
+    h.finish()
+}
+
+/// Whether the matched pair (`old_index`, `new_index`) is *identical*
+/// modulo the block renumbering implied by `old_to_new`: same
+/// instructions and condition, with every successor mapped consistently.
+fn pair_identical(
+    old: &Program,
+    new: &Program,
+    old_index: usize,
+    new_index: usize,
+    old_to_new: &[Option<usize>],
+) -> bool {
+    let ob = &old.blocks()[old_index];
+    let nb = &new.blocks()[new_index];
+    if ob.insts != nb.insts {
+        return false;
+    }
+    match (&ob.term, &nb.term) {
+        (Terminator::Jump(a), Terminator::Jump(b)) => old_to_new[a.index()] == Some(b.index()),
+        (
+            Terminator::Branch {
+                cond: oc,
+                then_bb: ot,
+                else_bb: oe,
+            },
+            Terminator::Branch {
+                cond: nc,
+                then_bb: nt,
+                else_bb: ne,
+            },
+        ) => {
+            oc == nc
+                && old_to_new[ot.index()] == Some(nt.index())
+                && old_to_new[oe.index()] == Some(ne.index())
+        }
+        (Terminator::Return, Terminator::Return) => true,
+        _ => false,
+    }
+}
+
 /// Where two versions of a program diverge structurally.
 ///
-/// Produced by [`ProgramDiff::between`]; blocks are matched by position
-/// (the dense [`BlockId`] order), which is exact for the common
-/// edit-in-place case and conservative when blocks are inserted or removed
-/// (a shifted successor index counts as a change — it *is* one, structurally).
+/// Produced by [`ProgramDiff::between`].  Blocks matched by position with
+/// equal [`block_fingerprint`]s are unchanged; the remainder is matched by
+/// *identity* — content signatures refined over the control-flow graph —
+/// so a block that merely moved to a new index (with successor references
+/// renumbered consistently) is reported in [`ProgramDiff::moved_blocks`]
+/// rather than misreported as edited.  A pure reorder therefore shows no
+/// changed blocks at all.  Blocks with neither kind of match are changed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProgramDiff {
     /// The region tables differ (in count, a size, or a secrecy flag).
     pub regions_changed: bool,
     /// The entry block index moved.
     pub entry_changed: bool,
-    /// Blocks present in both versions (by index) whose fingerprints
-    /// differ, in block order.
+    /// Blocks of the new version (at indices both versions have) whose
+    /// content matches no old block, in block order: genuine edits.
     pub changed_blocks: Vec<BlockId>,
+    /// Blocks of the new version whose content is identical to an old
+    /// block (modulo the renumbering implied by the matching) but at a
+    /// different index, in block order: reordered, not edited.
+    pub moved_blocks: Vec<BlockId>,
     /// Number of trailing blocks only the new version has.
     pub added_blocks: usize,
     /// Number of trailing blocks only the old version has.
@@ -331,29 +398,122 @@ pub struct ProgramDiff {
 impl ProgramDiff {
     /// Diffs `new` against `old`.
     pub fn between(old: &Program, new: &Program) -> Self {
-        let changed_blocks = old
-            .blocks()
-            .iter()
-            .zip(new.blocks())
-            .filter(|(o, n)| block_fingerprint(o) != block_fingerprint(n))
-            .map(|(_, n)| n.id)
+        let regions_changed =
+            regions_fingerprint(old.regions()) != regions_fingerprint(new.regions());
+        let entry_changed = old.entry().index() != new.entry().index();
+        let n_old = old.blocks().len();
+        let n_new = new.blocks().len();
+        let min_len = n_old.min(n_new);
+
+        // Pass 1 — positional matching on the full structural fingerprint
+        // (content *and* absolute successor indices): exact for the common
+        // edit-in-place case.
+        let old_fp: Vec<Fingerprint> = old.blocks().iter().map(block_fingerprint).collect();
+        let new_fp: Vec<Fingerprint> = new.blocks().iter().map(block_fingerprint).collect();
+        let mut old_to_new: Vec<Option<usize>> = vec![None; n_old];
+        let mut new_to_old: Vec<Option<usize>> = vec![None; n_new];
+        for i in 0..min_len {
+            if old_fp[i] == new_fp[i] {
+                old_to_new[i] = Some(i);
+                new_to_old[i] = Some(i);
+            }
+        }
+
+        // Pass 2 — identity correspondence for the positionally-unmatched
+        // rest.  A block keeps its identity across a move *and* across an
+        // edit, so the correspondence is built from two signals and then
+        // classified, rather than requiring identical content up front:
+        //
+        // * blocks whose content signature (successor indices excluded) is
+        //   unique on both sides pair up directly — a moved block finds
+        //   its old self wherever it went;
+        // * matched pairs propagate through their terminators: the k-th
+        //   successor of matched blocks is the same block on both sides,
+        //   which identifies blocks whose *content* was edited.
+        //
+        // The two signals alternate until neither finds another pair.
+        let mut frontier: std::collections::VecDeque<(usize, usize)> = (0..min_len)
+            .filter(|&i| old_to_new[i] == Some(i))
+            .map(|i| (i, i))
             .collect();
+        loop {
+            // Successor propagation from every pair found so far.
+            while let Some((i, j)) = frontier.pop_front() {
+                let old_succs = old.blocks()[i].term.successors();
+                let new_succs = new.blocks()[j].term.successors();
+                if old_succs.len() != new_succs.len() {
+                    continue;
+                }
+                for (os, ns) in old_succs.into_iter().zip(new_succs) {
+                    let (si, sj) = (os.index(), ns.index());
+                    if old_to_new[si].is_none() && new_to_old[sj].is_none() {
+                        old_to_new[si] = Some(sj);
+                        new_to_old[sj] = Some(si);
+                        frontier.push_back((si, sj));
+                    }
+                }
+            }
+            // Unique-signature anchors among what is still unmatched.
+            let mut by_sig: std::collections::BTreeMap<u64, (Vec<usize>, Vec<usize>)> =
+                std::collections::BTreeMap::new();
+            for (i, block) in old.blocks().iter().enumerate() {
+                if old_to_new[i].is_none() {
+                    by_sig.entry(block_local_sig(block)).or_default().0.push(i);
+                }
+            }
+            for (j, block) in new.blocks().iter().enumerate() {
+                if new_to_old[j].is_none() {
+                    by_sig.entry(block_local_sig(block)).or_default().1.push(j);
+                }
+            }
+            for (olds, news) in by_sig.values() {
+                if let (&[i], &[j]) = (olds.as_slice(), news.as_slice()) {
+                    old_to_new[i] = Some(j);
+                    new_to_old[j] = Some(i);
+                    frontier.push_back((i, j));
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        // Classification: a matched pair that is content-identical under
+        // the correspondence either stayed put or moved; everything else —
+        // edited pairs and unmatched blocks — is a change.
+        let mut changed_blocks = Vec::new();
+        let mut moved_blocks = Vec::new();
+        for j in 0..n_new {
+            match new_to_old[j] {
+                Some(i) if pair_identical(old, new, i, j, &old_to_new) => {
+                    if i != j {
+                        moved_blocks.push(new.blocks()[j].id);
+                    }
+                }
+                Some(_) => changed_blocks.push(new.blocks()[j].id),
+                None if j < min_len => changed_blocks.push(new.blocks()[j].id),
+                None => {}
+            }
+        }
         Self {
-            regions_changed: regions_fingerprint(old.regions())
-                != regions_fingerprint(new.regions()),
-            entry_changed: old.entry().index() != new.entry().index(),
+            regions_changed,
+            entry_changed,
             changed_blocks,
-            added_blocks: new.blocks().len().saturating_sub(old.blocks().len()),
-            removed_blocks: old.blocks().len().saturating_sub(new.blocks().len()),
+            moved_blocks,
+            added_blocks: n_new.saturating_sub(n_old),
+            removed_blocks: n_old.saturating_sub(n_new),
         }
     }
 
     /// `true` iff the diff found no structural change — equivalent to the
-    /// two programs having equal [`program_fingerprint`]s.
+    /// two programs having equal [`program_fingerprint`]s.  A pure reorder
+    /// is *not* identical (successor indices are structure), but shows up
+    /// as moved rather than changed blocks.
     pub fn is_identical(&self) -> bool {
         !self.regions_changed
             && !self.entry_changed
             && self.changed_blocks.is_empty()
+            && self.moved_blocks.is_empty()
             && self.added_blocks == 0
             && self.removed_blocks == 0
     }
@@ -698,6 +858,117 @@ mod tests {
         assert_eq!(reverse.removed_blocks, 1);
         // Fingerprint inequality and diff non-identity agree.
         assert_ne!(program_fingerprint(&p), program_fingerprint(&grown));
+    }
+
+    /// Applies a permutation to a program's block table: `perm[i]` is the
+    /// new index of old block `i`.  Successor references and the entry
+    /// index follow, so the result is the *same* program merely reordered.
+    fn permuted(p: &Program, perm: &[usize]) -> Program {
+        let n = p.blocks().len();
+        assert_eq!(perm.len(), n);
+        let mut placed: Vec<Option<BasicBlock>> = vec![None; n];
+        for (i, block) in p.blocks().iter().enumerate() {
+            let mut moved = block.clone();
+            moved.id = BlockId::from_raw(perm[i] as u32);
+            match &mut moved.term {
+                Terminator::Jump(t) => *t = BlockId::from_raw(perm[t.index()] as u32),
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    *then_bb = BlockId::from_raw(perm[then_bb.index()] as u32);
+                    *else_bb = BlockId::from_raw(perm[else_bb.index()] as u32);
+                }
+                Terminator::Return => {}
+            }
+            placed[perm[i]] = Some(moved);
+        }
+        let blocks = placed.into_iter().map(Option::unwrap).collect();
+        let entry = BlockId::from_raw(perm[p.entry().index()] as u32);
+        Program::new(p.name(), p.regions().to_vec(), blocks, entry).unwrap()
+    }
+
+    #[test]
+    fn pure_reorder_is_reported_as_moves_not_changes() {
+        let p = full_coverage_program();
+        // Rotate every block except the entry one position to the right.
+        let n = p.blocks().len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm[1..].rotate_right(1);
+        let reordered = permuted(&p, &perm);
+
+        let diff = ProgramDiff::between(&p, &reordered);
+        assert!(
+            diff.changed_blocks.is_empty(),
+            "a pure reorder is not an edit: {:?}",
+            diff.changed_blocks
+        );
+        assert_eq!(diff.moved_blocks.len(), n - 1);
+        assert!(!diff.entry_changed);
+        assert_eq!(diff.added_blocks, 0);
+        assert_eq!(diff.removed_blocks, 0);
+        // Still not *identical*: block order is structure (the fingerprint
+        // differs), it just is not a content change.
+        assert!(!diff.is_identical());
+        assert_ne!(program_fingerprint(&p), program_fingerprint(&reordered));
+    }
+
+    #[test]
+    fn random_permutations_never_misreport_changed_blocks() {
+        let p = full_coverage_program();
+        let n = p.blocks().len();
+        // Deterministic LCG (Numerical Recipes constants): the suite must
+        // not flake, only cover.
+        let mut state: u64 = 0x5eed_cafe_f00d_1234;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..64 {
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, next() % (i + 1));
+            }
+            let reordered = permuted(&p, &perm);
+            let diff = ProgramDiff::between(&p, &reordered);
+            assert!(
+                diff.changed_blocks.is_empty(),
+                "permutation {perm:?} misreported as edits: {:?}",
+                diff.changed_blocks
+            );
+            let expected_moved: Vec<BlockId> = {
+                let mut moved: Vec<usize> = (0..n).filter(|&i| perm[i] != i).map(|i| perm[i]).collect();
+                moved.sort_unstable();
+                moved.into_iter().map(|j| BlockId::from_raw(j as u32)).collect()
+            };
+            assert_eq!(diff.moved_blocks, expected_moved, "permutation {perm:?}");
+            assert_eq!(diff.entry_changed, perm[p.entry().index()] != p.entry().index());
+            let identity = perm.iter().enumerate().all(|(i, &j)| i == j);
+            assert_eq!(diff.is_identical(), identity, "permutation {perm:?}");
+            assert_eq!(
+                program_fingerprint(&p) == program_fingerprint(&reordered),
+                identity
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_plus_edit_localises_to_the_edited_block() {
+        let p = full_coverage_program();
+        let n = p.blocks().len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm[1..].rotate_left(1);
+        let reordered = permuted(&p, &perm);
+        // Edit the block that ended up at index 3 (an in-place content
+        // change on top of the reorder).
+        let edited = with_block(&reordered, 3, |b| b.insts.push(Inst::Nop));
+        let diff = ProgramDiff::between(&p, &edited);
+        assert_eq!(
+            diff.changed_blocks,
+            vec![BlockId::from_raw(3)],
+            "only the edited block is a content change"
+        );
+        assert!(!diff.moved_blocks.contains(&BlockId::from_raw(3)));
+        assert!(!diff.is_identical());
     }
 
     #[test]

@@ -729,6 +729,20 @@ fn analyze_one(
         CacheOutcome::NeedsPrepare(guard) => guard.prepare(&program),
     };
     let output = service::analyze_output(&prepared, &config)?;
+    // Compositional-reuse accounting: when this preparation was seeded from
+    // a donor (in-memory predecessor or the store's name index), say how
+    // many block summaries were transplanted vs re-solved — the line CI
+    // greps to prove an incremental edit did *not* redo the whole fixpoint.
+    let stats = prepared.cache_stats();
+    if stats.summary_hits > 0 || stats.summaries_invalidated > 0 {
+        eprintln!(
+            "session: summaries {}h/{}m ({} invalidated) `{}`",
+            stats.summary_hits,
+            stats.summary_misses,
+            stats.summaries_invalidated,
+            path.display()
+        );
+    }
     // Flush dirty entries *after* the run so a stored artifact carries the
     // memoized fixpoint rounds this configuration populated — the next run
     // (any flags) replays them from disk.  Writes are best-effort: a
